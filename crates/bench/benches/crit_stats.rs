@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for the statistics substrate itself:
+//! bootstrap resampling, changepoint segmentation and t-quantile inversion
+//! on realistic series sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rigor_stats::changepoint::SegmentConfig;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let level = if i < n / 4 { 50.0 } else { 10.0 };
+        out.push(level + rng.gen_range(-0.5..0.5));
+    }
+    out
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let xs = series(1_000, 1);
+    c.bench_function("bootstrap_mean_ci/1k samples/2k resamples", |b| {
+        b.iter(|| rigor_stats::bootstrap_mean_ci(black_box(&xs), 0.95, 2_000, 42))
+    });
+
+    let long = series(10_000, 2);
+    c.bench_function("changepoint_segment/10k points", |b| {
+        b.iter(|| rigor_stats::segment(black_box(&long), &SegmentConfig::default()))
+    });
+
+    c.bench_function("t_quantile/df=9", |b| {
+        b.iter(|| rigor_stats::t_quantile(black_box(0.975), black_box(9.0)))
+    });
+
+    c.bench_function("mean_ci/1k samples", |b| {
+        b.iter(|| rigor_stats::mean_ci(black_box(&xs), 0.95))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stats
+}
+criterion_main!(benches);

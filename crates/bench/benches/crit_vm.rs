@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for the MiniPy engines themselves: real
+//! (Rust-side) throughput of the interpreter and JIT loops on two kernels.
+//! These gate regressions in the simulator, not the methodology.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use minipy::{Session, VmConfig};
+use rigor_workloads::{find, Size};
+
+fn bench_vm(c: &mut Criterion) {
+    for (engine, cfg) in [("interp", VmConfig::interp()), ("jit", VmConfig::jit())] {
+        for name in ["leibniz", "dict_churn"] {
+            let w = find(name).expect("known benchmark");
+            let src = w.source(Size::Small);
+            c.bench_function(&format!("vm/{engine}/{name}/iteration"), |b| {
+                let mut session = Session::start(&src, 1, cfg.clone()).expect("session");
+                // Pre-warm so the JIT measurement reflects compiled code.
+                for _ in 0..10 {
+                    session.run_iteration().expect("warm");
+                }
+                b.iter(|| black_box(session.run_iteration().expect("iteration")))
+            });
+        }
+    }
+
+    c.bench_function("vm/compile/leibniz", |b| {
+        let src = find("leibniz").unwrap().source(Size::Small);
+        b.iter(|| black_box(minipy::compile(&src).expect("compiles")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vm
+}
+criterion_main!(benches);

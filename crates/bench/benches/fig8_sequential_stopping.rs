@@ -1,0 +1,44 @@
+//! Figure 8 — Sequential sampling: invocations needed to reach a ±2% CI.
+//!
+//! Runs the sequential-stopping procedure on every benchmark. Expected
+//! shape: quiet numeric kernels stop at the minimum; seed-sensitive dict
+//! workloads and the GC-bound workload need markedly more invocations; some
+//! may exhaust the budget without meeting the target.
+
+use rigor::{run_until_precise, SequentialPlan, SteadyStateDetector, Table};
+use rigor_bench::{banner, bar, interp_config};
+use rigor_workloads::{suite, Size};
+
+fn main() {
+    banner(
+        "Figure 8",
+        "invocations needed for a +/-0.5% CI on the steady mean (interp)",
+    );
+    let det = SteadyStateDetector::robust_tail();
+    let plan = SequentialPlan {
+        target_rel_half_width: 0.005,
+        min_invocations: 5,
+        max_invocations: 60,
+        batch: 5,
+    };
+    let cfg = interp_config().with_iterations(25);
+    let mut table = Table::new(vec!["benchmark", "invocations", "achieved +/-", "met", ""]);
+    for w in suite() {
+        let r =
+            run_until_precise(&w.source(Size::Default), w.name, &cfg, &det, &plan).expect("run");
+        table.row(vec![
+            w.name.to_string(),
+            r.invocations_used.to_string(),
+            format!("{:.2}%", r.achieved_rel_half_width * 100.0),
+            if r.target_met {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            bar(r.invocations_used as f64, plan.max_invocations as f64, 30),
+        ]);
+    }
+    println!("{table}");
+    println!("A fixed 'always 5 invocations' design would be over-precise for some benchmarks");
+    println!("and badly under-precise for others; sequential stopping adapts per benchmark.");
+}

@@ -1,0 +1,48 @@
+//! Table 1 — Benchmark-suite characterization.
+//!
+//! For every workload: dynamic bytecode count per iteration, instruction-mix
+//! fractions, allocation and dict-probe rates, and interpreter iteration
+//! time. Regenerates the suite-characterization table of the evaluation.
+
+use rigor::{fmt_ns, fmt_pct, Table};
+use rigor_bench::{banner, EVAL_SEED};
+use rigor_workloads::{characterize, suite, Size};
+
+fn main() {
+    banner(
+        "Table 1",
+        "benchmark suite characterization (interp engine, quiescent noise)",
+    );
+    let mut table = Table::new(vec![
+        "benchmark",
+        "category",
+        "kops/iter",
+        "arith",
+        "dict",
+        "mem",
+        "call",
+        "branch",
+        "alloc/iter",
+        "probes/iter",
+        "iter time",
+    ]);
+    for w in suite() {
+        let c = characterize(&w, Size::Default, EVAL_SEED).expect("workload runs");
+        table.row(vec![
+            c.name.clone(),
+            c.category.clone(),
+            format!("{:.1}", c.bytecodes_per_iter / 1000.0),
+            fmt_pct(c.arith_frac),
+            fmt_pct(c.dict_frac),
+            fmt_pct(c.memory_frac),
+            fmt_pct(c.call_frac),
+            fmt_pct(c.branch_frac),
+            format!("{:.0}", c.allocations_per_iter),
+            format!("{:.0}", c.dict_probes_per_iter),
+            fmt_ns(c.iter_ns_interp),
+        ]);
+    }
+    println!("{table}");
+    println!("Shape check: numeric kernels are arith-dominated; dict_churn/str_keys/word_count");
+    println!("probe heavily; fib/queens are call-dominated; gc_pressure allocates most.");
+}

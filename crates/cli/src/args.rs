@@ -1,0 +1,303 @@
+//! Hand-rolled argument parsing for the `rigor` CLI (no external parser
+//! dependency, per the workspace's dependency policy).
+
+use std::fmt;
+
+use minipy::EngineKind;
+use rigor_workloads::Size;
+
+/// Options shared by the measuring subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalOpts {
+    /// VM invocations.
+    pub invocations: u32,
+    /// Iterations per invocation.
+    pub iterations: u32,
+    /// Workload size preset.
+    pub size: Size,
+    /// Master experiment seed.
+    pub seed: u64,
+    /// Engine for single-engine commands.
+    pub engine: EngineKind,
+    /// Confidence level.
+    pub confidence: f64,
+    /// Optional path to write measurements as JSON.
+    pub json_out: Option<String>,
+    /// Optional path to write measurements as CSV.
+    pub csv_out: Option<String>,
+}
+
+impl Default for GlobalOpts {
+    fn default() -> Self {
+        GlobalOpts {
+            invocations: 10,
+            iterations: 30,
+            size: Size::Default,
+            seed: 0xC0FFEE,
+            engine: EngineKind::Interp,
+            confidence: 0.95,
+            json_out: None,
+            csv_out: None,
+        }
+    }
+}
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `rigor list` — print the workload suite.
+    List,
+    /// `rigor characterize <benchmark>` — dynamic-profile table.
+    Characterize { benchmark: String },
+    /// `rigor measure <benchmark>` — steady-state mean with CI on one engine.
+    Measure { benchmark: String },
+    /// `rigor compare <benchmark>` — interp vs JIT speedup with CI.
+    Compare { benchmark: String },
+    /// `rigor suite` — the headline experiment over the whole suite.
+    Suite,
+    /// `rigor warmup <benchmark>` — per-invocation series + classification.
+    Warmup { benchmark: String },
+    /// `rigor run <file>` — execute a MiniPy source file.
+    Run { path: String },
+    /// `rigor disasm <file>` — print a MiniPy file's bytecode.
+    Disasm { path: String },
+    /// `rigor help`.
+    Help,
+}
+
+/// Argument-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parses argv (without the program name) into a command + options.
+pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> {
+    let mut opts = GlobalOpts::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = argv.iter().peekable();
+
+    let next_value = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| err(format!("flag {flag} requires a value")))
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--invocations" | "-n" => {
+                opts.invocations = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--invocations requires an integer"))?;
+            }
+            "--iterations" | "-i" => {
+                opts.iterations = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--iterations requires an integer"))?;
+            }
+            "--seed" => {
+                let v = next_value(arg, &mut it)?;
+                opts.seed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).map_err(|_| err("bad hex seed"))?
+                } else {
+                    v.parse().map_err(|_| err("--seed requires an integer"))?
+                };
+            }
+            "--size" => {
+                opts.size = match next_value(arg, &mut it)?.as_str() {
+                    "small" => Size::Small,
+                    "default" => Size::Default,
+                    "large" => Size::Large,
+                    other => return Err(err(format!("unknown size '{other}'"))),
+                };
+            }
+            "--engine" => {
+                opts.engine = match next_value(arg, &mut it)?.as_str() {
+                    "interp" => EngineKind::Interp,
+                    "jit" => EngineKind::Jit(minipy::JitConfig::default()),
+                    other => return Err(err(format!("unknown engine '{other}'"))),
+                };
+            }
+            "--confidence" => {
+                let c: f64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--confidence requires a number"))?;
+                if !(0.5..1.0).contains(&c) {
+                    return Err(err("--confidence must be in [0.5, 1.0)"));
+                }
+                opts.confidence = c;
+            }
+            "--json" => opts.json_out = Some(next_value(arg, &mut it)?),
+            "--csv" => opts.csv_out = Some(next_value(arg, &mut it)?),
+            "--help" | "-h" => positional.push("help".to_string()),
+            other if other.starts_with('-') => {
+                return Err(err(format!("unknown flag '{other}'")));
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+
+    let mut pos = positional.into_iter();
+    let command = match pos.next().as_deref() {
+        None | Some("help") | Some("--help") => Command::Help,
+        Some("list") => Command::List,
+        Some("suite") => Command::Suite,
+        Some("characterize") => Command::Characterize {
+            benchmark: pos
+                .next()
+                .ok_or_else(|| err("characterize needs a benchmark name"))?,
+        },
+        Some("measure") => Command::Measure {
+            benchmark: pos
+                .next()
+                .ok_or_else(|| err("measure needs a benchmark name"))?,
+        },
+        Some("compare") => Command::Compare {
+            benchmark: pos
+                .next()
+                .ok_or_else(|| err("compare needs a benchmark name"))?,
+        },
+        Some("warmup") => Command::Warmup {
+            benchmark: pos
+                .next()
+                .ok_or_else(|| err("warmup needs a benchmark name"))?,
+        },
+        Some("run") => Command::Run {
+            path: pos.next().ok_or_else(|| err("run needs a file path"))?,
+        },
+        Some("disasm") => Command::Disasm {
+            path: pos.next().ok_or_else(|| err("disasm needs a file path"))?,
+        },
+        Some(other) => return Err(err(format!("unknown command '{other}'"))),
+    };
+    if let Some(extra) = pos.next() {
+        return Err(err(format!("unexpected argument '{extra}'")));
+    }
+    Ok((command, opts))
+}
+
+/// The usage text printed by `rigor help`.
+pub const USAGE: &str = "\
+rigor — rigorous benchmarking for Python-like workloads
+
+USAGE:
+    rigor <command> [options]
+
+COMMANDS:
+    list                      list the benchmark suite
+    characterize <benchmark>  dynamic-execution profile of one benchmark
+    measure <benchmark>       steady-state mean with CI on one engine
+    compare <benchmark>       interp-vs-JIT speedup with CI
+    suite                     full-suite comparison (the headline experiment)
+    warmup <benchmark>        per-invocation warmup curves + classification
+    run <file>                execute a MiniPy source file
+    disasm <file>             show a MiniPy file's bytecode
+    help                      this message
+
+OPTIONS:
+    -n, --invocations <N>     VM invocations (default 10)
+    -i, --iterations <M>      iterations per invocation (default 30)
+    --engine <interp|jit>     engine for measure/warmup/run (default interp)
+    --size <small|default|large>
+    --seed <N|0xHEX>          master experiment seed
+    --confidence <0.xx>       confidence level (default 0.95)
+    --json <file>             export measurements as JSON
+    --csv <file>              export measurements as CSV
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_measure_with_flags() {
+        let (cmd, opts) = parse_args(&argv(
+            "measure sieve -n 5 -i 12 --engine jit --size small --seed 0xff",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Measure {
+                benchmark: "sieve".into()
+            }
+        );
+        assert_eq!(opts.invocations, 5);
+        assert_eq!(opts.iterations, 12);
+        assert!(matches!(opts.engine, EngineKind::Jit(_)));
+        assert_eq!(opts.size, Size::Small);
+        assert_eq!(opts.seed, 0xff);
+    }
+
+    #[test]
+    fn flags_may_precede_the_command() {
+        let (cmd, opts) = parse_args(&argv("--seed 9 compare leibniz")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compare {
+                benchmark: "leibniz".into()
+            }
+        );
+        assert_eq!(opts.seed, 9);
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_args(&argv("")).unwrap().0, Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap().0, Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap().0, Command::Help);
+    }
+
+    #[test]
+    fn missing_values_and_unknowns_error() {
+        assert!(parse_args(&argv("measure")).is_err());
+        assert!(parse_args(&argv("measure sieve --invocations")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("measure sieve --engine pypy")).is_err());
+        assert!(parse_args(&argv("measure sieve extra")).is_err());
+        assert!(parse_args(&argv("measure sieve --wat 3")).is_err());
+    }
+
+    #[test]
+    fn confidence_bounds() {
+        assert!(parse_args(&argv("suite --confidence 0.99")).is_ok());
+        assert!(parse_args(&argv("suite --confidence 1.5")).is_err());
+        assert!(parse_args(&argv("suite --confidence 0.2")).is_err());
+    }
+
+    #[test]
+    fn export_flags() {
+        let (_, opts) = parse_args(&argv("measure sieve --json out.json --csv out.csv")).unwrap();
+        assert_eq!(opts.json_out.as_deref(), Some("out.json"));
+        assert_eq!(opts.csv_out.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn run_and_disasm_take_paths() {
+        assert_eq!(
+            parse_args(&argv("run bench.mp")).unwrap().0,
+            Command::Run {
+                path: "bench.mp".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("disasm bench.mp")).unwrap().0,
+            Command::Disasm {
+                path: "bench.mp".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Implementation of the CLI subcommands.
+
+use std::error::Error;
+use std::fs;
+
+use minipy::{Session, VmConfig};
+use rigor::{
+    compare, compare_suite, fmt_ci, fmt_ns, measure_workload, precision_of, sparkline,
+    ExperimentConfig, SteadyStateDetector, Table, WarmupClassifier,
+};
+use rigor_workloads::{characterize, find, suite, Workload};
+
+use crate::args::{Command, GlobalOpts, USAGE};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches a parsed command.
+pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
+    let (command, opts) = parsed;
+    match command {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::List => cmd_list(),
+        Command::Characterize { benchmark } => cmd_characterize(benchmark, opts),
+        Command::Measure { benchmark } => cmd_measure(benchmark, opts),
+        Command::Compare { benchmark } => cmd_compare(benchmark, opts),
+        Command::Suite => cmd_suite(opts),
+        Command::Warmup { benchmark } => cmd_warmup(benchmark, opts),
+        Command::Run { path } => cmd_run(path, opts),
+        Command::Disasm { path } => cmd_disasm(path),
+    }
+}
+
+fn lookup(benchmark: &str) -> Result<Workload, Box<dyn Error>> {
+    find(benchmark)
+        .ok_or_else(|| format!("unknown benchmark '{benchmark}' (see `rigor list`)").into())
+}
+
+fn experiment_config(opts: &GlobalOpts) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::interp()
+        .with_invocations(opts.invocations)
+        .with_iterations(opts.iterations)
+        .with_size(opts.size)
+        .with_seed(opts.seed);
+    cfg.engine = opts.engine;
+    cfg.confidence = opts.confidence;
+    cfg
+}
+
+fn export(opts: &GlobalOpts, measurements: &[rigor::BenchmarkMeasurement]) -> CliResult {
+    if let Some(path) = &opts.json_out {
+        fs::write(path, rigor::to_json(measurements)?)?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &opts.csv_out {
+        fs::write(path, rigor::to_csv(measurements))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_list() -> CliResult {
+    let mut table = Table::new(vec!["benchmark", "category", "description"]);
+    for w in suite() {
+        table.row(vec![w.name, w.category.label(), w.description]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_characterize(benchmark: &str, opts: &GlobalOpts) -> CliResult {
+    let w = lookup(benchmark)?;
+    let c = characterize(&w, opts.size, opts.seed)?;
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec![
+        "bytecodes / iteration".to_string(),
+        format!("{:.0}", c.bytecodes_per_iter),
+    ]);
+    table.row(vec![
+        "arith fraction".to_string(),
+        format!("{:.1}%", c.arith_frac * 100.0),
+    ]);
+    table.row(vec![
+        "stack fraction".to_string(),
+        format!("{:.1}%", c.stack_frac * 100.0),
+    ]);
+    table.row(vec![
+        "name fraction".to_string(),
+        format!("{:.1}%", c.name_frac * 100.0),
+    ]);
+    table.row(vec![
+        "memory fraction".to_string(),
+        format!("{:.1}%", c.memory_frac * 100.0),
+    ]);
+    table.row(vec![
+        "branch fraction".to_string(),
+        format!("{:.1}%", c.branch_frac * 100.0),
+    ]);
+    table.row(vec![
+        "call fraction".to_string(),
+        format!("{:.1}%", c.call_frac * 100.0),
+    ]);
+    table.row(vec![
+        "allocations / iteration".to_string(),
+        format!("{:.0}", c.allocations_per_iter),
+    ]);
+    table.row(vec![
+        "dict probes / iteration".to_string(),
+        format!("{:.0}", c.dict_probes_per_iter),
+    ]);
+    table.row(vec![
+        "calls / iteration".to_string(),
+        format!("{:.0}", c.calls_per_iter),
+    ]);
+    table.row(vec![
+        "back-edges / iteration".to_string(),
+        format!("{:.0}", c.backedges_per_iter),
+    ]);
+    table.row(vec!["startup time".to_string(), fmt_ns(c.startup_ns)]);
+    table.row(vec![
+        "iteration time (interp)".to_string(),
+        fmt_ns(c.iter_ns_interp),
+    ]);
+    println!("{} ({})\n{table}", c.name, c.category);
+    Ok(())
+}
+
+fn cmd_measure(benchmark: &str, opts: &GlobalOpts) -> CliResult {
+    let w = lookup(benchmark)?;
+    let cfg = experiment_config(opts);
+    let m = measure_workload(&w, &cfg)?;
+    let det = SteadyStateDetector::default();
+    println!(
+        "{} on {}: {} invocations x {} iterations",
+        w.name,
+        cfg.engine.name(),
+        m.n_invocations(),
+        m.n_iterations()
+    );
+    match precision_of(&m, &det, opts.confidence) {
+        (Some(ci), Some(rel)) => println!(
+            "steady-state mean: {} [{}, {}] at {:.0}% confidence (+/-{:.2}%)",
+            fmt_ns(ci.estimate),
+            fmt_ns(ci.lower),
+            fmt_ns(ci.upper),
+            opts.confidence * 100.0,
+            rel * 100.0
+        ),
+        _ => println!("no steady state reached — report the series, not a number"),
+    }
+    if let Some(ci) = rigor_stats::mean_ci(&m.startup_times(), opts.confidence) {
+        println!(
+            "startup (compile + module setup): {} [{}, {}]",
+            fmt_ns(ci.estimate),
+            fmt_ns(ci.lower),
+            fmt_ns(ci.upper)
+        );
+    }
+    export(opts, std::slice::from_ref(&m))
+}
+
+fn cmd_compare(benchmark: &str, opts: &GlobalOpts) -> CliResult {
+    let w = lookup(benchmark)?;
+    let mut interp_cfg = experiment_config(opts);
+    interp_cfg.engine = minipy::EngineKind::Interp;
+    let mut jit_cfg = experiment_config(opts);
+    jit_cfg.engine = minipy::EngineKind::Jit(minipy::JitConfig::default());
+    let base = measure_workload(&w, &interp_cfg)?;
+    let cand = measure_workload(&w, &jit_cfg)?;
+    match compare(
+        &base,
+        &cand,
+        &SteadyStateDetector::default(),
+        opts.confidence,
+    ) {
+        Ok(r) => {
+            println!(
+                "{}: JIT speedup over interpreter: {}",
+                w.name,
+                fmt_ci(&r.speedup)
+            );
+            println!(
+                "interp steady mean {} (from iter {}), jit {} (from iter {})",
+                fmt_ns(r.base_mean_ns),
+                r.base_steady_start,
+                fmt_ns(r.cand_mean_ns),
+                r.cand_steady_start
+            );
+            println!(
+                "significant: {}   p = {:.2e}   Cohen's d = {:.1}",
+                if r.significant { "yes" } else { "no" },
+                r.p_value,
+                r.effect_size
+            );
+        }
+        Err(e) => println!("{}: comparison not possible: {e}", w.name),
+    }
+    export(opts, &[base, cand])
+}
+
+fn cmd_suite(opts: &GlobalOpts) -> CliResult {
+    let mut interp_cfg = experiment_config(opts);
+    interp_cfg.engine = minipy::EngineKind::Interp;
+    let mut jit_cfg = experiment_config(opts);
+    jit_cfg.engine = minipy::EngineKind::Jit(minipy::JitConfig::default());
+    let mut pairs = Vec::new();
+    let mut all = Vec::new();
+    for w in suite() {
+        eprintln!("measuring {} ...", w.name);
+        let base = measure_workload(&w, &interp_cfg)?;
+        let cand = measure_workload(&w, &jit_cfg)?;
+        all.push(base.clone());
+        all.push(cand.clone());
+        pairs.push((base, cand));
+    }
+    let s = compare_suite(&pairs, &SteadyStateDetector::default(), opts.confidence);
+    let mut table = Table::new(vec!["benchmark", "JIT speedup", "significant"]);
+    let mut sorted = s.per_benchmark.clone();
+    sorted.sort_by(|a, b| {
+        b.speedup
+            .estimate
+            .partial_cmp(&a.speedup.estimate)
+            .expect("finite")
+    });
+    for r in &sorted {
+        table.row(vec![
+            r.benchmark.clone(),
+            fmt_ci(&r.speedup),
+            if r.significant { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+    for (name, e) in &s.failures {
+        println!("not converged: {name}: {e}");
+    }
+    if let Some(g) = &s.geomean {
+        println!("\ngeometric-mean speedup: {}", fmt_ci(g));
+    }
+    export(opts, &all)
+}
+
+fn cmd_warmup(benchmark: &str, opts: &GlobalOpts) -> CliResult {
+    let w = lookup(benchmark)?;
+    let cfg = experiment_config(opts);
+    let m = measure_workload(&w, &cfg)?;
+    let classifier = WarmupClassifier::default();
+    println!("{} on {}:", w.name, cfg.engine.name());
+    for (i, series) in m.series().enumerate() {
+        println!(
+            "  inv {i}: {}  first {} last {}  [{}]",
+            sparkline(series),
+            fmt_ns(series[0]),
+            fmt_ns(*series.last().expect("non-empty")),
+            classifier.classify(series).label()
+        );
+    }
+    for det in [
+        SteadyStateDetector::cov_window(),
+        SteadyStateDetector::changepoint(),
+        SteadyStateDetector::robust_tail(),
+    ] {
+        let start = rigor::common_steady_start(m.series(), &det);
+        println!(
+            "  detector {:<12} steady from: {}",
+            det.name(),
+            start
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "never".into())
+        );
+    }
+    export(opts, std::slice::from_ref(&m))
+}
+
+fn cmd_run(path: &str, opts: &GlobalOpts) -> CliResult {
+    let source = fs::read_to_string(path)?;
+    let mut vm_cfg = VmConfig {
+        engine: opts.engine,
+        ..VmConfig::default()
+    };
+    vm_cfg.capture_output = true;
+    let mut session = Session::start(&source, opts.seed, vm_cfg)?;
+    let stdout = session.vm_mut().take_stdout();
+    print!("{stdout}");
+    // If the module defines run(), time one iteration like the harness would.
+    if session.vm().global("run").is_some() {
+        let r = session.run_iteration()?;
+        print!("{}", session.vm_mut().take_stdout());
+        println!(
+            "run() -> {}   [{} virtual, {} bytecodes]",
+            session.render(r.value),
+            fmt_ns(r.virtual_ns),
+            r.counters.total_ops
+        );
+    }
+    Ok(())
+}
+
+fn cmd_disasm(path: &str) -> CliResult {
+    let source = fs::read_to_string(path)?;
+    let program = minipy::compile(&source)?;
+    print!("{program}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn list_and_help_run() {
+        dispatch(&parse_args(&argv("list")).unwrap()).unwrap();
+        dispatch(&parse_args(&argv("help")).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn characterize_runs() {
+        dispatch(&parse_args(&argv("characterize sieve --size small")).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn measure_small_runs_and_exports() {
+        let dir = std::env::temp_dir().join("rigor-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("m.json");
+        let cmd = format!(
+            "measure leibniz -n 3 -i 10 --size small --json {}",
+            json.display()
+        );
+        dispatch(&parse_args(&argv(&cmd)).unwrap()).unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("leibniz"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let r = dispatch(&parse_args(&argv("measure nope")).unwrap());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn run_and_disasm_a_minipy_file() {
+        let dir = std::env::temp_dir().join("rigor-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hello.mp");
+        std::fs::write(&path, "print('hi')\ndef run():\n    return 41 + 1\n").unwrap();
+        dispatch(&parse_args(&argv(&format!("run {}", path.display()))).unwrap()).unwrap();
+        dispatch(&parse_args(&argv(&format!("disasm {}", path.display()))).unwrap()).unwrap();
+    }
+}

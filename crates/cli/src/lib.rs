@@ -1,0 +1,28 @@
+//! Library backing the `rigor` command-line tool: argument parsing and the
+//! implementation of every subcommand, separated from `main.rs` so the whole
+//! surface is unit-testable.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, GlobalOpts, ParseError};
+
+/// Runs the CLI with the given arguments (exclusive of the program name).
+/// Returns the process exit code.
+pub fn run(argv: &[String]) -> i32 {
+    let parsed = match parse_args(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `rigor help` for usage");
+            return 2;
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! `rigor` — the command-line front end (see `rigor help`).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(rigor_cli::run(&argv));
+}

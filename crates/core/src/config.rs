@@ -1,0 +1,136 @@
+//! Experiment configuration.
+
+use minipy::{CostModel, EngineKind, JitConfig, NoiseConfig};
+use rigor_workloads::Size;
+
+/// Design of one benchmarking experiment, in the paper's vocabulary:
+/// `invocations` fresh VM processes, each running `iterations` in-process
+/// repetitions of the workload's `run()` function.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of fresh VM invocations (statistical samples).
+    pub invocations: u32,
+    /// In-process iterations per invocation.
+    pub iterations: u32,
+    /// Confidence level for all intervals (e.g. 0.95).
+    pub confidence: f64,
+    /// Master seed; every invocation seed is derived from it, the benchmark
+    /// name and the invocation index, so experiments replay exactly.
+    pub experiment_seed: u64,
+    /// Which engine to run.
+    pub engine: EngineKind,
+    /// Which nondeterminism sources are active.
+    pub noise: NoiseConfig,
+    /// Virtual-time cost model.
+    pub cost: CostModel,
+    /// Workload size preset.
+    pub size: Size,
+    /// Worker threads for parallel invocations (invocations are independent
+    /// processes in the paper, so parallelism is semantics-preserving).
+    pub threads: usize,
+    /// Pins the VM's GC allocation threshold (for ablation studies);
+    /// `None` keeps the adaptive default.
+    pub gc_threshold_override: Option<u64>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            invocations: 10,
+            iterations: 30,
+            confidence: 0.95,
+            experiment_seed: 0xC0FFEE,
+            engine: EngineKind::Interp,
+            noise: NoiseConfig::default(),
+            cost: CostModel::default(),
+            size: Size::Default,
+            threads: 4,
+            gc_threshold_override: None,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Default config on the interpreter engine.
+    pub fn interp() -> Self {
+        ExperimentConfig::default()
+    }
+
+    /// Default config on the JIT engine.
+    pub fn jit() -> Self {
+        ExperimentConfig {
+            engine: EngineKind::Jit(JitConfig::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the invocation count (builder style).
+    pub fn with_invocations(mut self, n: u32) -> Self {
+        self.invocations = n;
+        self
+    }
+
+    /// Sets the iteration count (builder style).
+    pub fn with_iterations(mut self, n: u32) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Sets the master seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.experiment_seed = seed;
+        self
+    }
+
+    /// Sets the workload size preset (builder style).
+    pub fn with_size(mut self, size: Size) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the noise configuration (builder style).
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Builds the per-invocation VM configuration.
+    pub fn vm_config(&self) -> minipy::VmConfig {
+        let mut cfg = minipy::VmConfig {
+            engine: self.engine,
+            noise: self.noise,
+            cost: self.cost.clone(),
+            gc_threshold: self.gc_threshold_override,
+            ..minipy::VmConfig::default()
+        };
+        cfg.capture_output = false;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = ExperimentConfig::jit()
+            .with_invocations(3)
+            .with_iterations(7)
+            .with_seed(9);
+        assert_eq!(c.invocations, 3);
+        assert_eq!(c.iterations, 7);
+        assert_eq!(c.experiment_seed, 9);
+        assert!(matches!(c.engine, EngineKind::Jit(_)));
+    }
+
+    #[test]
+    fn vm_config_propagates_engine_and_noise() {
+        let mut c = ExperimentConfig::interp();
+        c.noise.os_jitter = false;
+        let vm = c.vm_config();
+        assert_eq!(vm.engine, EngineKind::Interp);
+        assert!(!vm.noise.os_jitter);
+        assert!(!vm.capture_output);
+    }
+}

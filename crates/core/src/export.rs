@@ -1,0 +1,84 @@
+//! Measurement export: CSV (long format) and JSON.
+
+use crate::measurement::BenchmarkMeasurement;
+
+/// Serializes measurements to a long-format CSV: one row per iteration.
+///
+/// Columns: `benchmark,engine,invocation,seed,iteration,virtual_ns`.
+pub fn to_csv(measurements: &[BenchmarkMeasurement]) -> String {
+    let mut out = String::from("benchmark,engine,invocation,seed,iteration,virtual_ns\n");
+    for m in measurements {
+        for r in &m.invocations {
+            for (i, t) in r.iteration_ns.iter().enumerate() {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{}\n",
+                    m.benchmark, m.engine, r.invocation, r.seed, i, t
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Serializes measurements to pretty JSON.
+///
+/// # Errors
+///
+/// Never in practice (the types are plain data); surfaces serde errors.
+pub fn to_json(measurements: &[BenchmarkMeasurement]) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(measurements)
+}
+
+/// Parses measurements back from JSON.
+///
+/// # Errors
+///
+/// Malformed JSON.
+pub fn from_json(json: &str) -> serde_json::Result<Vec<BenchmarkMeasurement>> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::InvocationRecord;
+
+    fn sample() -> BenchmarkMeasurement {
+        BenchmarkMeasurement {
+            benchmark: "sieve".into(),
+            engine: "interp".into(),
+            invocations: vec![InvocationRecord {
+                invocation: 0,
+                seed: 42,
+                startup_ns: 10.0,
+                iteration_ns: vec![1.5, 2.5],
+                gc_cycles: 1,
+                jit_compiles: 0,
+                deopts: 0,
+                checksum: "95".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_iteration() {
+        let csv = to_csv(&[sample()]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 iterations
+        assert_eq!(
+            lines[0],
+            "benchmark,engine,invocation,seed,iteration,virtual_ns"
+        );
+        assert!(lines[1].starts_with("sieve,interp,0,42,0,1.5"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ms = vec![sample()];
+        let json = to_json(&ms).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].benchmark, "sieve");
+        assert_eq!(back[0].invocations[0].iteration_ns, vec![1.5, 2.5]);
+    }
+}

@@ -1,0 +1,72 @@
+//! # rigor — a rigorous benchmarking and performance-analysis methodology
+//! # for Python-like workloads
+//!
+//! This crate is the primary contribution of the workspace: the methodology
+//! of Crapé & Eeckhout (IISWC 2020) reconstructed as a Rust library, running
+//! against the [`minipy`] simulated-Python substrate.
+//!
+//! The pipeline:
+//!
+//! 1. **Measure** — [`measure_workload`] runs N fresh VM *invocations* ×
+//!    M in-process *iterations* and records every per-iteration virtual time.
+//! 2. **Detect steady state** — [`SteadyStateDetector`] excises warmup per
+//!    invocation (CoV-window à la Georges et al., or changepoint à la
+//!    Barrett et al.); [`WarmupClassifier`] names the series shape.
+//! 3. **Analyze** — [`compare`] produces speedups with confidence intervals
+//!    over per-invocation steady means; [`decompose`] splits variance into
+//!    intra- vs inter-invocation components; [`run_until_precise`] samples
+//!    sequentially until a precision target is met.
+//! 4. **Audit the shortcuts** — [`NaiveScheme`] emulates the usual
+//!    methodological shortcuts so experiments can quantify how wrong they go.
+//!
+//! ```rust
+//! use rigor::{measure_workload, compare, ExperimentConfig, SteadyStateDetector};
+//! use rigor_workloads::{find, Size};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sieve = find("sieve").expect("in the suite");
+//! let cfg = ExperimentConfig::interp()
+//!     .with_invocations(4)
+//!     .with_iterations(20)
+//!     .with_size(Size::Small);
+//! let interp = measure_workload(&sieve, &cfg)?;
+//! let jit = measure_workload(&sieve, &ExperimentConfig::jit()
+//!     .with_invocations(4)
+//!     .with_iterations(20)
+//!     .with_size(Size::Small))?;
+//! let result = compare(&interp, &jit, &SteadyStateDetector::default(), 0.95)?;
+//! println!("sieve speedup: {:.2}x", result.speedup.estimate);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod config;
+pub mod export;
+pub mod measurement;
+pub mod naive;
+pub mod report;
+pub mod runner;
+pub mod sequential;
+pub mod steady;
+pub mod variance;
+pub mod warmup;
+
+pub use compare::{compare, compare_suite, CompareError, SpeedupResult, SuiteComparison};
+pub use config::ExperimentConfig;
+pub use export::{from_json, to_csv, to_json};
+pub use measurement::{BenchmarkMeasurement, InvocationRecord};
+pub use naive::{
+    all_schemes, evaluate_scheme, verdict_from_ci, verdict_from_point, NaiveEvaluation,
+    NaiveScheme, Verdict,
+};
+pub use report::{fmt_ci, fmt_ns, fmt_pct, sparkline, Table};
+pub use runner::{measure_source, measure_workload};
+pub use sequential::{precision_of, run_until_precise, SequentialPlan, SequentialResult};
+pub use steady::{
+    common_steady_start, per_invocation_steady_means, SteadyState, SteadyStateDetector,
+};
+pub use variance::{decompose, VarianceDecomposition};
+pub use warmup::{aggregate_classes, BenchmarkWarmupClass, WarmupClass, WarmupClassifier};

@@ -1,0 +1,211 @@
+//! Measurement data model: per-iteration timings across invocations.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything recorded about one VM invocation of a benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Invocation index within the experiment.
+    pub invocation: u32,
+    /// The derived invocation seed (for replay).
+    pub seed: u64,
+    /// Startup (compile + module setup) virtual time, ns.
+    pub startup_ns: f64,
+    /// Per-iteration virtual times, ns.
+    pub iteration_ns: Vec<f64>,
+    /// GC cycles observed during the timed iterations.
+    pub gc_cycles: u64,
+    /// JIT regions compiled during the timed iterations.
+    pub jit_compiles: u64,
+    /// Guard failures during the timed iterations.
+    pub deopts: u64,
+    /// The checksum `run()` returned (rendered), for cross-engine validation.
+    pub checksum: String,
+}
+
+/// All invocations of one benchmark on one engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkMeasurement {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Engine name (`"interp"` / `"jit"`).
+    pub engine: String,
+    /// One record per invocation.
+    pub invocations: Vec<InvocationRecord>,
+}
+
+impl BenchmarkMeasurement {
+    /// Number of invocations.
+    pub fn n_invocations(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Iterations per invocation (0 when empty).
+    pub fn n_iterations(&self) -> usize {
+        self.invocations
+            .first()
+            .map(|r| r.iteration_ns.len())
+            .unwrap_or(0)
+    }
+
+    /// Per-invocation iteration series.
+    pub fn series(&self) -> impl Iterator<Item = &[f64]> {
+        self.invocations.iter().map(|r| r.iteration_ns.as_slice())
+    }
+
+    /// Mean of iterations `start..` for each invocation — the per-invocation
+    /// sample the methodology feeds into confidence intervals. `start` is
+    /// typically a steady-state iteration found by a detector.
+    pub fn tail_means(&self, start: usize) -> Vec<f64> {
+        self.invocations
+            .iter()
+            .filter_map(|r| {
+                let tail = r.iteration_ns.get(start..)?;
+                if tail.is_empty() {
+                    None
+                } else {
+                    Some(tail.iter().sum::<f64>() / tail.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean of **all** iterations per invocation (warmup included) — what a
+    /// methodology that ignores warmup would use.
+    pub fn all_means(&self) -> Vec<f64> {
+        self.tail_means(0)
+    }
+
+    /// The `idx`-th iteration time from each invocation.
+    pub fn iteration_column(&self, idx: usize) -> Vec<f64> {
+        self.invocations
+            .iter()
+            .filter_map(|r| r.iteration_ns.get(idx).copied())
+            .collect()
+    }
+
+    /// Mean per-iteration series across invocations (pointwise), useful for
+    /// plotting average warmup curves.
+    pub fn mean_curve(&self) -> Vec<f64> {
+        let n_iter = self.n_iterations();
+        (0..n_iter)
+            .map(|i| {
+                let col = self.iteration_column(i);
+                col.iter().sum::<f64>() / col.len().max(1) as f64
+            })
+            .collect()
+    }
+
+    /// True if all invocations produced the same checksum (they must, for a
+    /// deterministic benchmark; dict-order-dependent benchmarks that violate
+    /// this are a methodology smell this accessor exposes).
+    pub fn checksums_consistent(&self) -> bool {
+        match self.invocations.first() {
+            None => true,
+            Some(first) => self
+                .invocations
+                .iter()
+                .all(|r| r.checksum == first.checksum),
+        }
+    }
+
+    /// Per-invocation startup (compile + module setup) times, ns — the
+    /// "python -c pass" axis of Python benchmarking: startup is measured
+    /// across invocations exactly like steady-state time, never from one run.
+    pub fn startup_times(&self) -> Vec<f64> {
+        self.invocations.iter().map(|r| r.startup_ns).collect()
+    }
+
+    /// Total virtual time across every invocation (startup + iterations), a
+    /// rough experiment-cost figure.
+    pub fn total_virtual_ns(&self) -> f64 {
+        self.invocations
+            .iter()
+            .map(|r| r.startup_ns + r.iteration_ns.iter().sum::<f64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(invocation: u32, times: Vec<f64>) -> InvocationRecord {
+        InvocationRecord {
+            invocation,
+            seed: invocation as u64,
+            startup_ns: 100.0,
+            iteration_ns: times,
+            gc_cycles: 0,
+            jit_compiles: 0,
+            deopts: 0,
+            checksum: "42".into(),
+        }
+    }
+
+    fn measurement() -> BenchmarkMeasurement {
+        BenchmarkMeasurement {
+            benchmark: "x".into(),
+            engine: "interp".into(),
+            invocations: vec![
+                record(0, vec![10.0, 4.0, 4.0, 4.0]),
+                record(1, vec![12.0, 6.0, 6.0, 6.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn dimensions() {
+        let m = measurement();
+        assert_eq!(m.n_invocations(), 2);
+        assert_eq!(m.n_iterations(), 4);
+    }
+
+    #[test]
+    fn tail_means_skip_warmup() {
+        let m = measurement();
+        assert_eq!(m.tail_means(1), vec![4.0, 6.0]);
+        assert_eq!(m.all_means(), vec![5.5, 7.5]);
+        // Start beyond the series yields nothing.
+        assert!(m.tail_means(10).is_empty());
+    }
+
+    #[test]
+    fn iteration_column_and_mean_curve() {
+        let m = measurement();
+        assert_eq!(m.iteration_column(0), vec![10.0, 12.0]);
+        assert_eq!(m.mean_curve(), vec![11.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn checksum_consistency() {
+        let mut m = measurement();
+        assert!(m.checksums_consistent());
+        m.invocations[1].checksum = "43".into();
+        assert!(!m.checksums_consistent());
+    }
+
+    #[test]
+    fn startup_times_are_per_invocation() {
+        let m = measurement();
+        assert_eq!(m.startup_times(), vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn total_cost() {
+        let m = measurement();
+        assert!((m.total_virtual_ns() - (100.0 + 22.0 + 100.0 + 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = measurement();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BenchmarkMeasurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_invocations(), 2);
+        assert_eq!(
+            back.invocations[0].iteration_ns,
+            m.invocations[0].iteration_ns
+        );
+    }
+}

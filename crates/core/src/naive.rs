@@ -1,0 +1,311 @@
+//! Naive-methodology emulation.
+//!
+//! The paper's Table-3-style experiment: run the *same* underlying data
+//! through the shortcuts practitioners actually take, and quantify how often
+//! and how badly they mislead relative to the rigorous verdict.
+
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::BenchmarkMeasurement;
+
+/// A methodology shortcut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NaiveScheme {
+    /// Time a single iteration of a single fresh process (the `time python
+    /// script.py` idiom): warmup, startup noise and one sample.
+    SingleIteration,
+    /// Best (minimum) of N iterations in one process — the `timeit` default
+    /// mindset.
+    BestOf(usize),
+    /// Mean over all iterations of one process, warmup included.
+    MeanWithWarmup,
+    /// Mean over the second half of one process's iterations (warmup roughly
+    /// excised) — better, but still a single process: inter-invocation
+    /// variation is invisible.
+    OneInvocationSteady,
+}
+
+impl NaiveScheme {
+    /// Short label for tables.
+    pub fn label(self) -> String {
+        match self {
+            NaiveScheme::SingleIteration => "single-iteration".into(),
+            NaiveScheme::BestOf(n) => format!("best-of-{n}"),
+            NaiveScheme::MeanWithWarmup => "mean-with-warmup".into(),
+            NaiveScheme::OneInvocationSteady => "one-invocation-steady".into(),
+        }
+    }
+
+    /// The scheme's point estimate of a benchmark's time, using only
+    /// invocation `invocation` of the measurement (a naive experimenter runs
+    /// one process).
+    ///
+    /// Returns `None` if the invocation does not exist or has no iterations.
+    pub fn estimate(&self, m: &BenchmarkMeasurement, invocation: usize) -> Option<f64> {
+        let record = m.invocations.get(invocation)?;
+        let times = &record.iteration_ns;
+        if times.is_empty() {
+            return None;
+        }
+        match self {
+            NaiveScheme::SingleIteration => Some(times[0]),
+            NaiveScheme::BestOf(n) => times
+                .iter()
+                .take(*n)
+                .copied()
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.min(x)))
+                }),
+            NaiveScheme::MeanWithWarmup => Some(times.iter().sum::<f64>() / times.len() as f64),
+            NaiveScheme::OneInvocationSteady => {
+                let half = &times[times.len() / 2..];
+                Some(half.iter().sum::<f64>() / half.len() as f64)
+            }
+        }
+    }
+
+    /// The scheme's speedup estimate (baseline / candidate) from a single
+    /// invocation of each side.
+    pub fn speedup(
+        &self,
+        base: &BenchmarkMeasurement,
+        cand: &BenchmarkMeasurement,
+        invocation: usize,
+    ) -> Option<f64> {
+        let b = self.estimate(base, invocation)?;
+        let c = self.estimate(cand, invocation)?;
+        if c > 0.0 {
+            Some(b / c)
+        } else {
+            None
+        }
+    }
+}
+
+/// All schemes evaluated in the Table-3 experiment.
+pub fn all_schemes() -> Vec<NaiveScheme> {
+    vec![
+        NaiveScheme::SingleIteration,
+        NaiveScheme::BestOf(5),
+        NaiveScheme::MeanWithWarmup,
+        NaiveScheme::OneInvocationSteady,
+    ]
+}
+
+/// Three-way performance verdict used to score conclusions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Candidate faster (beyond the margin).
+    Faster,
+    /// Candidate slower (beyond the margin).
+    Slower,
+    /// Within the margin / not significant.
+    Same,
+}
+
+/// Converts a point speedup into a verdict with a relative margin
+/// (e.g. 0.05 = differences under 5% count as "same").
+pub fn verdict_from_point(speedup: f64, margin: f64) -> Verdict {
+    if speedup > 1.0 + margin {
+        Verdict::Faster
+    } else if speedup < 1.0 - margin {
+        Verdict::Slower
+    } else {
+        Verdict::Same
+    }
+}
+
+/// Converts a rigorous CI into a verdict: significance requires the CI to
+/// clear 1.0 entirely.
+pub fn verdict_from_ci(ci: &rigor_stats::ConfidenceInterval, margin: f64) -> Verdict {
+    if ci.lower > 1.0 + margin {
+        Verdict::Faster
+    } else if ci.upper < 1.0 - margin {
+        Verdict::Slower
+    } else {
+        Verdict::Same
+    }
+}
+
+/// Aggregate scoring of one naive scheme against rigorous ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NaiveEvaluation {
+    /// The scheme label.
+    pub scheme: String,
+    /// Simulated studies scored.
+    pub studies: usize,
+    /// Fraction of studies where the naive verdict contradicted ground truth.
+    pub wrong_conclusion_rate: f64,
+    /// Median |relative error| of the naive speedup vs the true speedup.
+    pub median_abs_rel_error: f64,
+    /// Worst |relative error| observed.
+    pub max_abs_rel_error: f64,
+}
+
+/// Scores a scheme over every invocation pair as an independent "study".
+///
+/// `true_speedup` and `true_verdict` come from the rigorous pipeline on the
+/// full measurement.
+pub fn evaluate_scheme(
+    scheme: NaiveScheme,
+    base: &BenchmarkMeasurement,
+    cand: &BenchmarkMeasurement,
+    true_speedup: f64,
+    true_verdict: Verdict,
+    margin: f64,
+) -> NaiveEvaluation {
+    let n = base.n_invocations().min(cand.n_invocations());
+    let mut wrong = 0usize;
+    let mut errors = Vec::with_capacity(n);
+    let mut studies = 0usize;
+    for inv in 0..n {
+        if let Some(s) = scheme.speedup(base, cand, inv) {
+            studies += 1;
+            if verdict_from_point(s, margin) != true_verdict {
+                wrong += 1;
+            }
+            errors.push((s - true_speedup).abs() / true_speedup);
+        }
+    }
+    let median = rigor_stats::median(&errors);
+    let max = errors.iter().copied().fold(0.0f64, f64::max);
+    NaiveEvaluation {
+        scheme: scheme.label(),
+        studies,
+        wrong_conclusion_rate: if studies > 0 {
+            wrong as f64 / studies as f64
+        } else {
+            f64::NAN
+        },
+        median_abs_rel_error: median,
+        max_abs_rel_error: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::InvocationRecord;
+
+    fn measurement(series: Vec<Vec<f64>>) -> BenchmarkMeasurement {
+        BenchmarkMeasurement {
+            benchmark: "x".into(),
+            engine: "e".into(),
+            invocations: series
+                .into_iter()
+                .enumerate()
+                .map(|(i, iteration_ns)| InvocationRecord {
+                    invocation: i as u32,
+                    seed: i as u64,
+                    startup_ns: 0.0,
+                    iteration_ns,
+                    gc_cycles: 0,
+                    jit_compiles: 0,
+                    deopts: 0,
+                    checksum: String::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn scheme_estimates() {
+        let m = measurement(vec![vec![100.0, 20.0, 10.0, 10.0]]);
+        assert_eq!(NaiveScheme::SingleIteration.estimate(&m, 0), Some(100.0));
+        assert_eq!(NaiveScheme::BestOf(4).estimate(&m, 0), Some(10.0));
+        assert_eq!(NaiveScheme::BestOf(2).estimate(&m, 0), Some(20.0));
+        assert_eq!(NaiveScheme::MeanWithWarmup.estimate(&m, 0), Some(35.0));
+        assert_eq!(NaiveScheme::OneInvocationSteady.estimate(&m, 0), Some(10.0));
+        assert_eq!(NaiveScheme::SingleIteration.estimate(&m, 3), None);
+    }
+
+    #[test]
+    fn single_iteration_misjudges_jit() {
+        // Baseline interp: flat 50. Candidate JIT: first iteration 200 (compile),
+        // steady 10 → true speedup 5x, but iteration 1 says 0.25x ("slower!").
+        let base = measurement(vec![vec![50.0; 10], vec![50.0; 10]]);
+        let cand = measurement(vec![
+            {
+                let mut v = vec![200.0];
+                v.extend(vec![10.0; 9]);
+                v
+            },
+            {
+                let mut v = vec![200.0];
+                v.extend(vec![10.0; 9]);
+                v
+            },
+        ]);
+        let s = NaiveScheme::SingleIteration
+            .speedup(&base, &cand, 0)
+            .unwrap();
+        assert!(s < 1.0, "naive single-iteration flips the conclusion: {s}");
+        let steady = NaiveScheme::OneInvocationSteady
+            .speedup(&base, &cand, 0)
+            .unwrap();
+        assert!((steady - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn verdicts() {
+        assert_eq!(verdict_from_point(1.2, 0.05), Verdict::Faster);
+        assert_eq!(verdict_from_point(0.8, 0.05), Verdict::Slower);
+        assert_eq!(verdict_from_point(1.02, 0.05), Verdict::Same);
+        let ci = rigor_stats::ConfidenceInterval {
+            estimate: 1.3,
+            lower: 1.1,
+            upper: 1.5,
+            confidence: 0.95,
+        };
+        assert_eq!(verdict_from_ci(&ci, 0.05), Verdict::Faster);
+        let wide = rigor_stats::ConfidenceInterval {
+            estimate: 1.3,
+            lower: 0.9,
+            upper: 1.8,
+            confidence: 0.95,
+        };
+        assert_eq!(verdict_from_ci(&wide, 0.05), Verdict::Same);
+    }
+
+    #[test]
+    fn evaluation_scores_wrong_conclusions() {
+        let base = measurement(vec![vec![50.0; 10]; 4]);
+        let cand_series: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                let mut v = vec![200.0];
+                v.extend(vec![10.0; 9]);
+                v
+            })
+            .collect();
+        let cand = measurement(cand_series);
+        let eval = evaluate_scheme(
+            NaiveScheme::SingleIteration,
+            &base,
+            &cand,
+            5.0,
+            Verdict::Faster,
+            0.05,
+        );
+        assert_eq!(eval.studies, 4);
+        assert_eq!(eval.wrong_conclusion_rate, 1.0, "every study says slower");
+        assert!(eval.median_abs_rel_error > 0.9);
+        let eval2 = evaluate_scheme(
+            NaiveScheme::OneInvocationSteady,
+            &base,
+            &cand,
+            5.0,
+            Verdict::Faster,
+            0.05,
+        );
+        assert_eq!(eval2.wrong_conclusion_rate, 0.0);
+    }
+
+    #[test]
+    fn all_schemes_have_unique_labels() {
+        let labels: Vec<String> = all_schemes().iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

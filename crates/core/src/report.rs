@@ -1,0 +1,198 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple aligned-column text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title rendered above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Table {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        return "-".into();
+    }
+    if ns >= 1.0e9 {
+        format!("{:.2} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.2} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.2} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Formats a ratio CI as `x.xx [lo, hi]`.
+pub fn fmt_ci(ci: &rigor_stats::ConfidenceInterval) -> String {
+    format!("{:.2}x [{:.2}, {:.2}]", ci.estimate, ci.lower, ci.upper)
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(frac: f64) -> String {
+    if frac.is_finite() {
+        format!("{:.1}%", frac * 100.0)
+    } else {
+        "-".into()
+    }
+}
+
+/// Renders a sparkline of a series using Unicode block characters — the
+/// closest a terminal gets to a warmup-curve figure.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["name", "value"]).with_title("demo");
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "22"]);
+        let s = t.render();
+        assert!(s.starts_with("demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        // title + header + sep + 2 rows
+        assert_eq!(lines.len(), 5);
+        // Every data line has the same width.
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert!(lines[2].contains("+"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert!(t.render().contains("x"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.20 s");
+        assert_eq!(fmt_ns(f64::NAN), "-");
+    }
+
+    #[test]
+    fn ci_and_pct_formatting() {
+        let ci = rigor_stats::ConfidenceInterval {
+            estimate: 4.5,
+            lower: 4.2,
+            upper: 4.8,
+            confidence: 0.95,
+        };
+        assert_eq!(fmt_ci(&ci), "4.50x [4.20, 4.80]");
+        assert_eq!(fmt_pct(0.251), "25.1%");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.chars().count(), 4);
+        let first = s.chars().next().unwrap();
+        let last = s.chars().last().unwrap();
+        assert_eq!(first, '▁');
+        assert_eq!(last, '█');
+        assert_eq!(sparkline(&[]), "");
+    }
+}

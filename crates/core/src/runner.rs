@@ -1,0 +1,176 @@
+//! The experiment runner: drives VM invocations and collects measurements.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use minipy::{invocation_seed, MpResult, Session};
+use parking_lot::Mutex;
+use rigor_workloads::Workload;
+
+use crate::config::ExperimentConfig;
+use crate::measurement::{BenchmarkMeasurement, InvocationRecord};
+
+/// Runs one invocation: fresh session, setup, `iterations` timed runs.
+fn run_invocation(
+    source: &str,
+    benchmark: &str,
+    invocation: u32,
+    config: &ExperimentConfig,
+) -> MpResult<InvocationRecord> {
+    let seed = invocation_seed(config.experiment_seed, benchmark, invocation);
+    let mut session = Session::start(source, seed, config.vm_config())?;
+    let startup_ns = session.startup_ns();
+    let before = session.vm().counters();
+    let mut iteration_ns = Vec::with_capacity(config.iterations as usize);
+    let mut checksum = String::new();
+    for i in 0..config.iterations {
+        let r = session.run_iteration()?;
+        iteration_ns.push(r.virtual_ns);
+        if i == 0 {
+            checksum = session.render(r.value);
+        }
+    }
+    let delta = session.vm().counters().delta_since(&before);
+    Ok(InvocationRecord {
+        invocation,
+        seed,
+        startup_ns,
+        iteration_ns,
+        gc_cycles: delta.gc_cycles,
+        jit_compiles: delta.jit_compiles,
+        deopts: delta.deopts,
+        checksum,
+    })
+}
+
+/// Measures a workload source under `config`: `config.invocations` fresh
+/// sessions, each timed for `config.iterations` iterations. Invocations run
+/// in parallel (they model independent OS processes).
+///
+/// # Errors
+///
+/// The first error any invocation raised.
+pub fn measure_source(
+    source: &str,
+    benchmark: &str,
+    config: &ExperimentConfig,
+) -> MpResult<BenchmarkMeasurement> {
+    let n = config.invocations as usize;
+    let results: Mutex<Vec<Option<MpResult<InvocationRecord>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let threads = config.threads.clamp(1, n.max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run_invocation(source, benchmark, i as u32, config);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("invocation worker panicked");
+
+    let mut invocations = Vec::with_capacity(n);
+    for slot in results.into_inner() {
+        invocations.push(slot.expect("every index visited")?);
+    }
+    Ok(BenchmarkMeasurement {
+        benchmark: benchmark.to_string(),
+        engine: config.engine.name().to_string(),
+        invocations,
+    })
+}
+
+/// Measures a suite workload at the configured size preset.
+///
+/// # Errors
+///
+/// As [`measure_source`].
+pub fn measure_workload(
+    workload: &Workload,
+    config: &ExperimentConfig,
+) -> MpResult<BenchmarkMeasurement> {
+    measure_source(&workload.source(config.size), workload.name, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::EngineKind;
+    use rigor_workloads::{find, Size};
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig::interp()
+            .with_invocations(4)
+            .with_iterations(5)
+            .with_size(Size::Small)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn measurement_has_requested_shape() {
+        let w = find("sieve").unwrap();
+        let m = measure_workload(&w, &quick_config()).unwrap();
+        assert_eq!(m.n_invocations(), 4);
+        assert_eq!(m.n_iterations(), 5);
+        assert_eq!(m.benchmark, "sieve");
+        assert_eq!(m.engine, "interp");
+        assert!(m.invocations.iter().all(|r| r.startup_ns > 0.0));
+        assert!(m.checksums_consistent());
+    }
+
+    #[test]
+    fn measurement_is_reproducible() {
+        let w = find("str_keys").unwrap();
+        let a = measure_workload(&w, &quick_config()).unwrap();
+        let b = measure_workload(&w, &quick_config()).unwrap();
+        for (ra, rb) in a.invocations.iter().zip(&b.invocations) {
+            assert_eq!(ra.iteration_ns, rb.iteration_ns);
+            assert_eq!(ra.seed, rb.seed);
+        }
+    }
+
+    #[test]
+    fn different_master_seed_changes_times() {
+        let w = find("str_keys").unwrap();
+        let a = measure_workload(&w, &quick_config()).unwrap();
+        let b = measure_workload(&w, &quick_config().with_seed(8)).unwrap();
+        assert_ne!(a.invocations[0].iteration_ns, b.invocations[0].iteration_ns);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let w = find("leibniz").unwrap();
+        let mut cfg = quick_config();
+        cfg.threads = 1;
+        let serial = measure_workload(&w, &cfg).unwrap();
+        cfg.threads = 4;
+        let parallel = measure_workload(&w, &cfg).unwrap();
+        for (rs, rp) in serial.invocations.iter().zip(&parallel.invocations) {
+            assert_eq!(rs.iteration_ns, rp.iteration_ns);
+        }
+    }
+
+    #[test]
+    fn jit_engine_records_compiles() {
+        let w = find("leibniz").unwrap();
+        let mut cfg = quick_config().with_iterations(15);
+        cfg.engine = EngineKind::Jit(minipy::JitConfig::default());
+        let m = measure_workload(&w, &cfg).unwrap();
+        assert_eq!(m.engine, "jit");
+        assert!(
+            m.invocations.iter().any(|r| r.jit_compiles > 0),
+            "hot loop should have compiled"
+        );
+    }
+
+    #[test]
+    fn bad_source_propagates_error() {
+        let cfg = quick_config();
+        assert!(measure_source("def broken(:\n", "broken", &cfg).is_err());
+    }
+}

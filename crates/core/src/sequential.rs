@@ -1,0 +1,191 @@
+//! Sequential sampling: run invocations until the CI is tight enough.
+//!
+//! Rather than fixing the invocation count a priori, the methodology keeps
+//! adding fresh invocations until the confidence interval on the steady-state
+//! mean reaches a target relative half-width (or a budget runs out) — so
+//! noisy benchmarks automatically get more samples than quiet ones.
+
+use minipy::MpResult;
+use rigor_stats::ci::{mean_ci, ConfidenceInterval};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+use crate::measurement::BenchmarkMeasurement;
+use crate::runner::measure_source;
+use crate::steady::{per_invocation_steady_means, SteadyStateDetector};
+
+/// Outcome of a sequential-sampling run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequentialResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Invocations actually executed.
+    pub invocations_used: u32,
+    /// Whether the precision target was met within the budget.
+    pub target_met: bool,
+    /// Final CI on the steady-state mean (if computable).
+    pub ci: Option<ConfidenceInterval>,
+    /// Relative half-width achieved (NaN if no CI).
+    pub achieved_rel_half_width: f64,
+    /// The full measurement gathered along the way.
+    pub measurement: BenchmarkMeasurement,
+}
+
+/// Sequential-sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SequentialPlan {
+    /// Target relative CI half-width (0.02 = ±2%).
+    pub target_rel_half_width: f64,
+    /// Invocations to run before the first check.
+    pub min_invocations: u32,
+    /// Hard budget.
+    pub max_invocations: u32,
+    /// Invocations added per round after the first check.
+    pub batch: u32,
+}
+
+impl Default for SequentialPlan {
+    fn default() -> Self {
+        SequentialPlan {
+            target_rel_half_width: 0.02,
+            min_invocations: 5,
+            max_invocations: 60,
+            batch: 5,
+        }
+    }
+}
+
+/// Runs invocations of `source` until the steady-state mean's CI half-width
+/// falls below the plan's target.
+///
+/// The experiment seed drives the invocation seeds exactly as in the
+/// fixed-size runner, so a sequential run of n invocations produces the same
+/// records as a fixed run of n invocations.
+///
+/// # Errors
+///
+/// Propagates workload errors.
+pub fn run_until_precise(
+    source: &str,
+    benchmark: &str,
+    config: &ExperimentConfig,
+    detector: &SteadyStateDetector,
+    plan: &SequentialPlan,
+) -> MpResult<SequentialResult> {
+    let mut n = plan.min_invocations.max(2);
+    loop {
+        // Re-run from scratch at size n: invocation seeds are deterministic,
+        // so this equals incrementally extending (and keeps the runner API
+        // simple); virtual time is cheap.
+        let cfg = config.clone().with_invocations(n);
+        let m = measure_source(source, benchmark, &cfg)?;
+        let (ci, rel) = precision_of(&m, detector, config.confidence);
+        let met = rel
+            .map(|r| r <= plan.target_rel_half_width)
+            .unwrap_or(false);
+        if met || n >= plan.max_invocations {
+            return Ok(SequentialResult {
+                benchmark: benchmark.to_string(),
+                invocations_used: n,
+                target_met: met,
+                achieved_rel_half_width: rel.unwrap_or(f64::NAN),
+                ci,
+                measurement: m,
+            });
+        }
+        n = (n + plan.batch).min(plan.max_invocations);
+    }
+}
+
+/// Fraction of non-converging invocations tolerated before a measurement is
+/// considered untrustworthy as a whole.
+pub const MAX_DROP_FRAC: f64 = 0.2;
+
+/// Computes the steady-state-mean CI and its relative half-width.
+///
+/// Uses per-invocation steady windows (each invocation contributes the mean
+/// of its own steady tail); up to [`MAX_DROP_FRAC`] of invocations may fail
+/// to converge and are excluded rather than poisoning the whole measurement.
+pub fn precision_of(
+    m: &BenchmarkMeasurement,
+    detector: &SteadyStateDetector,
+    confidence: f64,
+) -> (Option<ConfidenceInterval>, Option<f64>) {
+    let Some(means) = per_invocation_steady_means(m, detector, MAX_DROP_FRAC) else {
+        return (None, None);
+    };
+    match mean_ci(&means, confidence) {
+        Some(ci) => {
+            let rel = ci.relative_half_width();
+            (Some(ci), Some(rel))
+        }
+        None => (None, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigor_workloads::{find, Size};
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::interp()
+            .with_iterations(8)
+            .with_size(Size::Small)
+            .with_seed(3)
+    }
+
+    #[test]
+    fn quiet_benchmark_stops_early() {
+        let w = find("leibniz").unwrap();
+        let plan = SequentialPlan {
+            target_rel_half_width: 0.05,
+            min_invocations: 4,
+            max_invocations: 20,
+            batch: 4,
+        };
+        let r = run_until_precise(
+            &w.source(Size::Small),
+            w.name,
+            &cfg(),
+            &SteadyStateDetector::default(),
+            &plan,
+        )
+        .unwrap();
+        assert!(r.target_met, "{r:?}");
+        assert!(r.invocations_used <= 12, "used {}", r.invocations_used);
+        assert!(r.achieved_rel_half_width <= 0.05);
+    }
+
+    #[test]
+    fn impossible_target_exhausts_budget() {
+        let w = find("gc_pressure").unwrap();
+        let plan = SequentialPlan {
+            target_rel_half_width: 1e-7,
+            min_invocations: 3,
+            max_invocations: 8,
+            batch: 3,
+        };
+        let r = run_until_precise(
+            &w.source(Size::Small),
+            w.name,
+            &cfg(),
+            &SteadyStateDetector::default(),
+            &plan,
+        )
+        .unwrap();
+        assert!(!r.target_met);
+        assert_eq!(r.invocations_used, 8);
+    }
+
+    #[test]
+    fn precision_of_reports_relative_half_width() {
+        let w = find("sieve").unwrap();
+        let m = measure_source(&w.source(Size::Small), w.name, &cfg().with_invocations(6)).unwrap();
+        let (ci, rel) = precision_of(&m, &SteadyStateDetector::default(), 0.95);
+        let ci = ci.expect("steady benchmark has a CI");
+        let rel = rel.unwrap();
+        assert!(rel > 0.0 && rel < 0.5, "rel = {rel}");
+        assert!(ci.contains(ci.estimate));
+    }
+}

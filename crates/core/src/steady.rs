@@ -1,0 +1,494 @@
+//! Steady-state detection.
+//!
+//! Two detectors, mirroring the literature:
+//!
+//! * **CoV window** (Georges et al., OOPSLA'07): steady state begins at the
+//!   first iteration from which a window of `k` iterations has coefficient of
+//!   variation below a threshold.
+//! * **Changepoint** (Barrett et al., OOPSLA'17): segment the series into
+//!   mean-shift segments; steady state is the final segment, provided it
+//!   covers enough of the series tail.
+
+use rigor_stats::changepoint::{merge_equivalent, segment, SegmentConfig};
+use rigor_stats::descriptive::cov;
+use serde::{Deserialize, Serialize};
+
+/// Relative tolerance under which adjacent changepoint segments count as the
+/// same performance level (see [`rigor_stats::changepoint::merge_equivalent`]).
+pub const SEGMENT_MERGE_TOL: f64 = 0.02;
+
+/// Outcome of steady-state detection on one iteration series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SteadyState {
+    /// Steady from this iteration index (inclusive).
+    Reached {
+        /// First steady iteration.
+        start: usize,
+    },
+    /// The series never settles (within this detector's terms).
+    NotReached,
+}
+
+impl SteadyState {
+    /// The steady start, if reached.
+    pub fn start(&self) -> Option<usize> {
+        match self {
+            SteadyState::Reached { start } => Some(*start),
+            SteadyState::NotReached => None,
+        }
+    }
+}
+
+/// A steady-state detection strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SteadyStateDetector {
+    /// Georges-style sliding window: steady when `window` consecutive
+    /// iterations have CoV below `threshold`.
+    CovWindow {
+        /// Window length in iterations.
+        window: usize,
+        /// CoV threshold (0.02 = 2% is the conventional setting).
+        threshold: f64,
+    },
+    /// Changepoint segmentation: steady = start of the final segment when it
+    /// covers at least `min_tail_frac` of the series.
+    Changepoint {
+        /// Segmentation parameters.
+        config: SegmentConfig,
+        /// Minimum fraction of the series the final segment must cover.
+        min_tail_frac: f64,
+    },
+    /// Tail-reference detection, robust to spike mixtures: the tail of the
+    /// series defines the steady level (median/MAD of the last quarter);
+    /// steady state begins after the initial run of iterations that sit
+    /// outside the tail's tolerance band, provided the remainder is
+    /// stationary (its halves agree and no long out-of-band run remains).
+    ///
+    /// This is the methodology's recommended detector: unlike mean-shift
+    /// segmentation it is untroubled by bimodal GC/jitter spike mixtures,
+    /// and unlike median filters it still catches single-iteration warmup.
+    RobustTail {
+        /// Relative tolerance band around the tail median (0.02 = 2%).
+        rel_tol: f64,
+        /// Tolerance band also includes `mad_k` tail MADs (whichever wider).
+        mad_k: f64,
+        /// Steady state must begin within this fraction of the series.
+        max_start_frac: f64,
+    },
+}
+
+impl Default for SteadyStateDetector {
+    fn default() -> Self {
+        // The robust tail-reference detector is the methodology's
+        // recommended default; the others are kept for comparison.
+        SteadyStateDetector::robust_tail()
+    }
+}
+
+impl SteadyStateDetector {
+    /// The conventional CoV-window detector (window 5, threshold 2%).
+    pub fn cov_window() -> Self {
+        SteadyStateDetector::CovWindow {
+            window: 5,
+            threshold: 0.02,
+        }
+    }
+
+    /// The changepoint detector with default segmentation and a 25% tail
+    /// requirement.
+    pub fn changepoint() -> Self {
+        SteadyStateDetector::Changepoint {
+            config: SegmentConfig::default(),
+            min_tail_frac: 0.25,
+        }
+    }
+
+    /// The robust tail-reference detector with conventional parameters.
+    /// The 3% band treats sub-noise-floor level shifts (e.g. a tiny loop
+    /// compiling late and shaving ~2%) as the same performance level;
+    /// Ablation A3 sweeps this choice.
+    pub fn robust_tail() -> Self {
+        SteadyStateDetector::RobustTail {
+            rel_tol: 0.03,
+            mad_k: 5.0,
+            max_start_frac: 0.7,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SteadyStateDetector::CovWindow { .. } => "cov-window",
+            SteadyStateDetector::Changepoint { .. } => "changepoint",
+            SteadyStateDetector::RobustTail { .. } => "robust-tail",
+        }
+    }
+
+    /// Detects steady state in a per-iteration timing series.
+    ///
+    /// ```
+    /// use rigor::{SteadyState, SteadyStateDetector};
+    ///
+    /// // A JIT-like series: one slow compile iteration, then steady.
+    /// let mut series = vec![900.0];
+    /// series.extend(vec![240.0; 30]);
+    /// let detector = SteadyStateDetector::default();
+    /// assert_eq!(detector.detect(&series), SteadyState::Reached { start: 1 });
+    /// ```
+    pub fn detect(&self, times: &[f64]) -> SteadyState {
+        match self {
+            SteadyStateDetector::CovWindow { window, threshold } => {
+                detect_cov_window(times, *window, *threshold)
+            }
+            SteadyStateDetector::Changepoint {
+                config,
+                min_tail_frac,
+            } => detect_changepoint(times, config, *min_tail_frac),
+            SteadyStateDetector::RobustTail {
+                rel_tol,
+                mad_k,
+                max_start_frac,
+            } => detect_robust_tail(times, *rel_tol, *mad_k, *max_start_frac),
+        }
+    }
+}
+
+/// Computes the robust tail profile of a series: the reference level
+/// (median of the last quarter) and the tolerance band around it
+/// (`mad_k` tail MADs, floored at `rel_tol` of the reference).
+pub fn tail_profile(times: &[f64], rel_tol: f64, mad_k: f64) -> (f64, f64) {
+    let n = times.len();
+    let tail = &times[n - (n / 4).max(4.min(n))..];
+    let reference = rigor_stats::median(tail);
+    let band = (mad_k * rigor_stats::mad(tail)).max(rel_tol * reference.abs());
+    (reference, band)
+}
+
+fn detect_robust_tail(times: &[f64], rel_tol: f64, mad_k: f64, max_start_frac: f64) -> SteadyState {
+    let n = times.len();
+    if n < 8 {
+        return SteadyState::NotReached;
+    }
+    // Reference level and scale from the last quarter: the part of the series
+    // least contaminated by warmup.
+    let (reference, band) = tail_profile(times, rel_tol, mad_k);
+    let out_of_band = |x: f64| (x - reference).abs() > band;
+
+    // Steady state begins after the initial consecutive out-of-band run —
+    // this catches even a single slow compile iteration, which smoothing
+    // detectors erase.
+    let start = times.iter().position(|&x| !out_of_band(x)).unwrap_or(n);
+    if (start as f64) > max_start_frac * n as f64 {
+        return SteadyState::NotReached;
+    }
+    let rest = &times[start..];
+
+    // Stationarity of the remainder, part 1: its halves must sit at the same
+    // level (catches end-of-series drift). The comparison scale comes from
+    // lag-1 differences, not the raw tail MAD — a drifting tail inflates its
+    // own MAD and would otherwise mask the drift.
+    let diffs: Vec<f64> = rest.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    let sigma_d = rigor_stats::median(&diffs) / (0.6745 * std::f64::consts::SQRT_2);
+    let halves_band = (mad_k * sigma_d).max(rel_tol * reference.abs());
+    let (a, b) = rest.split_at(rest.len() / 2);
+    if (rigor_stats::median(a) - rigor_stats::median(b)).abs() > halves_band {
+        return SteadyState::NotReached;
+    }
+    // Part 2: no sustained out-of-band run (isolated GC/jitter spikes are
+    // fine; multi-iteration phases at another level are not).
+    let max_run = 3usize.max(rest.len() / 8);
+    let mut run = 0usize;
+    for &x in rest {
+        if out_of_band(x) {
+            run += 1;
+            if run > max_run {
+                return SteadyState::NotReached;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    SteadyState::Reached { start }
+}
+
+fn detect_cov_window(times: &[f64], window: usize, threshold: f64) -> SteadyState {
+    if times.len() < window || window < 2 {
+        return SteadyState::NotReached;
+    }
+    for start in 0..=(times.len() - window) {
+        let w = &times[start..start + window];
+        let c = cov(w);
+        if c.is_finite() && c < threshold {
+            return SteadyState::Reached { start };
+        }
+    }
+    SteadyState::NotReached
+}
+
+fn detect_changepoint(times: &[f64], config: &SegmentConfig, min_tail_frac: f64) -> SteadyState {
+    if times.is_empty() {
+        return SteadyState::NotReached;
+    }
+    // Outlier handling first (Barrett et al.): GC pauses and OS-jitter tails
+    // puncture the series; left in, they fragment the segmentation and no
+    // tail segment ever spans the required fraction.
+    let cleaned = rigor_stats::despike(times, 8.0);
+    // Collapse sub-tolerance mean shifts: a 1% wobble between "segments" is
+    // noise for steady-state purposes, not a phase change.
+    let segs = merge_equivalent(&segment(&cleaned, config), SEGMENT_MERGE_TOL);
+    let last = match segs.last() {
+        Some(s) => s,
+        None => return SteadyState::NotReached,
+    };
+    if (last.len() as f64) < min_tail_frac * times.len() as f64 {
+        return SteadyState::NotReached;
+    }
+    SteadyState::Reached { start: last.start }
+}
+
+/// Detects steady state per invocation and returns, for each series, the
+/// detected start (or `None`). The conventional experiment then takes the
+/// maximum start across invocations (conservative alignment).
+pub fn detect_all<'a, I>(series: I, detector: &SteadyStateDetector) -> Vec<Option<usize>>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    series
+        .into_iter()
+        .map(|s| detector.detect(s).start())
+        .collect()
+}
+
+/// Per-invocation steady-state means: each converged invocation contributes
+/// the mean of its own steady window; non-converged invocations are dropped.
+/// Returns `None` when more than `max_drop_frac` of invocations failed to
+/// converge (the measurement as a whole is then untrustworthy).
+///
+/// This is the sample the sequential-sampling procedure feeds into CIs: with
+/// many invocations, insisting that *every* one converges (as
+/// [`common_steady_start`] does) becomes ever harder to satisfy, while a
+/// bounded exclusion rate keeps the estimate honest and reported.
+pub fn per_invocation_steady_means(
+    measurement: &crate::measurement::BenchmarkMeasurement,
+    detector: &SteadyStateDetector,
+    max_drop_frac: f64,
+) -> Option<Vec<f64>> {
+    let total = measurement.n_invocations();
+    if total == 0 {
+        return None;
+    }
+    let mut means = Vec::with_capacity(total);
+    for record in &measurement.invocations {
+        if let SteadyState::Reached { start } = detector.detect(&record.iteration_ns) {
+            let tail = &record.iteration_ns[start..];
+            if !tail.is_empty() {
+                means.push(tail.iter().sum::<f64>() / tail.len() as f64);
+            }
+        }
+    }
+    let dropped = total - means.len();
+    if (dropped as f64) > max_drop_frac * total as f64 || means.len() < 2 {
+        return None;
+    }
+    Some(means)
+}
+
+/// The conservative common steady start across invocations: the maximum of
+/// per-invocation starts. `None` if any invocation never reached steady
+/// state.
+pub fn common_steady_start<'a, I>(series: I, detector: &SteadyStateDetector) -> Option<usize>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let starts = detect_all(series, detector);
+    if starts.is_empty() {
+        return None;
+    }
+    starts
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .map(|v| v.into_iter().max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warmup_series() -> Vec<f64> {
+        // 10 slow iterations then 40 fast ones with small deterministic jitter.
+        let mut xs = Vec::new();
+        for i in 0..10 {
+            xs.push(50.0 + (i % 3) as f64 * 0.2);
+        }
+        for i in 0..40 {
+            xs.push(10.0 + (i % 3) as f64 * 0.05);
+        }
+        xs
+    }
+
+    #[test]
+    fn cov_window_finds_flat_tail() {
+        let xs = warmup_series();
+        match SteadyStateDetector::cov_window().detect(&xs) {
+            SteadyState::Reached { start } => {
+                // The warmup phase itself is low-CoV here, so the detector may
+                // fire early — but never after the transition.
+                assert!(start <= 10, "start = {start}");
+            }
+            SteadyState::NotReached => panic!("should reach steady state"),
+        }
+    }
+
+    #[test]
+    fn cov_window_rejects_noisy_series() {
+        // Alternating 10/30: CoV of any window is huge.
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 30.0 })
+            .collect();
+        assert_eq!(
+            SteadyStateDetector::cov_window().detect(&xs),
+            SteadyState::NotReached
+        );
+    }
+
+    #[test]
+    fn changepoint_detector_skips_warmup() {
+        let xs = warmup_series();
+        match SteadyStateDetector::changepoint().detect(&xs) {
+            SteadyState::Reached { start } => {
+                assert!((start as i64 - 10).abs() <= 2, "start = {start}");
+            }
+            SteadyState::NotReached => panic!("should reach steady state"),
+        }
+    }
+
+    #[test]
+    fn changepoint_detector_rejects_short_tail() {
+        // Mean keeps shifting; the last level covers only ~10% of the series.
+        let mut xs = Vec::new();
+        for level in 0..9 {
+            for i in 0..10 {
+                xs.push(100.0 - level as f64 * 10.0 + (i % 3) as f64 * 0.1);
+            }
+        }
+        xs.extend((0..8).map(|i| 5.0 + (i % 3) as f64 * 0.1));
+        let det = SteadyStateDetector::Changepoint {
+            config: SegmentConfig::default(),
+            min_tail_frac: 0.25,
+        };
+        assert_eq!(det.detect(&xs), SteadyState::NotReached);
+    }
+
+    #[test]
+    fn flat_series_is_steady_from_zero() {
+        let xs: Vec<f64> = (0..30).map(|i| 10.0 + (i % 4) as f64 * 0.02).collect();
+        assert_eq!(
+            SteadyStateDetector::changepoint().detect(&xs),
+            SteadyState::Reached { start: 0 }
+        );
+        assert_eq!(
+            SteadyStateDetector::cov_window().detect(&xs),
+            SteadyState::Reached { start: 0 }
+        );
+    }
+
+    #[test]
+    fn common_start_is_conservative() {
+        let a = warmup_series();
+        let flat: Vec<f64> = (0..50).map(|i| 10.0 + (i % 3) as f64 * 0.05).collect();
+        let det = SteadyStateDetector::changepoint();
+        let common = common_steady_start([a.as_slice(), flat.as_slice()], &det).unwrap();
+        assert!(common >= 8, "must take the later start, got {common}");
+    }
+
+    #[test]
+    fn common_start_none_when_any_fails() {
+        let noisy: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 30.0 })
+            .collect();
+        let flat: Vec<f64> = (0..40).map(|_| 10.0).collect();
+        let det = SteadyStateDetector::cov_window();
+        assert_eq!(
+            common_steady_start([noisy.as_slice(), flat.as_slice()], &det),
+            None
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let det = SteadyStateDetector::cov_window();
+        assert_eq!(det.detect(&[]), SteadyState::NotReached);
+        assert_eq!(det.detect(&[1.0, 2.0]), SteadyState::NotReached);
+        assert_eq!(
+            SteadyStateDetector::robust_tail().detect(&[1.0, 2.0]),
+            SteadyState::NotReached
+        );
+    }
+
+    #[test]
+    fn robust_tail_catches_single_iteration_warmup() {
+        let mut xs = vec![971.0];
+        xs.extend((0..39).map(|i| 240.0 + (i % 3) as f64 * 0.5));
+        assert_eq!(
+            SteadyStateDetector::robust_tail().detect(&xs),
+            SteadyState::Reached { start: 1 }
+        );
+    }
+
+    #[test]
+    fn robust_tail_tolerates_periodic_gc_spikes() {
+        // Flat at 955 with a 6% spike every 3rd iteration: a stationary
+        // mixture, steady from iteration 0.
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i % 3 == 2 { 1014.0 } else { 955.0 })
+            .collect();
+        assert_eq!(
+            SteadyStateDetector::robust_tail().detect(&xs),
+            SteadyState::Reached { start: 0 }
+        );
+    }
+
+    #[test]
+    fn robust_tail_excises_multi_iteration_warmup() {
+        let mut xs = vec![3101.0, 1171.0, 989.0];
+        xs.extend((0..37).map(|i| 743.0 + (i % 4) as f64 * 0.4));
+        match SteadyStateDetector::robust_tail().detect(&xs) {
+            SteadyState::Reached { start } => assert_eq!(start, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn robust_tail_rejects_end_drift() {
+        // Settles, then drifts up near the end — halves disagree.
+        let mut xs: Vec<f64> = (0..20).map(|_| 100.0).collect();
+        xs.extend((0..20).map(|i| 100.0 + i as f64 * 2.0));
+        assert_eq!(
+            SteadyStateDetector::robust_tail().detect(&xs),
+            SteadyState::NotReached
+        );
+    }
+
+    #[test]
+    fn robust_tail_rejects_sustained_mid_phase() {
+        // A 10-iteration excursion to another level mid-series.
+        let mut xs: Vec<f64> = (0..15).map(|_| 100.0).collect();
+        xs.extend((0..10).map(|_| 160.0));
+        xs.extend((0..15).map(|_| 100.0));
+        assert_eq!(
+            SteadyStateDetector::robust_tail().detect(&xs),
+            SteadyState::NotReached
+        );
+    }
+
+    #[test]
+    fn robust_tail_rejects_endless_warmup() {
+        // Monotone decreasing the whole way: never reaches the tail level
+        // until past the max-start fraction.
+        let xs: Vec<f64> = (0..40).map(|i| 400.0 - i as f64 * 9.0).collect();
+        assert_eq!(
+            SteadyStateDetector::robust_tail().detect(&xs),
+            SteadyState::NotReached
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Intra- vs inter-invocation variance decomposition.
+//!
+//! The paper's central empirical observation: with nondeterminism sources
+//! active, fresh-process (inter-invocation) variation usually dominates
+//! within-process (intra-invocation) variation — which is why a methodology
+//! that runs one process many times understates the true uncertainty.
+
+use rigor_stats::descriptive::{cov, mean, variance};
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::BenchmarkMeasurement;
+
+/// Variance decomposition of a benchmark measurement over its steady window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VarianceDecomposition {
+    /// Mean of per-invocation coefficient of variation (within a process).
+    pub intra_cov: f64,
+    /// Coefficient of variation of the per-invocation means (across
+    /// processes).
+    pub inter_cov: f64,
+    /// Within-invocation variance component (mean of per-invocation
+    /// variances).
+    pub within_var: f64,
+    /// Between-invocation variance component (variance of per-invocation
+    /// means).
+    pub between_var: f64,
+    /// Fraction of total variance attributable to between-invocation
+    /// effects: `between / (between + within/iters)` — the intraclass
+    /// correlation of the one-way random-effects model.
+    pub between_fraction: f64,
+}
+
+/// Decomposes variance using iterations `steady_start..` of every invocation.
+///
+/// Returns `None` when fewer than 2 invocations or fewer than 2 steady
+/// iterations are available.
+pub fn decompose(m: &BenchmarkMeasurement, steady_start: usize) -> Option<VarianceDecomposition> {
+    if m.n_invocations() < 2 {
+        return None;
+    }
+    let tails: Vec<&[f64]> = m
+        .invocations
+        .iter()
+        .filter_map(|r| r.iteration_ns.get(steady_start..))
+        .filter(|t| t.len() >= 2)
+        .collect();
+    if tails.len() < 2 {
+        return None;
+    }
+    let intra_covs: Vec<f64> = tails
+        .iter()
+        .map(|t| cov(t))
+        .filter(|c| c.is_finite())
+        .collect();
+    let intra_cov = mean(&intra_covs);
+    let means: Vec<f64> = tails.iter().map(|t| mean(t)).collect();
+    let inter_cov = cov(&means);
+    let within_var = mean(&tails.iter().map(|t| variance(t)).collect::<Vec<_>>());
+    let between_var = variance(&means);
+    let iters = tails[0].len() as f64;
+    let denom = between_var + within_var / iters;
+    let between_fraction = if denom > 0.0 {
+        between_var / denom
+    } else {
+        f64::NAN
+    };
+    Some(VarianceDecomposition {
+        intra_cov,
+        inter_cov,
+        within_var,
+        between_var,
+        between_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::InvocationRecord;
+
+    fn measurement(series: Vec<Vec<f64>>) -> BenchmarkMeasurement {
+        BenchmarkMeasurement {
+            benchmark: "x".into(),
+            engine: "interp".into(),
+            invocations: series
+                .into_iter()
+                .enumerate()
+                .map(|(i, iteration_ns)| InvocationRecord {
+                    invocation: i as u32,
+                    seed: i as u64,
+                    startup_ns: 0.0,
+                    iteration_ns,
+                    gc_cycles: 0,
+                    jit_compiles: 0,
+                    deopts: 0,
+                    checksum: String::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn inter_dominated_measurement() {
+        // Each invocation is internally tight but invocations sit at very
+        // different levels (layout-factor style).
+        let m = measurement(vec![
+            vec![10.0, 10.01, 10.02, 10.0, 10.01],
+            vec![11.0, 11.01, 11.0, 11.02, 11.01],
+            vec![9.5, 9.51, 9.5, 9.52, 9.51],
+            vec![10.5, 10.5, 10.51, 10.52, 10.5],
+        ]);
+        let d = decompose(&m, 0).unwrap();
+        assert!(d.inter_cov > d.intra_cov * 10.0, "{d:?}");
+        assert!(d.between_fraction > 0.9, "{d:?}");
+    }
+
+    #[test]
+    fn intra_dominated_measurement() {
+        // Same level everywhere, noisy within each process.
+        let noisy = |seed: u64| -> Vec<f64> {
+            let mut s = seed;
+            (0..50)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    10.0 + ((s >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 4.0
+                })
+                .collect()
+        };
+        let m = measurement(vec![
+            noisy(1),
+            noisy(2),
+            noisy(3),
+            noisy(4),
+            noisy(5),
+            noisy(6),
+        ]);
+        let d = decompose(&m, 0).unwrap();
+        assert!(d.intra_cov > d.inter_cov, "{d:?}");
+        assert!(d.between_fraction < 0.8, "{d:?}");
+    }
+
+    #[test]
+    fn steady_start_is_respected() {
+        // Warmup inflates intra-CoV only when included.
+        let m = measurement(vec![
+            vec![100.0, 10.0, 10.0, 10.0, 10.0, 10.0],
+            vec![100.0, 10.1, 10.1, 10.1, 10.1, 10.1],
+            vec![100.0, 9.9, 9.9, 9.9, 9.9, 9.9],
+        ]);
+        let with_warmup = decompose(&m, 0).unwrap();
+        let steady = decompose(&m, 1).unwrap();
+        assert!(with_warmup.intra_cov > steady.intra_cov * 10.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let m = measurement(vec![vec![1.0, 2.0]]);
+        assert!(decompose(&m, 0).is_none());
+        let m = measurement(vec![vec![1.0], vec![2.0]]);
+        assert!(decompose(&m, 0).is_none());
+    }
+}

@@ -1,0 +1,324 @@
+//! Bytecode representation: opcodes, code objects, compiled programs.
+//!
+//! MiniPy compiles to a conventional stack bytecode, deliberately close in
+//! shape to CPython's: constant pools, local slots resolved at compile time
+//! (CPython's `LOAD_FAST`), global access by interned name, explicit iterator
+//! protocol ops for `for` loops.
+
+use std::fmt;
+
+/// A compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// `None`.
+    None,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// String (interned into the heap once per VM session).
+    Str(String),
+    /// Reference to another code object (for `def`).
+    Func(usize),
+}
+
+/// Operation-class buckets used by the cost model and dynamic statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Pure stack shuffling: loads of locals/consts, pops, dups.
+    Stack,
+    /// Arithmetic and comparison.
+    Arith,
+    /// Global/builtin name lookups.
+    Name,
+    /// Subscript loads/stores, slicing (memory-touching).
+    Memory,
+    /// Dict-specific operations.
+    Dict,
+    /// Object construction (lists, tuples, dicts, strings).
+    Alloc,
+    /// Control flow: jumps, loop bookkeeping.
+    Branch,
+    /// Calls and returns.
+    Call,
+}
+
+/// A single bytecode instruction.
+///
+/// Jump targets are absolute instruction indices within the owning
+/// [`Code::ops`] vector.
+#[allow(missing_docs)] // arithmetic/comparison variants are self-describing
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push `consts[idx]`.
+    LoadConst(u16),
+    /// Push local slot.
+    LoadLocal(u16),
+    /// Pop into local slot.
+    StoreLocal(u16),
+    /// Push global (falls back to builtin) named `names[idx]`.
+    LoadGlobal(u16),
+    /// Pop into global named `names[idx]`.
+    StoreGlobal(u16),
+    /// Binary arithmetic: pops rhs then lhs, pushes result.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    FloorDiv,
+    Mod,
+    Pow,
+    /// Comparisons: pop rhs then lhs, push bool.
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    /// Membership: pops container then item, pushes bool.
+    CmpIn,
+    CmpNotIn,
+    /// Unary negate.
+    Neg,
+    /// Unary boolean not.
+    Not,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump if falsy.
+    PopJumpIfFalse(u32),
+    /// Pop; jump if truthy.
+    PopJumpIfTrue(u32),
+    /// If TOS falsy: jump, keep TOS. Else pop. (`and`)
+    JumpIfFalsePeek(u32),
+    /// If TOS truthy: jump, keep TOS. Else pop. (`or`)
+    JumpIfTruePeek(u32),
+    /// Pop n values, push a new list.
+    BuildList(u16),
+    /// Pop n values, push a new tuple.
+    BuildTuple(u16),
+    /// Pop 2n values (k1 v1 k2 v2 ...), push a new dict.
+    BuildDict(u16),
+    /// Pop index then object, push `object[index]`.
+    IndexLoad,
+    /// Stack: `[obj, idx, val]` → stores `obj[idx] = val`.
+    IndexStore,
+    /// Stack: `[obj, idx]` → deletes `obj[idx]`.
+    IndexDel,
+    /// Stack: `[obj, lo, hi]` (missing bounds are None) → push slice.
+    SliceLoad,
+    /// Duplicate top two stack values: `[a, b]` → `[a, b, a, b]`.
+    Dup2,
+    /// Pop TOS and append it to the list `n` slots below the (new) top of
+    /// stack — CPython's `LIST_APPEND`, used by list comprehensions.
+    ListAppend(u16),
+    /// Pop and discard TOS.
+    Pop,
+    /// Pop callee and `argc` args, push call result.
+    Call(u16),
+    /// Pop receiver and `argc` args, invoke method `names[idx]`.
+    CallMethod {
+        name: u16,
+        argc: u16,
+    },
+    /// Pop return value and leave the frame.
+    Return,
+    /// Pop an iterable, push an iterator over it.
+    GetIter,
+    /// If the iterator at TOS has a next item, push it; else pop the iterator
+    /// and jump to the target.
+    ForIter(u32),
+    /// Pop a sequence of exactly n elements, push them in reverse order.
+    UnpackSequence(u16),
+    /// Push a function value for `consts[idx]` (which must be `Const::Func`).
+    MakeFunction(u16),
+    /// No operation (used to patch out instructions).
+    Nop,
+}
+
+impl Op {
+    /// The cost-model class of this opcode.
+    pub fn class(self) -> OpClass {
+        match self {
+            Op::LoadConst(_)
+            | Op::LoadLocal(_)
+            | Op::StoreLocal(_)
+            | Op::Dup2
+            | Op::Pop
+            | Op::UnpackSequence(_)
+            | Op::Nop
+            | Op::MakeFunction(_) => OpClass::Stack,
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::FloorDiv
+            | Op::Mod
+            | Op::Pow
+            | Op::CmpEq
+            | Op::CmpNe
+            | Op::CmpLt
+            | Op::CmpLe
+            | Op::CmpGt
+            | Op::CmpGe
+            | Op::Neg
+            | Op::Not => OpClass::Arith,
+            Op::LoadGlobal(_) | Op::StoreGlobal(_) => OpClass::Name,
+            Op::IndexLoad | Op::IndexStore | Op::IndexDel | Op::SliceLoad | Op::ListAppend(_) => {
+                OpClass::Memory
+            }
+            Op::CmpIn | Op::CmpNotIn => OpClass::Dict,
+            Op::BuildList(_) | Op::BuildTuple(_) | Op::BuildDict(_) => OpClass::Alloc,
+            Op::Jump(_)
+            | Op::PopJumpIfFalse(_)
+            | Op::PopJumpIfTrue(_)
+            | Op::JumpIfFalsePeek(_)
+            | Op::JumpIfTruePeek(_)
+            | Op::GetIter
+            | Op::ForIter(_) => OpClass::Branch,
+            Op::Call(_) | Op::CallMethod { .. } | Op::Return => OpClass::Call,
+        }
+    }
+
+    /// Returns the jump target if this opcode is a jump.
+    pub fn jump_target(self) -> Option<u32> {
+        match self {
+            Op::Jump(t)
+            | Op::PopJumpIfFalse(t)
+            | Op::PopJumpIfTrue(t)
+            | Op::JumpIfFalsePeek(t)
+            | Op::JumpIfTruePeek(t)
+            | Op::ForIter(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A compiled function (or module) body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Code {
+    /// Function name (`<module>` for the module body).
+    pub name: String,
+    /// Number of parameters (always the first locals).
+    pub n_params: u16,
+    /// Total number of local slots.
+    pub n_locals: u16,
+    /// The instruction stream.
+    pub ops: Vec<Op>,
+    /// Source line for each instruction (parallel to `ops`).
+    pub lines: Vec<u32>,
+    /// Constant pool.
+    pub consts: Vec<Const>,
+    /// Interned names for globals and methods.
+    pub names: Vec<String>,
+}
+
+impl Code {
+    /// Renders a human-readable disassembly, useful in tests and debugging.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "code {} (params={}, locals={})\n",
+            self.name, self.n_params, self.n_locals
+        ));
+        for (i, op) in self.ops.iter().enumerate() {
+            let line = self.lines.get(i).copied().unwrap_or(0);
+            out.push_str(&format!("  {i:4}  L{line:<4} {}\n", self.format_op(*op)));
+        }
+        out
+    }
+
+    fn format_op(&self, op: Op) -> String {
+        match op {
+            Op::LoadConst(i) => format!("LOAD_CONST {:?}", self.consts.get(i as usize)),
+            Op::LoadGlobal(i) => format!("LOAD_GLOBAL {}", self.name_at(i)),
+            Op::StoreGlobal(i) => format!("STORE_GLOBAL {}", self.name_at(i)),
+            Op::CallMethod { name, argc } => {
+                format!("CALL_METHOD {} argc={argc}", self.name_at(name))
+            }
+            other => format!("{other:?}"),
+        }
+    }
+
+    fn name_at(&self, i: u16) -> &str {
+        self.names
+            .get(i as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+}
+
+/// A fully compiled MiniPy program: the module body plus all function bodies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// All code objects. Index 0 is always the module body.
+    pub codes: Vec<Code>,
+}
+
+impl Program {
+    /// The module (top-level) code object.
+    pub fn module_code(&self) -> &Code {
+        &self.codes[0]
+    }
+
+    /// Total instruction count across all code objects.
+    pub fn total_ops(&self) -> usize {
+        self.codes.iter().map(|c| c.ops.len()).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for code in &self.codes {
+            writeln!(f, "{}", code.disassemble())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classes_cover_costing_buckets() {
+        assert_eq!(Op::Add.class(), OpClass::Arith);
+        assert_eq!(Op::LoadLocal(0).class(), OpClass::Stack);
+        assert_eq!(Op::LoadGlobal(0).class(), OpClass::Name);
+        assert_eq!(Op::IndexLoad.class(), OpClass::Memory);
+        assert_eq!(Op::BuildList(2).class(), OpClass::Alloc);
+        assert_eq!(Op::Jump(0).class(), OpClass::Branch);
+        assert_eq!(Op::Call(1).class(), OpClass::Call);
+        assert_eq!(Op::CmpIn.class(), OpClass::Dict);
+    }
+
+    #[test]
+    fn jump_targets() {
+        assert_eq!(Op::Jump(7).jump_target(), Some(7));
+        assert_eq!(Op::ForIter(3).jump_target(), Some(3));
+        assert_eq!(Op::Add.jump_target(), None);
+    }
+
+    #[test]
+    fn disassembly_mentions_names_and_consts() {
+        let code = Code {
+            name: "f".into(),
+            n_params: 0,
+            n_locals: 1,
+            ops: vec![
+                Op::LoadConst(0),
+                Op::StoreLocal(0),
+                Op::LoadGlobal(0),
+                Op::Return,
+            ],
+            lines: vec![1, 1, 2, 2],
+            consts: vec![Const::Int(42)],
+            names: vec!["g".into()],
+        };
+        let d = code.disassemble();
+        assert!(d.contains("LOAD_CONST"));
+        assert!(d.contains("42"));
+        assert!(d.contains("LOAD_GLOBAL g"));
+    }
+}

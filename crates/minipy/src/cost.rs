@@ -1,0 +1,201 @@
+//! The virtual-time cost model.
+//!
+//! Costs are expressed in virtual nanoseconds per event. The absolute values
+//! are calibrated to the rough shape of CPython on commodity hardware
+//! (tens of ns per simple bytecode, ~100–200 ns per call, multi-microsecond
+//! GC pauses); the *ratios* between interpreter and JIT execution are what
+//! the reproduced experiments depend on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bytecode::OpClass;
+
+/// Per-event virtual-time costs for one execution engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Base cost of one interpreted opcode, per [`OpClass`], in ns.
+    pub interp_op: OpClassTable,
+    /// Multiplier applied to opcode costs when executing inside a compiled
+    /// (JIT) region, per class. Arithmetic benefits the most, dict and call
+    /// operations the least — mirroring meta-tracing JITs.
+    pub jit_multiplier: OpClassTable,
+    /// Extra cost per object allocation (on top of the Alloc opcode), ns.
+    pub alloc_object: f64,
+    /// Cost per dict probe (slot touched), ns. Memory-like: layout-sensitive.
+    pub dict_probe: f64,
+    /// Cost per element moved during container construction/copy, ns.
+    pub per_element: f64,
+    /// GC pause: fixed component, ns.
+    pub gc_base: f64,
+    /// GC pause: per live (marked) object, ns.
+    pub gc_per_live: f64,
+    /// GC pause: per freed object, ns.
+    pub gc_per_freed: f64,
+    /// JIT trace compilation: fixed component, ns.
+    pub jit_compile_base: f64,
+    /// JIT trace compilation: per bytecode in the compiled region, ns.
+    pub jit_compile_per_op: f64,
+    /// Penalty for a guard failure (deoptimization), ns.
+    pub deopt_penalty: f64,
+    /// Cost of the profiling counter bump on each back-edge while cold, ns.
+    pub profile_backedge: f64,
+}
+
+/// A cost (or multiplier) per opcode class.
+#[allow(missing_docs)] // fields mirror the OpClass variants
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpClassTable {
+    pub stack: f64,
+    pub arith: f64,
+    pub name: f64,
+    pub memory: f64,
+    pub dict: f64,
+    pub alloc: f64,
+    pub branch: f64,
+    pub call: f64,
+}
+
+impl OpClassTable {
+    /// Looks up the entry for `class`.
+    pub fn get(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::Stack => self.stack,
+            OpClass::Arith => self.arith,
+            OpClass::Name => self.name,
+            OpClass::Memory => self.memory,
+            OpClass::Dict => self.dict,
+            OpClass::Alloc => self.alloc,
+            OpClass::Branch => self.branch,
+            OpClass::Call => self.call,
+        }
+    }
+
+    /// Returns true when `class` models a memory-touching operation whose
+    /// cost is perturbed by the per-invocation layout factor (ASLR analogue).
+    pub fn layout_sensitive(class: OpClass) -> bool {
+        matches!(
+            class,
+            OpClass::Memory | OpClass::Dict | OpClass::Alloc | OpClass::Name
+        )
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            interp_op: OpClassTable {
+                stack: 14.0,
+                arith: 32.0,
+                name: 48.0,
+                memory: 58.0,
+                dict: 52.0,
+                alloc: 85.0,
+                branch: 20.0,
+                call: 175.0,
+            },
+            jit_multiplier: OpClassTable {
+                stack: 0.05,
+                arith: 0.07,
+                name: 0.22,
+                memory: 0.30,
+                dict: 0.55,
+                alloc: 0.60,
+                branch: 0.08,
+                call: 0.45,
+            },
+            alloc_object: 62.0,
+            dict_probe: 30.0,
+            per_element: 7.5,
+            gc_base: 18_000.0,
+            gc_per_live: 11.0,
+            gc_per_freed: 5.0,
+            jit_compile_base: 180_000.0,
+            jit_compile_per_op: 2_600.0,
+            deopt_penalty: 9_500.0,
+            profile_backedge: 3.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of executing one opcode of `class` in the interpreter.
+    pub fn interp_cost(&self, class: OpClass) -> f64 {
+        self.interp_op.get(class)
+    }
+
+    /// Cost of executing one opcode of `class` inside a compiled region.
+    pub fn jit_cost(&self, class: OpClass) -> f64 {
+        self.interp_op.get(class) * self.jit_multiplier.get(class)
+    }
+
+    /// Cost of one GC pause given the marked/freed counts.
+    pub fn gc_pause(&self, live: u64, freed: u64) -> f64 {
+        self.gc_base + self.gc_per_live * live as f64 + self.gc_per_freed * freed as f64
+    }
+
+    /// Cost of compiling a trace spanning `ops` bytecodes.
+    pub fn compile_cost(&self, ops: usize) -> f64 {
+        self.jit_compile_base + self.jit_compile_per_op * ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jit_is_cheaper_everywhere() {
+        let m = CostModel::default();
+        for class in [
+            OpClass::Stack,
+            OpClass::Arith,
+            OpClass::Name,
+            OpClass::Memory,
+            OpClass::Dict,
+            OpClass::Alloc,
+            OpClass::Branch,
+            OpClass::Call,
+        ] {
+            assert!(
+                m.jit_cost(class) < m.interp_cost(class),
+                "JIT must beat interp for {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_speedup_is_order_of_magnitude() {
+        let m = CostModel::default();
+        let speedup = m.interp_cost(OpClass::Arith) / m.jit_cost(OpClass::Arith);
+        assert!(speedup > 8.0, "arith speedup {speedup}");
+    }
+
+    #[test]
+    fn dict_speedup_is_modest() {
+        let m = CostModel::default();
+        let speedup = m.interp_cost(OpClass::Dict) / m.jit_cost(OpClass::Dict);
+        assert!(speedup < 3.0, "dict speedup {speedup}");
+    }
+
+    #[test]
+    fn gc_pause_scales_with_work() {
+        let m = CostModel::default();
+        assert!(m.gc_pause(1000, 1000) > m.gc_pause(10, 10));
+        assert!(m.gc_pause(0, 0) >= m.gc_base);
+    }
+
+    #[test]
+    fn layout_sensitivity_classification() {
+        assert!(OpClassTable::layout_sensitive(OpClass::Memory));
+        assert!(OpClassTable::layout_sensitive(OpClass::Dict));
+        assert!(!OpClassTable::layout_sensitive(OpClass::Arith));
+        assert!(!OpClassTable::layout_sensitive(OpClass::Branch));
+    }
+
+    #[test]
+    fn compile_cost_grows_with_region_size() {
+        let m = CostModel::default();
+        assert!(m.compile_cost(100) > m.compile_cost(10));
+        assert!(m.compile_cost(0) >= m.jit_compile_base);
+    }
+}

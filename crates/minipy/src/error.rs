@@ -1,0 +1,187 @@
+//! Error types shared by every MiniPy pipeline stage.
+
+use std::fmt;
+
+/// A half-open byte-offset span into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` on `line`.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// Creates a zero-width span, used for synthesized nodes.
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Any error produced while lexing, parsing, compiling or running MiniPy code.
+#[allow(missing_docs)] // message/span fields are self-describing
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpError {
+    /// Tokenizer-level error (bad character, bad indentation, unterminated string).
+    Lex { message: String, span: Span },
+    /// Grammar-level error.
+    Parse { message: String, span: Span },
+    /// Bytecode-generation error (e.g. assignment to a call result).
+    Compile { message: String, span: Span },
+    /// Runtime error raised by the VM (type errors, key errors, ...).
+    Runtime {
+        kind: RuntimeErrorKind,
+        message: String,
+    },
+}
+
+/// Classification of runtime errors, mirroring Python's exception taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeErrorKind {
+    /// Operand types unsupported for the operation.
+    Type,
+    /// Name not found in local or global scope.
+    Name,
+    /// Sequence index out of range.
+    Index,
+    /// Dict key not present.
+    Key,
+    /// Bad value (e.g. `int("x")`).
+    Value,
+    /// Division or modulo by zero.
+    ZeroDivision,
+    /// Integer overflow (MiniPy ints are 64-bit, unlike Python's bignums).
+    Overflow,
+    /// Call-stack depth limit exceeded.
+    RecursionLimit,
+    /// The virtual-time budget for the execution was exhausted.
+    TimeBudget,
+    /// Internal VM invariant violation; indicates a bug in MiniPy itself.
+    Internal,
+}
+
+impl fmt::Display for RuntimeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RuntimeErrorKind::Type => "TypeError",
+            RuntimeErrorKind::Name => "NameError",
+            RuntimeErrorKind::Index => "IndexError",
+            RuntimeErrorKind::Key => "KeyError",
+            RuntimeErrorKind::Value => "ValueError",
+            RuntimeErrorKind::ZeroDivision => "ZeroDivisionError",
+            RuntimeErrorKind::Overflow => "OverflowError",
+            RuntimeErrorKind::RecursionLimit => "RecursionError",
+            RuntimeErrorKind::TimeBudget => "TimeBudgetError",
+            RuntimeErrorKind::Internal => "InternalError",
+        };
+        f.write_str(name)
+    }
+}
+
+impl MpError {
+    /// Convenience constructor for a runtime error.
+    pub fn runtime(kind: RuntimeErrorKind, message: impl Into<String>) -> Self {
+        MpError::Runtime {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for a type error.
+    pub fn type_error(message: impl Into<String>) -> Self {
+        Self::runtime(RuntimeErrorKind::Type, message)
+    }
+
+    /// Convenience constructor for a name error.
+    pub fn name_error(name: &str) -> Self {
+        Self::runtime(
+            RuntimeErrorKind::Name,
+            format!("name '{name}' is not defined"),
+        )
+    }
+
+    /// The runtime error kind, if this is a runtime error.
+    pub fn runtime_kind(&self) -> Option<RuntimeErrorKind> {
+        match self {
+            MpError::Runtime { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpError::Lex { message, span } => write!(f, "lex error at {span}: {message}"),
+            MpError::Parse { message, span } => write!(f, "parse error at {span}: {message}"),
+            MpError::Compile { message, span } => {
+                write!(f, "compile error at {span}: {message}")
+            }
+            MpError::Runtime { kind, message } => write!(f, "{kind}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MpError {}
+
+/// Result alias used across the crate.
+pub type MpResult<T> = Result<T, MpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7, 1);
+        let b = Span::new(10, 12, 2);
+        let m = a.merge(b);
+        assert_eq!(m.start, 3);
+        assert_eq!(m.end, 12);
+        assert_eq!(m.line, 1);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = MpError::name_error("x");
+        assert_eq!(e.to_string(), "NameError: name 'x' is not defined");
+        let e = MpError::Lex {
+            message: "bad char".into(),
+            span: Span::new(0, 1, 4),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn runtime_kind_accessor() {
+        let e = MpError::type_error("nope");
+        assert_eq!(e.runtime_kind(), Some(RuntimeErrorKind::Type));
+        let e = MpError::Parse {
+            message: "x".into(),
+            span: Span::synthetic(),
+        };
+        assert_eq!(e.runtime_kind(), None);
+    }
+}

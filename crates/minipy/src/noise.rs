@@ -1,0 +1,200 @@
+//! Exogenous nondeterminism sources.
+//!
+//! Three of the four nondeterminism sources the methodology must contend with
+//! are modelled here (the fourth — GC pauses — is endogenous and emerges from
+//! the heap itself):
+//!
+//! * **Hash-seed randomization** — enabled/disabled here, implemented in
+//!   [`crate::dict`]. Structural: changes probe counts and iteration order.
+//! * **Memory-layout / ASLR factor** — one multiplicative factor per
+//!   invocation applied to layout-sensitive opcode classes. Models the
+//!   "some process instances are just slower" effect of address-space
+//!   randomization and allocator placement.
+//! * **OS jitter** — a Poisson process of scheduling pauses in virtual time,
+//!   with log-normal pause lengths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Which nondeterminism sources are active for a VM session.
+///
+/// The Table-4 ablation experiment toggles these one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Randomize the string-hash seed per invocation (`PYTHONHASHSEED`-style).
+    /// When false, the seed is pinned to 0 for every invocation.
+    pub hash_randomization: bool,
+    /// Sample a per-invocation layout factor (ASLR analogue).
+    pub layout: bool,
+    /// Inject OS scheduling jitter pauses.
+    pub os_jitter: bool,
+    /// Charge virtual time for GC pauses. Collection still runs (semantics
+    /// are unchanged) but costs nothing when disabled.
+    pub gc_costed: bool,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            hash_randomization: true,
+            layout: true,
+            os_jitter: true,
+            gc_costed: true,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// All sources disabled: fully deterministic timing given the program.
+    pub fn quiescent() -> Self {
+        NoiseConfig {
+            hash_randomization: false,
+            layout: false,
+            os_jitter: false,
+            gc_costed: false,
+        }
+    }
+}
+
+/// Log-normal sigma of the layout factor; ~3.5% coefficient of variation,
+/// in line with measured ASLR/layout effects on real hardware.
+const LAYOUT_SIGMA: f64 = 0.035;
+
+/// Samples the per-invocation layout factor.
+///
+/// Returns exactly 1.0 when disabled, otherwise a log-normal factor centred
+/// on 1.0.
+pub fn sample_layout_factor(rng: &mut StdRng, enabled: bool) -> f64 {
+    if !enabled {
+        return 1.0;
+    }
+    let dist = LogNormal::new(0.0, LAYOUT_SIGMA).expect("valid lognormal");
+    dist.sample(rng)
+}
+
+/// Mean virtual time between OS jitter events, ns (2 ms).
+const JITTER_MEAN_INTERVAL_NS: f64 = 2.0e6;
+/// Log-normal parameters of a jitter pause: median ≈ 8 µs, long right tail.
+const JITTER_PAUSE_MU: f64 = 9.0; // ln(8103 ns)
+const JITTER_PAUSE_SIGMA: f64 = 0.9;
+
+/// A Poisson process of OS scheduling pauses on the virtual timeline.
+#[derive(Debug, Clone)]
+pub struct OsJitter {
+    rng: StdRng,
+    enabled: bool,
+    next_event_ns: f64,
+    pause_dist: LogNormal<f64>,
+    /// Total pause time injected so far, ns.
+    pub total_injected_ns: f64,
+    /// Number of pauses injected so far.
+    pub events: u64,
+}
+
+impl OsJitter {
+    /// Creates the jitter process with its own RNG stream.
+    pub fn new(seed: u64, enabled: bool) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = Self::sample_interval(&mut rng);
+        OsJitter {
+            rng,
+            enabled,
+            next_event_ns: first,
+            pause_dist: LogNormal::new(JITTER_PAUSE_MU, JITTER_PAUSE_SIGMA)
+                .expect("valid lognormal"),
+            total_injected_ns: 0.0,
+            events: 0,
+        }
+    }
+
+    fn sample_interval(rng: &mut StdRng) -> f64 {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -JITTER_MEAN_INTERVAL_NS * u.ln()
+    }
+
+    /// Returns the pause time (ns) for all jitter events that fired before
+    /// virtual time `now_ns`, advancing the process state.
+    pub fn pauses_until(&mut self, now_ns: f64) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        while self.next_event_ns <= now_ns {
+            let pause = self.pause_dist.sample(&mut self.rng);
+            total += pause;
+            self.events += 1;
+            self.next_event_ns += Self::sample_interval(&mut self.rng);
+        }
+        self.total_injected_ns += total;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_factor_disabled_is_exactly_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_layout_factor(&mut rng, false), 1.0);
+    }
+
+    #[test]
+    fn layout_factor_is_near_one_but_varies() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..1000)
+            .map(|_| sample_layout_factor(&mut rng, true))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!(samples.iter().all(|&f| f > 0.8 && f < 1.25));
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.01, "factors must actually vary");
+    }
+
+    #[test]
+    fn jitter_disabled_injects_nothing() {
+        let mut j = OsJitter::new(1, false);
+        assert_eq!(j.pauses_until(1e12), 0.0);
+        assert_eq!(j.events, 0);
+    }
+
+    #[test]
+    fn jitter_rate_matches_poisson_mean() {
+        let mut j = OsJitter::new(7, true);
+        let horizon = 2.0e9; // 2 s of virtual time => ~1000 events expected
+        j.pauses_until(horizon);
+        let expected = horizon / JITTER_MEAN_INTERVAL_NS;
+        assert!(
+            (j.events as f64) > expected * 0.8 && (j.events as f64) < expected * 1.2,
+            "events {} vs expected {expected}",
+            j.events
+        );
+        assert!(j.total_injected_ns > 0.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = OsJitter::new(9, true);
+        let mut b = OsJitter::new(9, true);
+        assert_eq!(a.pauses_until(1e8), b.pauses_until(1e8));
+        let mut c = OsJitter::new(10, true);
+        // Different seed, almost surely different totals.
+        assert_ne!(a.total_injected_ns, c.pauses_until(1e8));
+    }
+
+    #[test]
+    fn pauses_accumulate_incrementally() {
+        let mut j = OsJitter::new(3, true);
+        let p1 = j.pauses_until(1e7);
+        let p2 = j.pauses_until(2e7);
+        let mut k = OsJitter::new(3, true);
+        let all = k.pauses_until(2e7);
+        assert!((p1 + p2 - all).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,1112 @@
+//! Recursive-descent parser for MiniPy.
+//!
+//! Grammar (informal, Python-like):
+//!
+//! ```text
+//! module     := stmt* EOF
+//! stmt       := simple_stmt NEWLINE | compound_stmt
+//! simple     := expr | assign | aug_assign | return | break | continue
+//!             | pass | global | del
+//! compound   := if | while | for | def
+//! expr       := ternary
+//! ternary    := or_expr ['if' or_expr 'else' ternary]
+//! or_expr    := and_expr ('or' and_expr)*
+//! and_expr   := not_expr ('and' not_expr)*
+//! not_expr   := 'not' not_expr | comparison
+//! comparison := arith ((==|!=|<|<=|>|>=|in|not in) arith)*   -- chained
+//! arith      := term ((+|-) term)*
+//! term       := factor ((*|/|//|%) factor)*
+//! factor     := (-|+) factor | power
+//! power      := postfix ['**' factor]
+//! postfix    := atom (call | index | slice | attr)*
+//! atom       := literal | NAME | '(' ... ')' | '[' ... ']' | '{' ... '}'
+//! ```
+
+use crate::ast::{BinOp, Expr, Module, Stmt, Target, UnaryOp};
+use crate::error::{MpError, MpResult, Span};
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Parses a MiniPy source module.
+///
+/// # Errors
+///
+/// Returns [`MpError::Lex`] or [`MpError::Parse`] on malformed input.
+pub fn parse(source: &str) -> MpResult<Module> {
+    let tokens = tokenize(source)?;
+    Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    }
+    .module()
+}
+
+/// Maximum expression nesting depth, mirroring CPython's "too many nested
+/// parentheses" guard — a recursive-descent parser must bound its own stack.
+/// 40 levels is far beyond what real programs use while keeping the worst
+/// case (~11 stack frames per level in debug builds) well inside thread
+/// stacks.
+const MAX_EXPR_DEPTH: usize = 40;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> MpResult<Token> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> MpError {
+        MpError::Parse {
+            message: message.into(),
+            span: self.peek_span(),
+        }
+    }
+
+    fn module(mut self) -> MpResult<Module> {
+        let mut body = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            body.push(self.statement()?);
+        }
+        Ok(Module { body })
+    }
+
+    fn block(&mut self) -> MpResult<Vec<Stmt>> {
+        self.expect(&TokenKind::Colon)?;
+        self.expect(&TokenKind::Newline)?;
+        self.expect(&TokenKind::Indent)?;
+        let mut body = Vec::new();
+        while !self.at(&TokenKind::Dedent) && !self.at(&TokenKind::Eof) {
+            body.push(self.statement()?);
+        }
+        self.expect(&TokenKind::Dedent)?;
+        if body.is_empty() {
+            return Err(self.err("empty block"));
+        }
+        Ok(body)
+    }
+
+    fn statement(&mut self) -> MpResult<Stmt> {
+        match self.peek().clone() {
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Def => self.def_stmt(),
+            TokenKind::Return => {
+                let span = self.peek_span();
+                self.bump();
+                let value = if self.at(&TokenKind::Newline) {
+                    None
+                } else {
+                    Some(self.expr_or_tuple()?)
+                };
+                self.expect(&TokenKind::Newline)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Break => {
+                let span = self.peek_span();
+                self.bump();
+                self.expect(&TokenKind::Newline)?;
+                Ok(Stmt::Break { span })
+            }
+            TokenKind::Continue => {
+                let span = self.peek_span();
+                self.bump();
+                self.expect(&TokenKind::Newline)?;
+                Ok(Stmt::Continue { span })
+            }
+            TokenKind::Pass => {
+                self.bump();
+                self.expect(&TokenKind::Newline)?;
+                Ok(Stmt::Pass)
+            }
+            TokenKind::Global => {
+                let span = self.peek_span();
+                self.bump();
+                let mut names = vec![self.name()?];
+                while self.eat(&TokenKind::Comma) {
+                    names.push(self.name()?);
+                }
+                self.expect(&TokenKind::Newline)?;
+                Ok(Stmt::Global { names, span })
+            }
+            TokenKind::Del => {
+                let span = self.peek_span();
+                self.bump();
+                let target = self.expr()?;
+                self.expect(&TokenKind::Newline)?;
+                match target {
+                    Expr::Index { object, index, .. } => Ok(Stmt::DelIndex {
+                        object: *object,
+                        index: *index,
+                        span,
+                    }),
+                    _ => Err(MpError::Parse {
+                        message: "del only supports subscript targets".into(),
+                        span,
+                    }),
+                }
+            }
+            _ => self.expr_or_assign_stmt(),
+        }
+    }
+
+    fn name(&mut self) -> MpResult<String> {
+        match self.peek().clone() {
+            TokenKind::Name(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => Err(self.err(format!("expected name, found {}", other.describe()))),
+        }
+    }
+
+    fn if_stmt(&mut self) -> MpResult<Stmt> {
+        self.expect(&TokenKind::If)?;
+        let cond = self.expr()?;
+        let then = self.block()?;
+        let orelse = if self.at(&TokenKind::Elif) {
+            // Desugar `elif` into a nested `if` in the else branch.
+            // Rewrite the token so `if_stmt` can re-parse from here.
+            self.tokens[self.pos].kind = TokenKind::If;
+            vec![self.if_stmt()?]
+        } else if self.eat(&TokenKind::Else) {
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then, orelse })
+    }
+
+    fn while_stmt(&mut self) -> MpResult<Stmt> {
+        self.expect(&TokenKind::While)?;
+        let cond = self.expr()?;
+        let body = self.block()?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn for_stmt(&mut self) -> MpResult<Stmt> {
+        self.expect(&TokenKind::For)?;
+        let target = self.for_target()?;
+        self.expect(&TokenKind::In)?;
+        let iterable = self.expr_or_tuple()?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            target,
+            iterable,
+            body,
+        })
+    }
+
+    /// Parses a `for` loop target: a name or a comma-separated tuple of names.
+    fn for_target(&mut self) -> MpResult<Target> {
+        let span = self.peek_span();
+        let first = self.name()?;
+        if self.at(&TokenKind::Comma) {
+            let mut elts = vec![Target::Name { name: first, span }];
+            while self.eat(&TokenKind::Comma) {
+                if self.at(&TokenKind::In) {
+                    break;
+                }
+                let s = self.peek_span();
+                elts.push(Target::Name {
+                    name: self.name()?,
+                    span: s,
+                });
+            }
+            Ok(Target::Tuple { elts, span })
+        } else {
+            Ok(Target::Name { name: first, span })
+        }
+    }
+
+    fn def_stmt(&mut self) -> MpResult<Stmt> {
+        let span = self.peek_span();
+        self.expect(&TokenKind::Def)?;
+        let name = self.name()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            params.push(self.name()?);
+            while self.eat(&TokenKind::Comma) {
+                if self.at(&TokenKind::RParen) {
+                    break;
+                }
+                params.push(self.name()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::Def {
+            name,
+            params,
+            body,
+            span,
+        })
+    }
+
+    /// Parses an expression statement, assignment, or augmented assignment.
+    fn expr_or_assign_stmt(&mut self) -> MpResult<Stmt> {
+        let first = self.expr_or_tuple()?;
+        let stmt = if self.eat(&TokenKind::Eq) {
+            let target = Self::expr_to_target(first)?;
+            let value = self.expr_or_tuple()?;
+            Stmt::Assign { target, value }
+        } else {
+            let aug = match self.peek() {
+                TokenKind::PlusEq => Some(BinOp::Add),
+                TokenKind::MinusEq => Some(BinOp::Sub),
+                TokenKind::StarEq => Some(BinOp::Mul),
+                TokenKind::SlashEq => Some(BinOp::Div),
+                TokenKind::SlashSlashEq => Some(BinOp::FloorDiv),
+                TokenKind::PercentEq => Some(BinOp::Mod),
+                _ => None,
+            };
+            if let Some(op) = aug {
+                self.bump();
+                let target = Self::expr_to_target(first)?;
+                if matches!(target, Target::Tuple { .. }) {
+                    return Err(self.err("augmented assignment target cannot be a tuple"));
+                }
+                let value = self.expr_or_tuple()?;
+                Stmt::AugAssign { target, op, value }
+            } else {
+                Stmt::Expr { value: first }
+            }
+        };
+        self.expect(&TokenKind::Newline)?;
+        Ok(stmt)
+    }
+
+    fn expr_to_target(e: Expr) -> MpResult<Target> {
+        match e {
+            Expr::Name { name, span } => Ok(Target::Name { name, span }),
+            Expr::Index {
+                object,
+                index,
+                span,
+            } => Ok(Target::Index {
+                object: *object,
+                index: *index,
+                span,
+            }),
+            Expr::Tuple { items, span } => {
+                let elts = items
+                    .into_iter()
+                    .map(Self::expr_to_target)
+                    .collect::<MpResult<Vec<_>>>()?;
+                Ok(Target::Tuple { elts, span })
+            }
+            other => Err(MpError::Parse {
+                message: "invalid assignment target".into(),
+                span: other.span(),
+            }),
+        }
+    }
+
+    /// Parses `a, b, c` as a tuple, or a single expression if no comma follows.
+    fn expr_or_tuple(&mut self) -> MpResult<Expr> {
+        let span = self.peek_span();
+        let first = self.expr()?;
+        if self.at(&TokenKind::Comma) {
+            let mut items = vec![first];
+            while self.eat(&TokenKind::Comma) {
+                if self.at(&TokenKind::Newline) || self.at(&TokenKind::Eq) {
+                    break;
+                }
+                items.push(self.expr()?);
+            }
+            Ok(Expr::Tuple { items, span })
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn expr(&mut self) -> MpResult<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("expression nesting too deep"));
+        }
+        let result = self.ternary();
+        self.depth -= 1;
+        result
+    }
+
+    fn ternary(&mut self) -> MpResult<Expr> {
+        let span = self.peek_span();
+        let value = self.or_expr()?;
+        if self.eat(&TokenKind::If) {
+            let cond = self.or_expr()?;
+            self.expect(&TokenKind::Else)?;
+            let orelse = self.ternary()?;
+            Ok(Expr::IfExp {
+                cond: Box::new(cond),
+                then: Box::new(value),
+                orelse: Box::new(orelse),
+                span,
+            })
+        } else {
+            Ok(value)
+        }
+    }
+
+    fn or_expr(&mut self) -> MpResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.at(&TokenKind::Or) {
+            let span = self.peek_span();
+            self.bump();
+            let right = self.and_expr()?;
+            left = Expr::BoolChain {
+                is_and: false,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> MpResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.at(&TokenKind::And) {
+            let span = self.peek_span();
+            self.bump();
+            let right = self.not_expr()?;
+            left = Expr::BoolChain {
+                is_and: true,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> MpResult<Expr> {
+        if self.at(&TokenKind::Not) {
+            let span = self.peek_span();
+            self.bump();
+            let operand = self.not_expr()?;
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+                span,
+            })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison_op(&mut self) -> Option<BinOp> {
+        let op = match self.peek() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            TokenKind::In => BinOp::In,
+            TokenKind::Not
+                // `not in`
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::In) => {
+                    self.bump();
+                    BinOp::NotIn
+                }
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn comparison(&mut self) -> MpResult<Expr> {
+        let first = self.arith()?;
+        let span = first.span();
+        let mut comparisons: Vec<(BinOp, Expr)> = Vec::new();
+        while let Some(op) = self.comparison_op() {
+            let right = self.arith()?;
+            comparisons.push((op, right));
+        }
+        if comparisons.is_empty() {
+            return Ok(first);
+        }
+        // Desugar chained comparison `a < b < c` into `(a < b) and (b < c)`.
+        // The middle operand is duplicated; MiniPy expressions are effect-free
+        // enough in practice (benchmarks) that re-evaluation is acceptable and
+        // it keeps the bytecode compiler simple.
+        let mut left_operand = first;
+        let mut result: Option<Expr> = None;
+        for (op, right) in comparisons {
+            let cmp = Expr::Binary {
+                op,
+                left: Box::new(left_operand.clone()),
+                right: Box::new(right.clone()),
+                span,
+            };
+            result = Some(match result {
+                None => cmp,
+                Some(acc) => Expr::BoolChain {
+                    is_and: true,
+                    left: Box::new(acc),
+                    right: Box::new(cmp),
+                    span,
+                },
+            });
+            left_operand = right;
+        }
+        Ok(result.expect("at least one comparison"))
+    }
+
+    fn arith(&mut self) -> MpResult<Expr> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.peek_span();
+            self.bump();
+            let right = self.term()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> MpResult<Expr> {
+        let mut left = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::SlashSlash => BinOp::FloorDiv,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let span = self.peek_span();
+            self.bump();
+            let right = self.factor()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> MpResult<Expr> {
+        match self.peek() {
+            TokenKind::Minus => {
+                let span = self.peek_span();
+                self.bump();
+                let operand = self.factor()?;
+                Ok(Expr::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(operand),
+                    span,
+                })
+            }
+            TokenKind::Plus => {
+                let span = self.peek_span();
+                self.bump();
+                let operand = self.factor()?;
+                Ok(Expr::Unary {
+                    op: UnaryOp::Pos,
+                    operand: Box::new(operand),
+                    span,
+                })
+            }
+            _ => self.power(),
+        }
+    }
+
+    fn power(&mut self) -> MpResult<Expr> {
+        let base = self.postfix()?;
+        if self.at(&TokenKind::StarStar) {
+            let span = self.peek_span();
+            self.bump();
+            // Right-associative; exponent may itself be signed (`2 ** -3`).
+            let exp = self.factor()?;
+            Ok(Expr::Binary {
+                op: BinOp::Pow,
+                left: Box::new(base),
+                right: Box::new(exp),
+                span,
+            })
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn postfix(&mut self) -> MpResult<Expr> {
+        let mut value = self.atom()?;
+        loop {
+            match self.peek() {
+                TokenKind::LParen => {
+                    let span = self.peek_span();
+                    self.bump();
+                    let args = self.call_args()?;
+                    value = Expr::Call {
+                        callee: Box::new(value),
+                        args,
+                        span,
+                    };
+                }
+                TokenKind::LBracket => {
+                    let span = self.peek_span();
+                    self.bump();
+                    value = self.subscript_rest(value, span)?;
+                }
+                TokenKind::Dot => {
+                    let span = self.peek_span();
+                    self.bump();
+                    let method = self.name()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let args = self.call_args()?;
+                    value = Expr::MethodCall {
+                        receiver: Box::new(value),
+                        method,
+                        args,
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(value)
+    }
+
+    fn call_args(&mut self) -> MpResult<Vec<Expr>> {
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            args.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                if self.at(&TokenKind::RParen) {
+                    break;
+                }
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    /// Parses the remainder of `value[...` — either an index or a slice.
+    fn subscript_rest(&mut self, object: Expr, span: Span) -> MpResult<Expr> {
+        if self.at(&TokenKind::Colon) {
+            // `[:hi]` or `[:]`
+            self.bump();
+            let hi = if self.at(&TokenKind::RBracket) {
+                None
+            } else {
+                Some(Box::new(self.expr()?))
+            };
+            self.expect(&TokenKind::RBracket)?;
+            return Ok(Expr::Slice {
+                object: Box::new(object),
+                lo: None,
+                hi,
+                span,
+            });
+        }
+        let first = self.expr()?;
+        if self.eat(&TokenKind::Colon) {
+            let hi = if self.at(&TokenKind::RBracket) {
+                None
+            } else {
+                Some(Box::new(self.expr()?))
+            };
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Expr::Slice {
+                object: Box::new(object),
+                lo: Some(Box::new(first)),
+                hi,
+                span,
+            })
+        } else {
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Expr::Index {
+                object: Box::new(object),
+                index: Box::new(first),
+                span,
+            })
+        }
+    }
+
+    fn atom(&mut self) -> MpResult<Expr> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int { value: v, span })
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Float { value: v, span })
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str { value: s, span })
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool { value: true, span })
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool { value: false, span })
+            }
+            TokenKind::NoneLit => {
+                self.bump();
+                Ok(Expr::None { span })
+            }
+            TokenKind::Name(n) => {
+                self.bump();
+                Ok(Expr::Name { name: n, span })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.eat(&TokenKind::RParen) {
+                    return Ok(Expr::Tuple {
+                        items: Vec::new(),
+                        span,
+                    });
+                }
+                let first = self.expr()?;
+                if self.at(&TokenKind::Comma) {
+                    let mut items = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        if self.at(&TokenKind::RParen) {
+                            break;
+                        }
+                        items.push(self.expr()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Tuple { items, span })
+                } else {
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(first)
+                }
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    items.push(self.expr()?);
+                    if self.at(&TokenKind::For) {
+                        // List comprehension: [expr for target in iterable if cond]
+                        self.bump();
+                        let target = self.for_target()?;
+                        self.expect(&TokenKind::In)?;
+                        let iterable = self.or_expr()?;
+                        let cond = if self.eat(&TokenKind::If) {
+                            Some(Box::new(self.or_expr()?))
+                        } else {
+                            None
+                        };
+                        self.expect(&TokenKind::RBracket)?;
+                        let expr = items.pop().expect("pushed above");
+                        return Ok(Expr::ListComp {
+                            expr: Box::new(expr),
+                            target: Box::new(target),
+                            iterable: Box::new(iterable),
+                            cond,
+                            span,
+                        });
+                    }
+                    while self.eat(&TokenKind::Comma) {
+                        if self.at(&TokenKind::RBracket) {
+                            break;
+                        }
+                        items.push(self.expr()?);
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Expr::List { items, span })
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut pairs = Vec::new();
+                if !self.at(&TokenKind::RBrace) {
+                    loop {
+                        let key = self.expr()?;
+                        self.expect(&TokenKind::Colon)?;
+                        let value = self.expr()?;
+                        pairs.push((key, value));
+                        if !self.eat(&TokenKind::Comma) || self.at(&TokenKind::RBrace) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+                Ok(Expr::Dict { pairs, span })
+            }
+            other => Err(self.err(format!("unexpected {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Module {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn assignment_and_expr() {
+        let m = parse_ok("x = 1 + 2 * 3\n");
+        assert_eq!(m.body.len(), 1);
+        match &m.body[0] {
+            Stmt::Assign {
+                target: Target::Name { name, .. },
+                value,
+            } => {
+                assert_eq!(name, "x");
+                // 1 + (2 * 3): precedence check.
+                match value {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        right,
+                        ..
+                    } => {
+                        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let m = parse_ok("x = 2 ** 3 ** 2\n");
+        match &m.body[0] {
+            Stmt::Assign {
+                value:
+                    Expr::Binary {
+                        op: BinOp::Pow,
+                        right,
+                        ..
+                    },
+                ..
+            } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_binds_tighter_than_mul_via_factor() {
+        let m = parse_ok("x = -a * b\n");
+        match &m.body[0] {
+            Stmt::Assign {
+                value:
+                    Expr::Binary {
+                        op: BinOp::Mul,
+                        left,
+                        ..
+                    },
+                ..
+            } => {
+                assert!(matches!(
+                    **left,
+                    Expr::Unary {
+                        op: UnaryOp::Neg,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_comparison_desugars_to_and() {
+        let m = parse_ok("y = 1 < x < 10\n");
+        match &m.body[0] {
+            Stmt::Assign {
+                value: Expr::BoolChain { is_and: true, .. },
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_elif_else_desugars() {
+        let m = parse_ok("if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n");
+        match &m.body[0] {
+            Stmt::If { orelse, .. } => {
+                assert_eq!(orelse.len(), 1);
+                match &orelse[0] {
+                    Stmt::If {
+                        orelse: inner_else, ..
+                    } => assert_eq!(inner_else.len(), 1),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn def_with_params_and_return() {
+        let m = parse_ok("def f(a, b):\n    return a + b\n");
+        match &m.body[0] {
+            Stmt::Def {
+                name, params, body, ..
+            } => {
+                assert_eq!(name, "f");
+                assert_eq!(params, &["a".to_string(), "b".to_string()]);
+                assert!(matches!(body[0], Stmt::Return { value: Some(_), .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_over_range_with_tuple_target() {
+        let m = parse_ok("for k, v in d.items():\n    s += v\n");
+        match &m.body[0] {
+            Stmt::For {
+                target: Target::Tuple { elts, .. },
+                iterable,
+                ..
+            } => {
+                assert_eq!(elts.len(), 2);
+                assert!(matches!(iterable, Expr::MethodCall { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_call_and_index_chain() {
+        let m = parse_ok("x = d.get(k)[0]\n");
+        match &m.body[0] {
+            Stmt::Assign {
+                value: Expr::Index { object, .. },
+                ..
+            } => {
+                assert!(matches!(**object, Expr::MethodCall { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slices() {
+        let m = parse_ok("a = s[1:3]\nb = s[:2]\nc = s[2:]\nd = s[:]\n");
+        for stmt in &m.body {
+            match stmt {
+                Stmt::Assign {
+                    value: Expr::Slice { .. },
+                    ..
+                } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dict_and_list_displays() {
+        let m = parse_ok("d = {1: 'a', 'k': 2}\nl = [1, 2, 3]\nt = (1, 2)\ne = ()\n");
+        assert_eq!(m.body.len(), 4);
+        assert!(
+            matches!(&m.body[0], Stmt::Assign { value: Expr::Dict { pairs, .. }, .. } if pairs.len() == 2)
+        );
+        assert!(
+            matches!(&m.body[1], Stmt::Assign { value: Expr::List { items, .. }, .. } if items.len() == 3)
+        );
+        assert!(
+            matches!(&m.body[2], Stmt::Assign { value: Expr::Tuple { items, .. }, .. } if items.len() == 2)
+        );
+        assert!(
+            matches!(&m.body[3], Stmt::Assign { value: Expr::Tuple { items, .. }, .. } if items.is_empty())
+        );
+    }
+
+    #[test]
+    fn aug_assign_variants() {
+        let m = parse_ok("x += 1\ny[0] -= 2\nz *= 3\nw //= 4\nv %= 5\nu /= 6\n");
+        assert_eq!(m.body.len(), 6);
+        assert!(matches!(
+            &m.body[1],
+            Stmt::AugAssign {
+                target: Target::Index { .. },
+                op: BinOp::Sub,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tuple_assignment() {
+        let m = parse_ok("a, b = b, a\n");
+        match &m.body[0] {
+            Stmt::Assign {
+                target: Target::Tuple { elts, .. },
+                value: Expr::Tuple { items, .. },
+            } => {
+                assert_eq!(elts.len(), 2);
+                assert_eq!(items.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_operators() {
+        let m = parse_ok("a = k in d\nb = k not in d\n");
+        assert!(matches!(
+            &m.body[0],
+            Stmt::Assign {
+                value: Expr::Binary { op: BinOp::In, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &m.body[1],
+            Stmt::Assign {
+                value: Expr::Binary {
+                    op: BinOp::NotIn,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ternary_expression() {
+        let m = parse_ok("x = a if c else b\n");
+        assert!(matches!(
+            &m.body[0],
+            Stmt::Assign {
+                value: Expr::IfExp { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn global_statement() {
+        let m = parse_ok("def f():\n    global a, b\n    a = 1\n");
+        match &m.body[0] {
+            Stmt::Def { body, .. } => {
+                assert!(matches!(&body[0], Stmt::Global { names, .. } if names.len() == 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn del_subscript() {
+        let m = parse_ok("del d[k]\n");
+        assert!(matches!(&m.body[0], Stmt::DelIndex { .. }));
+    }
+
+    #[test]
+    fn invalid_assignment_target_rejected() {
+        assert!(parse("1 = x\n").is_err());
+        assert!(parse("f() = 3\n").is_err());
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let m = parse_ok("while True:\n    if x:\n        break\n    continue\n");
+        match &m.body[0] {
+            Stmt::While { body, .. } => assert_eq!(body.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_in_vs_not() {
+        let m = parse_ok("a = not x\n");
+        assert!(matches!(
+            &m.body[0],
+            Stmt::Assign {
+                value: Expr::Unary {
+                    op: UnaryOp::Not,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn nested_function_calls() {
+        let m = parse_ok("r = f(g(1), h(2, 3))\n");
+        match &m.body[0] {
+            Stmt::Assign {
+                value: Expr::Call { args, .. },
+                ..
+            } => assert_eq!(args.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_parenthesized_expression() {
+        let m = parse_ok("x = (1 +\n     2 +\n     3)\n");
+        assert_eq!(m.body.len(), 1);
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        assert!(parse("if x:\npass\n").is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! k-sample tests: one-way ANOVA and Kruskal–Wallis.
+//!
+//! Used when comparing *more than two* configurations (e.g. several JIT
+//! thresholds or noise configurations at once): testing every pair with t
+//! tests inflates the family-wise error rate; an omnibus test asks "is any
+//! configuration different?" first.
+
+use crate::descriptive::{mean, variance};
+use crate::dist::{chi2_cdf, f_cdf};
+use crate::htest::TestResult;
+
+/// One-way ANOVA over `groups` (unequal sizes allowed).
+///
+/// Returns `None` when fewer than 2 groups, any group has fewer than 2
+/// observations, or the within-group variance is zero.
+///
+/// ```
+/// let t50 = [10.0, 10.2, 9.9];
+/// let t500 = [10.1, 10.0, 10.2];
+/// let t5000 = [14.0, 14.2, 13.9]; // one threshold clearly differs
+/// let result = rigor_stats::one_way_anova(&[&t50, &t500, &t5000]).expect("valid groups");
+/// assert!(result.significant_at(0.01));
+/// ```
+pub fn one_way_anova(groups: &[&[f64]]) -> Option<TestResult> {
+    let k = groups.len();
+    if k < 2 || groups.iter().any(|g| g.len() < 2) {
+        return None;
+    }
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+    let grand_mean = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
+    let ss_between: f64 = groups
+        .iter()
+        .map(|g| g.len() as f64 * (mean(g) - grand_mean).powi(2))
+        .sum();
+    let ss_within: f64 = groups
+        .iter()
+        .map(|g| (g.len() - 1) as f64 * variance(g))
+        .sum();
+    let df_between = (k - 1) as f64;
+    let df_within = (n_total - k) as f64;
+    if ss_within <= 0.0 || df_within <= 0.0 {
+        return None;
+    }
+    let f = (ss_between / df_between) / (ss_within / df_within);
+    let p = 1.0 - f_cdf(f, df_between, df_within);
+    Some(TestResult {
+        statistic: f,
+        p_value: p.clamp(0.0, 1.0),
+        df: df_between,
+    })
+}
+
+/// Kruskal–Wallis H test over `groups` (rank-based omnibus test, with tie
+/// correction and the chi-square approximation for the p-value).
+///
+/// Returns `None` for fewer than 2 groups or any empty group.
+pub fn kruskal_wallis(groups: &[&[f64]]) -> Option<TestResult> {
+    let k = groups.len();
+    if k < 2 || groups.iter().any(|g| g.is_empty()) {
+        return None;
+    }
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+    if n_total < 3 {
+        return None;
+    }
+    // Pool and rank with average ranks for ties.
+    let mut pooled: Vec<(f64, usize)> = Vec::with_capacity(n_total);
+    for (gi, g) in groups.iter().enumerate() {
+        for &x in *g {
+            pooled.push((x, gi));
+        }
+    }
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN in data"));
+    let mut ranks = vec![0.0; n_total];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n_total {
+        let mut j = i;
+        while j + 1 < n_total && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let mut rank_sums = vec![0.0; k];
+    for (idx, (_, gi)) in pooled.iter().enumerate() {
+        rank_sums[*gi] += ranks[idx];
+    }
+    let nf = n_total as f64;
+    let mut h = 0.0;
+    for (gi, g) in groups.iter().enumerate() {
+        h += rank_sums[gi] * rank_sums[gi] / g.len() as f64;
+    }
+    h = 12.0 / (nf * (nf + 1.0)) * h - 3.0 * (nf + 1.0);
+    // Tie correction.
+    let correction = 1.0 - tie_term / (nf * nf * nf - nf);
+    if correction <= 0.0 {
+        return None; // all values identical
+    }
+    h /= correction;
+    let df = (k - 1) as f64;
+    let p = 1.0 - chi2_cdf(h, df);
+    Some(TestResult {
+        statistic: h,
+        p_value: p.clamp(0.0, 1.0),
+        df,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anova_hand_computed_f() {
+        // Groups with grand mean 3: SSB = 6, SSW = 6, df = (2, 6) → F = 3.0.
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        let c = [3.0, 4.0, 5.0];
+        let r = one_way_anova(&[&a, &b, &c]).unwrap();
+        assert!((r.statistic - 3.0).abs() < 1e-12, "F = {}", r.statistic);
+        // F(2,6) 95th percentile is 5.14, so p must be above 0.05…
+        assert!(r.p_value > 0.05 && r.p_value < 0.2, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn anova_detects_separated_groups() {
+        let a = [1.0, 1.1, 0.9, 1.0];
+        let b = [5.0, 5.1, 4.9, 5.0];
+        let c = [9.0, 9.1, 8.9, 9.0];
+        let r = one_way_anova(&[&a, &b, &c]).unwrap();
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn anova_identical_groups_large_p() {
+        let g = [1.0, 2.0, 3.0, 4.0];
+        let r = one_way_anova(&[&g, &g, &g]).unwrap();
+        assert!(r.statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn anova_degenerate_inputs() {
+        assert!(one_way_anova(&[&[1.0, 2.0]]).is_none());
+        assert!(one_way_anova(&[&[1.0], &[2.0, 3.0]]).is_none());
+        assert!(one_way_anova(&[&[1.0, 1.0], &[1.0, 1.0]]).is_none());
+    }
+
+    #[test]
+    fn kruskal_detects_shift_robustly() {
+        // An extreme outlier in group a must not mask the ordering.
+        let a = [1.0, 2.0, 3.0, 4.0, 1000.0];
+        let b = [10.0, 11.0, 12.0, 13.0, 14.0];
+        let c = [20.0, 21.0, 22.0, 23.0, 24.0];
+        let r = kruskal_wallis(&[&a, &b, &c]).unwrap();
+        // Hand-computed: rank sums 25/35/60 → H = 6.5, p = exp(-3.25) ≈ 0.039.
+        assert!((r.statistic - 6.5).abs() < 1e-9, "H = {}", r.statistic);
+        assert!(r.p_value < 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn kruskal_same_distribution_large_p() {
+        let a = [1.0, 4.0, 7.0, 10.0, 13.0];
+        let b = [2.0, 5.0, 8.0, 11.0, 14.0];
+        let c = [3.0, 6.0, 9.0, 12.0, 15.0];
+        let r = kruskal_wallis(&[&a, &b, &c]).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn kruskal_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 2.0];
+        let b = [2.0, 2.0, 3.0, 3.0];
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(r.statistic.is_finite());
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn kruskal_degenerate_inputs() {
+        assert!(kruskal_wallis(&[&[1.0, 2.0]]).is_none());
+        assert!(kruskal_wallis(&[&[], &[1.0]]).is_none());
+        assert!(
+            kruskal_wallis(&[&[5.0, 5.0], &[5.0, 5.0]]).is_none(),
+            "all-tied data"
+        );
+    }
+}

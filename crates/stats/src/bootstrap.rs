@@ -1,0 +1,302 @@
+//! Nonparametric bootstrap confidence intervals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ci::ConfidenceInterval;
+use crate::descriptive::mean;
+use crate::quantile::quantile;
+
+/// Default number of bootstrap resamples.
+pub const DEFAULT_RESAMPLES: usize = 2_000;
+
+/// Percentile-bootstrap CI for an arbitrary statistic of one sample.
+///
+/// Returns `None` for samples with fewer than 2 observations.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    statistic: F,
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if xs.len() < 2 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = vec![0.0; xs.len()];
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for b in buf.iter_mut() {
+            *b = xs[rng.gen_range(0..xs.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    let alpha = 1.0 - confidence;
+    Some(ConfidenceInterval {
+        estimate: statistic(xs),
+        lower: quantile(&stats, alpha / 2.0),
+        upper: quantile(&stats, 1.0 - alpha / 2.0),
+        confidence,
+    })
+}
+
+/// Percentile-bootstrap CI for the mean.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(xs, mean, confidence, resamples, seed)
+}
+
+/// Percentile-bootstrap CI for the ratio of means mean(a)/mean(b), resampling
+/// the two samples independently (they come from independent invocations).
+///
+/// ```
+/// let baseline = [100.0, 102.0, 98.0, 101.0, 99.0, 100.5];
+/// let improved = [25.0, 25.5, 24.5, 25.2, 24.8, 25.1];
+/// let ci = rigor_stats::bootstrap_ratio_ci(&baseline, &improved, 0.95, 2000, 42)
+///     .expect("enough samples");
+/// assert!(ci.estimate > 3.8 && ci.estimate < 4.2); // ~4x speedup
+/// assert!(ci.excludes(1.0));
+/// ```
+pub fn bootstrap_ratio_ci(
+    a: &[f64],
+    b: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    if a.len() < 2 || b.len() < 2 || mean(b) == 0.0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ratios = Vec::with_capacity(resamples);
+    let mut buf_a = vec![0.0; a.len()];
+    let mut buf_b = vec![0.0; b.len()];
+    for _ in 0..resamples {
+        for x in buf_a.iter_mut() {
+            *x = a[rng.gen_range(0..a.len())];
+        }
+        for x in buf_b.iter_mut() {
+            *x = b[rng.gen_range(0..b.len())];
+        }
+        let mb = mean(&buf_b);
+        if mb != 0.0 {
+            ratios.push(mean(&buf_a) / mb);
+        }
+    }
+    let alpha = 1.0 - confidence;
+    Some(ConfidenceInterval {
+        estimate: mean(a) / mean(b),
+        lower: quantile(&ratios, alpha / 2.0),
+        upper: quantile(&ratios, 1.0 - alpha / 2.0),
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| 100.0 + rng.gen_range(-5.0..5.0)).collect()
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_sample_mean() {
+        let xs = sample(30, 1);
+        let ci = bootstrap_mean_ci(&xs, 0.95, 1000, 42).unwrap();
+        assert!(ci.contains(mean(&xs)), "{ci:?}");
+        assert!(ci.lower < ci.upper);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let xs = sample(20, 2);
+        let a = bootstrap_mean_ci(&xs, 0.95, 500, 7).unwrap();
+        let b = bootstrap_mean_ci(&xs, 0.95, 500, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&xs, 0.95, 500, 8).unwrap();
+        assert_ne!(a.lower, c.lower);
+    }
+
+    #[test]
+    fn wider_with_more_variance() {
+        let tight: Vec<f64> = (0..30).map(|i| 100.0 + (i % 3) as f64 * 0.01).collect();
+        let loose: Vec<f64> = (0..30).map(|i| 100.0 + ((i * 13) % 60) as f64).collect();
+        let ct = bootstrap_mean_ci(&tight, 0.95, 1000, 1).unwrap();
+        let cl = bootstrap_mean_ci(&loose, 0.95, 1000, 1).unwrap();
+        assert!(cl.half_width() > ct.half_width() * 10.0);
+    }
+
+    #[test]
+    fn ratio_ci_estimates_true_speedup() {
+        let slow: Vec<f64> = sample(25, 3);
+        let fast: Vec<f64> = sample(25, 4).iter().map(|x| x / 3.0).collect();
+        let ci = bootstrap_ratio_ci(&slow, &fast, 0.95, 2000, 9).unwrap();
+        assert!((ci.estimate - 3.0).abs() < 0.15, "{ci:?}");
+        assert!(ci.contains(3.0));
+        assert!(ci.excludes(1.0));
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let xs = sample(40, 5);
+        let ci = bootstrap_ci(&xs, crate::descriptive::median, 0.90, 800, 11).unwrap();
+        assert!(ci.contains(crate::descriptive::median(&xs)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 100, 1).is_none());
+        assert!(bootstrap_ratio_ci(&[1.0, 2.0], &[0.0, 0.0], 0.95, 100, 1).is_none());
+    }
+}
+
+/// BCa (bias-corrected and accelerated) bootstrap CI for an arbitrary
+/// statistic — the standard remedy for the percentile bootstrap's small-n
+/// undercoverage (Efron & Tibshirani, ch. 14).
+///
+/// The bias correction `z0` shifts the percentile endpoints by how asymmetric
+/// the resampling distribution sits around the point estimate; the
+/// acceleration `a` (from a leave-one-out jackknife) corrects for the
+/// statistic's variance changing with the parameter.
+///
+/// Returns `None` for samples with fewer than 3 observations.
+///
+/// ```
+/// let times = [10.2, 10.5, 9.9, 10.1, 10.4, 10.0, 10.3, 10.2];
+/// let ci = rigor_stats::bootstrap_bca_ci(&times, rigor_stats::mean, 0.95, 2000, 7)
+///     .expect("enough samples");
+/// assert!(ci.contains(rigor_stats::mean(&times)));
+/// ```
+pub fn bootstrap_bca_ci<F>(
+    xs: &[f64],
+    statistic: F,
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    use crate::dist::{normal_cdf, normal_quantile};
+    let n = xs.len();
+    if n < 3 {
+        return None;
+    }
+    let theta_hat = statistic(xs);
+
+    // Bootstrap replicates.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = vec![0.0; n];
+    let mut reps = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for b in buf.iter_mut() {
+            *b = xs[rng.gen_range(0..n)];
+        }
+        reps.push(statistic(&buf));
+    }
+
+    // Bias correction: the normal quantile of the fraction of replicates
+    // below the point estimate.
+    let below = reps.iter().filter(|&&r| r < theta_hat).count() as f64;
+    let frac = (below / resamples as f64).clamp(1.0 / resamples as f64, 1.0 - 1.0 / resamples as f64);
+    let z0 = normal_quantile(frac);
+
+    // Acceleration from the leave-one-out jackknife.
+    let mut jack = Vec::with_capacity(n);
+    let mut loo = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        loo.clear();
+        loo.extend(xs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, &x)| x));
+        jack.push(statistic(&loo));
+    }
+    let jack_mean = crate::descriptive::mean(&jack);
+    let (mut num, mut den) = (0.0, 0.0);
+    for &j in &jack {
+        let d = jack_mean - j;
+        num += d * d * d;
+        den += d * d;
+    }
+    let a = if den > 0.0 { num / (6.0 * den.powf(1.5)) } else { 0.0 };
+
+    // Adjusted percentile endpoints.
+    let alpha = 1.0 - confidence;
+    let adjust = |z_alpha: f64| -> f64 {
+        let w = z0 + z_alpha;
+        let denom = 1.0 - a * w;
+        if denom.abs() < 1e-12 {
+            return if w > 0.0 { 1.0 } else { 0.0 };
+        }
+        normal_cdf(z0 + w / denom).clamp(0.0, 1.0)
+    };
+    let a1 = adjust(normal_quantile(alpha / 2.0));
+    let a2 = adjust(normal_quantile(1.0 - alpha / 2.0));
+    Some(ConfidenceInterval {
+        estimate: theta_hat,
+        lower: quantile(&reps, a1.min(a2)),
+        upper: quantile(&reps, a1.max(a2)),
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod bca_tests {
+    use super::*;
+
+    fn skewed_sample(n: usize, seed: u64) -> Vec<f64> {
+        // Log-normal-ish: right-skewed like benchmark timings.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (rng.gen_range(-1.0f64..1.0) * 0.4).exp() * 100.0).collect()
+    }
+
+    #[test]
+    fn bca_contains_the_point_estimate() {
+        let xs = skewed_sample(20, 1);
+        let ci = bootstrap_bca_ci(&xs, mean, 0.95, 2000, 42).unwrap();
+        assert!(ci.contains(mean(&xs)), "{ci:?}");
+        assert!(ci.lower < ci.upper);
+    }
+
+    #[test]
+    fn bca_is_deterministic_per_seed() {
+        let xs = skewed_sample(15, 2);
+        let a = bootstrap_bca_ci(&xs, mean, 0.95, 800, 9).unwrap();
+        let b = bootstrap_bca_ci(&xs, mean, 0.95, 800, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bca_shifts_endpoints_on_skewed_data() {
+        // On right-skewed data, BCa endpoints differ from plain percentile.
+        let xs = [1.0, 1.1, 1.2, 1.0, 1.3, 1.1, 5.0, 1.2, 1.05, 1.15];
+        let pct = bootstrap_mean_ci(&xs, 0.95, 4000, 3).unwrap();
+        let bca = bootstrap_bca_ci(&xs, mean, 0.95, 4000, 3).unwrap();
+        assert!(
+            (pct.lower - bca.lower).abs() > 1e-6 || (pct.upper - bca.upper).abs() > 1e-6,
+            "BCa should adjust the endpoints: {pct:?} vs {bca:?}"
+        );
+    }
+
+    #[test]
+    fn bca_on_symmetric_data_matches_percentile_closely() {
+        let xs: Vec<f64> = (0..30).map(|i| 100.0 + ((i * 17) % 21) as f64 - 10.0).collect();
+        let pct = bootstrap_mean_ci(&xs, 0.95, 4000, 5).unwrap();
+        let bca = bootstrap_bca_ci(&xs, mean, 0.95, 4000, 5).unwrap();
+        assert!((pct.lower - bca.lower).abs() < pct.half_width() * 0.3);
+        assert!((pct.upper - bca.upper).abs() < pct.half_width() * 0.3);
+    }
+
+    #[test]
+    fn bca_degenerate_inputs() {
+        assert!(bootstrap_bca_ci(&[1.0, 2.0], mean, 0.95, 100, 1).is_none());
+    }
+}

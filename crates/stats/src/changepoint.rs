@@ -1,0 +1,346 @@
+//! Changepoint detection by binary segmentation with a BIC-style penalty.
+//!
+//! This is the machinery behind warmup detection à la Barrett et al.
+//! (OOPSLA'17): segment a per-iteration timing series into mean-shift
+//! segments, then classify the segment structure (warmup, flat, slowdown,
+//! no steady state).
+
+use serde::{Deserialize, Serialize};
+
+/// One mean-shift segment of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First index (inclusive).
+    pub start: usize,
+    /// One past the last index.
+    pub end: usize,
+    /// Mean of the segment.
+    pub mean: f64,
+}
+
+impl Segment {
+    /// Number of points in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the segment is empty (never produced by the segmenter).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Prefix sums enabling O(1) segment cost queries.
+struct Prefix {
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl Prefix {
+    fn new(xs: &[f64]) -> Prefix {
+        let mut sum = Vec::with_capacity(xs.len() + 1);
+        let mut sum_sq = Vec::with_capacity(xs.len() + 1);
+        sum.push(0.0);
+        sum_sq.push(0.0);
+        for &x in xs {
+            sum.push(sum.last().expect("nonempty") + x);
+            sum_sq.push(sum_sq.last().expect("nonempty") + x * x);
+        }
+        Prefix { sum, sum_sq }
+    }
+
+    /// Sum of squared deviations from the mean over `[a, b)`.
+    fn sse(&self, a: usize, b: usize) -> f64 {
+        let n = (b - a) as f64;
+        if n < 1.0 {
+            return 0.0;
+        }
+        let s = self.sum[b] - self.sum[a];
+        let sq = self.sum_sq[b] - self.sum_sq[a];
+        (sq - s * s / n).max(0.0)
+    }
+
+    fn mean(&self, a: usize, b: usize) -> f64 {
+        (self.sum[b] - self.sum[a]) / (b - a) as f64
+    }
+}
+
+/// Configuration for the segmenter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentConfig {
+    /// Minimum points per segment.
+    pub min_segment_len: usize,
+    /// Penalty multiplier on the BIC term; larger values yield fewer
+    /// segments. 1.0 is plain BIC.
+    pub penalty_factor: f64,
+    /// Hard cap on the number of segments.
+    pub max_segments: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            min_segment_len: 3,
+            penalty_factor: 1.0,
+            max_segments: 16,
+        }
+    }
+}
+
+/// Segments `xs` into mean-shift segments by greedy binary segmentation.
+///
+/// A split is accepted while it reduces the total SSE by more than the
+/// BIC-style penalty `penalty_factor · σ̂² · ln n` (σ̂² estimated from
+/// first-order differences, robust to mean shifts).
+///
+/// ```
+/// use rigor_stats::changepoint::{segment, SegmentConfig};
+///
+/// // Ten slow iterations, then thirty fast ones — a warmup step.
+/// let mut series = vec![50.0; 10];
+/// series.extend(vec![10.0; 30]);
+/// let segments = segment(&series, &SegmentConfig::default());
+/// assert_eq!(segments.len(), 2);
+/// assert_eq!(segments[1].start, 10);
+/// ```
+pub fn segment(xs: &[f64], config: &SegmentConfig) -> Vec<Segment> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n < 2 * config.min_segment_len {
+        return vec![Segment {
+            start: 0,
+            end: n,
+            mean: crate::descriptive::mean(xs),
+        }];
+    }
+    let prefix = Prefix::new(xs);
+    // Robust noise estimate from lag-1 differences: for i.i.d. noise,
+    // X_{i+1} − X_i has scale √2·σ, and the median absolute difference is a
+    // robust scale estimate (÷0.6745 for normal consistency). Mean shifts
+    // contaminate only a handful of differences, so the median ignores them.
+    let abs_diffs: Vec<f64> = xs.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    let med = crate::descriptive::median(&abs_diffs);
+    let sigma = med / (std::f64::consts::SQRT_2 * 0.6745);
+    let sigma2 = (sigma * sigma).max(1e-30);
+    let penalty = config.penalty_factor * sigma2 * (n as f64).ln() * 4.0;
+
+    let mut boundaries = vec![0usize, n];
+    loop {
+        if boundaries.len() > config.max_segments {
+            break;
+        }
+        // Find the single best split across all current segments.
+        let mut best: Option<(f64, usize)> = None;
+        for w in boundaries.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b - a < 2 * config.min_segment_len {
+                continue;
+            }
+            let whole = prefix.sse(a, b);
+            for s in (a + config.min_segment_len)..=(b - config.min_segment_len) {
+                let gain = whole - prefix.sse(a, s) - prefix.sse(s, b);
+                if best.map(|(g, _)| gain > g).unwrap_or(true) {
+                    best = Some((gain, s));
+                }
+            }
+        }
+        match best {
+            Some((gain, split)) if gain > penalty => {
+                let pos = boundaries
+                    .binary_search(&split)
+                    .expect_err("split strictly inside a segment");
+                boundaries.insert(pos, split);
+            }
+            _ => break,
+        }
+    }
+
+    boundaries
+        .windows(2)
+        .map(|w| Segment {
+            start: w[0],
+            end: w[1],
+            mean: prefix.mean(w[0], w[1]),
+        })
+        .collect()
+}
+
+/// Merges adjacent segments whose means are equivalent within a relative
+/// tolerance. Changepoint detection is sensitive enough to flag sub-percent
+/// mean shifts that are real but irrelevant to steady-state reasoning; this
+/// pass collapses them. Merged means are length-weighted.
+pub fn merge_equivalent(segs: &[Segment], rel_tol: f64) -> Vec<Segment> {
+    let mut out: Vec<Segment> = Vec::with_capacity(segs.len());
+    for &seg in segs {
+        match out.last_mut() {
+            Some(prev)
+                if (prev.mean - seg.mean).abs()
+                    <= rel_tol * prev.mean.abs().max(seg.mean.abs()) =>
+            {
+                let total = (prev.len() + seg.len()) as f64;
+                prev.mean = (prev.mean * prev.len() as f64 + seg.mean * seg.len() as f64) / total;
+                prev.end = seg.end;
+            }
+            _ => out.push(seg),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    fn seg(start: usize, end: usize, mean: f64) -> Segment {
+        Segment { start, end, mean }
+    }
+
+    #[test]
+    fn equivalent_neighbours_merge_weighted() {
+        let segs = [seg(0, 30, 100.0), seg(30, 40, 101.0)];
+        let merged = merge_equivalent(&segs, 0.02);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].start, 0);
+        assert_eq!(merged[0].end, 40);
+        assert!((merged[0].mean - 100.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_levels_stay_separate() {
+        let segs = [seg(0, 10, 50.0), seg(10, 40, 10.0)];
+        let merged = merge_equivalent(&segs, 0.02);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn chain_merging_accumulates() {
+        // 100, 101.5, 102 — each neighbour within 2% of the merged prefix
+        // (100.75 after the first merge, then 102 is within 2% of that).
+        let segs = [seg(0, 10, 100.0), seg(10, 20, 101.5), seg(20, 30, 102.0)];
+        let merged = merge_equivalent(&segs, 0.02);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].end, 30);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_equivalent(&[], 0.02).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(level: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 33) as f64 / (1u64 << 31) as f64; // [0,1)
+                level + (u - 0.5) * 0.2
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_series_is_one_segment() {
+        let xs = noisy(10.0, 100, 1);
+        let segs = segment(&xs, &SegmentConfig::default());
+        assert_eq!(segs.len(), 1);
+        assert!((segs[0].mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn single_step_is_two_segments() {
+        let mut xs = noisy(20.0, 50, 2);
+        xs.extend(noisy(10.0, 50, 3));
+        let segs = segment(&xs, &SegmentConfig::default());
+        assert_eq!(segs.len(), 2, "{segs:?}");
+        assert!((segs[0].mean - 20.0).abs() < 0.1);
+        assert!((segs[1].mean - 10.0).abs() < 0.1);
+        assert!(
+            (segs[0].end as i64 - 50).abs() <= 2,
+            "split near 50: {segs:?}"
+        );
+    }
+
+    #[test]
+    fn warmup_staircase_finds_all_steps() {
+        let mut xs = Vec::new();
+        xs.extend(noisy(40.0, 30, 4));
+        xs.extend(noisy(25.0, 30, 5));
+        xs.extend(noisy(10.0, 60, 6));
+        let segs = segment(&xs, &SegmentConfig::default());
+        assert_eq!(segs.len(), 3, "{segs:?}");
+        assert!(segs[0].mean > segs[1].mean && segs[1].mean > segs[2].mean);
+    }
+
+    #[test]
+    fn segments_partition_the_series() {
+        let mut xs = noisy(5.0, 40, 7);
+        xs.extend(noisy(9.0, 40, 8));
+        xs.extend(noisy(2.0, 40, 9));
+        let segs = segment(&xs, &SegmentConfig::default());
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, xs.len());
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must tile the series");
+        }
+        assert!(segs.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn short_series_is_single_segment() {
+        let xs = vec![1.0, 5.0, 2.0];
+        let segs = segment(&xs, &SegmentConfig::default());
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn empty_series_yields_nothing() {
+        assert!(segment(&[], &SegmentConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn higher_penalty_fewer_segments() {
+        let mut xs = Vec::new();
+        for i in 0..6 {
+            xs.extend(noisy(10.0 + i as f64 * 0.35, 25, 10 + i));
+        }
+        let loose = segment(
+            &xs,
+            &SegmentConfig {
+                penalty_factor: 0.2,
+                ..Default::default()
+            },
+        );
+        let strict = segment(
+            &xs,
+            &SegmentConfig {
+                penalty_factor: 50.0,
+                ..Default::default()
+            },
+        );
+        assert!(loose.len() >= strict.len());
+    }
+
+    #[test]
+    fn max_segments_is_respected() {
+        let mut xs = Vec::new();
+        for i in 0..20 {
+            xs.extend(noisy(10.0 * (i % 2 + 1) as f64, 10, 30 + i));
+        }
+        let cfg = SegmentConfig {
+            max_segments: 4,
+            min_segment_len: 3,
+            penalty_factor: 0.1,
+        };
+        let segs = segment(&xs, &cfg);
+        assert!(segs.len() <= 4);
+    }
+}

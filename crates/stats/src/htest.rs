@@ -1,0 +1,194 @@
+//! Hypothesis tests: Welch's t-test and the Mann–Whitney U test.
+
+use crate::descriptive::{mean, variance};
+use crate::dist::{normal_cdf, t_sf_two_sided};
+
+/// Result of a two-sample test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (t or standardized U).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Degrees of freedom (Welch only; `NaN` for Mann–Whitney).
+    pub df: f64,
+}
+
+impl TestResult {
+    /// True if the null hypothesis is rejected at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's unequal-variance t-test (two-sided).
+///
+/// Returns `None` when either sample has fewer than 2 points or both have
+/// zero variance.
+///
+/// ```
+/// let interp = [100.0, 101.0, 99.5, 100.5, 100.2];
+/// let jit = [50.0, 50.5, 49.8, 50.1, 50.3];
+/// let result = rigor_stats::welch_t_test(&interp, &jit).expect("enough samples");
+/// assert!(result.significant_at(0.01));
+/// ```
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    Some(TestResult {
+        statistic: t,
+        p_value: t_sf_two_sided(t, df).clamp(0.0, 1.0),
+        df,
+    })
+}
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie
+/// correction). Suitable for the skewed timing distributions benchmarks
+/// produce.
+///
+/// Returns `None` for samples smaller than 2.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<TestResult> {
+    let (na, nb) = (a.len(), b.len());
+    if na < 2 || nb < 2 {
+        return None;
+    }
+    // Rank the pooled sample with average ranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaN in data"));
+    let n = pooled.len();
+    let mut ranks = vec![0.0; n];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let rank_sum_a: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let (naf, nbf) = (na as f64, nb as f64);
+    let u_a = rank_sum_a - naf * (naf + 1.0) / 2.0;
+    let mu = naf * nbf / 2.0;
+    let nf = n as f64;
+    let sigma2 = naf * nbf / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if sigma2 <= 0.0 {
+        return None;
+    }
+    // Continuity correction.
+    let z = (u_a - mu - 0.5 * (u_a - mu).signum()) / sigma2.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Some(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+        df: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jittered(base: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                base + ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn welch_detects_large_shift() {
+        let a = jittered(10.0, 20, 1);
+        let b = jittered(12.0, 20, 2);
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+        assert!(r.statistic < 0.0, "a < b means negative t");
+    }
+
+    #[test]
+    fn welch_same_distribution_not_significant() {
+        let a = jittered(10.0, 20, 3);
+        let b = jittered(10.0, 20, 4);
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(!r.significant_at(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn welch_p_value_magnitude_sanity() {
+        // Known example: equal variances, t should reduce to Student's t.
+        let a = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99];
+        let b = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98];
+        let r = welch_t_test(&a, &b).unwrap();
+        // t ≈ 1.959 with Welch df ≈ 7; t(0.95, 7) = 1.895 sits just below, so
+        // the two-sided p must land just under 0.10.
+        assert!((r.statistic - 1.959).abs() < 0.01, "t = {}", r.statistic);
+        assert!(r.p_value > 0.07 && r.p_value < 0.10, "p = {}", r.p_value);
+        assert!((r.df - 7.0).abs() < 1.0, "df = {}", r.df);
+    }
+
+    #[test]
+    fn mann_whitney_detects_shift() {
+        let a = jittered(10.0, 30, 5);
+        let b = jittered(11.5, 30, 6);
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_identical_samples() {
+        let a = jittered(10.0, 30, 7);
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert!(
+            r.p_value > 0.9,
+            "identical samples should not differ: p = {}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn mann_whitney_robust_to_outliers() {
+        // A huge outlier should not flip the rank test's conclusion.
+        let mut a = jittered(10.0, 25, 8);
+        let b = jittered(10.0, 25, 9);
+        a[0] = 10_000.0;
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(!r.significant_at(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Outlier detection: Tukey fences and MAD-based robust z-scores.
+
+use crate::descriptive::median;
+use crate::quantile::quantiles;
+
+/// Indices of points outside the Tukey fences `[Q1 − k·IQR, Q3 + k·IQR]`
+/// (`k = 1.5` is the classic setting; `k = 3.0` flags only extreme outliers).
+pub fn tukey_outliers(xs: &[f64], k: f64) -> Vec<usize> {
+    if xs.len() < 4 {
+        return Vec::new();
+    }
+    let qs = quantiles(xs, &[0.25, 0.75]);
+    let iqr = qs[1] - qs[0];
+    let lo = qs[0] - k * iqr;
+    let hi = qs[1] + k * iqr;
+    xs.iter()
+        .enumerate()
+        .filter(|(_, &x)| x < lo || x > hi)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Returns `xs` with Tukey outliers removed (`k` as in [`tukey_outliers`]).
+pub fn remove_tukey_outliers(xs: &[f64], k: f64) -> Vec<f64> {
+    let bad = tukey_outliers(xs, k);
+    xs.iter()
+        .enumerate()
+        .filter(|(i, _)| !bad.contains(i))
+        .map(|(_, &x)| x)
+        .collect()
+}
+
+/// Median absolute deviation, scaled by 1.4826 to be consistent with the
+/// standard deviation under normality.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = median(xs);
+    let devs: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    1.4826 * median(&devs)
+}
+
+/// Robust z-scores `(x − median) / MAD`. Returns an empty vector when the MAD
+/// is zero (constant data).
+pub fn robust_z_scores(xs: &[f64]) -> Vec<f64> {
+    let m = median(xs);
+    let s = mad(xs);
+    if s.is_nan() || s <= 0.0 {
+        return Vec::new();
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+/// Indices where the robust z-score exceeds `threshold` in magnitude
+/// (3.5 is the conventional cut-off).
+pub fn mad_outliers(xs: &[f64], threshold: f64) -> Vec<usize> {
+    robust_z_scores(xs)
+        .iter()
+        .enumerate()
+        .filter(|(_, z)| z.abs() > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tukey_flags_the_spike() {
+        let mut xs: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        xs.push(100.0);
+        let out = tukey_outliers(&xs, 1.5);
+        assert_eq!(out, vec![30]);
+    }
+
+    #[test]
+    fn tukey_clean_data_has_no_outliers() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        assert!(tukey_outliers(&xs, 1.5).is_empty());
+    }
+
+    #[test]
+    fn removal_preserves_order() {
+        let xs = vec![1.0, 2.0, 100.0, 3.0, 2.0, 1.0, 2.0, 3.0];
+        let clean = remove_tukey_outliers(&xs, 1.5);
+        assert_eq!(clean, vec![1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mad_of_known_sample() {
+        // median=3, abs devs = [2,1,0,1,2] → median dev 1 → MAD = 1.4826
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((mad(&xs) - 1.4826).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_outliers_detects_gc_spike_pattern() {
+        // Typical per-iteration times with two GC-pause spikes.
+        let mut xs = vec![10.0; 40];
+        xs[13] = 25.0;
+        xs[29] = 31.0;
+        // Add small jitter so MAD is non-degenerate.
+        for (i, x) in xs.iter_mut().enumerate() {
+            *x += (i % 7) as f64 * 0.01;
+        }
+        let out = mad_outliers(&xs, 3.5);
+        assert!(out.contains(&13) && out.contains(&29), "{out:?}");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn constant_data_yields_no_robust_scores() {
+        let xs = vec![5.0; 10];
+        assert!(robust_z_scores(&xs).is_empty());
+        assert!(mad_outliers(&xs, 3.5).is_empty());
+    }
+}
+
+/// Replaces isolated timing spikes with the local level, preserving genuine
+/// level shifts (warmup steps).
+///
+/// A point is a *spike* — not a level shift — when the medians of its left
+/// and right neighbourhoods agree with each other but not with the point:
+/// the series departs and returns. Warmup prefixes and step changes have
+/// disagreeing neighbourhoods and are left untouched, as are the first and
+/// last few points (a slow first iteration is warmup, not noise).
+///
+/// This is the outlier handling changepoint-based warmup analysis needs:
+/// GC pauses and OS-jitter tails puncture otherwise-flat series and would
+/// otherwise fragment the segmentation.
+///
+/// ```
+/// let mut series = vec![10.0; 20];
+/// series[9] = 60.0; // a GC pause
+/// let cleaned = rigor_stats::despike(&series, 8.0);
+/// assert_eq!(cleaned[9], 10.0);
+/// ```
+pub fn despike(xs: &[f64], k: f64) -> Vec<f64> {
+    const WING: usize = 3;
+    let n = xs.len();
+    let mut out = xs.to_vec();
+    if n < 2 * WING + 1 {
+        return out;
+    }
+    for i in WING..(n - WING) {
+        let left: Vec<f64> = xs[i - WING..i].to_vec();
+        let right: Vec<f64> = xs[i + 1..i + 1 + WING].to_vec();
+        let lm = median(&left);
+        let rm = median(&right);
+        let level = 0.5 * (lm + rm);
+        // The two sides must sit at the same level for the excursion to be a
+        // spike rather than a step.
+        let level_scale = lm.abs().max(rm.abs()).max(1e-300);
+        if (lm - rm).abs() > 0.05 * level_scale {
+            continue;
+        }
+        // Local scale: MAD of the neighbours, floored relative to the level
+        // so perfectly quiet series still tolerate float dust.
+        let mut neigh = left;
+        neigh.extend(right);
+        let scale = mad(&neigh).max(2e-3 * level.abs()).max(1e-300);
+        if (xs[i] - level).abs() > k * scale {
+            out[i] = level;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod despike_tests {
+    use super::*;
+
+    fn flat_with(values: &[(usize, f64)], n: usize, level: f64) -> Vec<f64> {
+        let mut xs: Vec<f64> = (0..n).map(|i| level + (i % 3) as f64 * 0.01).collect();
+        for &(i, v) in values {
+            xs[i] = v;
+        }
+        xs
+    }
+
+    #[test]
+    fn isolated_spike_is_removed() {
+        let xs = flat_with(&[(20, 50.0)], 40, 10.0);
+        let out = despike(&xs, 8.0);
+        assert!(
+            (out[20] - 10.0).abs() < 0.1,
+            "spike should be flattened: {}",
+            out[20]
+        );
+        assert_eq!(out[10], xs[10]);
+    }
+
+    #[test]
+    fn double_spike_is_removed() {
+        let xs = flat_with(&[(15, 40.0), (16, 45.0)], 40, 10.0);
+        let out = despike(&xs, 8.0);
+        assert!((out[15] - 10.0).abs() < 0.2);
+        assert!((out[16] - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn warmup_step_is_preserved() {
+        // 10 slow then 30 fast: a genuine level shift.
+        let mut xs: Vec<f64> = (0..10).map(|i| 50.0 + (i % 3) as f64 * 0.01).collect();
+        xs.extend((0..30).map(|i| 10.0 + (i % 3) as f64 * 0.01));
+        let out = despike(&xs, 8.0);
+        for (a, b) in xs.iter().zip(&out) {
+            assert_eq!(a, b, "step series must be untouched");
+        }
+    }
+
+    #[test]
+    fn leading_compile_hump_is_preserved() {
+        // Slow first two iterations (JIT compile) must not be "despiked".
+        let mut xs = vec![100.0, 90.0];
+        xs.extend((0..30).map(|i| 10.0 + (i % 3) as f64 * 0.01));
+        let out = despike(&xs, 8.0);
+        assert_eq!(out[0], 100.0);
+        assert_eq!(out[1], 90.0);
+    }
+
+    #[test]
+    fn short_series_untouched() {
+        let xs = vec![1.0, 100.0, 1.0];
+        assert_eq!(despike(&xs, 8.0), xs);
+    }
+}

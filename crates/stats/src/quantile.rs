@@ -1,0 +1,99 @@
+//! Quantiles (R type-7 / NumPy `linear` interpolation).
+
+/// Returns the `q`-quantile of `xs` (0 ≤ q ≤ 1) using linear interpolation
+/// between order statistics (the R type-7 definition, NumPy's default).
+///
+/// Returns `NaN` for empty input or q outside [0, 1].
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in data"));
+    quantile_sorted(&v, q)
+}
+
+/// Quantile of an already ascending-sorted slice (no copy).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return f64::NAN;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Convenience: several quantiles at once (sorts once).
+pub fn quantiles(xs: &[f64], qs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in data"));
+    qs.iter().map(|&q| quantile_sorted(&v, q)).collect()
+}
+
+/// Interquartile range (Q3 − Q1).
+pub fn iqr(xs: &[f64]) -> f64 {
+    let qs = quantiles(xs, &[0.25, 0.75]);
+    qs[1] - qs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_match_numpy_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        // numpy.quantile([1,2,3,4], .25) == 1.75
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75) - 3.25).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(quantile(&[], 0.5).is_nan());
+        assert!(quantile(&[1.0], -0.1).is_nan());
+        assert!(quantile(&[1.0], 1.1).is_nan());
+    }
+
+    #[test]
+    fn iqr_known_value() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        assert!((iqr(&xs) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let xs: Vec<f64> = (0..50).map(|i| ((i * 37) % 50) as f64).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = quantile(&xs, q);
+            assert!(v >= prev, "quantile must be monotone in q");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Workload characterization: the dynamic-execution profile behind Table 1.
+
+use minipy::bytecode::OpClass;
+use minipy::{MpResult, NoiseConfig, Session, VmConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::registry::{Size, Workload};
+
+/// Dynamic profile of one workload (per-iteration averages on the
+/// interpreter engine with all noise sources disabled).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Workload name.
+    pub name: String,
+    /// Category label.
+    pub category: String,
+    /// Bytecodes executed per iteration.
+    pub bytecodes_per_iter: f64,
+    /// Fraction of bytecodes that are arithmetic/comparison.
+    pub arith_frac: f64,
+    /// Fraction that are stack shuffles (loads/stores of locals, consts).
+    pub stack_frac: f64,
+    /// Fraction that are global-name accesses.
+    pub name_frac: f64,
+    /// Fraction that are memory (subscript/slice) operations.
+    pub memory_frac: f64,
+    /// Fraction that are dict operations.
+    pub dict_frac: f64,
+    /// Fraction that allocate containers.
+    pub alloc_frac: f64,
+    /// Fraction that are branches / loop bookkeeping.
+    pub branch_frac: f64,
+    /// Fraction that are calls/returns.
+    pub call_frac: f64,
+    /// Heap objects allocated per iteration.
+    pub allocations_per_iter: f64,
+    /// Dict slots probed per iteration.
+    pub dict_probes_per_iter: f64,
+    /// Loop back-edges per iteration.
+    pub backedges_per_iter: f64,
+    /// Calls per iteration.
+    pub calls_per_iter: f64,
+    /// Startup (module setup) virtual time, ns.
+    pub startup_ns: f64,
+    /// Mean per-iteration virtual time on the interpreter, ns.
+    pub iter_ns_interp: f64,
+}
+
+/// Number of iterations measured (after one discarded warmround).
+const CHARACTERIZE_ITERS: usize = 3;
+
+/// Profiles `workload` at `size` on the interpreter with quiescent noise.
+///
+/// # Errors
+///
+/// Propagates compile/runtime errors from the workload.
+pub fn characterize(workload: &Workload, size: Size, seed: u64) -> MpResult<Characterization> {
+    let mut cfg = VmConfig::interp();
+    cfg.noise = NoiseConfig::quiescent();
+    let mut session = Session::start(&workload.source(size), seed, cfg)?;
+    let startup_ns = session.startup_ns();
+
+    let mut total_ns = 0.0;
+    let mut counters = Vec::with_capacity(CHARACTERIZE_ITERS);
+    for _ in 0..CHARACTERIZE_ITERS {
+        let r = session.run_iteration()?;
+        total_ns += r.virtual_ns;
+        counters.push(r.counters);
+    }
+    let n = CHARACTERIZE_ITERS as f64;
+    let avg = |f: &dyn Fn(&minipy::DynCounters) -> f64| -> f64 {
+        counters.iter().map(f).sum::<f64>() / n
+    };
+    let total_ops = avg(&|c| c.total_ops as f64).max(1.0);
+    let frac = |class: OpClass| -> f64 {
+        avg(&|c| c.ops_by_class[minipy::frame::op_class_index(class)] as f64) / total_ops
+    };
+
+    Ok(Characterization {
+        name: workload.name.to_string(),
+        category: workload.category.label().to_string(),
+        bytecodes_per_iter: total_ops,
+        arith_frac: frac(OpClass::Arith),
+        stack_frac: frac(OpClass::Stack),
+        name_frac: frac(OpClass::Name),
+        memory_frac: frac(OpClass::Memory),
+        dict_frac: frac(OpClass::Dict),
+        alloc_frac: frac(OpClass::Alloc),
+        branch_frac: frac(OpClass::Branch),
+        call_frac: frac(OpClass::Call),
+        allocations_per_iter: avg(&|c| c.allocations as f64),
+        dict_probes_per_iter: avg(&|c| c.dict_probes as f64),
+        backedges_per_iter: avg(&|c| c.backedges as f64),
+        calls_per_iter: avg(&|c| c.calls as f64),
+        startup_ns,
+        iter_ns_interp: total_ns / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::find;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let w = find("sieve").unwrap();
+        let c = characterize(&w, Size::Small, 1).unwrap();
+        let sum = c.arith_frac
+            + c.stack_frac
+            + c.name_frac
+            + c.memory_frac
+            + c.dict_frac
+            + c.alloc_frac
+            + c.branch_frac
+            + c.call_frac;
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        assert!(c.bytecodes_per_iter > 1_000.0);
+    }
+
+    #[test]
+    fn numeric_kernel_is_arith_dominated() {
+        let w = find("leibniz").unwrap();
+        let c = characterize(&w, Size::Small, 1).unwrap();
+        assert!(c.arith_frac > 0.2, "{c:?}");
+        assert!(c.dict_frac < 0.01);
+    }
+
+    #[test]
+    fn dict_workload_probes_heavily() {
+        let dict = characterize(&find("dict_churn").unwrap(), Size::Small, 1).unwrap();
+        let num = characterize(&find("leibniz").unwrap(), Size::Small, 1).unwrap();
+        assert!(dict.dict_probes_per_iter > 100.0);
+        assert!(dict.dict_probes_per_iter > num.dict_probes_per_iter * 50.0);
+    }
+
+    #[test]
+    fn call_heavy_workload_shows_calls() {
+        let fib = characterize(&find("fib_recursive").unwrap(), Size::Small, 1).unwrap();
+        let leib = characterize(&find("leibniz").unwrap(), Size::Small, 1).unwrap();
+        assert!(
+            fib.call_frac > leib.call_frac * 3.0,
+            "fib {fib:?} vs leibniz {leib:?}"
+        );
+        assert!(fib.calls_per_iter > 100.0);
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let w = find("json_like").unwrap();
+        let a = characterize(&w, Size::Small, 9).unwrap();
+        let b = characterize(&w, Size::Small, 9).unwrap();
+        assert_eq!(a.bytecodes_per_iter, b.bytecodes_per_iter);
+        assert_eq!(a.iter_ns_interp, b.iter_ns_interp);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rigor-workloads — the MiniPy benchmark suite
+//!
+//! A pyperformance-analogue suite of 20 benchmarks covering the behavioural
+//! axes Python benchmarking methodology must handle: numeric kernels,
+//! dict/list churn with seed-sensitive string keys, string processing,
+//! call/branch-heavy control flow, and adversarial stressors (type-flipping
+//! loops, startup-dominated workloads, allocation storms).
+//!
+//! Every workload is a MiniPy module defining a `run()` function returning an
+//! order-independent checksum, generated at a chosen size:
+//!
+//! ```rust
+//! use rigor_workloads::{find, Size};
+//! use minipy::{Session, VmConfig};
+//!
+//! # fn main() -> Result<(), minipy::MpError> {
+//! let sieve = find("sieve").expect("in the suite");
+//! let mut session = Session::start(&sieve.source(Size::Small), 1, VmConfig::interp())?;
+//! let result = session.run_iteration()?;
+//! assert_eq!(session.render(result.value), "95"); // primes below 500
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod generator;
+pub mod programs;
+pub mod registry;
+
+pub use characterize::{characterize, Characterization};
+pub use generator::{generate, random_program, SyntheticSpec};
+pub use registry::{find, names, suite, Category, Size, Workload};

@@ -1,0 +1,149 @@
+//! Adversarial workloads: the cases that break naive methodologies.
+//!
+//! * [`polymorph`] alternates operand types in a hot loop, triggering JIT
+//!   guard failures, deopt churn and eventually blacklisting — the
+//!   "no steady state" archetype.
+//! * [`startup_heavy`] front-loads all its work into module setup with a
+//!   near-trivial `run()`, so per-iteration JIT never pays off.
+//! * [`gc_pressure`] allocates heavily every iteration, making GC pauses the
+//!   dominant intra-invocation noise.
+
+/// Hot loop whose operand types flip between int and float in phases,
+/// defeating type-specialized traces.
+pub fn polymorph(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def accumulate(values):
+    total = 0.0
+    for v in values:
+        total = total + v * 2 + 1
+    return total
+
+def run():
+    ints = []
+    floats = []
+    i = 0
+    while i < N:
+        ints.append(i)
+        floats.append(i * 1.0)
+        i = i + 1
+    acc = 0.0
+    phase = 0
+    while phase < 8:
+        if phase % 2 == 0:
+            acc = acc + accumulate(ints)
+        else:
+            acc = acc + accumulate(floats)
+        phase = phase + 1
+    return floor(acc)
+"
+    )
+}
+
+/// Heavy module-level setup, trivial per-iteration work: the short-running
+/// benchmark where startup dominates and JIT compilation never amortizes.
+pub fn startup_heavy(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+table = {{}}
+i = 0
+while i < N:
+    table['entry_' + str(i)] = [i, i * 2, i * 3]
+    i = i + 1
+keys = sorted(table.keys())
+
+def run():
+    k = keys[len(keys) // 2]
+    row = table[k]
+    return row[0] + row[1] + row[2]
+"
+    )
+}
+
+/// Allocation storm: builds and discards thousands of small objects per
+/// iteration so that mark-sweep pauses land inside timed regions.
+pub fn gc_pressure(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def run():
+    keep = []
+    i = 0
+    while i < N:
+        tmp = [i, i + 1, i + 2]
+        pair = (i, 'tag' + str(i % 10))
+        if i % 50 == 0:
+            keep.append(pair)
+        tmp2 = {{'a': tmp, 'b': pair}}
+        i = i + 1
+    total = 0
+    for p in keep:
+        total = total + p[0]
+    return total + len(keep)
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::{Session, VmConfig};
+
+    #[test]
+    fn adversarial_sources_compile_and_run() {
+        for src in [polymorph(80), startup_heavy(100), gc_pressure(120)] {
+            let mut s = Session::start(&src, 1, VmConfig::interp()).expect("compile+setup");
+            s.run_iteration().expect("iteration");
+        }
+    }
+
+    #[test]
+    fn adversarial_workloads_agree_across_engines() {
+        for src in [polymorph(60), startup_heavy(80), gc_pressure(100)] {
+            minipy::check_engines_agree(&src, 11).expect("engines agree");
+        }
+    }
+
+    #[test]
+    fn polymorph_triggers_deopts_on_jit() {
+        let mut s = Session::start(&polymorph(300), 1, VmConfig::jit()).unwrap();
+        for _ in 0..25 {
+            s.run_iteration().unwrap();
+        }
+        let c = s.vm().counters();
+        assert!(
+            c.deopts > 0,
+            "type-flipping loop must trigger guard failures: {c:?}"
+        );
+    }
+
+    #[test]
+    fn startup_heavy_startup_dominates_iterations() {
+        let mut s = Session::start(&startup_heavy(400), 1, VmConfig::interp()).unwrap();
+        let iter = s.run_iteration().unwrap();
+        assert!(
+            s.startup_ns() > iter.virtual_ns * 50.0,
+            "startup {} should dwarf an iteration {}",
+            s.startup_ns(),
+            iter.virtual_ns
+        );
+    }
+
+    #[test]
+    fn gc_pressure_produces_gc_cycles() {
+        let mut cfg = VmConfig::interp();
+        cfg.noise = minipy::NoiseConfig::quiescent();
+        let mut s = Session::start(&gc_pressure(800), 1, cfg).unwrap();
+        for _ in 0..10 {
+            s.run_iteration().unwrap();
+        }
+        assert!(
+            s.vm().counters().gc_cycles > 0,
+            "allocation storm must trigger GC"
+        );
+    }
+}

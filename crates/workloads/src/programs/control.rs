@@ -1,0 +1,207 @@
+//! Control-flow- and call-dominated workloads: recursion, state machines,
+//! backtracking search (pyperformance's `richards`, `raytrace`,
+//! `unpack_sequence` shapes).
+
+/// Recursive Fibonacci: the classic call-overhead stressor.
+pub fn fib_recursive(n: u32) -> String {
+    format!(
+        "\
+DEPTH = {n}
+
+def fib(k):
+    if k < 2:
+        return k
+    return fib(k - 1) + fib(k - 2)
+
+def run():
+    return fib(DEPTH)
+"
+    )
+}
+
+/// A Richards-like task scheduler: a while-loop state machine over task
+/// records (lists), branch and list-index heavy.
+pub fn richards_lite(n: u32) -> String {
+    format!(
+        "\
+ROUNDS = {n}
+NTASKS = 6
+
+def run():
+    # task = [state, priority, work_remaining, total_done]
+    tasks = []
+    t = 0
+    while t < NTASKS:
+        tasks.append([0, t + 1, (t + 3) * 11, 0])
+        t = t + 1
+    completed = 0
+    round_num = 0
+    while round_num < ROUNDS:
+        best = -1
+        best_pri = -1
+        t = 0
+        while t < NTASKS:
+            task = tasks[t]
+            if task[0] == 0 and task[1] > best_pri:
+                best = t
+                best_pri = task[1]
+            t = t + 1
+        if best < 0:
+            t = 0
+            while t < NTASKS:
+                tasks[t][0] = 0
+                t = t + 1
+        else:
+            task = tasks[best]
+            task[2] = task[2] - task[1]
+            task[3] = task[3] + 1
+            if task[2] <= 0:
+                task[0] = 2
+                task[2] = (best + 3) * 11
+                completed = completed + 1
+            elif task[3] % 4 == 0:
+                task[0] = 1
+            t = 0
+            while t < NTASKS:
+                if tasks[t][0] == 1 and tasks[t][3] % 3 == 0:
+                    tasks[t][0] = 0
+                tasks[t][3] = tasks[t][3] + 0
+                t = t + 1
+        round_num = round_num + 1
+    check = completed * 1000
+    t = 0
+    while t < NTASKS:
+        check = check + tasks[t][3]
+        t = t + 1
+    return check
+"
+    )
+}
+
+/// N-queens backtracking: recursion + list mutation.
+pub fn queens(n: u32) -> String {
+    format!(
+        "\
+BOARD = {n}
+
+def safe(cols, row, col):
+    i = 0
+    while i < row:
+        c = cols[i]
+        if c == col or c - i == col - row or c + i == col + row:
+            return False
+        i = i + 1
+    return True
+
+def solve(cols, row):
+    if row == BOARD:
+        return 1
+    count = 0
+    col = 0
+    while col < BOARD:
+        if safe(cols, row, col):
+            cols[row] = col
+            count = count + solve(cols, row + 1)
+        col = col + 1
+    return count
+
+def run():
+    cols = [0] * BOARD
+    return solve(cols, 0)
+"
+    )
+}
+
+/// Ray-sphere intersection loop: float math with `sqrt` builtin calls.
+pub fn raytrace_lite(n: u32) -> String {
+    format!(
+        "\
+RAYS = {n}
+spheres = [
+    [0.0, 0.0, 10.0, 2.0],
+    [3.0, 1.0, 14.0, 1.5],
+    [-2.5, -1.0, 8.0, 1.0],
+]
+
+def run():
+    hits = 0
+    depth_sum = 0.0
+    r = 0
+    while r < RAYS:
+        dx = (r % 37) * 0.01 - 0.18
+        dy = (r % 23) * 0.01 - 0.11
+        dz = 1.0
+        norm = sqrt(dx * dx + dy * dy + dz * dz)
+        dx = dx / norm
+        dy = dy / norm
+        dz = dz / norm
+        nearest = 1000000.0
+        s = 0
+        while s < 3:
+            sp = spheres[s]
+            ox = 0.0 - sp[0]
+            oy = 0.0 - sp[1]
+            oz = 0.0 - sp[2]
+            b = 2.0 * (ox * dx + oy * dy + oz * dz)
+            c = ox * ox + oy * oy + oz * oz - sp[3] * sp[3]
+            disc = b * b - 4.0 * c
+            if disc > 0.0:
+                t = (0.0 - b - sqrt(disc)) / 2.0
+                if t > 0.0 and t < nearest:
+                    nearest = t
+            s = s + 1
+        if nearest < 1000000.0:
+            hits = hits + 1
+            depth_sum = depth_sum + nearest
+        r = r + 1
+    return hits * 1000 + floor(depth_sum)
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::{Session, VmConfig};
+
+    #[test]
+    fn all_control_sources_compile_and_run() {
+        for src in [
+            fib_recursive(12),
+            richards_lite(100),
+            queens(5),
+            raytrace_lite(100),
+        ] {
+            let mut s = Session::start(&src, 1, VmConfig::interp()).expect("compile+setup");
+            s.run_iteration().expect("iteration");
+        }
+    }
+
+    #[test]
+    fn queens_known_solution_counts() {
+        for (board, solutions) in [(4u32, "2"), (5, "10"), (6, "4")] {
+            let mut s = Session::start(&queens(board), 1, VmConfig::interp()).unwrap();
+            let r = s.run_iteration().unwrap();
+            assert_eq!(s.render(r.value), solutions, "queens({board})");
+        }
+    }
+
+    #[test]
+    fn fib_known_value() {
+        let mut s = Session::start(&fib_recursive(15), 1, VmConfig::interp()).unwrap();
+        let r = s.run_iteration().unwrap();
+        assert_eq!(s.render(r.value), "610");
+    }
+
+    #[test]
+    fn control_workloads_agree_across_engines() {
+        for src in [
+            fib_recursive(11),
+            richards_lite(80),
+            queens(5),
+            raytrace_lite(80),
+        ] {
+            minipy::check_engines_agree(&src, 9).expect("engines agree");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Data-structure churn: dict- and list-dominated workloads.
+//!
+//! The dict-heavy benchmarks use **string keys**, which makes their probe
+//! counts and iteration order depend on the per-invocation hash seed — the
+//! inter-invocation nondeterminism source the methodology most cares about.
+
+/// Dict churn with string keys: insert, look up, delete in waves.
+pub fn dict_churn(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def run():
+    d = {{}}
+    i = 0
+    while i < N:
+        d['key_' + str(i)] = i * 3
+        i = i + 1
+    total = 0
+    i = 0
+    while i < N:
+        total = total + d['key_' + str(i)]
+        i = i + 1
+    i = 0
+    while i < N:
+        if i % 2 == 0:
+            del d['key_' + str(i)]
+        i = i + 1
+    total = total + len(d)
+    return total
+"
+    )
+}
+
+/// Builds a string-keyed dict and iterates it (seed-dependent order, but the
+/// checksum is order-independent).
+pub fn str_keys(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+WORDS = ['alpha', 'beta', 'gamma', 'delta', 'epsilon', 'zeta', 'eta', 'theta']
+
+def run():
+    d = {{}}
+    i = 0
+    while i < N:
+        k = WORDS[i % 8] + str(i)
+        d[k] = len(k)
+        i = i + 1
+    total = 0
+    for k in d:
+        total = total + d[k]
+    return total
+"
+    )
+}
+
+/// Builds a pseudo-random list and sorts it (timsort stand-in).
+pub fn list_sort(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def run():
+    xs = []
+    v = 42
+    i = 0
+    while i < N:
+        v = (v * 1103515245 + 12345) % 2147483648
+        xs.append(v % 10000)
+        i = i + 1
+    xs.sort()
+    return xs[0] + xs[N // 2] + xs[N - 1]
+"
+    )
+}
+
+/// Breadth-first search over a synthetic graph stored as adjacency lists,
+/// with a dict of visited nodes.
+pub fn graph_bfs(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+adj = []
+node = 0
+while node < N:
+    neighbours = []
+    neighbours.append((node * 7 + 1) % N)
+    neighbours.append((node * 13 + 5) % N)
+    neighbours.append((node * 31 + 11) % N)
+    adj.append(neighbours)
+    node = node + 1
+
+def run():
+    visited = {{}}
+    queue = [0]
+    head = 0
+    order_sum = 0
+    count = 0
+    visited[0] = True
+    while head < len(queue):
+        cur = queue[head]
+        head = head + 1
+        order_sum = order_sum + cur * count
+        count = count + 1
+        for nxt in adj[cur]:
+            if nxt not in visited:
+                visited[nxt] = True
+                queue.append(nxt)
+    return order_sum % 1000000007
+"
+    )
+}
+
+/// Builds nested list/dict records and recursively walks them — an
+/// allocation-heavy, pointer-chasing workload (pyperformance's `json_*`
+/// shape).
+pub fn json_like(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def make_record(i):
+    inner = {{'id': i, 'score': i * 1.5, 'tag': 'item' + str(i % 50)}}
+    return [inner, [i, i + 1, i + 2], (i % 7, i % 11)]
+
+def walk(rec):
+    total = rec[0]['id'] + floor(rec[0]['score'])
+    total = total + len(rec[0]['tag'])
+    for v in rec[1]:
+        total = total + v
+    total = total + rec[2][0] + rec[2][1]
+    return total
+
+def run():
+    records = []
+    i = 0
+    while i < N:
+        records.append(make_record(i))
+        i = i + 1
+    total = 0
+    for r in records:
+        total = total + walk(r)
+    return total % 1000000007
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::{Session, VmConfig};
+
+    #[test]
+    fn all_data_sources_compile_and_run() {
+        for src in [
+            dict_churn(80),
+            str_keys(80),
+            list_sort(100),
+            graph_bfs(60),
+            json_like(40),
+        ] {
+            let mut s = Session::start(&src, 1, VmConfig::interp()).expect("compile+setup");
+            s.run_iteration().expect("iteration");
+        }
+    }
+
+    #[test]
+    fn data_workloads_agree_across_engines() {
+        for src in [
+            dict_churn(60),
+            str_keys(60),
+            list_sort(80),
+            graph_bfs(50),
+            json_like(30),
+        ] {
+            minipy::check_engines_agree(&src, 5).expect("engines agree");
+        }
+    }
+
+    #[test]
+    fn dict_checksums_are_seed_invariant() {
+        // Different hash seeds permute iteration order and probe counts but
+        // must not change the (order-independent) checksum.
+        let src = str_keys(100);
+        let mut a = Session::start(&src, 1, VmConfig::interp()).unwrap();
+        let mut b = Session::start(&src, 999, VmConfig::interp()).unwrap();
+        assert_eq!(a.checksum().unwrap(), b.checksum().unwrap());
+    }
+
+    #[test]
+    fn dict_probe_counts_vary_with_seed() {
+        let src = dict_churn(200);
+        let probes = |seed: u64| {
+            let mut s = Session::start(&src, seed, VmConfig::interp()).unwrap();
+            s.run_iteration().unwrap().counters.dict_probes
+        };
+        let base = probes(1);
+        assert!(
+            (2..8).any(|s| probes(s) != base),
+            "string-keyed dict probe work should depend on the hash seed"
+        );
+    }
+
+    #[test]
+    fn list_sort_returns_sorted_extremes() {
+        let mut s = Session::start(&list_sort(500), 1, VmConfig::interp()).unwrap();
+        let r = s.run_iteration().unwrap();
+        let v: i64 = s.render(r.value).parse().unwrap();
+        assert!(v > 0);
+    }
+}

@@ -1,0 +1,7 @@
+//! The benchmark programs, grouped by behavioural category.
+
+pub mod adversarial;
+pub mod control;
+pub mod data;
+pub mod numeric;
+pub mod strings;

@@ -1,0 +1,314 @@
+//! Numeric kernels: float- and int-arithmetic dominated workloads.
+//!
+//! These are the benchmarks where tracing JITs shine — tight, type-stable
+//! loops over numbers — mirroring pyperformance's `nbody`, `spectral_norm`,
+//! `float` and `pidigits` family.
+
+/// N-body-style float physics: pairwise force accumulation over a handful of
+/// bodies for `n` steps. Arithmetic-dominated, few allocations.
+pub fn nbody_lite(n: u32) -> String {
+    format!(
+        "\
+STEPS = {n}
+px = [0.0, 4.84, 8.34, 12.89, 15.37]
+py = [0.0, -1.16, 4.12, -15.11, -25.91]
+vx = [0.0, 0.00166, -0.00276, 0.00296, 0.00288]
+vy = [0.0, 0.00769, 0.00499, 0.00237, 0.00147]
+m = [39.47, 0.0372, 0.0113, 0.000043, 0.0000515]
+
+def run():
+    dt = 0.01
+    i = 0
+    while i < STEPS:
+        a = 0
+        while a < 5:
+            b = a + 1
+            while b < 5:
+                dx = px[a] - px[b]
+                dy = py[a] - py[b]
+                d2 = dx * dx + dy * dy + 0.0001
+                mag = dt / (d2 * sqrt(d2))
+                vx[a] = vx[a] - dx * m[b] * mag
+                vy[a] = vy[a] - dy * m[b] * mag
+                vx[b] = vx[b] + dx * m[a] * mag
+                vy[b] = vy[b] + dy * m[a] * mag
+                b = b + 1
+            a = a + 1
+        k = 0
+        while k < 5:
+            px[k] = px[k] + dt * vx[k]
+            py[k] = py[k] + dt * vy[k]
+            k = k + 1
+        i = i + 1
+    e = 0.0
+    k = 0
+    while k < 5:
+        e = e + m[k] * (vx[k] * vx[k] + vy[k] * vy[k])
+        k = k + 1
+    return floor(e * 1000000.0)
+"
+    )
+}
+
+/// Spectral-norm-style kernel: repeated A·v products where
+/// `A(i,j) = 1 / ((i+j)(i+j+1)/2 + i + 1)`. Float division heavy.
+pub fn spectral(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def a_ij(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) // 2 + i + 1)
+
+def run():
+    u = []
+    i = 0
+    while i < N:
+        u.append(1.0)
+        i = i + 1
+    pass_num = 0
+    while pass_num < 3:
+        v = []
+        i = 0
+        while i < N:
+            s = 0.0
+            j = 0
+            while j < N:
+                s = s + a_ij(i, j) * u[j]
+                j = j + 1
+            v.append(s)
+            i = i + 1
+        u = v
+        pass_num = pass_num + 1
+    total = 0.0
+    i = 0
+    while i < N:
+        total = total + u[i]
+        i = i + 1
+    return floor(total * 1000000.0)
+"
+    )
+}
+
+/// Leibniz series for π: the purest possible float loop.
+pub fn leibniz(n: u32) -> String {
+    format!(
+        "\
+TERMS = {n}
+
+def run():
+    acc = 0.0
+    sign = 1.0
+    k = 0
+    while k < TERMS:
+        acc = acc + sign / (2.0 * k + 1.0)
+        sign = -sign
+        k = k + 1
+    return floor(acc * 4.0 * 100000000.0)
+"
+    )
+}
+
+/// Sieve of Eratosthenes: int arithmetic + list flag updates.
+pub fn sieve(n: u32) -> String {
+    format!(
+        "\
+LIMIT = {n}
+
+def run():
+    flags = [True] * LIMIT
+    count = 0
+    i = 2
+    while i < LIMIT:
+        if flags[i]:
+            count = count + 1
+            j = i * i
+            while j < LIMIT:
+                flags[j] = False
+                j = j + i
+        i = i + 1
+    return count
+"
+    )
+}
+
+/// Dense matrix multiply over nested int lists (`n`×`n`).
+pub fn matmul(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def make(seed):
+    m = []
+    i = 0
+    v = seed
+    while i < N:
+        row = []
+        j = 0
+        while j < N:
+            v = (v * 1103515245 + 12345) % 2147483648
+            row.append(v % 97)
+            j = j + 1
+        m.append(row)
+        i = i + 1
+    return m
+
+A = make(1)
+B = make(7)
+
+def run():
+    total = 0
+    i = 0
+    while i < N:
+        arow = A[i]
+        j = 0
+        while j < N:
+            s = 0
+            k = 0
+            while k < N:
+                s = s + arow[k] * B[k][j]
+                k = k + 1
+            total = (total + s) % 1000000007
+            j = j + 1
+        i = i + 1
+    return total
+"
+    )
+}
+
+/// K-means-style clustering over synthetic 2-D points, written with list
+/// comprehensions (the idiomatic-Python construct the suite would otherwise
+/// not exercise). Float math + list building.
+pub fn kmeans_lite(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+K = 4
+
+def make_points():
+    v = 77
+    pts = []
+    i = 0
+    while i < N:
+        v = (v * 1103515245 + 12345) % 2147483648
+        x = (v % 1000) * 0.01
+        v = (v * 1103515245 + 12345) % 2147483648
+        y = (v % 1000) * 0.01
+        pts.append((x, y))
+        i = i + 1
+    return pts
+
+points = make_points()
+
+def dist2(p, cx, cy):
+    dx = p[0] - cx
+    dy = p[1] - cy
+    return dx * dx + dy * dy
+
+def run():
+    cxs = [1.0, 3.0, 6.0, 9.0]
+    cys = [9.0, 2.0, 7.0, 1.0]
+    step = 0
+    while step < 4:
+        assign = [0] * len(points)
+        idx = 0
+        for p in points:
+            best = 0
+            best_d = dist2(p, cxs[0], cys[0])
+            k = 1
+            while k < K:
+                d = dist2(p, cxs[k], cys[k])
+                if d < best_d:
+                    best_d = d
+                    best = k
+                k = k + 1
+            assign[idx] = best
+            idx = idx + 1
+        k = 0
+        while k < K:
+            members = [points[i] for i in range(len(points)) if assign[i] == k]
+            if len(members) > 0:
+                cxs[k] = sum([m[0] for m in members]) / len(members)
+                cys[k] = sum([m[1] for m in members]) / len(members)
+            k = k + 1
+        step = step + 1
+    checksum = sum([floor(c * 1000.0) for c in cxs]) + sum([floor(c * 1000.0) for c in cys])
+    return checksum
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::{Session, VmConfig};
+
+    fn runs_ok(src: &str) {
+        let mut s = Session::start(src, 1, VmConfig::interp()).expect("compile+setup");
+        let r = s.run_iteration().expect("iteration");
+        assert!(r.virtual_ns > 0.0);
+    }
+
+    #[test]
+    fn all_numeric_sources_compile_and_run() {
+        runs_ok(&nbody_lite(50));
+        runs_ok(&spectral(12));
+        runs_ok(&leibniz(300));
+        runs_ok(&sieve(500));
+        runs_ok(&matmul(8));
+        runs_ok(&kmeans_lite(60));
+    }
+
+    #[test]
+    fn sieve_counts_primes_correctly() {
+        let mut s = Session::start(&sieve(100), 1, VmConfig::interp()).unwrap();
+        let r = s.run_iteration().unwrap();
+        // 25 primes below 100.
+        assert_eq!(s.render(r.value), "25");
+    }
+
+    #[test]
+    fn leibniz_approximates_pi() {
+        let mut s = Session::start(&leibniz(10_000), 1, VmConfig::interp()).unwrap();
+        let r = s.run_iteration().unwrap();
+        let v: f64 = s.render(r.value).parse().unwrap();
+        let pi_est = v / 1e8;
+        assert!(
+            (pi_est - std::f64::consts::PI).abs() < 1e-3,
+            "pi_est = {pi_est}"
+        );
+    }
+
+    #[test]
+    fn numeric_kernels_agree_across_engines() {
+        for src in [
+            nbody_lite(30),
+            spectral(10),
+            leibniz(200),
+            sieve(300),
+            matmul(6),
+            kmeans_lite(50),
+        ] {
+            minipy::check_engines_agree(&src, 3).expect("engines agree");
+        }
+    }
+
+    #[test]
+    fn kmeans_centroids_are_seed_invariant() {
+        // The workload's own LCG drives the points, so the checksum must not
+        // depend on the VM seed.
+        let src = kmeans_lite(80);
+        let mut a = Session::start(&src, 1, VmConfig::interp()).unwrap();
+        let mut b = Session::start(&src, 12345, VmConfig::interp()).unwrap();
+        assert_eq!(
+            {
+                let r = a.run_iteration().unwrap();
+                a.render(r.value)
+            },
+            {
+                let r = b.run_iteration().unwrap();
+                b.render(r.value)
+            }
+        );
+    }
+}

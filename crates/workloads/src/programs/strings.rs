@@ -1,0 +1,126 @@
+//! String-processing workloads (pyperformance's `unpack_sequence`,
+//! `regex_*`-adjacent shapes without a regex engine).
+
+/// Repeated concat / join / split / replace over generated text.
+pub fn string_builder(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def run():
+    parts = []
+    i = 0
+    while i < N:
+        parts.append('seg' + str(i % 100))
+        i = i + 1
+    joined = ','.join(parts)
+    back = joined.split(',')
+    total = len(back)
+    upper = joined.upper()
+    replaced = joined.replace('seg1', 'SEG_ONE')
+    total = total + len(upper) + len(replaced)
+    check = 0
+    for p in back:
+        check = check + len(p)
+    return total + check
+"
+    )
+}
+
+/// Word counting into a dict: split text, tally frequencies, sum counts of
+/// selected words. String hashing + dict probing dominated.
+pub fn word_count(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+VOCAB = ['the', 'quick', 'brown', 'fox', 'jumps', 'over', 'lazy', 'dog', 'and', 'runs']
+
+words = []
+v = 123
+i = 0
+while i < N:
+    v = (v * 1103515245 + 12345) % 2147483648
+    words.append(VOCAB[v % 10])
+    i = i + 1
+text = ' '.join(words)
+
+def run():
+    counts = {{}}
+    for w in text.split(' '):
+        counts[w] = counts.get(w, 0) + 1
+    total = 0
+    for w in VOCAB:
+        total = total + counts.get(w, 0) * len(w)
+    return total
+"
+    )
+}
+
+/// Naive substring matching: scan a haystack for needles character by
+/// character (regex-engine stand-in, branch heavy).
+pub fn substring_scan(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+hay = ''
+v = 9
+i = 0
+while i < N:
+    v = (v * 1103515245 + 12345) % 2147483648
+    hay = hay + chr(97 + v % 4)
+    i = i + 1
+
+def count_matches(haystack, needle):
+    count = 0
+    limit = len(haystack) - len(needle) + 1
+    i = 0
+    while i < limit:
+        j = 0
+        ok = True
+        while j < len(needle):
+            if haystack[i + j] != needle[j]:
+                ok = False
+                break
+            j = j + 1
+        if ok:
+            count = count + 1
+        i = i + 1
+    return count
+
+def run():
+    total = count_matches(hay, 'abc')
+    total = total + count_matches(hay, 'aa') * 3
+    total = total + count_matches(hay, 'dcba') * 7
+    return total
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::{Session, VmConfig};
+
+    #[test]
+    fn all_string_sources_compile_and_run() {
+        for src in [string_builder(60), word_count(150), substring_scan(120)] {
+            let mut s = Session::start(&src, 1, VmConfig::interp()).expect("compile+setup");
+            s.run_iteration().expect("iteration");
+        }
+    }
+
+    #[test]
+    fn string_workloads_agree_across_engines() {
+        for src in [string_builder(50), word_count(120), substring_scan(100)] {
+            minipy::check_engines_agree(&src, 7).expect("engines agree");
+        }
+    }
+
+    #[test]
+    fn word_count_is_deterministic_across_seeds() {
+        let src = word_count(200);
+        let mut a = Session::start(&src, 2, VmConfig::interp()).unwrap();
+        let mut b = Session::start(&src, 77, VmConfig::interp()).unwrap();
+        assert_eq!(a.checksum().unwrap(), b.checksum().unwrap());
+    }
+}

@@ -1,0 +1,352 @@
+//! The workload registry: every benchmark in the suite with its size
+//! parameterization, discoverable by name.
+
+use serde::{Deserialize, Serialize};
+
+use crate::programs::{adversarial, control, data, numeric, strings};
+
+/// Behavioural category of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Float/int arithmetic kernels.
+    Numeric,
+    /// Dict/list-dominated data-structure churn.
+    Data,
+    /// String processing.
+    Strings,
+    /// Calls, recursion, branchy state machines.
+    Control,
+    /// Methodology stressors: type-polymorphic, startup-dominated,
+    /// GC-pressure workloads.
+    Adversarial,
+}
+
+impl Category {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Numeric => "numeric",
+            Category::Data => "data",
+            Category::Strings => "string",
+            Category::Control => "control",
+            Category::Adversarial => "adversarial",
+        }
+    }
+}
+
+/// Size preset for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Size {
+    /// Fast: for unit tests and smoke runs.
+    Small,
+    /// The evaluation default.
+    #[default]
+    Default,
+    /// Stress size for precision sweeps.
+    Large,
+}
+
+/// One benchmark in the suite.
+#[derive(Clone)]
+pub struct Workload {
+    /// Unique name (stable across versions; used in seeds and reports).
+    pub name: &'static str,
+    /// Behavioural category.
+    pub category: Category,
+    /// One-line description.
+    pub description: &'static str,
+    source_fn: fn(u32) -> String,
+    small: u32,
+    default: u32,
+    large: u32,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// The size parameter for a preset.
+    pub fn size_param(&self, size: Size) -> u32 {
+        match size {
+            Size::Small => self.small,
+            Size::Default => self.default,
+            Size::Large => self.large,
+        }
+    }
+
+    /// Generates the MiniPy source at a size preset.
+    pub fn source(&self, size: Size) -> String {
+        (self.source_fn)(self.size_param(size))
+    }
+
+    /// Generates the MiniPy source with an explicit size parameter.
+    pub fn source_with(&self, n: u32) -> String {
+        (self.source_fn)(n)
+    }
+}
+
+/// Returns the full benchmark suite in canonical order.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "nbody_lite",
+            category: Category::Numeric,
+            description: "pairwise-force float physics steps",
+            source_fn: numeric::nbody_lite,
+            small: 30,
+            default: 100,
+            large: 300,
+        },
+        Workload {
+            name: "spectral",
+            category: Category::Numeric,
+            description: "spectral-norm style A·v products",
+            source_fn: numeric::spectral,
+            small: 10,
+            default: 20,
+            large: 40,
+        },
+        Workload {
+            name: "leibniz",
+            category: Category::Numeric,
+            description: "Leibniz pi series (pure float loop)",
+            source_fn: numeric::leibniz,
+            small: 800,
+            default: 3_000,
+            large: 10_000,
+        },
+        Workload {
+            name: "sieve",
+            category: Category::Numeric,
+            description: "sieve of Eratosthenes",
+            source_fn: numeric::sieve,
+            small: 500,
+            default: 2_000,
+            large: 6_000,
+        },
+        Workload {
+            name: "kmeans_lite",
+            category: Category::Numeric,
+            description: "k-means clustering with list comprehensions",
+            source_fn: numeric::kmeans_lite,
+            small: 60,
+            default: 200,
+            large: 600,
+        },
+        Workload {
+            name: "matmul",
+            category: Category::Numeric,
+            description: "dense int matrix multiply",
+            source_fn: numeric::matmul,
+            small: 8,
+            default: 15,
+            large: 24,
+        },
+        Workload {
+            name: "dict_churn",
+            category: Category::Data,
+            description: "string-keyed dict insert/lookup/delete waves",
+            source_fn: data::dict_churn,
+            small: 100,
+            default: 400,
+            large: 1_200,
+        },
+        Workload {
+            name: "str_keys",
+            category: Category::Data,
+            description: "string-keyed dict build + iterate",
+            source_fn: data::str_keys,
+            small: 150,
+            default: 600,
+            large: 2_000,
+        },
+        Workload {
+            name: "list_sort",
+            category: Category::Data,
+            description: "build pseudo-random list and sort",
+            source_fn: data::list_sort,
+            small: 400,
+            default: 1_500,
+            large: 5_000,
+        },
+        Workload {
+            name: "graph_bfs",
+            category: Category::Data,
+            description: "BFS over synthetic adjacency lists",
+            source_fn: data::graph_bfs,
+            small: 120,
+            default: 500,
+            large: 1_500,
+        },
+        Workload {
+            name: "json_like",
+            category: Category::Data,
+            description: "build + walk nested record structures",
+            source_fn: data::json_like,
+            small: 80,
+            default: 300,
+            large: 1_000,
+        },
+        Workload {
+            name: "string_builder",
+            category: Category::Strings,
+            description: "concat / join / split / replace churn",
+            source_fn: strings::string_builder,
+            small: 100,
+            default: 400,
+            large: 1_200,
+        },
+        Workload {
+            name: "word_count",
+            category: Category::Strings,
+            description: "split text, tally word frequencies in a dict",
+            source_fn: strings::word_count,
+            small: 200,
+            default: 800,
+            large: 2_500,
+        },
+        Workload {
+            name: "substring_scan",
+            category: Category::Strings,
+            description: "naive substring matching over generated text",
+            source_fn: strings::substring_scan,
+            small: 150,
+            default: 600,
+            large: 2_000,
+        },
+        Workload {
+            name: "fib_recursive",
+            category: Category::Control,
+            description: "recursive Fibonacci (call overhead)",
+            source_fn: control::fib_recursive,
+            small: 12,
+            default: 16,
+            large: 19,
+        },
+        Workload {
+            name: "richards_lite",
+            category: Category::Control,
+            description: "task-scheduler state machine",
+            source_fn: control::richards_lite,
+            small: 80,
+            default: 300,
+            large: 900,
+        },
+        Workload {
+            name: "queens",
+            category: Category::Control,
+            description: "N-queens backtracking search",
+            source_fn: control::queens,
+            small: 5,
+            default: 7,
+            large: 8,
+        },
+        Workload {
+            name: "raytrace_lite",
+            category: Category::Control,
+            description: "ray-sphere intersection loop",
+            source_fn: control::raytrace_lite,
+            small: 100,
+            default: 400,
+            large: 1_200,
+        },
+        Workload {
+            name: "polymorph",
+            category: Category::Adversarial,
+            description: "type-flipping hot loop (JIT deopt churn)",
+            source_fn: adversarial::polymorph,
+            small: 100,
+            default: 400,
+            large: 1_200,
+        },
+        Workload {
+            name: "startup_heavy",
+            category: Category::Adversarial,
+            description: "heavy setup, trivial run() (startup-dominated)",
+            source_fn: adversarial::startup_heavy,
+            small: 300,
+            default: 1_000,
+            large: 3_000,
+        },
+        Workload {
+            name: "gc_pressure",
+            category: Category::Adversarial,
+            description: "allocation storm (GC pauses dominate noise)",
+            source_fn: adversarial::gc_pressure,
+            small: 150,
+            default: 600,
+            large: 2_000,
+        },
+    ]
+}
+
+/// Finds a workload by name.
+pub fn find(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+/// Names of all workloads, in canonical order.
+pub fn names() -> Vec<&'static str> {
+    suite().iter().map(|w| w.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_one_workloads_with_unique_names() {
+        let s = suite();
+        assert_eq!(s.len(), 21);
+        let mut names: Vec<_> = s.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21, "duplicate workload names");
+    }
+
+    #[test]
+    fn every_category_is_represented() {
+        let s = suite();
+        for cat in [
+            Category::Numeric,
+            Category::Data,
+            Category::Strings,
+            Category::Control,
+            Category::Adversarial,
+        ] {
+            assert!(s.iter().any(|w| w.category == cat), "missing {cat:?}");
+        }
+    }
+
+    #[test]
+    fn sizes_are_ordered() {
+        for w in suite() {
+            assert!(
+                w.size_param(Size::Small) <= w.size_param(Size::Default)
+                    && w.size_param(Size::Default) <= w.size_param(Size::Large),
+                "{}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert!(find("sieve").is_some());
+        assert!(find("nope").is_none());
+        assert_eq!(find("sieve").unwrap().category, Category::Numeric);
+    }
+
+    #[test]
+    fn sources_embed_the_size_parameter() {
+        let w = find("leibniz").unwrap();
+        assert!(w.source(Size::Small).contains("TERMS = 800"));
+        assert!(w.source_with(123).contains("TERMS = 123"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Rigorous VM comparison: interpreter vs JIT across a suite subset, with
+//! per-benchmark speedup CIs and the geometric-mean summary — a miniature of
+//! the paper's headline experiment.
+//!
+//! Run with: `cargo run --release -p examples --bin compare_vms`
+
+use rigor::{
+    compare_suite, fmt_ci, measure_workload, ExperimentConfig, SteadyStateDetector, Table,
+};
+use rigor_workloads::{find, Size};
+
+const BENCHMARKS: [&str; 6] = [
+    "leibniz",
+    "sieve",
+    "fib_recursive",
+    "dict_churn",
+    "word_count",
+    "startup_heavy",
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let interp_cfg = ExperimentConfig::interp()
+        .with_invocations(10)
+        .with_iterations(25)
+        .with_size(Size::Default)
+        .with_seed(7);
+    let jit_cfg = ExperimentConfig::jit()
+        .with_invocations(10)
+        .with_iterations(25)
+        .with_size(Size::Default)
+        .with_seed(7);
+
+    let mut pairs = Vec::new();
+    for name in BENCHMARKS {
+        let w = find(name).expect("known benchmark");
+        println!("measuring {name} on both engines ...");
+        pairs.push((
+            measure_workload(&w, &interp_cfg)?,
+            measure_workload(&w, &jit_cfg)?,
+        ));
+    }
+
+    let suite = compare_suite(&pairs, &SteadyStateDetector::default(), 0.95);
+    let mut table = Table::new(vec!["benchmark", "JIT speedup [95% CI]", "significant"]);
+    for r in &suite.per_benchmark {
+        table.row(vec![
+            r.benchmark.clone(),
+            fmt_ci(&r.speedup),
+            if r.significant { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("\n{table}");
+    for (name, err) in &suite.failures {
+        println!("not converged: {name}: {err}");
+    }
+    if let Some(g) = &suite.geomean {
+        println!("geometric-mean speedup: {}", fmt_ci(g));
+    }
+    Ok(())
+}

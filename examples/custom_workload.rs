@@ -1,0 +1,77 @@
+//! Bring your own benchmark: write a MiniPy workload inline, validate it on
+//! both engines, characterize it, and measure it rigorously.
+//!
+//! Run with: `cargo run --release -p examples --bin custom_workload`
+
+use minipy::{check_engines_agree, Session, VmConfig};
+use rigor::{fmt_ns, measure_source, precision_of, ExperimentConfig, SteadyStateDetector};
+
+/// Collatz trajectory lengths — any module defining `run()` is a workload.
+const SOURCE: &str = "\
+LIMIT = 600
+
+def collatz_len(n):
+    steps = 0
+    while n != 1:
+        if n % 2 == 0:
+            n = n // 2
+        else:
+            n = 3 * n + 1
+        steps = steps + 1
+    return steps
+
+def run():
+    longest = 0
+    total = 0
+    n = 2
+    while n < LIMIT:
+        l = collatz_len(n)
+        total = total + l
+        if l > longest:
+            longest = l
+        n = n + 1
+    return longest * 1000000 + total
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Sanity: both engines must compute the same checksum.
+    let checksum = check_engines_agree(SOURCE, 1)?;
+    println!("checksum (both engines agree): {checksum}");
+
+    // 2. Peek at one session's dynamic profile.
+    let mut session = Session::start(SOURCE, 1, VmConfig::interp())?;
+    let iter = session.run_iteration()?;
+    println!(
+        "one interp iteration: {} ({} bytecodes, {} calls)",
+        fmt_ns(iter.virtual_ns),
+        iter.counters.total_ops,
+        iter.counters.calls
+    );
+
+    // 3. Measure rigorously on both engines.
+    let det = SteadyStateDetector::default();
+    for cfg in [
+        ExperimentConfig::interp()
+            .with_invocations(8)
+            .with_iterations(20)
+            .with_seed(5),
+        ExperimentConfig::jit()
+            .with_invocations(8)
+            .with_iterations(20)
+            .with_seed(5),
+    ] {
+        let engine = cfg.engine.name();
+        let m = measure_source(SOURCE, "collatz", &cfg)?;
+        let (ci, _) = precision_of(&m, &det, 0.95);
+        match ci {
+            Some(ci) => println!(
+                "{engine:>7}: steady mean {} [{}, {}]",
+                fmt_ns(ci.estimate),
+                fmt_ns(ci.lower),
+                fmt_ns(ci.upper)
+            ),
+            None => println!("{engine:>7}: no steady state reached"),
+        }
+    }
+    Ok(())
+}

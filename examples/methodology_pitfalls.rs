@@ -1,0 +1,73 @@
+//! Methodology pitfalls, demonstrated: what each popular shortcut concludes
+//! about "is the JIT faster?" versus the rigorous answer.
+//!
+//! Run with: `cargo run --release -p examples --bin methodology_pitfalls`
+
+use rigor::{
+    all_schemes, compare, measure_workload, verdict_from_ci, ExperimentConfig, SteadyStateDetector,
+    Table, Verdict,
+};
+use rigor_workloads::{find, Size};
+
+fn verdict_label(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Faster => "JIT faster",
+        Verdict::Slower => "JIT slower(!)",
+        Verdict::Same => "no difference",
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // dict_churn: the JIT's compile pause makes its *first* iteration slower
+    // than the interpreter's, so single-shot timing flips the conclusion.
+    let w = find("dict_churn").expect("in the suite");
+    let interp_cfg = ExperimentConfig::interp()
+        .with_invocations(12)
+        .with_iterations(30)
+        .with_size(Size::Default)
+        .with_seed(3);
+    let jit_cfg = ExperimentConfig::jit()
+        .with_invocations(12)
+        .with_iterations(30)
+        .with_size(Size::Default)
+        .with_seed(3);
+    let base = measure_workload(&w, &interp_cfg)?;
+    let cand = measure_workload(&w, &jit_cfg)?;
+
+    let truth = compare(&base, &cand, &SteadyStateDetector::default(), 0.95)?;
+    println!(
+        "rigorous ground truth for {}: {:.2}x [{:.2}, {:.2}] → {}\n",
+        w.name,
+        truth.speedup.estimate,
+        truth.speedup.lower,
+        truth.speedup.upper,
+        verdict_label(verdict_from_ci(&truth.speedup, 0.05))
+    );
+
+    let mut table = Table::new(vec![
+        "methodology",
+        "speedup estimate",
+        "conclusion",
+        "error vs truth",
+    ]);
+    for scheme in all_schemes() {
+        // A naive experimenter runs one process: use invocation 0.
+        let estimate = scheme.speedup(&base, &cand, 0).expect("has data");
+        let verdict = rigor::verdict_from_point(estimate, 0.05);
+        table.row(vec![
+            scheme.label(),
+            format!("{estimate:.2}x"),
+            verdict_label(verdict).to_string(),
+            format!("{:+.1}%", (estimate / truth.speedup.estimate - 1.0) * 100.0),
+        ]);
+    }
+    table.row(vec![
+        "rigorous (this library)".to_string(),
+        format!("{:.2}x", truth.speedup.estimate),
+        verdict_label(verdict_from_ci(&truth.speedup, 0.05)).to_string(),
+        "ground truth".to_string(),
+    ]);
+    println!("{table}");
+    println!("NaiveScheme::SingleIteration times the JIT compiler, not the program.");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Measure once, analyze many times: export measurements to JSON, then
+//! re-analyze them offline — different detectors, different confidence
+//! levels — without re-running a single VM invocation. This is the workflow
+//! that makes expensive measurement campaigns reusable.
+//!
+//! Run with: `cargo run --release -p examples --bin offline_reanalysis`
+
+use rigor::{
+    compare, from_json, measure_workload, to_json, ExperimentConfig, SteadyStateDetector,
+};
+use rigor_workloads::{find, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Phase 1: the (expensive) measurement campaign -------------------
+    let w = find("sieve").expect("in the suite");
+    let interp = measure_workload(
+        &w,
+        &ExperimentConfig::interp().with_invocations(10).with_iterations(25).with_seed(21),
+    )?;
+    let jit = measure_workload(
+        &w,
+        &ExperimentConfig::jit().with_invocations(10).with_iterations(25).with_seed(21),
+    )?;
+    let archive = to_json(&[interp, jit])?;
+    println!("archived {} bytes of raw measurements (normally written to disk)\n", archive.len());
+
+    // --- Phase 2: offline re-analysis, possibly much later ----------------
+    let measurements = from_json(&archive)?;
+    let (interp, jit) = (&measurements[0], &measurements[1]);
+    println!(
+        "loaded: {} on {} and {} ({} invocations x {} iterations each)\n",
+        interp.benchmark,
+        interp.engine,
+        jit.engine,
+        interp.n_invocations(),
+        interp.n_iterations()
+    );
+
+    // The same data under every detector:
+    for detector in [
+        SteadyStateDetector::cov_window(),
+        SteadyStateDetector::changepoint(),
+        SteadyStateDetector::robust_tail(),
+    ] {
+        match compare(interp, jit, &detector, 0.95) {
+            Ok(r) => println!(
+                "{:<12} speedup {:.2}x [{:.2}, {:.2}] (steady from interp:{} / jit:{})",
+                detector.name(),
+                r.speedup.estimate,
+                r.speedup.lower,
+                r.speedup.upper,
+                r.base_steady_start,
+                r.cand_steady_start
+            ),
+            Err(e) => println!("{:<12} {e}", detector.name()),
+        }
+    }
+
+    // ... and at different confidence levels:
+    println!();
+    for confidence in [0.90, 0.95, 0.99] {
+        let r = compare(interp, jit, &SteadyStateDetector::default(), confidence)?;
+        println!(
+            "{:.0}% CI: [{:.3}, {:.3}] (half-width {:.3})",
+            confidence * 100.0,
+            r.speedup.lower,
+            r.speedup.upper,
+            r.speedup.half_width()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: measure one benchmark rigorously and print its steady-state
+//! mean with a 95% confidence interval.
+//!
+//! Run with: `cargo run --release -p examples --bin quickstart`
+
+use rigor::{
+    common_steady_start, fmt_ns, measure_workload, precision_of, ExperimentConfig,
+    SteadyStateDetector,
+};
+use rigor_workloads::{find, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pick a workload from the suite.
+    let sieve = find("sieve").expect("sieve is in the suite");
+    println!("benchmark : {} — {}", sieve.name, sieve.description);
+
+    // Design the experiment: 10 fresh VM invocations x 20 iterations each.
+    let config = ExperimentConfig::interp()
+        .with_invocations(10)
+        .with_iterations(20)
+        .with_size(Size::Default)
+        .with_seed(42);
+
+    // Measure. Every per-iteration virtual time is recorded.
+    let measurement = measure_workload(&sieve, &config)?;
+    println!(
+        "measured  : {} invocations x {} iterations",
+        measurement.n_invocations(),
+        measurement.n_iterations()
+    );
+
+    // Detect steady state per invocation and find the common steady window.
+    let detector = SteadyStateDetector::default();
+    let steady_start = common_steady_start(measurement.series(), &detector)
+        .expect("the interpreter reaches steady state");
+    println!("steady    : from iteration {steady_start}");
+
+    // The rigorous answer: a confidence interval over per-invocation means.
+    let (ci, rel) = precision_of(&measurement, &detector, 0.95);
+    let ci = ci.expect("enough invocations for a CI");
+    println!(
+        "result    : {} [{}, {}] at 95% confidence (+/-{:.2}%)",
+        fmt_ns(ci.estimate),
+        fmt_ns(ci.lower),
+        fmt_ns(ci.upper),
+        rel.unwrap_or(f64::NAN) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Warmup analysis: per-iteration curves, steady-state detection under
+//! multiple detectors, and warmup classification for one benchmark on the
+//! JIT engine.
+//!
+//! Run with: `cargo run --release -p examples --bin warmup_analysis`
+
+use rigor::{
+    fmt_ns, measure_workload, sparkline, ExperimentConfig, SteadyStateDetector, WarmupClassifier,
+};
+use rigor_workloads::{find, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = find("spectral").expect("in the suite");
+    let cfg = ExperimentConfig::jit()
+        .with_invocations(5)
+        .with_iterations(50)
+        .with_size(Size::Default)
+        .with_seed(11);
+    let m = measure_workload(&w, &cfg)?;
+
+    println!("{} on the JIT engine — per-invocation series:\n", w.name);
+    let classifier = WarmupClassifier::default();
+    for (i, series) in m.series().enumerate() {
+        let class = classifier.classify(series);
+        println!(
+            "invocation {i}: {}  first={} last={}  class={}",
+            sparkline(series),
+            fmt_ns(series[0]),
+            fmt_ns(*series.last().expect("non-empty")),
+            class.label()
+        );
+    }
+
+    println!("\nsteady-state starts per detector (max across invocations):");
+    for det in [
+        SteadyStateDetector::cov_window(),
+        SteadyStateDetector::changepoint(),
+        SteadyStateDetector::robust_tail(),
+    ] {
+        let start = rigor::common_steady_start(m.series(), &det);
+        println!(
+            "  {:<12} {}",
+            det.name(),
+            match start {
+                Some(s) => format!("iteration {s}"),
+                None => "never".to_string(),
+            }
+        );
+    }
+
+    // What ignoring warmup would cost: mean over all iterations vs steady tail.
+    let det = SteadyStateDetector::default();
+    if let Some(start) = rigor::common_steady_start(m.series(), &det) {
+        let all = rigor_stats::mean(&m.all_means());
+        let steady = rigor_stats::mean(&m.tail_means(start));
+        println!(
+            "\nmean including warmup: {}   steady-state mean: {}   bias: {:+.1}%",
+            fmt_ns(all),
+            fmt_ns(steady),
+            (all / steady - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}

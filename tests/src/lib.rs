@@ -1,0 +1,29 @@
+//! Integration-test support crate.
+//!
+//! The actual integration tests live in `tests/tests/*.rs`; this library only
+//! hosts small shared helpers for them.
+
+/// Builds a deterministic experiment seed for integration tests.
+///
+/// Keeping the seed derivation in one place means every integration test that
+/// wants reproducible output agrees on the same seeding scheme.
+pub fn test_seed(case: &str) -> u64 {
+    // FNV-1a over the case name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in case.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_seed;
+
+    #[test]
+    fn seed_is_deterministic() {
+        assert_eq!(test_seed("abc"), test_seed("abc"));
+        assert_ne!(test_seed("abc"), test_seed("abd"));
+    }
+}

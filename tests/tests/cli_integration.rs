@@ -1,0 +1,74 @@
+//! End-to-end tests of the CLI surface through the library entry point
+//! (`rigor_cli::run`), covering exit codes and export side effects.
+
+use std::fs;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn tmp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rigor-cli-integration");
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn help_list_and_characterize_exit_zero() {
+    assert_eq!(rigor_cli::run(&argv("help")), 0);
+    assert_eq!(rigor_cli::run(&argv("list")), 0);
+    assert_eq!(rigor_cli::run(&argv("characterize leibniz --size small")), 0);
+}
+
+#[test]
+fn bad_input_exit_codes() {
+    // Unknown flag: parse error (2).
+    assert_eq!(rigor_cli::run(&argv("measure sieve --frobnicate 1")), 2);
+    // Unknown benchmark: runtime error (1).
+    assert_eq!(rigor_cli::run(&argv("measure not_a_benchmark -n 2 -i 3")), 1);
+    // Missing file: runtime error (1).
+    assert_eq!(rigor_cli::run(&argv("run /definitely/not/a/file.mp")), 1);
+}
+
+#[test]
+fn measure_exports_both_formats() {
+    let dir = tmp_dir();
+    let json = dir.join("out.json");
+    let csv = dir.join("out.csv");
+    let cmd = format!(
+        "measure sieve -n 3 -i 8 --size small --seed 5 --json {} --csv {}",
+        json.display(),
+        csv.display()
+    );
+    assert_eq!(rigor_cli::run(&argv(&cmd)), 0);
+    let parsed = rigor::from_json(&fs::read_to_string(&json).expect("json written"))
+        .expect("valid export");
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed[0].benchmark, "sieve");
+    assert_eq!(parsed[0].n_invocations(), 3);
+    let csv_text = fs::read_to_string(&csv).expect("csv written");
+    assert_eq!(csv_text.trim().lines().count(), 1 + 3 * 8);
+}
+
+#[test]
+fn compare_runs_on_jit_friendly_benchmark() {
+    assert_eq!(rigor_cli::run(&argv("compare leibniz -n 4 -i 20 --size small")), 0);
+}
+
+#[test]
+fn warmup_runs_on_jit_engine() {
+    assert_eq!(rigor_cli::run(&argv("warmup sieve --engine jit -n 3 -i 15 --size small")), 0);
+}
+
+#[test]
+fn run_and_disasm_shipped_fixture() {
+    // The repository ships a sample workload; resolve it relative to the
+    // workspace root (tests run with the package dir as cwd).
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root")
+        .join("examples/fixtures/collatz.mp");
+    assert!(fixture.exists(), "sample fixture must ship with the repo");
+    assert_eq!(rigor_cli::run(&argv(&format!("run {}", fixture.display()))), 0);
+    assert_eq!(rigor_cli::run(&argv(&format!("disasm {}", fixture.display()))), 0);
+}

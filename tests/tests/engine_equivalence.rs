@@ -1,0 +1,171 @@
+//! Differential tests: the interpreter and the JIT engine must compute the
+//! same results, always — the JIT differs in virtual time only.
+
+use integration_tests::test_seed;
+use minipy::{JitConfig, NoiseConfig, Session, Value, VmConfig};
+use proptest::prelude::*;
+use rigor_workloads::{random_program, suite, Size};
+
+/// A JIT config with a tiny hot threshold so even short loops compile,
+/// maximizing compiled-code coverage in differential tests.
+fn eager_jit() -> VmConfig {
+    VmConfig {
+        engine: minipy::EngineKind::Jit(JitConfig {
+            hot_threshold: 10,
+            max_guard_failures: 2,
+            mode: minipy::JitMode::Full,
+        }),
+        ..VmConfig::default()
+    }
+}
+
+fn run_many(src: &str, cfg: VmConfig, seed: u64, iters: usize) -> Vec<String> {
+    let mut s = Session::start(src, seed, cfg).expect("session");
+    (0..iters)
+        .map(|_| {
+            let r = s.run_iteration().expect("iteration");
+            s.render(r.value)
+        })
+        .collect()
+}
+
+#[test]
+fn eager_jit_matches_interp_on_whole_suite_across_iterations() {
+    for w in suite() {
+        let src = w.source(Size::Small);
+        let seed = test_seed(w.name);
+        let a = run_many(&src, VmConfig::interp(), seed, 3);
+        let b = run_many(&src, eager_jit(), seed, 3);
+        assert_eq!(a, b, "engine divergence on {}", w.name);
+    }
+}
+
+#[test]
+fn deopt_path_preserves_semantics() {
+    // Type-flipping loop with a hot threshold low enough that guards compile
+    // on the int phase and fail on the float phase.
+    let src = "\
+def total(xs):
+    acc = 0.0
+    for x in xs:
+        acc = acc + x * 3 - 1
+    return acc
+
+def run():
+    ints = [1, 2, 3, 4, 5, 6, 7, 8] * 8
+    floats = [1.5, 2.5, 3.5, 4.5] * 16
+    return total(ints) + total(floats) + total(ints)
+";
+    let a = run_many(src, VmConfig::interp(), 1, 5);
+    let b = run_many(src, eager_jit(), 1, 5);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn blacklisted_loops_still_compute_correctly() {
+    // Alternate among three types so guards exhaust their failure budget.
+    let src = "\
+def mix(i):
+    if i % 3 == 0:
+        return 1
+    if i % 3 == 1:
+        return 1.5
+    return True
+
+def run():
+    acc = 0.0
+    i = 0
+    while i < 200:
+        acc = acc + mix(i) + mix(i + 1)
+        i = i + 1
+    return floor(acc * 10.0)
+";
+    let a = run_many(src, VmConfig::interp(), 2, 4);
+    let b = run_many(src, eager_jit(), 2, 4);
+    assert_eq!(a, b);
+    // Confirm the adversarial pattern actually exercised the deopt machinery.
+    let mut s = Session::start(src, 2, eager_jit()).unwrap();
+    for _ in 0..4 {
+        s.run_iteration().unwrap();
+    }
+    assert!(s.vm().counters().deopts > 0, "expected guard failures");
+}
+
+#[test]
+fn noise_sources_never_change_results() {
+    let w = rigor_workloads::find("dict_churn").expect("in suite");
+    let src = w.source(Size::Small);
+    let mut configs = Vec::new();
+    for hash in [false, true] {
+        for layout in [false, true] {
+            let mut cfg = VmConfig::interp();
+            cfg.noise = NoiseConfig {
+                hash_randomization: hash,
+                layout,
+                os_jitter: hash,
+                gc_costed: layout,
+            };
+            configs.push(cfg);
+        }
+    }
+    let mut results = Vec::new();
+    for cfg in configs {
+        results.push(run_many(&src, cfg, 9, 2));
+    }
+    for r in &results[1..] {
+        assert_eq!(
+            *r, results[0],
+            "noise must only perturb time, never semantics"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential fuzzing: random integer programs produce identical
+    /// results on both engines, across iterations and seeds.
+    #[test]
+    fn random_programs_are_engine_equivalent(seed in 0u64..5000) {
+        let src = random_program(seed);
+        let a = run_many(&src, VmConfig::interp(), seed, 2);
+        let b = run_many(&src, eager_jit(), seed, 2);
+        prop_assert_eq!(a, b, "divergence for generator seed {}:\n{}", seed, src);
+    }
+
+    /// Virtual time is deterministic: identical seeds and configs yield
+    /// identical clocks, regardless of which engine.
+    #[test]
+    fn virtual_time_is_reproducible(seed in 0u64..1000) {
+        let src = random_program(seed);
+        let run_ns = |cfg: VmConfig| -> f64 {
+            let mut s = Session::start(&src, seed, cfg).expect("session");
+            s.run_iteration().expect("iteration");
+            s.vm().now_ns()
+        };
+        prop_assert_eq!(run_ns(VmConfig::interp()), run_ns(VmConfig::interp()));
+        prop_assert_eq!(run_ns(eager_jit()), run_ns(eager_jit()));
+    }
+}
+
+#[test]
+fn jit_returns_same_value_type_as_interp() {
+    // Return-type preservation under compilation: floats stay floats.
+    let src = "\
+def run():
+    acc = 0.0
+    i = 0
+    while i < 100:
+        acc = acc + 0.5
+        i = i + 1
+    return acc
+";
+    let mut si = Session::start(src, 1, VmConfig::interp()).unwrap();
+    let mut sj = Session::start(src, 1, eager_jit()).unwrap();
+    for _ in 0..3 {
+        let a = si.run_iteration().unwrap().value;
+        let b = sj.run_iteration().unwrap().value;
+        assert_eq!(a, Value::Float(50.0));
+        assert_eq!(b, Value::Float(50.0));
+    }
+}

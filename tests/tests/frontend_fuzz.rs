@@ -1,0 +1,110 @@
+//! Robustness fuzzing of the MiniPy front end: the lexer, parser and
+//! compiler must return errors — never panic — on arbitrary input, and the
+//! VM must stay inside its error taxonomy on arbitrary-but-parseable input.
+
+use minipy::{compile, parse, Session, VmConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (as a string) never panics the pipeline.
+    #[test]
+    fn arbitrary_strings_never_panic(src in ".{0,200}") {
+        let _ = parse(&src);
+        let _ = compile(&src);
+    }
+
+    /// Strings built from MiniPy's own alphabet — much more likely to get
+    /// deep into the parser — still never panic.
+    #[test]
+    fn minipy_flavoured_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "def ", "return ", "if ", "else:", "elif ", "while ", "for ",
+                "in ", "break", "continue", "pass", "and ", "or ", "not ",
+                "x", "y", "f", "run", "0", "1", "2.5", "'s'", "(", ")", "[",
+                "]", "{", "}", ":", ",", ".", " + ", " - ", " * ", " / ",
+                " // ", " % ", " ** ", " = ", " == ", " < ", "\n", "\n    ",
+                "\n        ", "lambda", "global ", "del ",
+            ]),
+            0..40,
+        )
+    ) {
+        let src: String = tokens.concat();
+        let _ = parse(&src);
+        let _ = compile(&src);
+    }
+
+    /// Everything that compiles either runs to completion or raises a
+    /// classified runtime error — never an internal error, never a panic.
+    #[test]
+    fn compiled_soup_runs_or_raises_cleanly(
+        stmts in prop::collection::vec(
+            prop::sample::select(vec![
+                "x = 1",
+                "x = x + 1",
+                "y = [1, 2, 3]",
+                "y = y[x]",
+                "z = {}",
+                "z[x] = y",
+                "x = x / (x - 1)",
+                "x = unknown",
+                "x = y.pop()",
+                "x = len(z)",
+                "x = int('nope')",
+                "x = 2 ** 62 * 4",
+            ]),
+            1..12,
+        )
+    ) {
+        let src: String = stmts.iter().map(|s| format!("{s}\n")).collect();
+        if compile(&src).is_ok() {
+            let mut cfg = VmConfig::interp();
+            cfg.time_budget_ns = Some(1.0e8);
+            match Session::start(&src, 1, cfg) {
+                Ok(_) => {}
+                Err(e) => {
+                    // Must be a classified runtime error, not an internal one.
+                    let kind = e.runtime_kind().expect("runtime error expected");
+                    prop_assert_ne!(kind, minipy::RuntimeErrorKind::Internal, "{}", e);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow_the_parser() {
+    // 300 nested parens/brackets: either parses or errors, no stack overflow.
+    let mut src = String::from("x = ");
+    for _ in 0..300 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..300 {
+        src.push(')');
+    }
+    src.push('\n');
+    let _ = compile(&src);
+}
+
+#[test]
+fn pathological_indentation() {
+    let mut src = String::new();
+    for depth in 0..60 {
+        src.push_str(&" ".repeat(depth * 4));
+        src.push_str("if 1:\n");
+    }
+    src.push_str(&" ".repeat(60 * 4));
+    src.push_str("pass\n");
+    let _ = compile(&src);
+}
+
+#[test]
+fn long_lines_and_many_constants() {
+    let terms: Vec<String> = (0..2000).map(|i| i.to_string()).collect();
+    let src = format!("x = {}\n", terms.join(" + "));
+    let program = compile(&src).expect("long sums compile");
+    assert!(program.total_ops() > 2000);
+}

@@ -1,0 +1,128 @@
+//! End-to-end pipeline integration tests: workload source → suite → runner →
+//! steady-state detection → rigorous comparison.
+
+use integration_tests::test_seed;
+use rigor::{compare, compare_suite, measure_workload, ExperimentConfig, SteadyStateDetector};
+use rigor_workloads::{find, suite, Size};
+
+fn interp(invocations: u32, iterations: u32) -> ExperimentConfig {
+    ExperimentConfig::interp()
+        .with_invocations(invocations)
+        .with_iterations(iterations)
+        .with_size(Size::Small)
+        .with_seed(test_seed("pipeline"))
+}
+
+fn jit(invocations: u32, iterations: u32) -> ExperimentConfig {
+    ExperimentConfig::jit()
+        .with_invocations(invocations)
+        .with_iterations(iterations)
+        .with_size(Size::Small)
+        .with_seed(test_seed("pipeline"))
+}
+
+#[test]
+fn full_pipeline_detects_jit_speedup_on_numeric_kernel() {
+    let w = find("leibniz").expect("in suite");
+    let base = measure_workload(&w, &interp(6, 25)).expect("interp");
+    let cand = measure_workload(&w, &jit(6, 25)).expect("jit");
+    let r = compare(&base, &cand, &SteadyStateDetector::default(), 0.95).expect("converges");
+    assert!(r.significant, "{:?}", r.speedup);
+    assert!(r.speedup.estimate > 3.0, "leibniz speedup {:?}", r.speedup);
+    assert!(r.speedup.lower > 1.0);
+    assert!(r.effect_size > 1.0);
+}
+
+#[test]
+fn startup_dominated_benchmark_shows_no_speedup() {
+    let w = find("startup_heavy").expect("in suite");
+    let base = measure_workload(&w, &interp(6, 25)).expect("interp");
+    let cand = measure_workload(&w, &jit(6, 25)).expect("jit");
+    let r = compare(&base, &cand, &SteadyStateDetector::default(), 0.95).expect("converges");
+    assert!(
+        r.speedup.estimate < 1.3,
+        "trivial run() must not benefit from the JIT: {:?}",
+        r.speedup
+    );
+}
+
+#[test]
+fn engines_agree_semantically_on_whole_suite() {
+    for w in suite() {
+        let src = w.source(Size::Small);
+        minipy::check_engines_agree(&src, test_seed(w.name))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn checksums_consistent_across_invocations_for_whole_suite() {
+    for w in suite() {
+        let m = measure_workload(&w, &interp(3, 2)).expect(w.name);
+        assert!(
+            m.checksums_consistent(),
+            "{} must compute a seed-independent checksum",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn suite_comparison_on_subset_has_sane_geomean() {
+    let names = ["sieve", "fib_recursive", "dict_churn"];
+    let mut pairs = Vec::new();
+    for name in names {
+        let w = find(name).expect("in suite");
+        pairs.push((
+            measure_workload(&w, &interp(5, 25)).expect("interp"),
+            measure_workload(&w, &jit(5, 25)).expect("jit"),
+        ));
+    }
+    let s = compare_suite(&pairs, &SteadyStateDetector::default(), 0.95);
+    assert!(s.failures.is_empty(), "{:?}", s.failures);
+    assert_eq!(s.per_benchmark.len(), 3);
+    let g = s.geomean.expect("geomean");
+    assert!(g.estimate > 1.2, "suite geomean {g:?}");
+    assert!(g.lower <= g.estimate && g.estimate <= g.upper);
+}
+
+#[test]
+fn experiment_is_fully_reproducible_end_to_end() {
+    let w = find("str_keys").expect("in suite");
+    let cfg = interp(4, 6);
+    let a = measure_workload(&w, &cfg).expect("run a");
+    let b = measure_workload(&w, &cfg).expect("run b");
+    let ja = rigor::to_json(&[a]).expect("json");
+    let jb = rigor::to_json(&[b]).expect("json");
+    assert_eq!(
+        ja, jb,
+        "identical configs must produce byte-identical exports"
+    );
+}
+
+#[test]
+fn export_roundtrip_preserves_measurement() {
+    let w = find("sieve").expect("in suite");
+    let m = measure_workload(&w, &interp(3, 4)).expect("run");
+    let json = rigor::to_json(std::slice::from_ref(&m)).expect("json");
+    let back = rigor::from_json(&json).expect("parse");
+    assert_eq!(back[0].benchmark, m.benchmark);
+    assert_eq!(
+        back[0].invocations[2].iteration_ns,
+        m.invocations[2].iteration_ns
+    );
+    let csv = rigor::to_csv(&back);
+    assert_eq!(csv.trim().lines().count(), 1 + 3 * 4);
+}
+
+#[test]
+fn interp_is_steady_immediately_jit_is_not() {
+    let w = find("leibniz").expect("in suite");
+    let det = SteadyStateDetector::default();
+    let mi = measure_workload(&w, &interp(4, 25)).expect("interp");
+    let mj = measure_workload(&w, &jit(4, 25)).expect("jit");
+    let si = rigor::common_steady_start(mi.series(), &det).expect("interp steady");
+    let sj = rigor::common_steady_start(mj.series(), &det).expect("jit steady");
+    assert_eq!(si, 0, "interpreter has no warmup");
+    assert!(sj >= 1, "JIT must show warmup, got steady start {sj}");
+}
