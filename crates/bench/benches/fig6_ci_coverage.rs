@@ -39,8 +39,12 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(EVAL_SEED);
-    let mut table =
-        Table::new(vec!["invocations", "t coverage", "percentile bootstrap", "BCa bootstrap"]);
+    let mut table = Table::new(vec![
+        "invocations",
+        "t coverage",
+        "percentile bootstrap",
+        "BCa bootstrap",
+    ]);
     for n in NS {
         let mut t_hits = 0usize;
         let mut b_hits = 0usize;

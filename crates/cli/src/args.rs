@@ -25,6 +25,12 @@ pub struct GlobalOpts {
     pub json_out: Option<String>,
     /// Optional path to write measurements as CSV.
     pub csv_out: Option<String>,
+    /// Stream live per-invocation progress to stderr.
+    pub progress: bool,
+    /// Suppress progress and advisory stderr output.
+    pub quiet: bool,
+    /// Optional path to stream an event trace (JSONL) to.
+    pub trace: Option<String>,
 }
 
 impl Default for GlobalOpts {
@@ -38,6 +44,9 @@ impl Default for GlobalOpts {
             confidence: 0.95,
             json_out: None,
             csv_out: None,
+            progress: false,
+            quiet: false,
+            trace: None,
         }
     }
 }
@@ -61,6 +70,8 @@ pub enum Command {
     Run { path: String },
     /// `rigor disasm <file>` — print a MiniPy file's bytecode.
     Disasm { path: String },
+    /// `rigor trace-summary <file>` — summarize an event trace (JSONL).
+    TraceSummary { path: String },
     /// `rigor help`.
     Help,
 }
@@ -139,6 +150,9 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
             }
             "--json" => opts.json_out = Some(next_value(arg, &mut it)?),
             "--csv" => opts.csv_out = Some(next_value(arg, &mut it)?),
+            "--progress" => opts.progress = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--trace" => opts.trace = Some(next_value(arg, &mut it)?),
             "--help" | "-h" => positional.push("help".to_string()),
             other if other.starts_with('-') => {
                 return Err(err(format!("unknown flag '{other}'")));
@@ -178,6 +192,11 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
         Some("disasm") => Command::Disasm {
             path: pos.next().ok_or_else(|| err("disasm needs a file path"))?,
         },
+        Some("trace-summary") => Command::TraceSummary {
+            path: pos
+                .next()
+                .ok_or_else(|| err("trace-summary needs a trace file path"))?,
+        },
         Some(other) => return Err(err(format!("unknown command '{other}'"))),
     };
     if let Some(extra) = pos.next() {
@@ -202,6 +221,7 @@ COMMANDS:
     warmup <benchmark>        per-invocation warmup curves + classification
     run <file>                execute a MiniPy source file
     disasm <file>             show a MiniPy file's bytecode
+    trace-summary <file>      summarize an event trace written by --trace
     help                      this message
 
 OPTIONS:
@@ -213,6 +233,9 @@ OPTIONS:
     --confidence <0.xx>       confidence level (default 0.95)
     --json <file>             export measurements as JSON
     --csv <file>              export measurements as CSV
+    --progress                live per-invocation progress on stderr
+    -q, --quiet               suppress progress and advisory output
+    --trace <file>            stream experiment events as JSONL
 ";
 
 #[cfg(test)]
@@ -283,6 +306,33 @@ mod tests {
         let (_, opts) = parse_args(&argv("measure sieve --json out.json --csv out.csv")).unwrap();
         assert_eq!(opts.json_out.as_deref(), Some("out.json"));
         assert_eq!(opts.csv_out.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn observability_flags() {
+        let (cmd, opts) =
+            parse_args(&argv("measure sieve --progress --trace t.jsonl --quiet")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Measure {
+                benchmark: "sieve".into()
+            }
+        );
+        assert!(opts.progress);
+        assert!(opts.quiet);
+        assert_eq!(opts.trace.as_deref(), Some("t.jsonl"));
+        assert!(parse_args(&argv("measure sieve --trace")).is_err());
+    }
+
+    #[test]
+    fn trace_summary_takes_a_path() {
+        assert_eq!(
+            parse_args(&argv("trace-summary t.jsonl")).unwrap().0,
+            Command::TraceSummary {
+                path: "t.jsonl".into()
+            }
+        );
+        assert!(parse_args(&argv("trace-summary")).is_err());
     }
 
     #[test]

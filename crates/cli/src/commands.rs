@@ -1,18 +1,20 @@
 //! Implementation of the CLI subcommands.
 
-use std::error::Error;
 use std::fs;
+use std::sync::Arc;
 
 use minipy::{Session, VmConfig};
 use rigor::{
-    compare, compare_suite, fmt_ci, fmt_ns, measure_workload, precision_of, sparkline,
-    ExperimentConfig, SteadyStateDetector, Table, WarmupClassifier,
+    compare, compare_suite, fmt_ci, fmt_ns, precision_of, sparkline, ExperimentConfig,
+    ExperimentEvent, ExperimentObserver, JsonlTraceObserver, ProgressObserver, SteadyStateDetector,
+    Table, WarmupClassifier,
 };
 use rigor_workloads::{characterize, find, suite, Workload};
 
 use crate::args::{Command, GlobalOpts, USAGE};
+use crate::error::{io_err, CliError};
 
-type CliResult = Result<(), Box<dyn Error>>;
+type CliResult = Result<(), CliError>;
 
 /// Dispatches a parsed command.
 pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
@@ -30,32 +32,59 @@ pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
         Command::Warmup { benchmark } => cmd_warmup(benchmark, opts),
         Command::Run { path } => cmd_run(path, opts),
         Command::Disasm { path } => cmd_disasm(path),
+        Command::TraceSummary { path } => cmd_trace_summary(path),
     }
 }
 
-fn lookup(benchmark: &str) -> Result<Workload, Box<dyn Error>> {
-    find(benchmark)
-        .ok_or_else(|| format!("unknown benchmark '{benchmark}' (see `rigor list`)").into())
+fn lookup(benchmark: &str) -> Result<Workload, CliError> {
+    find(benchmark).ok_or_else(|| CliError::UnknownBenchmark(benchmark.to_string()))
 }
 
 fn experiment_config(opts: &GlobalOpts) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::interp()
+    ExperimentConfig::interp()
         .with_invocations(opts.invocations)
         .with_iterations(opts.iterations)
         .with_size(opts.size)
-        .with_seed(opts.seed);
-    cfg.engine = opts.engine;
-    cfg.confidence = opts.confidence;
-    cfg
+        .with_seed(opts.seed)
+        .with_engine(opts.engine)
+        .with_confidence(opts.confidence)
+}
+
+/// Builds the observer set the flags ask for: `--progress` (unless
+/// `--quiet`) and `--trace <path>`. The same observers are shared across
+/// every experiment of a command, so a suite run streams one trace.
+fn observers(opts: &GlobalOpts) -> Result<Vec<Arc<dyn ExperimentObserver>>, CliError> {
+    let mut out: Vec<Arc<dyn ExperimentObserver>> = Vec::new();
+    if opts.progress && !opts.quiet {
+        out.push(Arc::new(ProgressObserver::new()));
+    }
+    if let Some(path) = &opts.trace {
+        let obs = JsonlTraceObserver::create(std::path::Path::new(path)).map_err(io_err(path))?;
+        out.push(Arc::new(obs));
+    }
+    Ok(out)
+}
+
+/// Measures one workload with the given observers attached.
+fn measure_observed(
+    workload: &Workload,
+    cfg: &ExperimentConfig,
+    observers: &[Arc<dyn ExperimentObserver>],
+) -> Result<rigor::BenchmarkMeasurement, CliError> {
+    let mut runner = rigor::Runner::new(cfg.clone());
+    for obs in observers {
+        runner = runner.observer(obs.clone());
+    }
+    Ok(runner.measure(workload)?)
 }
 
 fn export(opts: &GlobalOpts, measurements: &[rigor::BenchmarkMeasurement]) -> CliResult {
     if let Some(path) = &opts.json_out {
-        fs::write(path, rigor::to_json(measurements)?)?;
+        fs::write(path, rigor::to_json(measurements)?).map_err(io_err(path))?;
         println!("wrote {path}");
     }
     if let Some(path) = &opts.csv_out {
-        fs::write(path, rigor::to_csv(measurements))?;
+        fs::write(path, rigor::to_csv(measurements)).map_err(io_err(path))?;
         println!("wrote {path}");
     }
     Ok(())
@@ -130,7 +159,8 @@ fn cmd_characterize(benchmark: &str, opts: &GlobalOpts) -> CliResult {
 fn cmd_measure(benchmark: &str, opts: &GlobalOpts) -> CliResult {
     let w = lookup(benchmark)?;
     let cfg = experiment_config(opts);
-    let m = measure_workload(&w, &cfg)?;
+    let obs = observers(opts)?;
+    let m = measure_observed(&w, &cfg, &obs)?;
     let det = SteadyStateDetector::default();
     println!(
         "{} on {}: {} invocations x {} iterations",
@@ -163,54 +193,57 @@ fn cmd_measure(benchmark: &str, opts: &GlobalOpts) -> CliResult {
 
 fn cmd_compare(benchmark: &str, opts: &GlobalOpts) -> CliResult {
     let w = lookup(benchmark)?;
-    let mut interp_cfg = experiment_config(opts);
-    interp_cfg.engine = minipy::EngineKind::Interp;
-    let mut jit_cfg = experiment_config(opts);
-    jit_cfg.engine = minipy::EngineKind::Jit(minipy::JitConfig::default());
-    let base = measure_workload(&w, &interp_cfg)?;
-    let cand = measure_workload(&w, &jit_cfg)?;
-    match compare(
+    let interp_cfg = experiment_config(opts).with_engine(minipy::EngineKind::Interp);
+    let jit_cfg =
+        experiment_config(opts).with_engine(minipy::EngineKind::Jit(minipy::JitConfig::default()));
+    let obs = observers(opts)?;
+    let base = measure_observed(&w, &interp_cfg, &obs)?;
+    let cand = measure_observed(&w, &jit_cfg, &obs)?;
+    let result = compare(
         &base,
         &cand,
         &SteadyStateDetector::default(),
         opts.confidence,
-    ) {
-        Ok(r) => {
-            println!(
-                "{}: JIT speedup over interpreter: {}",
-                w.name,
-                fmt_ci(&r.speedup)
-            );
-            println!(
-                "interp steady mean {} (from iter {}), jit {} (from iter {})",
-                fmt_ns(r.base_mean_ns),
-                r.base_steady_start,
-                fmt_ns(r.cand_mean_ns),
-                r.cand_steady_start
-            );
-            println!(
-                "significant: {}   p = {:.2e}   Cohen's d = {:.1}",
-                if r.significant { "yes" } else { "no" },
-                r.p_value,
-                r.effect_size
-            );
-        }
-        Err(e) => println!("{}: comparison not possible: {e}", w.name),
+    );
+    if let Ok(r) = &result {
+        println!(
+            "{}: JIT speedup over interpreter: {}",
+            w.name,
+            fmt_ci(&r.speedup)
+        );
+        println!(
+            "interp steady mean {} (from iter {}), jit {} (from iter {})",
+            fmt_ns(r.base_mean_ns),
+            r.base_steady_start,
+            fmt_ns(r.cand_mean_ns),
+            r.cand_steady_start
+        );
+        println!(
+            "significant: {}   p = {:.2e}   Cohen's d = {:.1}",
+            if r.significant { "yes" } else { "no" },
+            r.p_value,
+            r.effect_size
+        );
     }
-    export(opts, &[base, cand])
+    // Export the raw measurements even when the comparison failed, then
+    // surface the failure through the error path (exit 1).
+    export(opts, &[base, cand])?;
+    result.map(|_| ()).map_err(CliError::from)
 }
 
 fn cmd_suite(opts: &GlobalOpts) -> CliResult {
-    let mut interp_cfg = experiment_config(opts);
-    interp_cfg.engine = minipy::EngineKind::Interp;
-    let mut jit_cfg = experiment_config(opts);
-    jit_cfg.engine = minipy::EngineKind::Jit(minipy::JitConfig::default());
+    let interp_cfg = experiment_config(opts).with_engine(minipy::EngineKind::Interp);
+    let jit_cfg =
+        experiment_config(opts).with_engine(minipy::EngineKind::Jit(minipy::JitConfig::default()));
+    let obs = observers(opts)?;
     let mut pairs = Vec::new();
     let mut all = Vec::new();
     for w in suite() {
-        eprintln!("measuring {} ...", w.name);
-        let base = measure_workload(&w, &interp_cfg)?;
-        let cand = measure_workload(&w, &jit_cfg)?;
+        if !opts.quiet {
+            eprintln!("measuring {} ...", w.name);
+        }
+        let base = measure_observed(&w, &interp_cfg, &obs)?;
+        let cand = measure_observed(&w, &jit_cfg, &obs)?;
         all.push(base.clone());
         all.push(cand.clone());
         pairs.push((base, cand));
@@ -244,7 +277,7 @@ fn cmd_suite(opts: &GlobalOpts) -> CliResult {
 fn cmd_warmup(benchmark: &str, opts: &GlobalOpts) -> CliResult {
     let w = lookup(benchmark)?;
     let cfg = experiment_config(opts);
-    let m = measure_workload(&w, &cfg)?;
+    let m = measure_observed(&w, &cfg, &observers(opts)?)?;
     let classifier = WarmupClassifier::default();
     println!("{} on {}:", w.name, cfg.engine.name());
     for (i, series) in m.series().enumerate() {
@@ -274,7 +307,7 @@ fn cmd_warmup(benchmark: &str, opts: &GlobalOpts) -> CliResult {
 }
 
 fn cmd_run(path: &str, opts: &GlobalOpts) -> CliResult {
-    let source = fs::read_to_string(path)?;
+    let source = fs::read_to_string(path).map_err(io_err(path))?;
     let mut vm_cfg = VmConfig {
         engine: opts.engine,
         ..VmConfig::default()
@@ -298,9 +331,150 @@ fn cmd_run(path: &str, opts: &GlobalOpts) -> CliResult {
 }
 
 fn cmd_disasm(path: &str) -> CliResult {
-    let source = fs::read_to_string(path)?;
+    let source = fs::read_to_string(path).map_err(io_err(path))?;
     let program = minipy::compile(&source)?;
     print!("{program}");
+    Ok(())
+}
+
+/// One slowest-iteration row kept while scanning a trace.
+struct SlowIteration {
+    benchmark: String,
+    invocation: u32,
+    iteration: u32,
+    virtual_ns: f64,
+    counters: rigor::IterationCounters,
+}
+
+/// Per-benchmark aggregates over a trace.
+#[derive(Default)]
+struct BenchmarkTotals {
+    invocations: u32,
+    failed: u32,
+    iterations: u64,
+    gc_cycles: u64,
+    jit_compiles: u64,
+    deopts: u64,
+    virtual_ns: f64,
+}
+
+fn cmd_trace_summary(path: &str) -> CliResult {
+    let text = fs::read_to_string(path).map_err(io_err(path))?;
+    let events = rigor::parse_trace(&text).map_err(|e| CliError::Trace {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    if events.is_empty() {
+        println!("{path}: empty trace");
+        return Ok(());
+    }
+
+    // Event counts by kind, in stream order of first appearance.
+    let mut kinds: Vec<(&'static str, u64)> = Vec::new();
+    // Aggregates per benchmark, in order of first appearance.
+    let mut totals: Vec<(String, BenchmarkTotals)> = Vec::new();
+    let mut slowest: Vec<SlowIteration> = Vec::new();
+    for ev in &events {
+        match kinds.iter_mut().find(|(k, _)| *k == ev.name()) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((ev.name(), 1)),
+        }
+        let bench = ev.benchmark().to_string();
+        let totals = match totals.iter_mut().find(|(b, _)| *b == bench) {
+            Some((_, t)) => t,
+            None => {
+                totals.push((bench, BenchmarkTotals::default()));
+                &mut totals.last_mut().expect("just pushed").1
+            }
+        };
+        match ev {
+            ExperimentEvent::IterationFinished {
+                benchmark,
+                invocation,
+                iteration,
+                virtual_ns,
+                counters,
+            } => {
+                totals.iterations += 1;
+                totals.gc_cycles += counters.gc_cycles;
+                totals.jit_compiles += counters.jit_compiles;
+                totals.deopts += counters.deopts;
+                totals.virtual_ns += virtual_ns;
+                slowest.push(SlowIteration {
+                    benchmark: benchmark.clone(),
+                    invocation: *invocation,
+                    iteration: *iteration,
+                    virtual_ns: *virtual_ns,
+                    counters: *counters,
+                });
+                slowest.sort_by(|a, b| b.virtual_ns.partial_cmp(&a.virtual_ns).expect("finite"));
+                slowest.truncate(5);
+            }
+            ExperimentEvent::InvocationFinished { error, .. } => {
+                totals.invocations += 1;
+                if error.is_some() {
+                    totals.failed += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut events_table = Table::new(vec!["event", "count"]).with_title("events");
+    for (kind, n) in &kinds {
+        events_table.row(vec![kind.to_string(), n.to_string()]);
+    }
+    println!("{events_table}");
+
+    let mut bench_table = Table::new(vec![
+        "benchmark",
+        "invocations",
+        "failed",
+        "iterations",
+        "gc cycles",
+        "jit compiles",
+        "deopts",
+        "total time",
+    ])
+    .with_title("per-benchmark totals");
+    for (bench, t) in &totals {
+        bench_table.row(vec![
+            bench.clone(),
+            t.invocations.to_string(),
+            t.failed.to_string(),
+            t.iterations.to_string(),
+            t.gc_cycles.to_string(),
+            t.jit_compiles.to_string(),
+            t.deopts.to_string(),
+            fmt_ns(t.virtual_ns),
+        ]);
+    }
+    println!("{bench_table}");
+
+    if !slowest.is_empty() {
+        let mut slow_table = Table::new(vec![
+            "benchmark",
+            "invocation",
+            "iteration",
+            "time",
+            "gc",
+            "jit",
+            "deopts",
+        ])
+        .with_title("slowest iterations");
+        for s in &slowest {
+            slow_table.row(vec![
+                s.benchmark.clone(),
+                s.invocation.to_string(),
+                s.iteration.to_string(),
+                fmt_ns(s.virtual_ns),
+                s.counters.gc_cycles.to_string(),
+                s.counters.jit_compiles.to_string(),
+                s.counters.deopts.to_string(),
+            ]);
+        }
+        println!("{slow_table}");
+    }
     Ok(())
 }
 

@@ -1,0 +1,147 @@
+//! The CLI's typed error surface, replacing ad-hoc boxed errors.
+//!
+//! Every failure the `rigor` binary can hit maps to one [`CliError`]
+//! variant, and each variant maps to a deterministic exit code:
+//! usage errors exit 2, runtime errors exit 1 (mirroring conventional
+//! Unix tools, and asserted by the integration tests).
+
+use std::fmt;
+
+use crate::args::ParseError;
+use rigor::CompareError;
+
+/// Any failure of a `rigor` invocation.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (unknown flag/command, missing value).
+    Usage(ParseError),
+    /// A benchmark name not present in the suite.
+    UnknownBenchmark(String),
+    /// The VM failed (compile error, runtime error, bad fixture source).
+    Vm(minipy::MpError),
+    /// A statistical comparison could not be carried out.
+    Compare(CompareError),
+    /// Reading or writing a file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// A trace file exists but does not parse as event JSONL.
+    Trace {
+        /// The trace file path.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl CliError {
+    /// The process exit code this error maps to: 2 for usage errors,
+    /// 1 for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::UnknownBenchmark(name) => {
+                write!(f, "unknown benchmark '{name}' (see `rigor list`)")
+            }
+            CliError::Vm(e) => write!(f, "{e}"),
+            CliError::Compare(e) => write!(f, "comparison not possible: {e}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Json(e) => write!(f, "JSON export failed: {e}"),
+            CliError::Trace { path, message } => write!(f, "{path}: bad trace: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(e) => Some(e),
+            CliError::Vm(e) => Some(e),
+            CliError::Io { source, .. } => Some(source),
+            CliError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> CliError {
+        CliError::Usage(e)
+    }
+}
+
+impl From<minipy::MpError> for CliError {
+    fn from(e: minipy::MpError) -> CliError {
+        CliError::Vm(e)
+    }
+}
+
+impl From<CompareError> for CliError {
+    fn from(e: CompareError) -> CliError {
+        CliError::Compare(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> CliError {
+        CliError::Json(e)
+    }
+}
+
+/// Attaches a path to an I/O result (there is no blanket `From` for
+/// `io::Error` because the path context is what makes the message useful).
+pub fn io_err(path: &str) -> impl Fn(std::io::Error) -> CliError + '_ {
+    move |source| CliError::Io {
+        path: path.to_string(),
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_split_usage_from_runtime() {
+        assert_eq!(CliError::Usage(ParseError("x".into())).exit_code(), 2);
+        assert_eq!(CliError::UnknownBenchmark("x".into()).exit_code(), 1);
+        assert_eq!(
+            io_err("f")(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")).exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::Trace {
+                path: "t".into(),
+                message: "m".into()
+            }
+            .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = io_err("/tmp/x.json")(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "denied",
+        ));
+        assert!(e.to_string().contains("/tmp/x.json"));
+        assert!(CliError::UnknownBenchmark("nope".into())
+            .to_string()
+            .contains("nope"));
+    }
+}

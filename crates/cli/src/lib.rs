@@ -4,25 +4,26 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::{parse_args, Command, GlobalOpts, ParseError};
+pub use error::CliError;
 
 /// Runs the CLI with the given arguments (exclusive of the program name).
-/// Returns the process exit code.
+/// Returns the process exit code ([`CliError::exit_code`]: usage errors
+/// exit 2, runtime errors exit 1).
 pub fn run(argv: &[String]) -> i32 {
-    let parsed = match parse_args(argv) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run `rigor help` for usage");
-            return 2;
-        }
-    };
-    match commands::dispatch(&parsed) {
+    let result = parse_args(argv)
+        .map_err(CliError::from)
+        .and_then(|parsed| commands::dispatch(&parsed));
+    match result {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("error: {e}");
-            1
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("run `rigor help` for usage");
+            }
+            e.exit_code()
         }
     }
 }

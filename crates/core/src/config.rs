@@ -94,6 +94,24 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the engine (builder style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the confidence level for all intervals (builder style).
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Sets the worker-thread count for parallel invocations (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Builds the per-invocation VM configuration.
     pub fn vm_config(&self) -> minipy::VmConfig {
         let mut cfg = minipy::VmConfig {
@@ -117,11 +135,17 @@ mod tests {
         let c = ExperimentConfig::jit()
             .with_invocations(3)
             .with_iterations(7)
-            .with_seed(9);
+            .with_seed(9)
+            .with_confidence(0.99)
+            .with_threads(2);
         assert_eq!(c.invocations, 3);
         assert_eq!(c.iterations, 7);
         assert_eq!(c.experiment_seed, 9);
+        assert!((c.confidence - 0.99).abs() < 1e-12);
+        assert_eq!(c.threads, 2);
         assert!(matches!(c.engine, EngineKind::Jit(_)));
+        let c = c.with_engine(EngineKind::Interp);
+        assert!(matches!(c.engine, EngineKind::Interp));
     }
 
     #[test]

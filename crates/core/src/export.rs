@@ -4,15 +4,26 @@ use crate::measurement::BenchmarkMeasurement;
 
 /// Serializes measurements to a long-format CSV: one row per iteration.
 ///
-/// Columns: `benchmark,engine,invocation,seed,iteration,virtual_ns`.
+/// Columns:
+/// `benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts`.
+/// The three counter columns are empty for records without per-iteration
+/// counters (e.g. measurements exported before they were recorded).
 pub fn to_csv(measurements: &[BenchmarkMeasurement]) -> String {
-    let mut out = String::from("benchmark,engine,invocation,seed,iteration,virtual_ns\n");
+    let mut out = String::from(
+        "benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts\n",
+    );
     for m in measurements {
         for r in &m.invocations {
             for (i, t) in r.iteration_ns.iter().enumerate() {
+                let counters = r
+                    .iteration_counters
+                    .as_ref()
+                    .and_then(|c| c.get(i))
+                    .map(|c| format!("{},{},{}", c.gc_cycles, c.jit_compiles, c.deopts))
+                    .unwrap_or_else(|| ",,".into());
                 out.push_str(&format!(
-                    "{},{},{},{},{},{}\n",
-                    m.benchmark, m.engine, r.invocation, r.seed, i, t
+                    "{},{},{},{},{},{},{}\n",
+                    m.benchmark, m.engine, r.invocation, r.seed, i, t, counters
                 ));
             }
         }
@@ -41,7 +52,7 @@ pub fn from_json(json: &str) -> serde_json::Result<Vec<BenchmarkMeasurement>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::measurement::InvocationRecord;
+    use crate::measurement::{InvocationRecord, IterationCounters};
 
     fn sample() -> BenchmarkMeasurement {
         BenchmarkMeasurement {
@@ -56,6 +67,14 @@ mod tests {
                 jit_compiles: 0,
                 deopts: 0,
                 checksum: "95".into(),
+                iteration_counters: Some(vec![
+                    IterationCounters {
+                        gc_cycles: 1,
+                        jit_compiles: 0,
+                        deopts: 0,
+                    },
+                    IterationCounters::default(),
+                ]),
             }],
         }
     }
@@ -67,9 +86,41 @@ mod tests {
         assert_eq!(lines.len(), 3); // header + 2 iterations
         assert_eq!(
             lines[0],
-            "benchmark,engine,invocation,seed,iteration,virtual_ns"
+            "benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts"
         );
-        assert!(lines[1].starts_with("sieve,interp,0,42,0,1.5"));
+        assert_eq!(lines[1], "sieve,interp,0,42,0,1.5,1,0,0");
+        assert_eq!(lines[2], "sieve,interp,0,42,1,2.5,0,0,0");
+    }
+
+    #[test]
+    fn csv_leaves_counter_columns_empty_without_them() {
+        let mut m = sample();
+        m.invocations[0].iteration_counters = None;
+        let csv = to_csv(&[m]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[1], "sieve,interp,0,42,0,1.5,,,");
+    }
+
+    #[test]
+    fn json_roundtrips_iteration_counters() {
+        let ms = vec![sample()];
+        let json = to_json(&ms).unwrap();
+        let back = from_json(&json).unwrap();
+        let counters = back[0].invocations[0].iteration_counters.as_ref().unwrap();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[0].gc_cycles, 1);
+        assert_eq!(counters[1], IterationCounters::default());
+    }
+
+    #[test]
+    fn json_without_counters_field_still_parses() {
+        // Simulates JSON exported before `iteration_counters` existed.
+        let mut ms = vec![sample()];
+        ms[0].invocations[0].iteration_counters = None;
+        let json = to_json(&ms).unwrap();
+        assert!(!json.contains("iteration_counters"));
+        let back = from_json(&json).unwrap();
+        assert!(back[0].invocations[0].iteration_counters.is_none());
     }
 
     #[test]

@@ -19,9 +19,12 @@
 //! 4. **Audit the shortcuts** — [`NaiveScheme`] emulates the usual
 //!    methodological shortcuts so experiments can quantify how wrong they go.
 //!
+//! 5. **Observe** — [`Runner`] accepts [`ExperimentObserver`]s that stream
+//!    typed [`ExperimentEvent`]s (live progress, JSONL traces, collectors)
+//!    while an experiment runs; see the [`telemetry`] module.
+//!
 //! ```rust
-//! use rigor::{measure_workload, compare, ExperimentConfig, SteadyStateDetector};
-//! use rigor_workloads::{find, Size};
+//! use rigor::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let sieve = find("sieve").expect("in the suite");
@@ -51,22 +54,44 @@ pub mod report;
 pub mod runner;
 pub mod sequential;
 pub mod steady;
+pub mod telemetry;
 pub mod variance;
 pub mod warmup;
 
 pub use compare::{compare, compare_suite, CompareError, SpeedupResult, SuiteComparison};
 pub use config::ExperimentConfig;
 pub use export::{from_json, to_csv, to_json};
-pub use measurement::{BenchmarkMeasurement, InvocationRecord};
+pub use measurement::{BenchmarkMeasurement, InvocationRecord, IterationCounters};
 pub use naive::{
     all_schemes, evaluate_scheme, verdict_from_ci, verdict_from_point, NaiveEvaluation,
     NaiveScheme, Verdict,
 };
 pub use report::{fmt_ci, fmt_ns, fmt_pct, sparkline, Table};
-pub use runner::{measure_source, measure_workload};
+pub use runner::{measure_source, measure_workload, Runner};
 pub use sequential::{precision_of, run_until_precise, SequentialPlan, SequentialResult};
 pub use steady::{
     common_steady_start, per_invocation_steady_means, SteadyState, SteadyStateDetector,
 };
+pub use telemetry::{
+    parse_trace, CollectingObserver, ExperimentEvent, ExperimentObserver, JsonlTraceObserver,
+    NullObserver, ProgressObserver,
+};
 pub use variance::{decompose, VarianceDecomposition};
 pub use warmup::{aggregate_classes, BenchmarkWarmupClass, WarmupClass, WarmupClassifier};
+
+/// One-stop imports for the common measure → detect → compare pipeline,
+/// including the workload suite: `use rigor::prelude::*;`.
+pub mod prelude {
+    pub use crate::compare::{compare, compare_suite, SpeedupResult};
+    pub use crate::config::ExperimentConfig;
+    pub use crate::measurement::{BenchmarkMeasurement, InvocationRecord, IterationCounters};
+    pub use crate::report::Table;
+    pub use crate::runner::{measure_source, measure_workload, Runner};
+    pub use crate::steady::SteadyStateDetector;
+    pub use crate::telemetry::{
+        CollectingObserver, ExperimentEvent, ExperimentObserver, JsonlTraceObserver,
+        ProgressObserver,
+    };
+    pub use crate::warmup::WarmupClassifier;
+    pub use rigor_workloads::{find, suite, Size, Workload};
+}

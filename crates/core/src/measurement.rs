@@ -2,6 +2,28 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The VM events of one timed iteration: the counters that explain an
+/// anomalous timing (a GC pause, a JIT compile, a deoptimization storm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationCounters {
+    /// GC cycles during this iteration.
+    pub gc_cycles: u64,
+    /// JIT regions compiled during this iteration.
+    pub jit_compiles: u64,
+    /// Guard failures during this iteration.
+    pub deopts: u64,
+}
+
+impl From<minipy::VmEventDeltas> for IterationCounters {
+    fn from(d: minipy::VmEventDeltas) -> IterationCounters {
+        IterationCounters {
+            gc_cycles: d.gc_cycles,
+            jit_compiles: d.jit_compiles,
+            deopts: d.deopts,
+        }
+    }
+}
+
 /// Everything recorded about one VM invocation of a benchmark.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InvocationRecord {
@@ -21,6 +43,10 @@ pub struct InvocationRecord {
     pub deopts: u64,
     /// The checksum `run()` returned (rendered), for cross-engine validation.
     pub checksum: String,
+    /// Per-iteration VM event deltas, aligned with `iteration_ns`. `None`
+    /// for measurements recorded before this field existed (old JSON stays
+    /// readable) or synthesized without a VM.
+    pub iteration_counters: Option<Vec<IterationCounters>>,
 }
 
 /// All invocations of one benchmark on one engine.
@@ -140,6 +166,7 @@ mod tests {
             jit_compiles: 0,
             deopts: 0,
             checksum: "42".into(),
+            iteration_counters: None,
         }
     }
 

@@ -1,13 +1,55 @@
-//! The experiment runner: drives VM invocations and collects measurements.
+//! The experiment runner: drives VM invocations, collects measurements and
+//! emits structured telemetry.
+//!
+//! [`Runner`] is the primary API:
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use rigor::{CollectingObserver, ExperimentConfig, Runner};
+//! use rigor_workloads::{find, Size};
+//!
+//! # fn main() -> minipy::MpResult<()> {
+//! let sieve = find("sieve").expect("in the suite");
+//! let observer = Arc::new(CollectingObserver::new());
+//! let m = Runner::new(ExperimentConfig::interp().with_invocations(2).with_iterations(3))
+//!     .observer(observer.clone())
+//!     .measure(&sieve)?;
+//! assert_eq!(m.n_invocations(), 2);
+//! assert_eq!(observer.len(), 2 + 2 * 2 + 2 * 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The free functions [`measure_source`] / [`measure_workload`] are thin
+//! wrappers over an observer-less `Runner` kept for callers that need no
+//! telemetry.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
 
-use minipy::{invocation_seed, MpResult, Session};
-use parking_lot::Mutex;
+use minipy::{invocation_seed, MpError, MpResult, RuntimeErrorKind, Session};
 use rigor_workloads::Workload;
 
 use crate::config::ExperimentConfig;
 use crate::measurement::{BenchmarkMeasurement, InvocationRecord};
+use crate::telemetry::{ExperimentEvent, ExperimentObserver};
+
+/// A cloneable event outlet handed to worker threads; a no-op when the
+/// runner has no observers, so telemetry costs nothing unless asked for.
+#[derive(Clone)]
+struct EventSink(Option<Sender<ExperimentEvent>>);
+
+impl EventSink {
+    fn send(&self, event: ExperimentEvent) {
+        if let Some(tx) = &self.0 {
+            // The drain hangs up only if an observer panicked; measurement
+            // proceeds regardless.
+            let _ = tx.send(event);
+        }
+    }
+}
 
 /// Runs one invocation: fresh session, setup, `iterations` timed runs.
 fn run_invocation(
@@ -15,19 +57,35 @@ fn run_invocation(
     benchmark: &str,
     invocation: u32,
     config: &ExperimentConfig,
+    sink: &EventSink,
 ) -> MpResult<InvocationRecord> {
     let seed = invocation_seed(config.experiment_seed, benchmark, invocation);
+    sink.send(ExperimentEvent::InvocationStarted {
+        benchmark: benchmark.to_string(),
+        invocation,
+        seed,
+    });
     let mut session = Session::start(source, seed, config.vm_config())?;
     let startup_ns = session.startup_ns();
     let before = session.vm().counters();
     let mut iteration_ns = Vec::with_capacity(config.iterations as usize);
+    let mut iteration_counters = Vec::with_capacity(config.iterations as usize);
     let mut checksum = String::new();
     for i in 0..config.iterations {
         let r = session.run_iteration()?;
+        let counters = r.vm_deltas().into();
         iteration_ns.push(r.virtual_ns);
+        iteration_counters.push(counters);
         if i == 0 {
             checksum = session.render(r.value);
         }
+        sink.send(ExperimentEvent::IterationFinished {
+            benchmark: benchmark.to_string(),
+            invocation,
+            iteration: i,
+            virtual_ns: r.virtual_ns,
+            counters,
+        });
     }
     let delta = session.vm().counters().delta_since(&before);
     Ok(InvocationRecord {
@@ -39,12 +97,182 @@ fn run_invocation(
         jit_compiles: delta.jit_compiles,
         deopts: delta.deopts,
         checksum,
+        iteration_counters: Some(iteration_counters),
     })
 }
 
-/// Measures a workload source under `config`: `config.invocations` fresh
-/// sessions, each timed for `config.iterations` iterations. Invocations run
-/// in parallel (they model independent OS processes).
+/// Runs `run_invocation`, converting a panic in the VM into a classified
+/// internal error so one broken invocation cannot abort the whole process.
+fn run_invocation_guarded(
+    source: &str,
+    benchmark: &str,
+    invocation: u32,
+    config: &ExperimentConfig,
+    sink: &EventSink,
+) -> MpResult<InvocationRecord> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_invocation(source, benchmark, invocation, config, sink)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            s.to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "unknown panic payload".to_string()
+        };
+        Err(MpError::runtime(
+            RuntimeErrorKind::Internal,
+            format!("invocation {invocation} panicked: {msg}"),
+        ))
+    })
+}
+
+/// Drives one experiment: `config.invocations` fresh sessions in parallel,
+/// each timed for `config.iterations` iterations, with telemetry delivered
+/// to any number of attached [`ExperimentObserver`]s.
+///
+/// Observers receive events via a channel drained on a dedicated thread, so
+/// a slow observer never serializes the parallel invocations.
+pub struct Runner {
+    config: ExperimentConfig,
+    observers: Vec<Arc<dyn ExperimentObserver>>,
+}
+
+impl Runner {
+    /// A runner with no observers.
+    pub fn new(config: ExperimentConfig) -> Runner {
+        Runner {
+            config,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Attaches an observer (builder style); call repeatedly to fan out.
+    pub fn observer(mut self, observer: Arc<dyn ExperimentObserver>) -> Runner {
+        self.observers.push(observer);
+        self
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Measures a suite workload at the configured size preset.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::measure_source`].
+    pub fn measure(&self, workload: &Workload) -> MpResult<BenchmarkMeasurement> {
+        self.measure_source(&workload.source(self.config.size), workload.name)
+    }
+
+    /// Measures a workload source: `invocations` fresh sessions (in
+    /// parallel — they model independent OS processes), each timed for
+    /// `iterations` iterations.
+    ///
+    /// # Errors
+    ///
+    /// The first error any invocation raised (by invocation index). Worker
+    /// panics surface as internal VM errors, not process aborts.
+    pub fn measure_source(&self, source: &str, benchmark: &str) -> MpResult<BenchmarkMeasurement> {
+        let config = &self.config;
+        let n = config.invocations as usize;
+        let threads = config.threads.clamp(1, n.max(1));
+        let slots: Mutex<Vec<Option<MpResult<InvocationRecord>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            // Telemetry drain: a dedicated thread fans events out to the
+            // observers so `on_event` never runs on a timing thread. With no
+            // observers there is no channel and no drain at all.
+            let sink = if self.observers.is_empty() {
+                EventSink(None)
+            } else {
+                let (tx, rx) = channel::<ExperimentEvent>();
+                let observers = &self.observers;
+                scope.spawn(move || {
+                    for event in rx {
+                        for obs in observers {
+                            obs.on_event(&event);
+                        }
+                    }
+                });
+                EventSink(Some(tx))
+            };
+
+            sink.send(ExperimentEvent::ExperimentStarted {
+                benchmark: benchmark.to_string(),
+                engine: config.engine.name().to_string(),
+                invocations: config.invocations,
+                iterations: config.iterations,
+            });
+
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let sink = sink.clone();
+                    let slots = &slots;
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = run_invocation_guarded(source, benchmark, i as u32, config, &sink);
+                        sink.send(ExperimentEvent::InvocationFinished {
+                            benchmark: benchmark.to_string(),
+                            invocation: i as u32,
+                            startup_ns: r.as_ref().map(|rec| rec.startup_ns).unwrap_or(0.0),
+                            iterations: r
+                                .as_ref()
+                                .map(|rec| rec.iteration_ns.len() as u32)
+                                .unwrap_or(0),
+                            error: r.as_ref().err().map(|e| e.to_string()),
+                        });
+                        slots.lock().expect("result slots poisoned")[i] = Some(r);
+                    })
+                })
+                .collect();
+            for w in workers {
+                // A worker loop itself cannot panic (invocations are
+                // guarded), but join defensively rather than unwinding
+                // through the scope.
+                let _ = w.join();
+            }
+
+            let failed = slots
+                .lock()
+                .expect("result slots poisoned")
+                .iter()
+                .filter(|s| matches!(s, Some(Err(_))))
+                .count() as u32;
+            sink.send(ExperimentEvent::ExperimentFinished {
+                benchmark: benchmark.to_string(),
+                engine: config.engine.name().to_string(),
+                failed_invocations: failed,
+            });
+            // Dropping the last sender ends the drain loop; the scope then
+            // joins the drain thread, so observers have seen every event
+            // before measure_source returns.
+            drop(sink);
+        });
+
+        let mut invocations = Vec::with_capacity(n);
+        for slot in slots.into_inner().expect("result slots poisoned") {
+            invocations.push(slot.expect("every index visited")?);
+        }
+        Ok(BenchmarkMeasurement {
+            benchmark: benchmark.to_string(),
+            engine: config.engine.name().to_string(),
+            invocations,
+        })
+    }
+}
+
+/// Measures a workload source under `config` with no telemetry; see
+/// [`Runner::measure_source`].
 ///
 /// # Errors
 ///
@@ -54,38 +282,11 @@ pub fn measure_source(
     benchmark: &str,
     config: &ExperimentConfig,
 ) -> MpResult<BenchmarkMeasurement> {
-    let n = config.invocations as usize;
-    let results: Mutex<Vec<Option<MpResult<InvocationRecord>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let threads = config.threads.clamp(1, n.max(1));
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = run_invocation(source, benchmark, i as u32, config);
-                results.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("invocation worker panicked");
-
-    let mut invocations = Vec::with_capacity(n);
-    for slot in results.into_inner() {
-        invocations.push(slot.expect("every index visited")?);
-    }
-    Ok(BenchmarkMeasurement {
-        benchmark: benchmark.to_string(),
-        engine: config.engine.name().to_string(),
-        invocations,
-    })
+    Runner::new(config.clone()).measure_source(source, benchmark)
 }
 
-/// Measures a suite workload at the configured size preset.
+/// Measures a suite workload at the configured size preset with no
+/// telemetry; see [`Runner::measure`].
 ///
 /// # Errors
 ///
@@ -94,12 +295,13 @@ pub fn measure_workload(
     workload: &Workload,
     config: &ExperimentConfig,
 ) -> MpResult<BenchmarkMeasurement> {
-    measure_source(&workload.source(config.size), workload.name, config)
+    Runner::new(config.clone()).measure(workload)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::CollectingObserver;
     use minipy::EngineKind;
     use rigor_workloads::{find, Size};
 
@@ -145,11 +347,8 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let w = find("leibniz").unwrap();
-        let mut cfg = quick_config();
-        cfg.threads = 1;
-        let serial = measure_workload(&w, &cfg).unwrap();
-        cfg.threads = 4;
-        let parallel = measure_workload(&w, &cfg).unwrap();
+        let serial = measure_workload(&w, &quick_config().with_threads(1)).unwrap();
+        let parallel = measure_workload(&w, &quick_config().with_threads(4)).unwrap();
         for (rs, rp) in serial.invocations.iter().zip(&parallel.invocations) {
             assert_eq!(rs.iteration_ns, rp.iteration_ns);
         }
@@ -158,8 +357,9 @@ mod tests {
     #[test]
     fn jit_engine_records_compiles() {
         let w = find("leibniz").unwrap();
-        let mut cfg = quick_config().with_iterations(15);
-        cfg.engine = EngineKind::Jit(minipy::JitConfig::default());
+        let cfg = quick_config()
+            .with_iterations(15)
+            .with_engine(EngineKind::Jit(minipy::JitConfig::default()));
         let m = measure_workload(&w, &cfg).unwrap();
         assert_eq!(m.engine, "jit");
         assert!(
@@ -172,5 +372,63 @@ mod tests {
     fn bad_source_propagates_error() {
         let cfg = quick_config();
         assert!(measure_source("def broken(:\n", "broken", &cfg).is_err());
+    }
+
+    #[test]
+    fn records_carry_per_iteration_counters() {
+        let w = find("leibniz").unwrap();
+        let cfg = quick_config()
+            .with_iterations(15)
+            .with_engine(EngineKind::Jit(minipy::JitConfig::default()));
+        let m = measure_workload(&w, &cfg).unwrap();
+        for r in &m.invocations {
+            let counters = r.iteration_counters.as_ref().expect("runner records them");
+            assert_eq!(counters.len(), r.iteration_ns.len());
+            // Per-iteration counters sum to the invocation totals.
+            assert_eq!(
+                counters.iter().map(|c| c.jit_compiles).sum::<u64>(),
+                r.jit_compiles
+            );
+            assert_eq!(
+                counters.iter().map(|c| c.gc_cycles).sum::<u64>(),
+                r.gc_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn observers_see_a_complete_stream() {
+        let w = find("sieve").unwrap();
+        let obs = Arc::new(CollectingObserver::new());
+        let m = Runner::new(quick_config())
+            .observer(obs.clone())
+            .measure(&w)
+            .unwrap();
+        assert_eq!(m.n_invocations(), 4);
+        // 2 + 2N + N*M for a fully successful experiment.
+        assert_eq!(obs.len(), 2 + 2 * 4 + 4 * 5);
+    }
+
+    #[test]
+    fn failed_invocations_emit_error_events() {
+        let obs = Arc::new(CollectingObserver::new());
+        let runner = Runner::new(quick_config()).observer(obs.clone());
+        assert!(runner.measure_source("x = undefined\n", "broken").is_err());
+        let events = obs.events();
+        let finishes: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                ExperimentEvent::InvocationFinished { error, .. } => Some(error),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finishes.len(), 4);
+        assert!(finishes.iter().all(|e| e.is_some()));
+        match events.last().unwrap() {
+            ExperimentEvent::ExperimentFinished {
+                failed_invocations, ..
+            } => assert_eq!(*failed_invocations, 4),
+            other => panic!("stream must end with ExperimentFinished, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,597 @@
+//! Structured experiment telemetry: typed events emitted while an
+//! experiment runs, and observers that consume them.
+//!
+//! The runner emits one [`ExperimentEvent`] stream per experiment:
+//!
+//! ```text
+//! ExperimentStarted
+//!   InvocationStarted   (× invocations)
+//!     IterationFinished (× iterations, per successful iteration)
+//!   InvocationFinished  (× invocations)
+//! ExperimentFinished
+//! ```
+//!
+//! For a fully successful experiment of `N` invocations × `M` iterations the
+//! stream holds exactly `2 + 2·N + N·M` events. Invocations run in parallel,
+//! so events of different invocations interleave; within one invocation the
+//! order `InvocationStarted → IterationFinished… → InvocationFinished` always
+//! holds, and all events of the experiment sit between `ExperimentStarted`
+//! and `ExperimentFinished`.
+//!
+//! Observers receive events on a dedicated drain thread — never on the
+//! worker threads timing iterations — so a slow observer cannot serialize
+//! parallel invocations. Implementations must therefore be `Send + Sync`.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::json::{DeError, JsonValue};
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::IterationCounters;
+use crate::report::sparkline;
+
+/// One typed event in an experiment's telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentEvent {
+    /// The experiment began: the runner is about to launch invocations.
+    ExperimentStarted {
+        /// Benchmark name.
+        benchmark: String,
+        /// Engine name (`"interp"` / `"jit"`).
+        engine: String,
+        /// Planned invocation count.
+        invocations: u32,
+        /// Planned iterations per invocation.
+        iterations: u32,
+    },
+    /// A fresh VM invocation began.
+    InvocationStarted {
+        /// Benchmark name.
+        benchmark: String,
+        /// Invocation index.
+        invocation: u32,
+        /// The derived invocation seed.
+        seed: u64,
+    },
+    /// One timed iteration completed.
+    IterationFinished {
+        /// Benchmark name.
+        benchmark: String,
+        /// Invocation index.
+        invocation: u32,
+        /// Iteration index within the invocation.
+        iteration: u32,
+        /// The iteration's virtual time, ns.
+        virtual_ns: f64,
+        /// VM event deltas of this iteration.
+        counters: IterationCounters,
+    },
+    /// A VM invocation finished (successfully or not).
+    InvocationFinished {
+        /// Benchmark name.
+        benchmark: String,
+        /// Invocation index.
+        invocation: u32,
+        /// Startup (compile + setup) virtual time, ns; 0 when startup failed.
+        startup_ns: f64,
+        /// Iterations that completed.
+        iterations: u32,
+        /// The error message when the invocation failed; `None` on success.
+        error: Option<String>,
+    },
+    /// The experiment completed; emitted exactly once, after every
+    /// invocation finished.
+    ExperimentFinished {
+        /// Benchmark name.
+        benchmark: String,
+        /// Engine name.
+        engine: String,
+        /// How many invocations failed.
+        failed_invocations: u32,
+    },
+}
+
+impl ExperimentEvent {
+    /// The event's wire name (the `"event"` field of its JSON form).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentEvent::ExperimentStarted { .. } => "experiment_started",
+            ExperimentEvent::InvocationStarted { .. } => "invocation_started",
+            ExperimentEvent::IterationFinished { .. } => "iteration_finished",
+            ExperimentEvent::InvocationFinished { .. } => "invocation_finished",
+            ExperimentEvent::ExperimentFinished { .. } => "experiment_finished",
+        }
+    }
+
+    /// The benchmark this event belongs to.
+    pub fn benchmark(&self) -> &str {
+        match self {
+            ExperimentEvent::ExperimentStarted { benchmark, .. }
+            | ExperimentEvent::InvocationStarted { benchmark, .. }
+            | ExperimentEvent::IterationFinished { benchmark, .. }
+            | ExperimentEvent::InvocationFinished { benchmark, .. }
+            | ExperimentEvent::ExperimentFinished { benchmark, .. } => benchmark,
+        }
+    }
+}
+
+// The event's JSON form is flat, tagged by an `"event"` field:
+// `{"event":"iteration_finished","benchmark":"sieve",...}`. Implemented by
+// hand so the wire format stays stable and independent of the enum's shape.
+impl Serialize for ExperimentEvent {
+    fn to_value(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> =
+            vec![("event".into(), JsonValue::Str(self.name().into()))];
+        let mut put = |name: &str, v: JsonValue| {
+            if !v.is_null() {
+                fields.push((name.into(), v));
+            }
+        };
+        match self {
+            ExperimentEvent::ExperimentStarted {
+                benchmark,
+                engine,
+                invocations,
+                iterations,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("engine", engine.to_value());
+                put("invocations", invocations.to_value());
+                put("iterations", iterations.to_value());
+            }
+            ExperimentEvent::InvocationStarted {
+                benchmark,
+                invocation,
+                seed,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("invocation", invocation.to_value());
+                put("seed", seed.to_value());
+            }
+            ExperimentEvent::IterationFinished {
+                benchmark,
+                invocation,
+                iteration,
+                virtual_ns,
+                counters,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("invocation", invocation.to_value());
+                put("iteration", iteration.to_value());
+                put("virtual_ns", virtual_ns.to_value());
+                put("counters", counters.to_value());
+            }
+            ExperimentEvent::InvocationFinished {
+                benchmark,
+                invocation,
+                startup_ns,
+                iterations,
+                error,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("invocation", invocation.to_value());
+                put("startup_ns", startup_ns.to_value());
+                put("iterations", iterations.to_value());
+                put("error", error.to_value());
+            }
+            ExperimentEvent::ExperimentFinished {
+                benchmark,
+                engine,
+                failed_invocations,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("engine", engine.to_value());
+                put("failed_invocations", failed_invocations.to_value());
+            }
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+impl Deserialize for ExperimentEvent {
+    fn from_value(v: &JsonValue) -> Result<ExperimentEvent, DeError> {
+        use serde::json::get_field;
+        let tag: String = get_field(v, "event")?;
+        match tag.as_str() {
+            "experiment_started" => Ok(ExperimentEvent::ExperimentStarted {
+                benchmark: get_field(v, "benchmark")?,
+                engine: get_field(v, "engine")?,
+                invocations: get_field(v, "invocations")?,
+                iterations: get_field(v, "iterations")?,
+            }),
+            "invocation_started" => Ok(ExperimentEvent::InvocationStarted {
+                benchmark: get_field(v, "benchmark")?,
+                invocation: get_field(v, "invocation")?,
+                seed: get_field(v, "seed")?,
+            }),
+            "iteration_finished" => Ok(ExperimentEvent::IterationFinished {
+                benchmark: get_field(v, "benchmark")?,
+                invocation: get_field(v, "invocation")?,
+                iteration: get_field(v, "iteration")?,
+                virtual_ns: get_field(v, "virtual_ns")?,
+                counters: get_field(v, "counters")?,
+            }),
+            "invocation_finished" => Ok(ExperimentEvent::InvocationFinished {
+                benchmark: get_field(v, "benchmark")?,
+                invocation: get_field(v, "invocation")?,
+                startup_ns: get_field(v, "startup_ns")?,
+                iterations: get_field(v, "iterations")?,
+                error: get_field(v, "error")?,
+            }),
+            "experiment_finished" => Ok(ExperimentEvent::ExperimentFinished {
+                benchmark: get_field(v, "benchmark")?,
+                engine: get_field(v, "engine")?,
+                failed_invocations: get_field(v, "failed_invocations")?,
+            }),
+            other => Err(DeError::new(format!("unknown event kind `{other}`"))),
+        }
+    }
+}
+
+/// Consumes experiment telemetry.
+///
+/// Contract: `on_event` is called from a single drain thread per experiment,
+/// in stream order (see the module docs for the ordering guarantees). It
+/// must not panic; a panicking observer poisons that experiment's telemetry
+/// but never the measurement itself.
+pub trait ExperimentObserver: Send + Sync {
+    /// Handles one event.
+    fn on_event(&self, event: &ExperimentEvent);
+}
+
+/// Ignores every event. Useful as an explicit "no telemetry" default and in
+/// tests that need an observer wired but silent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ExperimentObserver for NullObserver {
+    fn on_event(&self, _event: &ExperimentEvent) {}
+}
+
+/// Collects every event into memory, in arrival order. Thread-safe; the
+/// backbone of telemetry tests.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    events: Mutex<Vec<ExperimentEvent>>,
+}
+
+impl CollectingObserver {
+    /// An empty collector.
+    pub fn new() -> CollectingObserver {
+        CollectingObserver::default()
+    }
+
+    /// A snapshot of all events received so far.
+    pub fn events(&self) -> Vec<ExperimentEvent> {
+        self.events.lock().expect("collector poisoned").clone()
+    }
+
+    /// How many events have been received.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collector poisoned").len()
+    }
+
+    /// True when no event has been received.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ExperimentObserver for CollectingObserver {
+    fn on_event(&self, event: &ExperimentEvent) {
+        self.events
+            .lock()
+            .expect("collector poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Per-experiment state of the progress display.
+#[derive(Debug)]
+struct ProgressState {
+    started: Instant,
+    benchmark: String,
+    engine: String,
+    total: u32,
+    done: u32,
+    /// Iteration times of in-flight invocations, keyed by invocation index.
+    series: Vec<(u32, Vec<f64>)>,
+}
+
+/// Streams live progress to stderr: one line per finished invocation with a
+/// completion count, a wall-clock ETA and a sparkline of that invocation's
+/// iteration times (the warmup curve at a glance).
+#[derive(Debug, Default)]
+pub struct ProgressObserver {
+    state: Mutex<Option<ProgressState>>,
+}
+
+impl ProgressObserver {
+    /// A progress observer writing to stderr.
+    pub fn new() -> ProgressObserver {
+        ProgressObserver::default()
+    }
+
+    fn line(&self, text: String) {
+        eprintln!("{text}");
+    }
+}
+
+impl ExperimentObserver for ProgressObserver {
+    fn on_event(&self, event: &ExperimentEvent) {
+        let mut guard = self.state.lock().expect("progress state poisoned");
+        match event {
+            ExperimentEvent::ExperimentStarted {
+                benchmark,
+                engine,
+                invocations,
+                iterations,
+            } => {
+                *guard = Some(ProgressState {
+                    started: Instant::now(),
+                    benchmark: benchmark.clone(),
+                    engine: engine.clone(),
+                    total: *invocations,
+                    done: 0,
+                    series: Vec::new(),
+                });
+                drop(guard);
+                self.line(format!(
+                    "[{benchmark}/{engine}] measuring: {invocations} invocations × {iterations} iterations"
+                ));
+            }
+            ExperimentEvent::IterationFinished {
+                invocation,
+                virtual_ns,
+                ..
+            } => {
+                if let Some(state) = guard.as_mut() {
+                    match state.series.iter_mut().find(|(i, _)| i == invocation) {
+                        Some((_, s)) => s.push(*virtual_ns),
+                        None => state.series.push((*invocation, vec![*virtual_ns])),
+                    }
+                }
+            }
+            ExperimentEvent::InvocationFinished {
+                invocation, error, ..
+            } => {
+                let text = guard.as_mut().map(|state| {
+                    state.done += 1;
+                    let series = state
+                        .series
+                        .iter()
+                        .position(|(i, _)| i == invocation)
+                        .map(|idx| state.series.swap_remove(idx).1)
+                        .unwrap_or_default();
+                    let elapsed = state.started.elapsed().as_secs_f64();
+                    let eta = if state.done > 0 && state.done < state.total {
+                        let remaining =
+                            elapsed / state.done as f64 * (state.total - state.done) as f64;
+                        format!(", eta {remaining:.1}s")
+                    } else {
+                        String::new()
+                    };
+                    let status = match error {
+                        Some(e) => format!("FAILED: {e}"),
+                        None => sparkline(&series),
+                    };
+                    format!(
+                        "[{}/{}] invocation {:>3} ({}/{}) {:.1}s{}  {}",
+                        state.benchmark,
+                        state.engine,
+                        invocation,
+                        state.done,
+                        state.total,
+                        elapsed,
+                        eta,
+                        status
+                    )
+                });
+                drop(guard);
+                if let Some(text) = text {
+                    self.line(text);
+                }
+            }
+            ExperimentEvent::ExperimentFinished {
+                benchmark,
+                engine,
+                failed_invocations,
+            } => {
+                let elapsed = guard
+                    .take()
+                    .map(|s| s.started.elapsed().as_secs_f64())
+                    .unwrap_or(0.0);
+                drop(guard);
+                let failures = if *failed_invocations > 0 {
+                    format!(", {failed_invocations} FAILED")
+                } else {
+                    String::new()
+                };
+                self.line(format!(
+                    "[{benchmark}/{engine}] done in {elapsed:.1}s{failures}"
+                ));
+            }
+            ExperimentEvent::InvocationStarted { .. } => {}
+        }
+    }
+}
+
+/// Streams every event as one JSON object per line (JSONL) to a writer —
+/// typically a trace file consumed later by `rigor trace-summary`.
+pub struct JsonlTraceObserver<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl JsonlTraceObserver<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// When the file cannot be created.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlTraceObserver::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> JsonlTraceObserver<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlTraceObserver {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// When the flush fails.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().expect("trace writer poisoned").flush()
+    }
+}
+
+impl<W: Write + Send> ExperimentObserver for JsonlTraceObserver<W> {
+    fn on_event(&self, event: &ExperimentEvent) {
+        if let Ok(json) = serde_json::to_string(event) {
+            let mut w = self.writer.lock().expect("trace writer poisoned");
+            // A trace is diagnostics: losing lines on a full disk must not
+            // fail the measurement, so write errors are swallowed.
+            let _ = writeln!(w, "{json}");
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Parses a JSONL trace back into events.
+///
+/// # Errors
+///
+/// When any non-empty line is not a valid event.
+pub fn parse_trace(jsonl: &str) -> Result<Vec<ExperimentEvent>, serde_json::Error> {
+    jsonl
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ExperimentEvent> {
+        vec![
+            ExperimentEvent::ExperimentStarted {
+                benchmark: "sieve".into(),
+                engine: "interp".into(),
+                invocations: 1,
+                iterations: 2,
+            },
+            ExperimentEvent::InvocationStarted {
+                benchmark: "sieve".into(),
+                invocation: 0,
+                seed: 42,
+            },
+            ExperimentEvent::IterationFinished {
+                benchmark: "sieve".into(),
+                invocation: 0,
+                iteration: 0,
+                virtual_ns: 1250.5,
+                counters: IterationCounters {
+                    gc_cycles: 1,
+                    jit_compiles: 0,
+                    deopts: 0,
+                },
+            },
+            ExperimentEvent::InvocationFinished {
+                benchmark: "sieve".into(),
+                invocation: 0,
+                startup_ns: 10.0,
+                iterations: 2,
+                error: None,
+            },
+            ExperimentEvent::ExperimentFinished {
+                benchmark: "sieve".into(),
+                engine: "interp".into(),
+                failed_invocations: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        for ev in sample_events() {
+            let json = serde_json::to_string(&ev).unwrap();
+            assert!(json.contains(&format!("\"event\":\"{}\"", ev.name())));
+            let back: ExperimentEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn error_field_is_omitted_when_none_but_roundtrips_when_set() {
+        let ok = &sample_events()[3];
+        assert!(!serde_json::to_string(ok).unwrap().contains("error"));
+        let failed = ExperimentEvent::InvocationFinished {
+            benchmark: "sieve".into(),
+            invocation: 1,
+            startup_ns: 0.0,
+            iterations: 0,
+            error: Some("boom".into()),
+        };
+        let json = serde_json::to_string(&failed).unwrap();
+        let back: ExperimentEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, failed);
+    }
+
+    #[test]
+    fn collecting_observer_keeps_order() {
+        let c = CollectingObserver::new();
+        assert!(c.is_empty());
+        for ev in sample_events() {
+            c.on_event(&ev);
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.events(), sample_events());
+    }
+
+    #[test]
+    fn jsonl_observer_writes_parseable_lines() {
+        let obs = JsonlTraceObserver::new(Vec::new());
+        for ev in sample_events() {
+            obs.on_event(&ev);
+        }
+        let bytes = obs.writer.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn parse_trace_rejects_garbage() {
+        assert!(parse_trace("{\"event\": \"nope\"}\n").is_err());
+        assert!(parse_trace("not json\n").is_err());
+    }
+
+    #[test]
+    fn progress_observer_survives_a_full_stream() {
+        let p = ProgressObserver::new();
+        for ev in sample_events() {
+            p.on_event(&ev);
+        }
+        // State is reset after ExperimentFinished.
+        assert!(p.state.lock().unwrap().is_none());
+    }
+
+    #[test]
+    fn null_observer_ignores_everything() {
+        let n = NullObserver;
+        for ev in sample_events() {
+            n.on_event(&ev);
+        }
+    }
+}

@@ -94,6 +94,7 @@ mod tests {
                     jit_compiles: 0,
                     deopts: 0,
                     checksum: String::new(),
+                    iteration_counters: None,
                 })
                 .collect(),
         }

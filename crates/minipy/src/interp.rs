@@ -1359,8 +1359,14 @@ def run():
         assert_eq!(run_render("s = 'aXbXc'.replace('X', '-')\n", "s"), "a-b-c");
         assert_eq!(run_and_get("x = 'hello'.find('ll')\n", "x"), Value::Int(2));
         assert_eq!(run_and_get("x = 'hello'.find('zz')\n", "x"), Value::Int(-1));
-        assert_eq!(run_and_get("x = 'banana'.count('an')\n", "x"), Value::Int(2));
-        assert_eq!(run_and_get("x = 'hello'.endswith('lo')\n", "x"), Value::Bool(true));
+        assert_eq!(
+            run_and_get("x = 'banana'.count('an')\n", "x"),
+            Value::Int(2)
+        );
+        assert_eq!(
+            run_and_get("x = 'hello'.endswith('lo')\n", "x"),
+            Value::Bool(true)
+        );
         assert_eq!(
             run_render("p = 'one two  three'.split()\n", "p"),
             "['one', 'two', 'three']"
@@ -1370,27 +1376,51 @@ def run():
     #[test]
     fn more_list_and_dict_methods() {
         assert_eq!(run_render("l = [1, 2]\nl.insert(1, 9)\n", "l"), "[1, 9, 2]");
-        assert_eq!(run_render("l = [1, 2]\nl.extend([3, 4])\n", "l"), "[1, 2, 3, 4]");
+        assert_eq!(
+            run_render("l = [1, 2]\nl.extend([3, 4])\n", "l"),
+            "[1, 2, 3, 4]"
+        );
         assert_eq!(run_render("l = [1, 2, 3]\nl.reverse()\n", "l"), "[3, 2, 1]");
-        assert_eq!(run_and_get("x = [1, 2, 1, 1].count(1)\n", "x"), Value::Int(3));
+        assert_eq!(
+            run_and_get("x = [1, 2, 1, 1].count(1)\n", "x"),
+            Value::Int(3)
+        );
         assert_eq!(run_and_get("x = [5, 6, 7].index(6)\n", "x"), Value::Int(1));
         assert_eq!(run_render("l = [1, 2, 3]\nl.remove(2)\n", "l"), "[1, 3]");
-        assert_eq!(run_and_get("l = [1]\nc = l.copy()\nc.append(2)\nx = len(l)\n", "x"), Value::Int(1));
         assert_eq!(
-            run_and_get("d = {'a': 1}\nx = d.setdefault('b', 5) + d.setdefault('a', 9)\n", "x"),
+            run_and_get("l = [1]\nc = l.copy()\nc.append(2)\nx = len(l)\n", "x"),
+            Value::Int(1)
+        );
+        assert_eq!(
+            run_and_get(
+                "d = {'a': 1}\nx = d.setdefault('b', 5) + d.setdefault('a', 9)\n",
+                "x"
+            ),
             Value::Int(6)
         );
         assert_eq!(
-            run_and_get("d = {'a': 1}\nd.update({'b': 2})\nx = d['a'] + d['b']\n", "x"),
+            run_and_get(
+                "d = {'a': 1}\nd.update({'b': 2})\nx = d['a'] + d['b']\n",
+                "x"
+            ),
             Value::Int(3)
         );
         assert_eq!(
             run_and_get("d = {'a': 1}\nc = d.copy()\nc['a'] = 9\nx = d['a']\n", "x"),
             Value::Int(1)
         );
-        assert_eq!(run_and_get("d = {'a': 1}\nx = d.pop('a')\n", "x"), Value::Int(1));
-        assert_eq!(run_and_get("d = {'a': 1}\nx = d.pop('z', 7)\n", "x"), Value::Int(7));
-        assert_eq!(run_and_get("d = {'a': 1}\nd.clear()\nx = len(d)\n", "x"), Value::Int(0));
+        assert_eq!(
+            run_and_get("d = {'a': 1}\nx = d.pop('a')\n", "x"),
+            Value::Int(1)
+        );
+        assert_eq!(
+            run_and_get("d = {'a': 1}\nx = d.pop('z', 7)\n", "x"),
+            Value::Int(7)
+        );
+        assert_eq!(
+            run_and_get("d = {'a': 1}\nd.clear()\nx = len(d)\n", "x"),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -1419,10 +1449,22 @@ def run():
     fn range_edge_cases() {
         assert_eq!(run_and_get("x = len(range(0))\n", "x"), Value::Int(0));
         assert_eq!(run_and_get("x = len(range(5, 5))\n", "x"), Value::Int(0));
-        assert_eq!(run_and_get("x = len(range(10, 0, -3))\n", "x"), Value::Int(4));
-        assert_eq!(run_and_get("x = 6 in range(0, 10, 2)\n", "x"), Value::Bool(true));
-        assert_eq!(run_and_get("x = 5 in range(0, 10, 2)\n", "x"), Value::Bool(false));
-        assert_eq!(run_and_get("x = 8 in range(10, 0, -2)\n", "x"), Value::Bool(true));
+        assert_eq!(
+            run_and_get("x = len(range(10, 0, -3))\n", "x"),
+            Value::Int(4)
+        );
+        assert_eq!(
+            run_and_get("x = 6 in range(0, 10, 2)\n", "x"),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run_and_get("x = 5 in range(0, 10, 2)\n", "x"),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            run_and_get("x = 8 in range(10, 0, -2)\n", "x"),
+            Value::Bool(true)
+        );
     }
 
     #[test]

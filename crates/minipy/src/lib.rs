@@ -67,6 +67,8 @@ pub use frame::DynCounters;
 pub use jit::{JitConfig, JitMode};
 pub use noise::NoiseConfig;
 pub use parser::parse;
-pub use session::{check_engines_agree, measure, IterationResult, Session, RUN_FUNCTION};
+pub use session::{
+    check_engines_agree, measure, IterationResult, Session, VmEventDeltas, RUN_FUNCTION,
+};
 pub use value::{Handle, TypeTag, Value};
 pub use vm::{invocation_seed, EngineKind, Vm, VmConfig};

@@ -23,6 +23,31 @@ pub struct IterationResult {
     pub counters: DynCounters,
 }
 
+/// The VM events of one iteration that matter for explaining anomalous
+/// timings: GC cycles, JIT compilations and deoptimizations (Barrett et al.;
+/// Traini et al.). A compact projection of [`DynCounters`] that harnesses can
+/// attach to every timed iteration without dragging the full counter set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmEventDeltas {
+    /// GC cycles run during the iteration.
+    pub gc_cycles: u64,
+    /// JIT regions compiled during the iteration.
+    pub jit_compiles: u64,
+    /// Guard failures (deoptimizations) during the iteration.
+    pub deopts: u64,
+}
+
+impl IterationResult {
+    /// The GC/JIT/deopt deltas of this iteration, for per-iteration telemetry.
+    pub fn vm_deltas(&self) -> VmEventDeltas {
+        VmEventDeltas {
+            gc_cycles: self.counters.gc_cycles,
+            jit_compiles: self.counters.jit_compiles,
+            deopts: self.counters.deopts,
+        }
+    }
+}
+
 /// One VM invocation of a workload module.
 pub struct Session {
     vm: Vm,

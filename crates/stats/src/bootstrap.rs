@@ -208,7 +208,8 @@ where
     // Bias correction: the normal quantile of the fraction of replicates
     // below the point estimate.
     let below = reps.iter().filter(|&&r| r < theta_hat).count() as f64;
-    let frac = (below / resamples as f64).clamp(1.0 / resamples as f64, 1.0 - 1.0 / resamples as f64);
+    let frac =
+        (below / resamples as f64).clamp(1.0 / resamples as f64, 1.0 - 1.0 / resamples as f64);
     let z0 = normal_quantile(frac);
 
     // Acceleration from the leave-one-out jackknife.
@@ -216,7 +217,12 @@ where
     let mut loo = Vec::with_capacity(n - 1);
     for i in 0..n {
         loo.clear();
-        loo.extend(xs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, &x)| x));
+        loo.extend(
+            xs.iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, &x)| x),
+        );
         jack.push(statistic(&loo));
     }
     let jack_mean = crate::descriptive::mean(&jack);
@@ -226,7 +232,11 @@ where
         num += d * d * d;
         den += d * d;
     }
-    let a = if den > 0.0 { num / (6.0 * den.powf(1.5)) } else { 0.0 };
+    let a = if den > 0.0 {
+        num / (6.0 * den.powf(1.5))
+    } else {
+        0.0
+    };
 
     // Adjusted percentile endpoints.
     let alpha = 1.0 - confidence;
@@ -255,7 +265,9 @@ mod bca_tests {
     fn skewed_sample(n: usize, seed: u64) -> Vec<f64> {
         // Log-normal-ish: right-skewed like benchmark timings.
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| (rng.gen_range(-1.0f64..1.0) * 0.4).exp() * 100.0).collect()
+        (0..n)
+            .map(|_| (rng.gen_range(-1.0f64..1.0) * 0.4).exp() * 100.0)
+            .collect()
     }
 
     #[test]
@@ -288,7 +300,9 @@ mod bca_tests {
 
     #[test]
     fn bca_on_symmetric_data_matches_percentile_closely() {
-        let xs: Vec<f64> = (0..30).map(|i| 100.0 + ((i * 17) % 21) as f64 - 10.0).collect();
+        let xs: Vec<f64> = (0..30)
+            .map(|i| 100.0 + ((i * 17) % 21) as f64 - 10.0)
+            .collect();
         let pct = bootstrap_mean_ci(&xs, 0.95, 4000, 5).unwrap();
         let bca = bootstrap_bca_ci(&xs, mean, 0.95, 4000, 5).unwrap();
         assert!((pct.lower - bca.lower).abs() < pct.half_width() * 0.3);

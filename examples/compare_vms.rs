@@ -4,10 +4,8 @@
 //!
 //! Run with: `cargo run --release -p examples --bin compare_vms`
 
-use rigor::{
-    compare_suite, fmt_ci, measure_workload, ExperimentConfig, SteadyStateDetector, Table,
-};
-use rigor_workloads::{find, Size};
+use rigor::fmt_ci;
+use rigor::prelude::*;
 
 const BENCHMARKS: [&str; 6] = [
     "leibniz",

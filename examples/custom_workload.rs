@@ -4,7 +4,8 @@
 //! Run with: `cargo run --release -p examples --bin custom_workload`
 
 use minipy::{check_engines_agree, Session, VmConfig};
-use rigor::{fmt_ns, measure_source, precision_of, ExperimentConfig, SteadyStateDetector};
+use rigor::prelude::*;
+use rigor::{fmt_ns, precision_of};
 
 /// Collatz trajectory lengths — any module defining `run()` is a workload.
 const SOURCE: &str = "\

@@ -3,11 +3,8 @@
 //!
 //! Run with: `cargo run --release -p examples --bin methodology_pitfalls`
 
-use rigor::{
-    all_schemes, compare, measure_workload, verdict_from_ci, ExperimentConfig, SteadyStateDetector,
-    Table, Verdict,
-};
-use rigor_workloads::{find, Size};
+use rigor::prelude::*;
+use rigor::{all_schemes, verdict_from_ci, Verdict};
 
 fn verdict_label(v: Verdict) -> &'static str {
     match v {

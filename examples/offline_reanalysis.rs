@@ -5,24 +5,31 @@
 //!
 //! Run with: `cargo run --release -p examples --bin offline_reanalysis`
 
-use rigor::{
-    compare, from_json, measure_workload, to_json, ExperimentConfig, SteadyStateDetector,
-};
-use rigor_workloads::{find, Size};
+use rigor::prelude::*;
+use rigor::{from_json, to_json};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Phase 1: the (expensive) measurement campaign -------------------
     let w = find("sieve").expect("in the suite");
     let interp = measure_workload(
         &w,
-        &ExperimentConfig::interp().with_invocations(10).with_iterations(25).with_seed(21),
+        &ExperimentConfig::interp()
+            .with_invocations(10)
+            .with_iterations(25)
+            .with_seed(21),
     )?;
     let jit = measure_workload(
         &w,
-        &ExperimentConfig::jit().with_invocations(10).with_iterations(25).with_seed(21),
+        &ExperimentConfig::jit()
+            .with_invocations(10)
+            .with_iterations(25)
+            .with_seed(21),
     )?;
     let archive = to_json(&[interp, jit])?;
-    println!("archived {} bytes of raw measurements (normally written to disk)\n", archive.len());
+    println!(
+        "archived {} bytes of raw measurements (normally written to disk)\n",
+        archive.len()
+    );
 
     // --- Phase 2: offline re-analysis, possibly much later ----------------
     let measurements = from_json(&archive)?;

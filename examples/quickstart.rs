@@ -3,11 +3,8 @@
 //!
 //! Run with: `cargo run --release -p examples --bin quickstart`
 
-use rigor::{
-    common_steady_start, fmt_ns, measure_workload, precision_of, ExperimentConfig,
-    SteadyStateDetector,
-};
-use rigor_workloads::{find, Size};
+use rigor::prelude::*;
+use rigor::{common_steady_start, fmt_ns, precision_of};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pick a workload from the suite.

@@ -4,10 +4,8 @@
 //!
 //! Run with: `cargo run --release -p examples --bin warmup_analysis`
 
-use rigor::{
-    fmt_ns, measure_workload, sparkline, ExperimentConfig, SteadyStateDetector, WarmupClassifier,
-};
-use rigor_workloads::{find, Size};
+use rigor::prelude::*;
+use rigor::{fmt_ns, sparkline};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = find("spectral").expect("in the suite");

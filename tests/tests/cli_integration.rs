@@ -17,7 +17,10 @@ fn tmp_dir() -> std::path::PathBuf {
 fn help_list_and_characterize_exit_zero() {
     assert_eq!(rigor_cli::run(&argv("help")), 0);
     assert_eq!(rigor_cli::run(&argv("list")), 0);
-    assert_eq!(rigor_cli::run(&argv("characterize leibniz --size small")), 0);
+    assert_eq!(
+        rigor_cli::run(&argv("characterize leibniz --size small")),
+        0
+    );
 }
 
 #[test]
@@ -25,7 +28,10 @@ fn bad_input_exit_codes() {
     // Unknown flag: parse error (2).
     assert_eq!(rigor_cli::run(&argv("measure sieve --frobnicate 1")), 2);
     // Unknown benchmark: runtime error (1).
-    assert_eq!(rigor_cli::run(&argv("measure not_a_benchmark -n 2 -i 3")), 1);
+    assert_eq!(
+        rigor_cli::run(&argv("measure not_a_benchmark -n 2 -i 3")),
+        1
+    );
     // Missing file: runtime error (1).
     assert_eq!(rigor_cli::run(&argv("run /definitely/not/a/file.mp")), 1);
 }
@@ -41,8 +47,8 @@ fn measure_exports_both_formats() {
         csv.display()
     );
     assert_eq!(rigor_cli::run(&argv(&cmd)), 0);
-    let parsed = rigor::from_json(&fs::read_to_string(&json).expect("json written"))
-        .expect("valid export");
+    let parsed =
+        rigor::from_json(&fs::read_to_string(&json).expect("json written")).expect("valid export");
     assert_eq!(parsed.len(), 1);
     assert_eq!(parsed[0].benchmark, "sieve");
     assert_eq!(parsed[0].n_invocations(), 3);
@@ -52,12 +58,60 @@ fn measure_exports_both_formats() {
 
 #[test]
 fn compare_runs_on_jit_friendly_benchmark() {
-    assert_eq!(rigor_cli::run(&argv("compare leibniz -n 4 -i 20 --size small")), 0);
+    assert_eq!(
+        rigor_cli::run(&argv("compare leibniz -n 4 -i 20 --size small")),
+        0
+    );
 }
 
 #[test]
 fn warmup_runs_on_jit_engine() {
-    assert_eq!(rigor_cli::run(&argv("warmup sieve --engine jit -n 3 -i 15 --size small")), 0);
+    assert_eq!(
+        rigor_cli::run(&argv("warmup sieve --engine jit -n 3 -i 15 --size small")),
+        0
+    );
+}
+
+#[test]
+fn trace_flag_writes_parseable_jsonl() {
+    let dir = tmp_dir();
+    let trace = dir.join("trace.jsonl");
+    let cmd = format!(
+        "measure sieve -n 3 -i 5 --size small --seed 9 --quiet --trace {}",
+        trace.display()
+    );
+    assert_eq!(rigor_cli::run(&argv(&cmd)), 0);
+    let text = fs::read_to_string(&trace).expect("trace written");
+    let events = rigor::parse_trace(&text).expect("trace parses as event JSONL");
+    // A fully successful N x M experiment emits exactly 2 + 2N + N*M events.
+    assert_eq!(events.len(), 2 + 2 * 3 + 3 * 5);
+    assert!(matches!(
+        events[0],
+        rigor::ExperimentEvent::ExperimentStarted { .. }
+    ));
+    assert!(matches!(
+        events.last().expect("non-empty"),
+        rigor::ExperimentEvent::ExperimentFinished {
+            failed_invocations: 0,
+            ..
+        }
+    ));
+    // The trace round-trips through `trace-summary` with exit 0.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("trace-summary {}", trace.display()))),
+        0
+    );
+}
+
+#[test]
+fn trace_summary_rejects_garbage() {
+    let dir = tmp_dir();
+    let bogus = dir.join("bogus.jsonl");
+    fs::write(&bogus, "this is not json\n").expect("write");
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("trace-summary {}", bogus.display()))),
+        1
+    );
 }
 
 #[test]
@@ -69,6 +123,12 @@ fn run_and_disasm_shipped_fixture() {
         .expect("workspace root")
         .join("examples/fixtures/collatz.mp");
     assert!(fixture.exists(), "sample fixture must ship with the repo");
-    assert_eq!(rigor_cli::run(&argv(&format!("run {}", fixture.display()))), 0);
-    assert_eq!(rigor_cli::run(&argv(&format!("disasm {}", fixture.display()))), 0);
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("run {}", fixture.display()))),
+        0
+    );
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("disasm {}", fixture.display()))),
+        0
+    );
 }

@@ -1,0 +1,126 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! Provides the [`Distribution`] trait plus [`Normal`] and [`LogNormal`]
+//! (the only distributions this workspace samples), generated with the
+//! Box-Muller transform for seed-deterministic output.
+
+use rand::Rng;
+
+/// Types that can sample values of type `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Draws one standard-normal variate via Box-Muller (two uniforms per draw;
+/// no caching, so the consumed stream length is deterministic per sample).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > 0.0 {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// If `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<T> {
+    mu: T,
+    sigma: T,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal distribution with the given parameters of the
+    /// underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// If `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 || !mu.is_finite() {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = LogNormal::new(0.0, 0.035).unwrap();
+        let mut xs: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|x| *x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.01, "median {median}");
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! The JSON value model shared by the vendored `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON number, kept in its native width so `u64`/`i64` round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative (or any signed) integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+/// An in-memory JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(Num),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// The value as a `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(Num::U(u)) => Some(*u),
+            JsonValue::Num(Num::I(i)) if *i >= 0 => Some(*i as u64),
+            JsonValue::Num(Num::F(f)) if f.fract() == 0.0 && *f >= 0.0 && *f < 1.8446744e19 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(Num::I(i)) => Some(*i),
+            JsonValue::Num(Num::U(u)) => i64::try_from(*u).ok(),
+            JsonValue::Num(Num::F(f)) if f.fract() == 0.0 && f.abs() < 9.2233720e18 => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric width).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(Num::F(f)) => Some(*f),
+            JsonValue::Num(Num::U(u)) => Some(*u as f64),
+            JsonValue::Num(Num::I(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key when the value is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short human name of the value's JSON type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a message describing the shape mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    /// Standard "expected X, got Y" error.
+    pub fn expected(what: &str, got: &JsonValue) -> DeError {
+        DeError(format!("expected {what}, got {}", got.type_name()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Deserializes one struct field from an object, honoring `if_missing`
+/// semantics for absent keys (used by the derive macro).
+///
+/// # Errors
+///
+/// When the value is not an object, or the field's value mismatches.
+pub fn get_field<T: crate::Deserialize>(v: &JsonValue, name: &str) -> Result<T, DeError> {
+    if !matches!(v, JsonValue::Object(_)) {
+        return Err(DeError::expected("object", v));
+    }
+    match v.get(name) {
+        Some(field) => {
+            T::from_value(field).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+        }
+        None => T::if_missing(name),
+    }
+}

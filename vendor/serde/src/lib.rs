@@ -1,0 +1,290 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal serde: instead of upstream's visitor-based data model, types
+//! convert to and from an in-memory [`json::JsonValue`] tree. The public
+//! surface the workspace relies on — `#[derive(Serialize, Deserialize)]`,
+//! `use serde::{Serialize, Deserialize}` — is source-compatible; everything
+//! else is intentionally small.
+//!
+//! Representation choices mirror upstream `serde_json` where the workspace
+//! can observe them:
+//!
+//! * structs → JSON objects; fields serializing to `null` (i.e. `None`) are
+//!   omitted and tolerated when absent, so adding optional fields keeps old
+//!   exports readable;
+//! * unit enum variants → `"Variant"`; data variants → externally tagged
+//!   `{"Variant": ...}`;
+//! * `u64`/`i64` round-trip exactly (no `f64` detour).
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{DeError, JsonValue, Num};
+
+/// Serialization into the JSON value model.
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_value(&self) -> JsonValue;
+}
+
+/// Deserialization from the JSON value model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// When the value's shape does not match `Self`.
+    fn from_value(v: &JsonValue) -> Result<Self, DeError>;
+
+    /// Value to use when a struct field is absent; `None` for `Option`
+    /// fields (mirroring `#[serde(default)]` on optionals), an error for
+    /// everything else.
+    ///
+    /// # Errors
+    ///
+    /// By default, a "missing field" error.
+    fn if_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{field}`")))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> JsonValue {
+                JsonValue::Num(Num::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::new(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> JsonValue {
+                JsonValue::Num(Num::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::new(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Num(Num::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        // JSON has no NaN/Infinity literal; they serialize as null.
+        if matches!(v, JsonValue::Null) {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Num(Num::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> JsonValue {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            JsonValue::Array(items) => Err(DeError::new(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            ))),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+
+    fn if_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::expected("2-element array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn options_and_vectors() {
+        let v: Option<u32> = None;
+        assert!(matches!(v.to_value(), JsonValue::Null));
+        assert_eq!(Option::<u32>::from_value(&JsonValue::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::if_missing("x").unwrap(), None);
+        assert!(u32::if_missing("x").is_err());
+        let xs = vec![1.0f64, 2.0];
+        assert_eq!(Vec::<f64>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn fixed_arrays_round_trip() {
+        let a = [1u64, 2, 3];
+        assert_eq!(<[u64; 3]>::from_value(&a.to_value()).unwrap(), a);
+        assert!(<[u64; 4]>::from_value(&a.to_value()).is_err());
+    }
+
+    #[test]
+    fn nan_round_trips_via_null() {
+        let v = f64::NAN.to_value();
+        let back = f64::from_value(&JsonValue::Null).unwrap();
+        assert!(back.is_nan());
+        // as_f64 on the NaN Num still yields NaN; printing is serde_json's job.
+        assert!(v.as_f64().unwrap().is_nan());
+    }
+}

@@ -1,0 +1,395 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` crate.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): the
+//! input item is hand-parsed from its token tree into a small shape model
+//! (named-field structs; enums with unit, tuple and struct variants), and
+//! the impls are emitted as source strings. Generic types and serde
+//! attributes are intentionally unsupported — the workspace does not use
+//! them, and hand-written impls cover the few custom layouts (e.g. the
+//! telemetry event stream's flat tagging).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Fields of a struct or struct variant.
+type Fields = Vec<String>;
+
+enum Shape {
+    Struct(Fields),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Fields),
+}
+
+/// Derives `serde::Serialize` for plain structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` for plain structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (#[...], including doc comments) and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` possibly followed by a `(crate)`-style group.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+            }
+            other => panic!("serde_derive: unexpected token {other:?} before struct/enum"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+    let body = tokens.next();
+    let shape = if kind == "struct" {
+        match body {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match body {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        }
+    };
+    (name, shape)
+}
+
+/// Parses `{ attrs* vis? name : Type , ... }` field lists into field names,
+/// skipping type tokens (tracking `<`/`>` depth so commas inside generics
+/// don't split fields; bracketed types like `[u64; 8]` arrive as one group).
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    } else {
+                        break s;
+                    }
+                }
+                other => panic!("serde_derive: unexpected field token {other:?}"),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Counts comma-separated items at angle-bracket depth zero (tuple fields).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let name = loop {
+            match tokens.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                other => panic!("serde_derive: unexpected variant token {other:?}"),
+            }
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_items(g.stream());
+                tokens.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                panic!("serde_derive (vendored): explicit discriminants are not supported");
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn obj_push(fields: &Fields, access: impl Fn(&str) -> String) -> String {
+    let mut body =
+        String::from("let mut __fields: Vec<(String, ::serde::json::JsonValue)> = Vec::new();\n");
+    for f in fields {
+        body.push_str(&format!(
+            "let __v = ::serde::Serialize::to_value({});\n\
+             if !__v.is_null() {{ __fields.push((\"{f}\".to_string(), __v)); }}\n",
+            access(f)
+        ));
+    }
+    body.push_str("::serde::json::JsonValue::Object(__fields)");
+    body
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => obj_push(fields, |f| format!("&self.{f}")),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            if *n == 1 {
+                items[0].clone()
+            } else {
+                format!(
+                    "::serde::json::JsonValue::Array(vec![{}])",
+                    items.join(", ")
+                )
+            }
+        }
+        Shape::UnitStruct => "::serde::json::JsonValue::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::JsonValue::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::json::JsonValue::Array(vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::json::JsonValue::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inner = obj_push(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ let __inner = {{ {inner} }};\n\
+                             ::serde::json::JsonValue::Object(vec![(\"{vn}\".to_string(), __inner)]) }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::JsonValue {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::json::get_field(__v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         ::serde::json::JsonValue::Array(__items) if __items.len() == {n} =>\n\
+                             Ok({name}({})),\n\
+                         __other => Err(::serde::json::DeError::expected(\"{n}-element array\", __other)),\n\
+                     }}",
+                    gets.join(", ")
+                )
+            }
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?))")
+                        } else {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match __inner {{\n\
+                                     ::serde::json::JsonValue::Array(__items) if __items.len() == {n} =>\n\
+                                         Ok({name}::{vn}({})),\n\
+                                     __other => Err(::serde::json::DeError::expected(\"{n}-element array\", __other)),\n\
+                                 }}",
+                                gets.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {build} }}\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::json::get_field(__inner, \"{f}\")?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::json::JsonValue::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(::serde::json::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::json::JsonValue::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => Err(::serde::json::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::json::DeError::expected(\"{name} variant\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::json::JsonValue) -> Result<Self, ::serde::json::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
