@@ -31,6 +31,18 @@ pub struct GlobalOpts {
     pub quiet: bool,
     /// Optional path to stream an event trace (JSONL) to.
     pub trace: Option<String>,
+    /// Optional per-attempt virtual-time deadline (ns).
+    pub deadline_ns: Option<f64>,
+    /// Optional per-attempt step budget ("fuel", bytecode ops).
+    pub fuel: Option<u64>,
+    /// Retries after a failed invocation (None = library default).
+    pub max_retries: Option<u32>,
+    /// Censored fraction above which a benchmark is quarantined.
+    pub quarantine_threshold: Option<f64>,
+    /// Optional checkpoint-journal path to stream finished invocations to.
+    pub journal: Option<String>,
+    /// Optional checkpoint journal to resume a measurement from.
+    pub resume: Option<String>,
 }
 
 impl Default for GlobalOpts {
@@ -47,6 +59,12 @@ impl Default for GlobalOpts {
             progress: false,
             quiet: false,
             trace: None,
+            deadline_ns: None,
+            fuel: None,
+            max_retries: None,
+            quarantine_threshold: None,
+            journal: None,
+            resume: None,
         }
     }
 }
@@ -72,6 +90,9 @@ pub enum Command {
     Disasm { path: String },
     /// `rigor trace-summary <file>` — summarize an event trace (JSONL).
     TraceSummary { path: String },
+    /// `rigor self-test` — exercise the fault-tolerance machinery under
+    /// deterministic fault injection.
+    SelfTest,
     /// `rigor help`.
     Help,
 }
@@ -153,6 +174,42 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
             "--progress" => opts.progress = true,
             "--quiet" | "-q" => opts.quiet = true,
             "--trace" => opts.trace = Some(next_value(arg, &mut it)?),
+            "--deadline-ns" => {
+                let d: f64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--deadline-ns requires a number"))?;
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(err("--deadline-ns must be a positive number"));
+                }
+                opts.deadline_ns = Some(d);
+            }
+            "--fuel" => {
+                let f: u64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--fuel requires an integer (bytecode ops)"))?;
+                if f == 0 {
+                    return Err(err("--fuel must be positive"));
+                }
+                opts.fuel = Some(f);
+            }
+            "--max-retries" => {
+                opts.max_retries = Some(
+                    next_value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| err("--max-retries requires an integer"))?,
+                );
+            }
+            "--quarantine-threshold" => {
+                let q: f64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--quarantine-threshold requires a number"))?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(err("--quarantine-threshold must be in [0, 1]"));
+                }
+                opts.quarantine_threshold = Some(q);
+            }
+            "--journal" => opts.journal = Some(next_value(arg, &mut it)?),
+            "--resume" => opts.resume = Some(next_value(arg, &mut it)?),
             "--help" | "-h" => positional.push("help".to_string()),
             other if other.starts_with('-') => {
                 return Err(err(format!("unknown flag '{other}'")));
@@ -197,6 +254,7 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
                 .next()
                 .ok_or_else(|| err("trace-summary needs a trace file path"))?,
         },
+        Some("self-test") => Command::SelfTest,
         Some(other) => return Err(err(format!("unknown command '{other}'"))),
     };
     if let Some(extra) = pos.next() {
@@ -222,6 +280,8 @@ COMMANDS:
     run <file>                execute a MiniPy source file
     disasm <file>             show a MiniPy file's bytecode
     trace-summary <file>      summarize an event trace written by --trace
+    self-test                 exercise the fault-tolerance machinery under
+                              deterministic fault injection
     help                      this message
 
 OPTIONS:
@@ -236,6 +296,17 @@ OPTIONS:
     --progress                live per-invocation progress on stderr
     -q, --quiet               suppress progress and advisory output
     --trace <file>            stream experiment events as JSONL
+
+FAULT TOLERANCE:
+    --deadline-ns <N>         virtual-time deadline per invocation attempt
+    --fuel <N>                step budget (bytecode ops) per attempt
+    --max-retries <N>         retries before censoring a failed invocation
+    --quarantine-threshold <0.xx>
+                              censored fraction that quarantines a benchmark
+    --journal <file>          checkpoint finished invocations as JSONL
+                              (measure only)
+    --resume <file>           replay a checkpoint journal, run only the
+                              missing invocations (measure only)
 ";
 
 #[cfg(test)]
@@ -333,6 +404,38 @@ mod tests {
             }
         );
         assert!(parse_args(&argv("trace-summary")).is_err());
+    }
+
+    #[test]
+    fn fault_tolerance_flags() {
+        let (_, opts) = parse_args(&argv(
+            "measure sieve --deadline-ns 5e7 --fuel 100000 --max-retries 3 \
+             --quarantine-threshold 0.25 --journal j.jsonl --resume old.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(opts.deadline_ns, Some(5.0e7));
+        assert_eq!(opts.fuel, Some(100_000));
+        assert_eq!(opts.max_retries, Some(3));
+        assert_eq!(opts.quarantine_threshold, Some(0.25));
+        assert_eq!(opts.journal.as_deref(), Some("j.jsonl"));
+        assert_eq!(opts.resume.as_deref(), Some("old.jsonl"));
+    }
+
+    #[test]
+    fn fault_tolerance_flags_validate_values() {
+        assert!(parse_args(&argv("measure sieve --deadline-ns -1")).is_err());
+        assert!(parse_args(&argv("measure sieve --deadline-ns nan")).is_err());
+        assert!(parse_args(&argv("measure sieve --fuel 0")).is_err());
+        assert!(parse_args(&argv("measure sieve --max-retries x")).is_err());
+        assert!(parse_args(&argv("measure sieve --quarantine-threshold 1.5")).is_err());
+        assert!(parse_args(&argv("measure sieve --journal")).is_err());
+        assert!(parse_args(&argv("measure sieve --resume")).is_err());
+    }
+
+    #[test]
+    fn self_test_parses() {
+        assert_eq!(parse_args(&argv("self-test")).unwrap().0, Command::SelfTest);
+        assert!(parse_args(&argv("self-test extra")).is_err());
     }
 
     #[test]

@@ -6,12 +6,12 @@ use std::sync::Arc;
 use minipy::{Session, VmConfig};
 use rigor::{
     compare, compare_suite, fmt_ci, fmt_ns, precision_of, sparkline, ExperimentConfig,
-    ExperimentEvent, ExperimentObserver, JsonlTraceObserver, ProgressObserver, SteadyStateDetector,
-    Table, WarmupClassifier,
+    ExperimentEvent, ExperimentObserver, FaultPlan, Journal, JsonlTraceObserver, ProgressObserver,
+    SteadyStateDetector, Table, WarmupClassifier,
 };
-use rigor_workloads::{characterize, find, suite, Workload};
+use rigor_workloads::{characterize, find, suite, Size, Workload};
 
-use crate::args::{Command, GlobalOpts, USAGE};
+use crate::args::{Command, GlobalOpts, ParseError, USAGE};
 use crate::error::{io_err, CliError};
 
 type CliResult = Result<(), CliError>;
@@ -33,6 +33,7 @@ pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
         Command::Run { path } => cmd_run(path, opts),
         Command::Disasm { path } => cmd_disasm(path),
         Command::TraceSummary { path } => cmd_trace_summary(path),
+        Command::SelfTest => cmd_self_test(opts),
     }
 }
 
@@ -41,13 +42,59 @@ fn lookup(benchmark: &str) -> Result<Workload, CliError> {
 }
 
 fn experiment_config(opts: &GlobalOpts) -> ExperimentConfig {
-    ExperimentConfig::interp()
+    let mut cfg = ExperimentConfig::interp()
         .with_invocations(opts.invocations)
         .with_iterations(opts.iterations)
         .with_size(opts.size)
         .with_seed(opts.seed)
         .with_engine(opts.engine)
-        .with_confidence(opts.confidence)
+        .with_confidence(opts.confidence);
+    if let Some(d) = opts.deadline_ns {
+        cfg = cfg.with_deadline_ns(d);
+    }
+    if let Some(f) = opts.fuel {
+        cfg = cfg.with_step_budget(f);
+    }
+    if let Some(r) = opts.max_retries {
+        cfg = cfg.with_max_retries(r);
+    }
+    if let Some(q) = opts.quarantine_threshold {
+        cfg = cfg.with_quarantine_threshold(q);
+    }
+    cfg
+}
+
+/// `--journal`/`--resume` checkpoint a *single* measurement, so only
+/// `measure` supports them; other measuring commands reject the flags
+/// rather than silently ignoring them.
+fn reject_checkpoint_flags(opts: &GlobalOpts, command: &str) -> Result<(), CliError> {
+    if opts.journal.is_some() || opts.resume.is_some() {
+        return Err(CliError::Usage(ParseError(format!(
+            "--journal/--resume only apply to `measure`, not `{command}`"
+        ))));
+    }
+    Ok(())
+}
+
+/// Prints a one-line fault summary to stderr when a measurement had
+/// censored invocations (suite/compare context, where the full per-slot
+/// detail of `measure` would be noise).
+fn note_faults(m: &rigor::BenchmarkMeasurement, quiet: bool) {
+    if quiet || m.censored.is_empty() {
+        return;
+    }
+    eprintln!(
+        "note: {} on {}: {} of {} invocations censored{}",
+        m.benchmark,
+        m.engine,
+        m.censored.len(),
+        m.n_requested(),
+        if m.quarantined {
+            " — QUARANTINED"
+        } else {
+            ""
+        }
+    );
 }
 
 /// Builds the observer set the flags ask for: `--progress` (unless
@@ -159,8 +206,28 @@ fn cmd_characterize(benchmark: &str, opts: &GlobalOpts) -> CliResult {
 fn cmd_measure(benchmark: &str, opts: &GlobalOpts) -> CliResult {
     let w = lookup(benchmark)?;
     let cfg = experiment_config(opts);
-    let obs = observers(opts)?;
-    let m = measure_observed(&w, &cfg, &obs)?;
+    let mut runner = rigor::Runner::new(cfg.clone());
+    for obs in observers(opts)? {
+        runner = runner.observer(obs);
+    }
+    if let Some(path) = &opts.journal {
+        runner = runner.journal(path.as_str());
+    }
+    if let Some(path) = &opts.resume {
+        let journal = Journal::load(std::path::Path::new(path)).map_err(io_err(path))?;
+        if journal.truncated && !opts.quiet {
+            eprintln!("note: {path}: final journal line was truncated; ignoring it");
+        }
+        if !opts.quiet {
+            eprintln!(
+                "resuming from {path}: {} of {} invocations already journaled",
+                journal.completed(),
+                cfg.invocations
+            );
+        }
+        runner = runner.resume(journal);
+    }
+    let m = runner.measure(&w)?;
     let det = SteadyStateDetector::default();
     println!(
         "{} on {}: {} invocations x {} iterations",
@@ -188,10 +255,41 @@ fn cmd_measure(benchmark: &str, opts: &GlobalOpts) -> CliResult {
             fmt_ns(ci.upper)
         );
     }
-    export(opts, std::slice::from_ref(&m))
+    if m.n_retried() > 0 {
+        println!(
+            "retried: {} invocations needed more than one attempt",
+            m.n_retried()
+        );
+    }
+    if !m.censored.is_empty() {
+        println!(
+            "censored: {} of {} invocations failed every attempt ({:.0}%)",
+            m.censored.len(),
+            m.n_requested(),
+            m.censoring_rate() * 100.0
+        );
+        for c in &m.censored {
+            println!(
+                "  inv {}: {} after {} attempt(s): {}",
+                c.invocation, c.failure, c.attempts, c.error
+            );
+        }
+    }
+    export(opts, std::slice::from_ref(&m))?;
+    if m.quarantined {
+        // The report and exports above still happened — quarantine is a
+        // trust verdict on the numbers, surfaced as exit code 1.
+        return Err(CliError::Quarantined {
+            benchmark: w.name.to_string(),
+            censored: m.censored.len() as u32,
+            invocations: m.n_requested() as u32,
+        });
+    }
+    Ok(())
 }
 
 fn cmd_compare(benchmark: &str, opts: &GlobalOpts) -> CliResult {
+    reject_checkpoint_flags(opts, "compare")?;
     let w = lookup(benchmark)?;
     let interp_cfg = experiment_config(opts).with_engine(minipy::EngineKind::Interp);
     let jit_cfg =
@@ -199,6 +297,8 @@ fn cmd_compare(benchmark: &str, opts: &GlobalOpts) -> CliResult {
     let obs = observers(opts)?;
     let base = measure_observed(&w, &interp_cfg, &obs)?;
     let cand = measure_observed(&w, &jit_cfg, &obs)?;
+    note_faults(&base, opts.quiet);
+    note_faults(&cand, opts.quiet);
     let result = compare(
         &base,
         &cand,
@@ -232,6 +332,7 @@ fn cmd_compare(benchmark: &str, opts: &GlobalOpts) -> CliResult {
 }
 
 fn cmd_suite(opts: &GlobalOpts) -> CliResult {
+    reject_checkpoint_flags(opts, "suite")?;
     let interp_cfg = experiment_config(opts).with_engine(minipy::EngineKind::Interp);
     let jit_cfg =
         experiment_config(opts).with_engine(minipy::EngineKind::Jit(minipy::JitConfig::default()));
@@ -244,6 +345,8 @@ fn cmd_suite(opts: &GlobalOpts) -> CliResult {
         }
         let base = measure_observed(&w, &interp_cfg, &obs)?;
         let cand = measure_observed(&w, &jit_cfg, &obs)?;
+        note_faults(&base, opts.quiet);
+        note_faults(&cand, opts.quiet);
         all.push(base.clone());
         all.push(cand.clone());
         pairs.push((base, cand));
@@ -275,9 +378,11 @@ fn cmd_suite(opts: &GlobalOpts) -> CliResult {
 }
 
 fn cmd_warmup(benchmark: &str, opts: &GlobalOpts) -> CliResult {
+    reject_checkpoint_flags(opts, "warmup")?;
     let w = lookup(benchmark)?;
     let cfg = experiment_config(opts);
     let m = measure_observed(&w, &cfg, &observers(opts)?)?;
+    note_faults(&m, opts.quiet);
     let classifier = WarmupClassifier::default();
     println!("{} on {}:", w.name, cfg.engine.name());
     for (i, series) in m.series().enumerate() {
@@ -360,10 +465,14 @@ struct BenchmarkTotals {
 
 fn cmd_trace_summary(path: &str) -> CliResult {
     let text = fs::read_to_string(path).map_err(io_err(path))?;
-    let events = rigor::parse_trace(&text).map_err(|e| CliError::Trace {
+    let parsed = rigor::parse_trace(&text).map_err(|e| CliError::Trace {
         path: path.to_string(),
         message: e.to_string(),
     })?;
+    if let Some(warning) = &parsed.warning {
+        eprintln!("warning: {path}: {warning}");
+    }
+    let events = parsed.events;
     if events.is_empty() {
         println!("{path}: empty trace");
         return Ok(());
@@ -478,6 +587,228 @@ fn cmd_trace_summary(path: &str) -> CliResult {
     Ok(())
 }
 
+/// A workload that never finishes an iteration — only a deadline or fuel
+/// budget can stop it.
+const DIVERGENT_SRC: &str = "def run():\n    while True:\n        pass\n";
+
+/// Small, fast experiment shape shared by the self-test scenarios.
+fn self_test_config() -> ExperimentConfig {
+    ExperimentConfig::interp()
+        .with_invocations(4)
+        .with_iterations(5)
+        .with_size(Size::Small)
+        .with_seed(7)
+}
+
+fn expect(cond: bool, msg: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.to_string())
+    }
+}
+
+/// A divergent workload under a virtual-time deadline must end up censored
+/// with the `timeout` taxonomy — and quarantined — rather than hanging.
+fn self_test_deadline() -> Result<(), String> {
+    let cfg = self_test_config()
+        .with_invocations(2)
+        .with_deadline_ns(5.0e7)
+        .with_max_retries(0);
+    let m = rigor::measure_source(DIVERGENT_SRC, "divergent", &cfg)
+        .map_err(|e| format!("measurement errored instead of censoring: {e}"))?;
+    expect(m.invocations.is_empty(), "no invocation should succeed")?;
+    expect(m.censored.len() == 2, "both invocations should be censored")?;
+    expect(
+        m.censored
+            .iter()
+            .all(|c| c.failure == rigor::FailureKind::Timeout),
+        "censoring taxonomy should be `timeout`",
+    )?;
+    expect(
+        m.quarantined,
+        "a fully-censored benchmark must be quarantined",
+    )
+}
+
+/// The same divergent workload under a step budget must censor with the
+/// `fuel_exhausted` taxonomy.
+fn self_test_fuel() -> Result<(), String> {
+    let cfg = self_test_config()
+        .with_invocations(1)
+        .with_step_budget(50_000)
+        .with_max_retries(0);
+    let m = rigor::measure_source(DIVERGENT_SRC, "divergent", &cfg)
+        .map_err(|e| format!("measurement errored instead of censoring: {e}"))?;
+    expect(m.censored.len() == 1, "the invocation should be censored")?;
+    expect(
+        m.censored[0].failure == rigor::FailureKind::FuelExhausted,
+        "censoring taxonomy should be `fuel_exhausted`",
+    )
+}
+
+/// Injected transient panics must be retried onto clean attempts; the
+/// experiment recovers a full measurement.
+fn self_test_retry() -> Result<(), String> {
+    let w = find("sieve").ok_or("sieve missing from suite")?;
+    let cfg = self_test_config().with_invocations(8).with_max_retries(6);
+    let m = rigor::Runner::new(cfg)
+        .fault_plan(FaultPlan::new(13).with_panic_rate(0.5))
+        .measure(&w)
+        .map_err(|e| format!("measurement errored: {e}"))?;
+    expect(
+        m.n_invocations() + m.censored.len() == 8,
+        "every invocation slot must resolve",
+    )?;
+    expect(
+        m.invocations.iter().any(|r| r.attempts > 1),
+        "a 50% panic rate should force at least one retry",
+    )?;
+    expect(
+        m.censored.is_empty(),
+        "6 retries should recover every invocation from 50% transient faults",
+    )
+}
+
+/// Invocations that fail every attempt trip the quarantine threshold.
+fn self_test_quarantine() -> Result<(), String> {
+    let w = find("sieve").ok_or("sieve missing from suite")?;
+    let cfg = self_test_config().with_invocations(2).with_max_retries(0);
+    let m = rigor::Runner::new(cfg)
+        .fault_plan(FaultPlan::new(5).with_panic_rate(1.0))
+        .measure(&w)
+        .map_err(|e| format!("measurement errored: {e}"))?;
+    expect(
+        m.censored.len() == 2,
+        "all attempts panic, all slots censor",
+    )?;
+    expect(
+        m.censored
+            .iter()
+            .all(|c| c.failure == rigor::FailureKind::Panic),
+        "censoring taxonomy should be `panic`",
+    )?;
+    expect(m.quarantined, "2/2 censored must quarantine")
+}
+
+/// Killing an experiment after a checkpoint and resuming must reproduce the
+/// uninterrupted measurement byte-for-byte.
+fn self_test_resume() -> Result<(), String> {
+    let w = find("sieve").ok_or("sieve missing from suite")?;
+    let cfg = self_test_config();
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("rigor-self-test-{}.jsonl", std::process::id()));
+    let cleanup = |r: Result<(), String>| {
+        std::fs::remove_file(&path).ok();
+        r
+    };
+    let full = match rigor::Runner::new(cfg.clone()).journal(&path).measure(&w) {
+        Ok(m) => m,
+        Err(e) => return cleanup(Err(format!("journaled run errored: {e}"))),
+    };
+    // Keep the meta line + 2 records: a simulated mid-experiment crash.
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return cleanup(Err(format!("cannot read journal: {e}"))),
+    };
+    let prefix: Vec<&str> = text.lines().take(3).collect();
+    if let Err(e) = std::fs::write(&path, format!("{}\n", prefix.join("\n"))) {
+        return cleanup(Err(format!("cannot truncate journal: {e}")));
+    }
+    let journal = match Journal::load(&path) {
+        Ok(j) => j,
+        Err(e) => return cleanup(Err(format!("cannot load journal: {e}"))),
+    };
+    if journal.completed() != 2 {
+        return cleanup(Err(format!(
+            "expected 2 journaled invocations, found {}",
+            journal.completed()
+        )));
+    }
+    let resumed = match rigor::Runner::new(cfg).resume(journal).measure(&w) {
+        Ok(m) => m,
+        Err(e) => return cleanup(Err(format!("resumed run errored: {e}"))),
+    };
+    let full_json = rigor::to_json(std::slice::from_ref(&full));
+    let resumed_json = rigor::to_json(std::slice::from_ref(&resumed));
+    cleanup(match (full_json, resumed_json) {
+        (Ok(a), Ok(b)) if a == b => Ok(()),
+        (Ok(_), Ok(_)) => Err("resumed export differs from the uninterrupted run".into()),
+        (Err(e), _) | (_, Err(e)) => Err(format!("export failed: {e}")),
+    })
+}
+
+/// A panicking observer must be disabled without losing the measurement or
+/// the rest of the event stream.
+fn self_test_observer_isolation() -> Result<(), String> {
+    struct Grenade;
+    impl ExperimentObserver for Grenade {
+        fn on_event(&self, _event: &ExperimentEvent) {
+            panic!("self-test observer bomb");
+        }
+    }
+    let w = find("sieve").ok_or("sieve missing from suite")?;
+    let collector = Arc::new(rigor::CollectingObserver::new());
+    let cfg = self_test_config().with_invocations(2).with_iterations(3);
+    let m = rigor::Runner::new(cfg)
+        .observer(Arc::new(Grenade))
+        .observer(collector.clone())
+        .measure(&w)
+        .map_err(|e| format!("measurement errored: {e}"))?;
+    expect(
+        m.n_invocations() == 2,
+        "the measurement must survive the observer panic",
+    )?;
+    expect(
+        collector.len() == 2 + 2 * 2 + 2 * 3,
+        "the healthy observer must still see the complete stream",
+    )
+}
+
+/// One named self-test scenario.
+type Scenario = (&'static str, fn() -> Result<(), String>);
+
+/// Runs every fault-tolerance scenario under deterministic fault injection
+/// and reports a pass/fail table; any failure exits 1.
+fn cmd_self_test(opts: &GlobalOpts) -> CliResult {
+    let scenarios: Vec<Scenario> = vec![
+        ("deadline censors a divergent workload", self_test_deadline),
+        ("fuel budget censors a divergent workload", self_test_fuel),
+        ("transient panics are retried to recovery", self_test_retry),
+        ("total failure trips quarantine", self_test_quarantine),
+        ("checkpoint resume is byte-identical", self_test_resume),
+        ("observer panics are isolated", self_test_observer_isolation),
+    ];
+    let mut table = Table::new(vec!["scenario", "result"]).with_title("fault-tolerance self-test");
+    let mut failed = Vec::new();
+    // Injected panics are expected here; keep their default backtraces out
+    // of the report. The previous hook is restored before returning.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for (name, scenario) in &scenarios {
+        if !opts.quiet {
+            eprintln!("self-test: {name} ...");
+        }
+        match scenario() {
+            Ok(()) => {
+                table.row(vec![name.to_string(), "ok".to_string()]);
+            }
+            Err(msg) => {
+                table.row(vec![name.to_string(), format!("FAILED: {msg}")]);
+                failed.push(name.to_string());
+            }
+        }
+    }
+    std::panic::set_hook(previous_hook);
+    println!("{table}");
+    if failed.is_empty() {
+        println!("self-test: all {} scenarios passed", scenarios.len());
+        Ok(())
+    } else {
+        Err(CliError::SelfTest { failed })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +847,38 @@ mod tests {
     fn unknown_benchmark_is_an_error() {
         let r = dispatch(&parse_args(&argv("measure nope")).unwrap());
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn quarantined_measure_surfaces_as_an_error() {
+        let r = dispatch(
+            &parse_args(&argv(
+                "measure sieve -n 2 -i 3 --size small --deadline-ns 100 --max-retries 0",
+            ))
+            .unwrap(),
+        );
+        match r {
+            Err(CliError::Quarantined {
+                censored,
+                invocations,
+                ..
+            }) => {
+                assert_eq!(censored, 2);
+                assert_eq!(invocations, 2);
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_flags_rejected_outside_measure() {
+        for cmd in ["suite --journal j.jsonl", "compare sieve --resume j.jsonl"] {
+            let r = dispatch(&parse_args(&argv(cmd)).unwrap());
+            assert!(
+                matches!(r, Err(CliError::Usage(_))),
+                "{cmd} must be a usage error"
+            );
+        }
     }
 
     #[test]

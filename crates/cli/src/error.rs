@@ -37,6 +37,22 @@ pub enum CliError {
         /// What was wrong with it.
         message: String,
     },
+    /// The measurement finished but the benchmark was quarantined: too
+    /// many invocations were censored for the numbers to be trusted.
+    /// The report is still printed before this error is surfaced.
+    Quarantined {
+        /// The quarantined benchmark.
+        benchmark: String,
+        /// How many invocations were censored.
+        censored: u32,
+        /// How many invocations were requested.
+        invocations: u32,
+    },
+    /// One or more `self-test` scenarios failed.
+    SelfTest {
+        /// The names of the failing scenarios.
+        failed: Vec<String>,
+    },
 }
 
 impl CliError {
@@ -62,6 +78,18 @@ impl fmt::Display for CliError {
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
             CliError::Json(e) => write!(f, "JSON export failed: {e}"),
             CliError::Trace { path, message } => write!(f, "{path}: bad trace: {message}"),
+            CliError::Quarantined {
+                benchmark,
+                censored,
+                invocations,
+            } => write!(
+                f,
+                "benchmark '{benchmark}' quarantined: {censored} of {invocations} \
+                 invocations censored — do not trust these numbers"
+            ),
+            CliError::SelfTest { failed } => {
+                write!(f, "self-test failed: {}", failed.join(", "))
+            }
         }
     }
 }
@@ -127,6 +155,22 @@ mod tests {
             CliError::Trace {
                 path: "t".into(),
                 message: "m".into()
+            }
+            .exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::Quarantined {
+                benchmark: "b".into(),
+                censored: 3,
+                invocations: 4
+            }
+            .exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::SelfTest {
+                failed: vec!["x".into()]
             }
             .exit_code(),
             1

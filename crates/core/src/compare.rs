@@ -225,8 +225,11 @@ mod tests {
                     deopts: 0,
                     checksum: String::new(),
                     iteration_counters: None,
+                    attempts: 1,
                 })
                 .collect(),
+            censored: Vec::new(),
+            quarantined: false,
         }
     }
 

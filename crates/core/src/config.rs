@@ -31,6 +31,21 @@ pub struct ExperimentConfig {
     /// Pins the VM's GC allocation threshold (for ablation studies);
     /// `None` keeps the adaptive default.
     pub gc_threshold_override: Option<u64>,
+    /// Per-invocation virtual-time deadline, ns: a divergent workload is
+    /// stopped with a typed `Timeout` once its VM clock passes this.
+    /// `None` disables the deadline.
+    pub deadline_ns: Option<f64>,
+    /// Per-invocation opcode (fuel) budget: execution aborts with a typed
+    /// `FuelExhausted` after this many opcodes. `None` disables the budget.
+    pub step_budget: Option<u64>,
+    /// Retry attempts after a failed invocation (panic, timeout, VM error)
+    /// before it is censored. Each retry uses a fresh derived seed. 0
+    /// disables retries.
+    pub max_retries: u32,
+    /// Quarantine the benchmark when the censored fraction of its requested
+    /// invocations *exceeds* this threshold (0.0 = any censoring
+    /// quarantines; 1.0 = never quarantine).
+    pub quarantine_threshold: f64,
 }
 
 impl Default for ExperimentConfig {
@@ -46,6 +61,10 @@ impl Default for ExperimentConfig {
             size: Size::Default,
             threads: 4,
             gc_threshold_override: None,
+            deadline_ns: None,
+            step_budget: None,
+            max_retries: 1,
+            quarantine_threshold: 0.5,
         }
     }
 }
@@ -112,6 +131,31 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the per-invocation virtual-time deadline, ns (builder style).
+    pub fn with_deadline_ns(mut self, deadline_ns: f64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Sets the per-invocation opcode budget (builder style).
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.step_budget = Some(steps);
+        self
+    }
+
+    /// Sets the retry count for failed invocations (builder style).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the quarantine threshold on the censored fraction (builder
+    /// style).
+    pub fn with_quarantine_threshold(mut self, threshold: f64) -> Self {
+        self.quarantine_threshold = threshold;
+        self
+    }
+
     /// Builds the per-invocation VM configuration.
     pub fn vm_config(&self) -> minipy::VmConfig {
         let mut cfg = minipy::VmConfig {
@@ -119,6 +163,8 @@ impl ExperimentConfig {
             noise: self.noise,
             cost: self.cost.clone(),
             gc_threshold: self.gc_threshold_override,
+            time_budget_ns: self.deadline_ns,
+            step_budget: self.step_budget,
             ..minipy::VmConfig::default()
         };
         cfg.capture_output = false;
@@ -156,5 +202,33 @@ mod tests {
         assert_eq!(vm.engine, EngineKind::Interp);
         assert!(!vm.noise.os_jitter);
         assert!(!vm.capture_output);
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_and_builders() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.deadline_ns, None);
+        assert_eq!(c.step_budget, None);
+        assert_eq!(c.max_retries, 1);
+        assert!((c.quarantine_threshold - 0.5).abs() < 1e-12);
+        let c = c
+            .with_deadline_ns(5.0e9)
+            .with_step_budget(1_000_000)
+            .with_max_retries(3)
+            .with_quarantine_threshold(0.25);
+        assert_eq!(c.deadline_ns, Some(5.0e9));
+        assert_eq!(c.step_budget, Some(1_000_000));
+        assert_eq!(c.max_retries, 3);
+        assert!((c.quarantine_threshold - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vm_config_propagates_budgets() {
+        let c = ExperimentConfig::interp()
+            .with_deadline_ns(1.0e8)
+            .with_step_budget(42);
+        let vm = c.vm_config();
+        assert_eq!(vm.time_budget_ns, Some(1.0e8));
+        assert_eq!(vm.step_budget, Some(42));
     }
 }

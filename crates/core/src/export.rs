@@ -2,18 +2,31 @@
 
 use crate::measurement::BenchmarkMeasurement;
 
-/// Serializes measurements to a long-format CSV: one row per iteration.
+/// Serializes measurements to a long-format CSV: one row per iteration,
+/// plus one row per censored invocation.
 ///
 /// Columns:
-/// `benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts`.
+/// `benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts,attempts,status`.
 /// The three counter columns are empty for records without per-iteration
 /// counters (e.g. measurements exported before they were recorded).
+///
+/// `status` carries the error taxonomy: `measured` for first-try successes,
+/// `retried` for invocations that succeeded after retries, and
+/// `censored:<kind>` (e.g. `censored:timeout`) for invocations that
+/// exhausted their retries — censored rows have empty seed, iteration,
+/// timing and counter columns, so downstream analysis sees the gap instead
+/// of a silently missing sample.
 pub fn to_csv(measurements: &[BenchmarkMeasurement]) -> String {
     let mut out = String::from(
-        "benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts\n",
+        "benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts,attempts,status\n",
     );
     for m in measurements {
         for r in &m.invocations {
+            let status = if r.attempts > 1 {
+                "retried"
+            } else {
+                "measured"
+            };
             for (i, t) in r.iteration_ns.iter().enumerate() {
                 let counters = r
                     .iteration_counters
@@ -22,10 +35,20 @@ pub fn to_csv(measurements: &[BenchmarkMeasurement]) -> String {
                     .map(|c| format!("{},{},{}", c.gc_cycles, c.jit_compiles, c.deopts))
                     .unwrap_or_else(|| ",,".into());
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{}\n",
-                    m.benchmark, m.engine, r.invocation, r.seed, i, t, counters
+                    "{},{},{},{},{},{},{},{},{}\n",
+                    m.benchmark, m.engine, r.invocation, r.seed, i, t, counters, r.attempts, status
                 ));
             }
+        }
+        for c in &m.censored {
+            out.push_str(&format!(
+                "{},{},{},,,,,,,{},censored:{}\n",
+                m.benchmark,
+                m.engine,
+                c.invocation,
+                c.attempts,
+                c.failure.name()
+            ));
         }
     }
     out
@@ -52,7 +75,9 @@ pub fn from_json(json: &str) -> serde_json::Result<Vec<BenchmarkMeasurement>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::measurement::{InvocationRecord, IterationCounters};
+    use crate::measurement::{
+        CensoredInvocation, FailureKind, InvocationRecord, IterationCounters,
+    };
 
     fn sample() -> BenchmarkMeasurement {
         BenchmarkMeasurement {
@@ -75,7 +100,10 @@ mod tests {
                     },
                     IterationCounters::default(),
                 ]),
+                attempts: 1,
             }],
+            censored: Vec::new(),
+            quarantined: false,
         }
     }
 
@@ -86,10 +114,10 @@ mod tests {
         assert_eq!(lines.len(), 3); // header + 2 iterations
         assert_eq!(
             lines[0],
-            "benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts"
+            "benchmark,engine,invocation,seed,iteration,virtual_ns,gc_cycles,jit_compiles,deopts,attempts,status"
         );
-        assert_eq!(lines[1], "sieve,interp,0,42,0,1.5,1,0,0");
-        assert_eq!(lines[2], "sieve,interp,0,42,1,2.5,0,0,0");
+        assert_eq!(lines[1], "sieve,interp,0,42,0,1.5,1,0,0,1,measured");
+        assert_eq!(lines[2], "sieve,interp,0,42,1,2.5,0,0,0,1,measured");
     }
 
     #[test]
@@ -98,7 +126,27 @@ mod tests {
         m.invocations[0].iteration_counters = None;
         let csv = to_csv(&[m]);
         let lines: Vec<&str> = csv.trim().lines().collect();
-        assert_eq!(lines[1], "sieve,interp,0,42,0,1.5,,,");
+        assert_eq!(lines[1], "sieve,interp,0,42,0,1.5,,,,1,measured");
+    }
+
+    #[test]
+    fn csv_marks_retried_and_censored_invocations() {
+        let mut m = sample();
+        m.invocations[0].attempts = 2;
+        m.censored.push(CensoredInvocation {
+            invocation: 1,
+            attempts: 3,
+            failure: FailureKind::Timeout,
+            error: "TimeoutError: deadline passed".into(),
+        });
+        let csv = to_csv(&[m]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 iterations + 1 censored
+        assert_eq!(lines[1], "sieve,interp,0,42,0,1.5,1,0,0,2,retried");
+        assert_eq!(lines[3], "sieve,interp,1,,,,,,,3,censored:timeout");
+        // Every row has the same column count as the header.
+        let cols = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
     }
 
     #[test]
@@ -131,5 +179,21 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].benchmark, "sieve");
         assert_eq!(back[0].invocations[0].iteration_ns, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn json_roundtrips_censoring_metadata() {
+        let mut ms = vec![sample()];
+        ms[0].quarantined = true;
+        ms[0].censored.push(CensoredInvocation {
+            invocation: 1,
+            attempts: 2,
+            failure: FailureKind::Panic,
+            error: "worker panicked".into(),
+        });
+        let json = to_json(&ms).unwrap();
+        let back = from_json(&json).unwrap();
+        assert!(back[0].quarantined);
+        assert_eq!(back[0].censored, ms[0].censored);
     }
 }

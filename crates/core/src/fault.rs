@@ -1,0 +1,180 @@
+//! Deterministic fault injection: a seeded plan that decides, per invocation
+//! attempt, whether to crash the worker, trip the deadline, or stall the VM.
+//!
+//! The harness's fault-tolerance machinery (retry, quarantine, checkpointing)
+//! is itself code that can rot; [`FaultPlan`] exists so that machinery is
+//! exercised on demand — in tests and in the CLI's `self-test` subcommand —
+//! without depending on a workload that happens to misbehave. Decisions are
+//! a pure function of `(plan seed, benchmark, invocation, attempt)`, so a
+//! faulty experiment is as reproducible as a clean one: the same plan
+//! injects the same faults at the same places every run, which is exactly
+//! what makes checkpoint/resume testable under fire.
+
+use minipy::invocation_seed;
+
+/// What, if anything, to inject into one invocation attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// Run the attempt normally.
+    None,
+    /// Panic the worker thread (exercises the panic guard + retry path).
+    Panic,
+    /// Shrink the VM's virtual-time deadline to (effectively) zero so the
+    /// real deadline machinery trips (exercises `Timeout` classification).
+    Timeout,
+    /// Stall the VM clock by `stall_ns` before the timed iterations
+    /// (exercises outlier handling, and the deadline if one is configured).
+    Slow {
+        /// Virtual nanoseconds to stall.
+        stall_ns: f64,
+    },
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Rates are probabilities in `[0, 1]` and are evaluated in order
+/// panic → timeout → slow against a single uniform draw, so their sum
+/// should not exceed 1 (the remainder is the no-fault probability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the plan's decision stream (independent of workload seeds).
+    pub seed: u64,
+    /// Probability an attempt panics.
+    pub panic_rate: f64,
+    /// Probability an attempt gets a zero deadline.
+    pub timeout_rate: f64,
+    /// Probability an attempt is stalled.
+    pub slow_rate: f64,
+    /// Stall size for `Slow` faults, virtual ns.
+    pub slow_stall_ns: f64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all rates zero.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_rate: 0.0,
+            timeout_rate: 0.0,
+            slow_rate: 0.0,
+            slow_stall_ns: 5.0e6,
+        }
+    }
+
+    /// Sets the panic rate (builder style).
+    pub fn with_panic_rate(mut self, rate: f64) -> FaultPlan {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Sets the timeout rate (builder style).
+    pub fn with_timeout_rate(mut self, rate: f64) -> FaultPlan {
+        self.timeout_rate = rate;
+        self
+    }
+
+    /// Sets the slow-iteration rate (builder style).
+    pub fn with_slow_rate(mut self, rate: f64) -> FaultPlan {
+        self.slow_rate = rate;
+        self
+    }
+
+    /// Sets the stall size for `Slow` faults (builder style).
+    pub fn with_slow_stall_ns(mut self, ns: f64) -> FaultPlan {
+        self.slow_stall_ns = ns;
+        self
+    }
+
+    /// The plan's decision for one invocation attempt. Pure and
+    /// deterministic: same arguments, same fault, every time.
+    pub fn decide(&self, benchmark: &str, invocation: u32, attempt: u32) -> InjectedFault {
+        // Domain-separate the plan stream from workload seed derivation so a
+        // fault plan never correlates with the timings it perturbs.
+        let h = invocation_seed(self.seed ^ 0xFA01_7E57_FA01_7E57, benchmark, invocation);
+        let mut z = h ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.panic_rate {
+            InjectedFault::Panic
+        } else if u < self.panic_rate + self.timeout_rate {
+            InjectedFault::Timeout
+        } else if u < self.panic_rate + self.timeout_rate + self.slow_rate {
+            InjectedFault::Slow {
+                stall_ns: self.slow_stall_ns,
+            }
+        } else {
+            InjectedFault::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::new(7)
+            .with_panic_rate(0.2)
+            .with_timeout_rate(0.2)
+            .with_slow_rate(0.2);
+        for inv in 0..10 {
+            for attempt in 0..3 {
+                assert_eq!(
+                    plan.decide("sieve", inv, attempt),
+                    plan.decide("sieve", inv, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::new(1);
+        for inv in 0..50 {
+            assert_eq!(plan.decide("x", inv, 0), InjectedFault::None);
+        }
+    }
+
+    #[test]
+    fn full_panic_rate_always_panics() {
+        let plan = FaultPlan::new(1).with_panic_rate(1.0);
+        for inv in 0..50 {
+            assert_eq!(plan.decide("x", inv, 0), InjectedFault::Panic);
+        }
+    }
+
+    #[test]
+    fn rates_roughly_match_frequencies() {
+        let plan = FaultPlan::new(3).with_timeout_rate(0.5);
+        let timeouts = (0..1000)
+            .filter(|&i| plan.decide("bench", i, 0) == InjectedFault::Timeout)
+            .count();
+        assert!(
+            (350..=650).contains(&timeouts),
+            "expected ~500 timeouts, got {timeouts}"
+        );
+    }
+
+    #[test]
+    fn attempts_get_independent_decisions() {
+        // A fault on attempt 0 must not force the same fault on attempt 1,
+        // otherwise retries could never succeed under injection.
+        let plan = FaultPlan::new(9).with_panic_rate(0.5);
+        let differs = (0..100).any(|i| plan.decide("b", i, 0) != plan.decide("b", i, 1));
+        assert!(differs);
+    }
+
+    #[test]
+    fn slow_carries_the_configured_stall() {
+        let plan = FaultPlan::new(4)
+            .with_slow_rate(1.0)
+            .with_slow_stall_ns(123.0);
+        assert_eq!(
+            plan.decide("x", 0, 0),
+            InjectedFault::Slow { stall_ns: 123.0 }
+        );
+    }
+}

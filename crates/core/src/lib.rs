@@ -22,6 +22,12 @@
 //! 5. **Observe** — [`Runner`] accepts [`ExperimentObserver`]s that stream
 //!    typed [`ExperimentEvent`]s (live progress, JSONL traces, collectors)
 //!    while an experiment runs; see the [`telemetry`] module.
+//! 6. **Survive faults** — invocations run under virtual-time deadlines and
+//!    step budgets, failures are retried with fresh seeds and censored into
+//!    the measurement's error taxonomy (see [`FailureKind`]), high-failure
+//!    benchmarks are quarantined, and completed invocations stream to a
+//!    [`checkpoint`] journal that [`Runner::resume`] replays bit-for-bit.
+//!    The [`fault`] module injects deterministic faults to test all of it.
 //!
 //! ```rust
 //! use rigor::prelude::*;
@@ -45,9 +51,11 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod compare;
 pub mod config;
 pub mod export;
+pub mod fault;
 pub mod measurement;
 pub mod naive;
 pub mod report;
@@ -58,10 +66,14 @@ pub mod telemetry;
 pub mod variance;
 pub mod warmup;
 
+pub use checkpoint::{Journal, JournalMeta, JournalWriter};
 pub use compare::{compare, compare_suite, CompareError, SpeedupResult, SuiteComparison};
 pub use config::ExperimentConfig;
 pub use export::{from_json, to_csv, to_json};
-pub use measurement::{BenchmarkMeasurement, InvocationRecord, IterationCounters};
+pub use fault::{FaultPlan, InjectedFault};
+pub use measurement::{
+    BenchmarkMeasurement, CensoredInvocation, FailureKind, InvocationRecord, IterationCounters,
+};
 pub use naive::{
     all_schemes, evaluate_scheme, verdict_from_ci, verdict_from_point, NaiveEvaluation,
     NaiveScheme, Verdict,
@@ -74,7 +86,7 @@ pub use steady::{
 };
 pub use telemetry::{
     parse_trace, CollectingObserver, ExperimentEvent, ExperimentObserver, JsonlTraceObserver,
-    NullObserver, ProgressObserver,
+    NullObserver, ParsedTrace, ProgressObserver,
 };
 pub use variance::{decompose, VarianceDecomposition};
 pub use warmup::{aggregate_classes, BenchmarkWarmupClass, WarmupClass, WarmupClassifier};

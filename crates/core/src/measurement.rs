@@ -1,5 +1,11 @@
-//! Measurement data model: per-iteration timings across invocations.
+//! Measurement data model: per-iteration timings across invocations, plus
+//! the error taxonomy that keeps partial experiments honest: every requested
+//! invocation ends up either *measured* (an [`InvocationRecord`], possibly
+//! after retries) or *censored* (a [`CensoredInvocation`] that exhausted its
+//! retries), and a benchmark whose censoring rate passes the quarantine
+//! threshold is flagged so its statistics are never silently trusted.
 
+use serde::json::{get_field, DeError, JsonValue};
 use serde::{Deserialize, Serialize};
 
 /// The VM events of one timed iteration: the counters that explain an
@@ -24,8 +30,93 @@ impl From<minipy::VmEventDeltas> for IterationCounters {
     }
 }
 
+/// Classification of why an invocation attempt failed — the error taxonomy
+/// exports carry so downstream analysis can distinguish a workload that
+/// diverged (budget exhaustion, a *censoring* event) from one that crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The virtual-time deadline passed (`RuntimeErrorKind::Timeout`).
+    Timeout,
+    /// The opcode budget ran out (`RuntimeErrorKind::FuelExhausted`).
+    FuelExhausted,
+    /// The worker panicked (a VM bug, or an injected fault).
+    Panic,
+    /// Any other VM runtime error (type errors, overflow, ...).
+    VmError,
+}
+
+impl FailureKind {
+    /// Classifies a minipy error. Panics are classified by the runner before
+    /// they reach an `MpError`, so `Internal` here means a VM-reported panic.
+    pub fn classify(err: &minipy::MpError) -> FailureKind {
+        match err.runtime_kind() {
+            Some(minipy::RuntimeErrorKind::Timeout) => FailureKind::Timeout,
+            Some(minipy::RuntimeErrorKind::FuelExhausted) => FailureKind::FuelExhausted,
+            Some(minipy::RuntimeErrorKind::Internal) => FailureKind::Panic,
+            _ => FailureKind::VmError,
+        }
+    }
+
+    /// The stable wire name (`"timeout"`, `"fuel_exhausted"`, `"panic"`,
+    /// `"vm_error"`), also used as the status column in CSV exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Timeout => "timeout",
+            FailureKind::FuelExhausted => "fuel_exhausted",
+            FailureKind::Panic => "panic",
+            FailureKind::VmError => "vm_error",
+        }
+    }
+
+    /// True when the workload was stopped by a budget rather than failing.
+    pub fn is_budget_exhaustion(self) -> bool {
+        matches!(self, FailureKind::Timeout | FailureKind::FuelExhausted)
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for FailureKind {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for FailureKind {
+    fn from_value(v: &JsonValue) -> Result<FailureKind, DeError> {
+        let s: String = Deserialize::from_value(v)?;
+        match s.as_str() {
+            "timeout" => Ok(FailureKind::Timeout),
+            "fuel_exhausted" => Ok(FailureKind::FuelExhausted),
+            "panic" => Ok(FailureKind::Panic),
+            "vm_error" => Ok(FailureKind::VmError),
+            other => Err(DeError::new(format!("unknown failure kind `{other}`"))),
+        }
+    }
+}
+
+/// An invocation that never produced a measurement: every attempt (initial
+/// plus retries) failed, so its slot in the experiment is censored rather
+/// than silently dropped — Traini et al.'s requirement that partial runs
+/// still yield interpretable data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensoredInvocation {
+    /// Invocation index within the experiment.
+    pub invocation: u32,
+    /// Total attempts made (1 initial + retries).
+    pub attempts: u32,
+    /// Classification of the final failure.
+    pub failure: FailureKind,
+    /// The final attempt's error message.
+    pub error: String,
+}
+
 /// Everything recorded about one VM invocation of a benchmark.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvocationRecord {
     /// Invocation index within the experiment.
     pub invocation: u32,
@@ -47,23 +138,129 @@ pub struct InvocationRecord {
     /// for measurements recorded before this field existed (old JSON stays
     /// readable) or synthesized without a VM.
     pub iteration_counters: Option<Vec<IterationCounters>>,
+    /// Attempts this measurement took (1 = first try; >1 = it was retried
+    /// with fresh seeds after earlier failures).
+    pub attempts: u32,
 }
 
-/// All invocations of one benchmark on one engine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+// Manual serde keeps the wire format stable as fault-tolerance fields are
+// added: `attempts` is omitted on serialize when 1 and defaults to 1 on
+// deserialize, so records written before retries existed stay readable and
+// clean-run JSON is byte-identical to the pre-retry format.
+impl Serialize for InvocationRecord {
+    fn to_value(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("invocation".into(), self.invocation.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("startup_ns".into(), self.startup_ns.to_value()),
+            ("iteration_ns".into(), self.iteration_ns.to_value()),
+            ("gc_cycles".into(), self.gc_cycles.to_value()),
+            ("jit_compiles".into(), self.jit_compiles.to_value()),
+            ("deopts".into(), self.deopts.to_value()),
+            ("checksum".into(), self.checksum.to_value()),
+        ];
+        let counters = self.iteration_counters.to_value();
+        if !counters.is_null() {
+            fields.push(("iteration_counters".into(), counters));
+        }
+        if self.attempts != 1 {
+            fields.push(("attempts".into(), self.attempts.to_value()));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+impl Deserialize for InvocationRecord {
+    fn from_value(v: &JsonValue) -> Result<InvocationRecord, DeError> {
+        Ok(InvocationRecord {
+            invocation: get_field(v, "invocation")?,
+            seed: get_field(v, "seed")?,
+            startup_ns: get_field(v, "startup_ns")?,
+            iteration_ns: get_field(v, "iteration_ns")?,
+            gc_cycles: get_field(v, "gc_cycles")?,
+            jit_compiles: get_field(v, "jit_compiles")?,
+            deopts: get_field(v, "deopts")?,
+            checksum: get_field(v, "checksum")?,
+            iteration_counters: get_field(v, "iteration_counters")?,
+            attempts: get_field::<Option<u32>>(v, "attempts")?.unwrap_or(1),
+        })
+    }
+}
+
+/// All invocations of one benchmark on one engine, measured and censored.
+#[derive(Debug, Clone)]
 pub struct BenchmarkMeasurement {
     /// Benchmark name.
     pub benchmark: String,
     /// Engine name (`"interp"` / `"jit"`).
     pub engine: String,
-    /// One record per invocation.
+    /// One record per *measured* invocation, in invocation order.
     pub invocations: Vec<InvocationRecord>,
+    /// Invocations that exhausted their retries, in invocation order.
+    pub censored: Vec<CensoredInvocation>,
+    /// True when the censored fraction exceeded the configured quarantine
+    /// threshold: the statistics below are computed but untrustworthy.
+    pub quarantined: bool,
+}
+
+// Same stability contract as `InvocationRecord`: `censored` is omitted when
+// empty and `quarantined` when false, so clean-run JSON matches the
+// pre-fault-tolerance format and old files deserialize with the defaults.
+impl Serialize for BenchmarkMeasurement {
+    fn to_value(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("benchmark".into(), self.benchmark.to_value()),
+            ("engine".into(), self.engine.to_value()),
+            ("invocations".into(), self.invocations.to_value()),
+        ];
+        if !self.censored.is_empty() {
+            fields.push(("censored".into(), self.censored.to_value()));
+        }
+        if self.quarantined {
+            fields.push(("quarantined".into(), self.quarantined.to_value()));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+impl Deserialize for BenchmarkMeasurement {
+    fn from_value(v: &JsonValue) -> Result<BenchmarkMeasurement, DeError> {
+        Ok(BenchmarkMeasurement {
+            benchmark: get_field(v, "benchmark")?,
+            engine: get_field(v, "engine")?,
+            invocations: get_field(v, "invocations")?,
+            censored: get_field::<Option<Vec<CensoredInvocation>>>(v, "censored")?
+                .unwrap_or_default(),
+            quarantined: get_field::<Option<bool>>(v, "quarantined")?.unwrap_or(false),
+        })
+    }
 }
 
 impl BenchmarkMeasurement {
-    /// Number of invocations.
+    /// Number of *measured* invocations.
     pub fn n_invocations(&self) -> usize {
         self.invocations.len()
+    }
+
+    /// Number of invocations requested: measured plus censored.
+    pub fn n_requested(&self) -> usize {
+        self.invocations.len() + self.censored.len()
+    }
+
+    /// Fraction of requested invocations that ended censored (0.0 when the
+    /// experiment was empty).
+    pub fn censoring_rate(&self) -> f64 {
+        let total = self.n_requested();
+        if total == 0 {
+            0.0
+        } else {
+            self.censored.len() as f64 / total as f64
+        }
+    }
+
+    /// Measured invocations that needed at least one retry.
+    pub fn n_retried(&self) -> usize {
+        self.invocations.iter().filter(|r| r.attempts > 1).count()
     }
 
     /// Iterations per invocation (0 when empty).
@@ -167,6 +364,7 @@ mod tests {
             deopts: 0,
             checksum: "42".into(),
             iteration_counters: None,
+            attempts: 1,
         }
     }
 
@@ -178,6 +376,8 @@ mod tests {
                 record(0, vec![10.0, 4.0, 4.0, 4.0]),
                 record(1, vec![12.0, 6.0, 6.0, 6.0]),
             ],
+            censored: Vec::new(),
+            quarantined: false,
         }
     }
 
@@ -234,5 +434,72 @@ mod tests {
             back.invocations[0].iteration_ns,
             m.invocations[0].iteration_ns
         );
+    }
+
+    #[test]
+    fn clean_run_json_omits_fault_fields() {
+        let json = serde_json::to_string(&measurement()).unwrap();
+        assert!(!json.contains("censored"));
+        assert!(!json.contains("quarantined"));
+        assert!(!json.contains("attempts"));
+    }
+
+    #[test]
+    fn pre_fault_tolerance_json_still_deserializes() {
+        // JSON written before attempts/censored/quarantined existed.
+        let json = "{\"benchmark\":\"x\",\"engine\":\"interp\",\"invocations\":[\
+                    {\"invocation\":0,\"seed\":1,\"startup_ns\":5.0,\
+                    \"iteration_ns\":[1.0,2.0],\"gc_cycles\":0,\"jit_compiles\":0,\
+                    \"deopts\":0,\"checksum\":\"9\"}]}";
+        let m: BenchmarkMeasurement = serde_json::from_str(json).unwrap();
+        assert_eq!(m.invocations[0].attempts, 1);
+        assert!(m.censored.is_empty());
+        assert!(!m.quarantined);
+    }
+
+    #[test]
+    fn censored_and_retried_roundtrip() {
+        let mut m = measurement();
+        m.invocations[1].attempts = 3;
+        m.censored.push(CensoredInvocation {
+            invocation: 2,
+            attempts: 2,
+            failure: FailureKind::Timeout,
+            error: "TimeoutError: deadline passed".into(),
+        });
+        m.quarantined = true;
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BenchmarkMeasurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.invocations[1].attempts, 3);
+        assert_eq!(back.censored, m.censored);
+        assert!(back.quarantined);
+        assert_eq!(back.n_requested(), 3);
+        assert_eq!(back.n_retried(), 1);
+        assert!((back.censoring_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_kind_taxonomy() {
+        use minipy::{MpError, RuntimeErrorKind};
+        let timeout = MpError::runtime(RuntimeErrorKind::Timeout, "late");
+        let fuel = MpError::runtime(RuntimeErrorKind::FuelExhausted, "dry");
+        let panic = MpError::runtime(RuntimeErrorKind::Internal, "boom");
+        let name = MpError::name_error("x");
+        assert_eq!(FailureKind::classify(&timeout), FailureKind::Timeout);
+        assert_eq!(FailureKind::classify(&fuel), FailureKind::FuelExhausted);
+        assert_eq!(FailureKind::classify(&panic), FailureKind::Panic);
+        assert_eq!(FailureKind::classify(&name), FailureKind::VmError);
+        assert!(FailureKind::Timeout.is_budget_exhaustion());
+        assert!(!FailureKind::Panic.is_budget_exhaustion());
+        for kind in [
+            FailureKind::Timeout,
+            FailureKind::FuelExhausted,
+            FailureKind::Panic,
+            FailureKind::VmError,
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: FailureKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
     }
 }

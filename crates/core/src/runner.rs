@@ -23,8 +23,22 @@
 //! The free functions [`measure_source`] / [`measure_workload`] are thin
 //! wrappers over an observer-less `Runner` kept for callers that need no
 //! telemetry.
+//!
+//! # Fault tolerance
+//!
+//! Invocations that fail at runtime (panic, budget exhaustion, VM error)
+//! are retried up to `max_retries` times with fresh derived seeds; an
+//! invocation whose every attempt fails is *censored* — recorded in
+//! [`BenchmarkMeasurement::censored`] with its error taxonomy — instead of
+//! aborting the experiment. Only compile-class errors (the workload source
+//! itself is broken, so no retry can help) still fail the whole
+//! measurement. When the censored fraction exceeds
+//! `quarantine_threshold`, the measurement is flagged quarantined.
+//! Completed invocations can be streamed to a checkpoint journal
+//! ([`Runner::journal`]) and replayed with [`Runner::resume`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
@@ -32,8 +46,10 @@ use std::sync::{Arc, Mutex};
 use minipy::{invocation_seed, MpError, MpResult, RuntimeErrorKind, Session};
 use rigor_workloads::Workload;
 
+use crate::checkpoint::{Journal, JournalMeta, JournalWriter};
 use crate::config::ExperimentConfig;
-use crate::measurement::{BenchmarkMeasurement, InvocationRecord};
+use crate::fault::{FaultPlan, InjectedFault};
+use crate::measurement::{BenchmarkMeasurement, CensoredInvocation, FailureKind, InvocationRecord};
 use crate::telemetry::{ExperimentEvent, ExperimentObserver};
 
 /// A cloneable event outlet handed to worker threads; a no-op when the
@@ -44,28 +60,61 @@ struct EventSink(Option<Sender<ExperimentEvent>>);
 impl EventSink {
     fn send(&self, event: ExperimentEvent) {
         if let Some(tx) = &self.0 {
-            // The drain hangs up only if an observer panicked; measurement
-            // proceeds regardless.
+            // The drain finishes only when every sender is dropped; a send
+            // cannot fail while the experiment runs, but measurement must
+            // proceed regardless either way.
             let _ = tx.send(event);
         }
     }
 }
 
-/// Runs one invocation: fresh session, setup, `iterations` timed runs.
+/// The seed for one attempt of one invocation. Attempt 0 is the canonical
+/// per-invocation seed (identical to pre-retry behavior, so existing
+/// experiments replay bit-for-bit); retries fold the attempt number into
+/// the derivation so every attempt samples fresh nondeterminism.
+fn attempt_seed(experiment_seed: u64, benchmark: &str, invocation: u32, attempt: u32) -> u64 {
+    if attempt == 0 {
+        invocation_seed(experiment_seed, benchmark, invocation)
+    } else {
+        invocation_seed(
+            experiment_seed,
+            &format!("{benchmark}#retry{attempt}"),
+            invocation,
+        )
+    }
+}
+
+/// Runs one invocation attempt: fresh session, setup, `iterations` timed
+/// runs, with an optional injected fault.
 fn run_invocation(
     source: &str,
     benchmark: &str,
     invocation: u32,
+    attempt: u32,
     config: &ExperimentConfig,
     sink: &EventSink,
+    fault: InjectedFault,
 ) -> MpResult<InvocationRecord> {
-    let seed = invocation_seed(config.experiment_seed, benchmark, invocation);
+    let seed = attempt_seed(config.experiment_seed, benchmark, invocation, attempt);
     sink.send(ExperimentEvent::InvocationStarted {
         benchmark: benchmark.to_string(),
         invocation,
         seed,
     });
-    let mut session = Session::start(source, seed, config.vm_config())?;
+    if fault == InjectedFault::Panic {
+        panic!("injected fault: panic (invocation {invocation}, attempt {attempt})");
+    }
+    let mut vm_config = config.vm_config();
+    if fault == InjectedFault::Timeout {
+        // Trip the *real* deadline machinery rather than synthesizing an
+        // error, so injection exercises the same path a divergent workload
+        // takes.
+        vm_config.time_budget_ns = Some(1.0);
+    }
+    let mut session = Session::start(source, seed, vm_config)?;
+    if let InjectedFault::Slow { stall_ns } = fault {
+        session.vm_mut().inject_stall(stall_ns);
+    }
     let startup_ns = session.startup_ns();
     let before = session.vm().counters();
     let mut iteration_ns = Vec::with_capacity(config.iterations as usize);
@@ -98,20 +147,24 @@ fn run_invocation(
         deopts: delta.deopts,
         checksum,
         iteration_counters: Some(iteration_counters),
+        attempts: attempt + 1,
     })
 }
 
 /// Runs `run_invocation`, converting a panic in the VM into a classified
 /// internal error so one broken invocation cannot abort the whole process.
+#[allow(clippy::too_many_arguments)]
 fn run_invocation_guarded(
     source: &str,
     benchmark: &str,
     invocation: u32,
+    attempt: u32,
     config: &ExperimentConfig,
     sink: &EventSink,
+    fault: InjectedFault,
 ) -> MpResult<InvocationRecord> {
     catch_unwind(AssertUnwindSafe(|| {
-        run_invocation(source, benchmark, invocation, config, sink)
+        run_invocation(source, benchmark, invocation, attempt, config, sink, fault)
     }))
     .unwrap_or_else(|payload| {
         let msg = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -128,15 +181,94 @@ fn run_invocation_guarded(
     })
 }
 
+/// Outcome of one invocation slot after retries.
+enum Outcome {
+    /// A measurement was produced (possibly after retries).
+    Measured(InvocationRecord),
+    /// Every attempt failed at runtime; the slot is censored.
+    Censored(CensoredInvocation),
+    /// A compile-class error: retrying cannot help, the experiment fails.
+    Fatal(MpError),
+}
+
+/// Drives one invocation through the retry loop.
+fn run_with_retries(
+    source: &str,
+    benchmark: &str,
+    invocation: u32,
+    config: &ExperimentConfig,
+    sink: &EventSink,
+    faults: Option<&FaultPlan>,
+) -> Outcome {
+    let attempts_allowed = config.max_retries.saturating_add(1);
+    let mut attempt = 0;
+    loop {
+        let fault = faults
+            .map(|p| p.decide(benchmark, invocation, attempt))
+            .unwrap_or(InjectedFault::None);
+        let result =
+            run_invocation_guarded(source, benchmark, invocation, attempt, config, sink, fault);
+        sink.send(ExperimentEvent::InvocationFinished {
+            benchmark: benchmark.to_string(),
+            invocation,
+            startup_ns: result.as_ref().map(|r| r.startup_ns).unwrap_or(0.0),
+            iterations: result
+                .as_ref()
+                .map(|r| r.iteration_ns.len() as u32)
+                .unwrap_or(0),
+            error: result.as_ref().err().map(|e| e.to_string()),
+        });
+        let err = match result {
+            Ok(record) => return Outcome::Measured(record),
+            Err(e) => e,
+        };
+        if err.runtime_kind().is_none() {
+            // Lex/parse/compile errors: the source is broken for every
+            // invocation; fail fast instead of retrying noise.
+            return Outcome::Fatal(err);
+        }
+        let kind = FailureKind::classify(&err);
+        if kind.is_budget_exhaustion() {
+            sink.send(ExperimentEvent::InvocationTimedOut {
+                benchmark: benchmark.to_string(),
+                invocation,
+                attempt,
+                kind: kind.name().to_string(),
+            });
+        }
+        attempt += 1;
+        if attempt < attempts_allowed {
+            sink.send(ExperimentEvent::InvocationRetried {
+                benchmark: benchmark.to_string(),
+                invocation,
+                attempt,
+                error: err.to_string(),
+            });
+        } else {
+            return Outcome::Censored(CensoredInvocation {
+                invocation,
+                attempts: attempt,
+                failure: kind,
+                error: err.to_string(),
+            });
+        }
+    }
+}
+
 /// Drives one experiment: `config.invocations` fresh sessions in parallel,
 /// each timed for `config.iterations` iterations, with telemetry delivered
 /// to any number of attached [`ExperimentObserver`]s.
 ///
 /// Observers receive events via a channel drained on a dedicated thread, so
-/// a slow observer never serializes the parallel invocations.
+/// a slow observer never serializes the parallel invocations. A panicking
+/// observer is caught, disabled for the rest of the experiment, and
+/// reported once to stderr — it cannot kill the drain or the measurement.
 pub struct Runner {
     config: ExperimentConfig,
     observers: Vec<Arc<dyn ExperimentObserver>>,
+    fault_plan: Option<FaultPlan>,
+    journal_path: Option<PathBuf>,
+    resume_from: Option<Journal>,
 }
 
 impl Runner {
@@ -145,12 +277,38 @@ impl Runner {
         Runner {
             config,
             observers: Vec::new(),
+            fault_plan: None,
+            journal_path: None,
+            resume_from: None,
         }
     }
 
     /// Attaches an observer (builder style); call repeatedly to fan out.
     pub fn observer(mut self, observer: Arc<dyn ExperimentObserver>) -> Runner {
         self.observers.push(observer);
+        self
+    }
+
+    /// Injects faults from a deterministic plan (builder style) — used by
+    /// tests and the CLI `self-test` to exercise the fault-tolerance paths.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Runner {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Streams completed invocations to a checkpoint journal at `path`
+    /// (builder style). The file is created fresh; when combined with
+    /// [`Runner::resume`], replayed outcomes are re-journaled too, so the
+    /// file always ends up complete.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Runner {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Replays a loaded checkpoint journal (builder style): journaled
+    /// invocations are taken as-is and only the missing ones run.
+    pub fn resume(mut self, journal: Journal) -> Runner {
+        self.resume_from = Some(journal);
         self
     }
 
@@ -174,15 +332,42 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// The first error any invocation raised (by invocation index). Worker
-    /// panics surface as internal VM errors, not process aborts.
+    /// Compile-class errors in the source (fail fast — no retry can fix a
+    /// parse error), a resume journal that does not match this experiment,
+    /// or a journal file that cannot be created. Runtime failures —
+    /// panics, budget exhaustion, VM errors — do **not** error: they are
+    /// retried and ultimately censored into the returned measurement.
     pub fn measure_source(&self, source: &str, benchmark: &str) -> MpResult<BenchmarkMeasurement> {
         let config = &self.config;
         let n = config.invocations as usize;
         let threads = config.threads.clamp(1, n.max(1));
-        let slots: Mutex<Vec<Option<MpResult<InvocationRecord>>>> =
-            Mutex::new((0..n).map(|_| None).collect());
+
+        let mut slots: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
+        if let Some(journal) = &self.resume_from {
+            journal
+                .check_matches(config, benchmark)
+                .map_err(|msg| MpError::runtime(RuntimeErrorKind::Value, msg))?;
+            for (&inv, record) in &journal.records {
+                if (inv as usize) < n {
+                    slots[inv as usize] = Some(Outcome::Measured(record.clone()));
+                }
+            }
+            for (&inv, censored) in &journal.censored {
+                if (inv as usize) < n {
+                    slots[inv as usize] = Some(Outcome::Censored(censored.clone()));
+                }
+            }
+        }
+        let replayed: Vec<bool> = slots.iter().map(|s| s.is_some()).collect();
+
+        let writer = match &self.journal_path {
+            Some(path) => Some(Mutex::new(open_journal(path, config, benchmark)?)),
+            None => None,
+        };
+
+        let slots = Mutex::new(slots);
         let next = AtomicUsize::new(0);
+        let mut quarantined = false;
 
         std::thread::scope(|scope| {
             // Telemetry drain: a dedicated thread fans events out to the
@@ -194,9 +379,24 @@ impl Runner {
                 let (tx, rx) = channel::<ExperimentEvent>();
                 let observers = &self.observers;
                 scope.spawn(move || {
+                    let mut disabled = vec![false; observers.len()];
                     for event in rx {
-                        for obs in observers {
-                            obs.on_event(&event);
+                        for (idx, obs) in observers.iter().enumerate() {
+                            if disabled[idx] {
+                                continue;
+                            }
+                            let outcome = catch_unwind(AssertUnwindSafe(|| obs.on_event(&event)));
+                            if outcome.is_err() {
+                                // Disable the observer so the panic is
+                                // reported exactly once and the drain (and
+                                // the measurement) survive.
+                                disabled[idx] = true;
+                                eprintln!(
+                                    "rigor: observer #{idx} panicked on `{}`; \
+                                     disabling it for the rest of the experiment",
+                                    event.name()
+                                );
+                            }
                         }
                     }
                 });
@@ -210,28 +410,39 @@ impl Runner {
                 iterations: config.iterations,
             });
 
+            // Re-journal replayed outcomes first so a journaled resume ends
+            // with a complete, self-contained file.
+            if let Some(writer) = &writer {
+                let slots_guard = slots.lock().expect("result slots poisoned");
+                for (i, slot) in slots_guard.iter().enumerate() {
+                    if let Some(outcome) = slot {
+                        journal_outcome(writer, outcome, benchmark, i as u32, &sink);
+                    }
+                }
+            }
+
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
                     let sink = sink.clone();
                     let slots = &slots;
                     let next = &next;
+                    let replayed = &replayed;
+                    let writer = &writer;
+                    let faults = self.fault_plan.as_ref();
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        let r = run_invocation_guarded(source, benchmark, i as u32, config, &sink);
-                        sink.send(ExperimentEvent::InvocationFinished {
-                            benchmark: benchmark.to_string(),
-                            invocation: i as u32,
-                            startup_ns: r.as_ref().map(|rec| rec.startup_ns).unwrap_or(0.0),
-                            iterations: r
-                                .as_ref()
-                                .map(|rec| rec.iteration_ns.len() as u32)
-                                .unwrap_or(0),
-                            error: r.as_ref().err().map(|e| e.to_string()),
-                        });
-                        slots.lock().expect("result slots poisoned")[i] = Some(r);
+                        if replayed[i] {
+                            continue;
+                        }
+                        let outcome =
+                            run_with_retries(source, benchmark, i as u32, config, &sink, faults);
+                        if let Some(writer) = writer {
+                            journal_outcome(writer, &outcome, benchmark, i as u32, &sink);
+                        }
+                        slots.lock().expect("result slots poisoned")[i] = Some(outcome);
                     })
                 })
                 .collect();
@@ -246,8 +457,22 @@ impl Runner {
                 .lock()
                 .expect("result slots poisoned")
                 .iter()
-                .filter(|s| matches!(s, Some(Err(_))))
+                .filter(|s| matches!(s, Some(Outcome::Censored(_)) | Some(Outcome::Fatal(_))))
                 .count() as u32;
+            let censored = slots
+                .lock()
+                .expect("result slots poisoned")
+                .iter()
+                .filter(|s| matches!(s, Some(Outcome::Censored(_))))
+                .count() as u32;
+            quarantined = n > 0 && f64::from(censored) / n as f64 > config.quarantine_threshold;
+            if quarantined {
+                sink.send(ExperimentEvent::BenchmarkQuarantined {
+                    benchmark: benchmark.to_string(),
+                    censored,
+                    invocations: config.invocations,
+                });
+            }
             sink.send(ExperimentEvent::ExperimentFinished {
                 benchmark: benchmark.to_string(),
                 engine: config.engine.name().to_string(),
@@ -259,15 +484,63 @@ impl Runner {
             drop(sink);
         });
 
-        let mut invocations = Vec::with_capacity(n);
+        let mut invocations = Vec::new();
+        let mut censored = Vec::new();
         for slot in slots.into_inner().expect("result slots poisoned") {
-            invocations.push(slot.expect("every index visited")?);
+            match slot.expect("every index visited") {
+                Outcome::Measured(record) => invocations.push(record),
+                Outcome::Censored(c) => censored.push(c),
+                Outcome::Fatal(e) => return Err(e),
+            }
         }
         Ok(BenchmarkMeasurement {
             benchmark: benchmark.to_string(),
             engine: config.engine.name().to_string(),
             invocations,
+            censored,
+            quarantined,
         })
+    }
+}
+
+/// Creates the checkpoint journal writer, mapping I/O errors into the
+/// crate's error type.
+fn open_journal(
+    path: &Path,
+    config: &ExperimentConfig,
+    benchmark: &str,
+) -> MpResult<JournalWriter> {
+    let meta = JournalMeta::for_experiment(config, benchmark);
+    JournalWriter::create(path, &meta).map_err(|e| {
+        MpError::runtime(
+            RuntimeErrorKind::Value,
+            format!("cannot create checkpoint journal {}: {e}", path.display()),
+        )
+    })
+}
+
+/// Journals one finished outcome; write failures are reported, not fatal —
+/// losing a checkpoint must not lose the measurement.
+fn journal_outcome(
+    writer: &Mutex<JournalWriter>,
+    outcome: &Outcome,
+    benchmark: &str,
+    invocation: u32,
+    sink: &EventSink,
+) {
+    let mut writer = writer.lock().expect("journal writer poisoned");
+    let written = match outcome {
+        Outcome::Measured(record) => writer.append_record(record),
+        Outcome::Censored(c) => writer.append_censored(c),
+        Outcome::Fatal(_) => return,
+    };
+    match written {
+        Ok(records) => sink.send(ExperimentEvent::CheckpointWritten {
+            benchmark: benchmark.to_string(),
+            invocation,
+            records,
+        }),
+        Err(e) => eprintln!("rigor: checkpoint write failed (invocation {invocation}): {e}"),
     }
 }
 
@@ -276,7 +549,7 @@ impl Runner {
 ///
 /// # Errors
 ///
-/// The first error any invocation raised.
+/// As [`Runner::measure_source`].
 pub fn measure_source(
     source: &str,
     benchmark: &str,
@@ -305,6 +578,8 @@ mod tests {
     use minipy::EngineKind;
     use rigor_workloads::{find, Size};
 
+    const DIVERGENT_SRC: &str = "def run():\n    while True:\n        pass\n";
+
     fn quick_config() -> ExperimentConfig {
         ExperimentConfig::interp()
             .with_invocations(4)
@@ -322,7 +597,10 @@ mod tests {
         assert_eq!(m.benchmark, "sieve");
         assert_eq!(m.engine, "interp");
         assert!(m.invocations.iter().all(|r| r.startup_ns > 0.0));
+        assert!(m.invocations.iter().all(|r| r.attempts == 1));
         assert!(m.checksums_consistent());
+        assert!(m.censored.is_empty());
+        assert!(!m.quarantined);
     }
 
     #[test]
@@ -370,8 +648,19 @@ mod tests {
 
     #[test]
     fn bad_source_propagates_error() {
+        // Compile-class errors fail fast: no retry can fix a parse error.
         let cfg = quick_config();
         assert!(measure_source("def broken(:\n", "broken", &cfg).is_err());
+    }
+
+    #[test]
+    fn retry_seeds_differ_per_attempt() {
+        let s0 = attempt_seed(7, "sieve", 3, 0);
+        let s1 = attempt_seed(7, "sieve", 3, 1);
+        let s2 = attempt_seed(7, "sieve", 3, 2);
+        assert_eq!(s0, invocation_seed(7, "sieve", 3), "attempt 0 is canonical");
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s2);
     }
 
     #[test]
@@ -410,25 +699,203 @@ mod tests {
     }
 
     #[test]
-    fn failed_invocations_emit_error_events() {
+    fn runtime_failures_are_retried_then_censored() {
         let obs = Arc::new(CollectingObserver::new());
         let runner = Runner::new(quick_config()).observer(obs.clone());
-        assert!(runner.measure_source("x = undefined\n", "broken").is_err());
+        // Runtime NameError during module setup: retried, then censored.
+        let m = runner.measure_source("x = undefined\n", "broken").unwrap();
+        assert!(m.invocations.is_empty());
+        assert_eq!(m.censored.len(), 4);
+        assert!(m.quarantined, "4/4 censored is past any sane threshold");
+        for c in &m.censored {
+            assert_eq!(c.attempts, 2, "default max_retries=1 means 2 attempts");
+            assert_eq!(c.failure, FailureKind::VmError);
+            assert!(c.error.contains("NameError"));
+        }
+
         let events = obs.events();
-        let finishes: Vec<_> = events
+        let finishes = events
             .iter()
-            .filter_map(|e| match e {
-                ExperimentEvent::InvocationFinished { error, .. } => Some(error),
-                _ => None,
+            .filter(|e| {
+                matches!(
+                    e,
+                    ExperimentEvent::InvocationFinished { error: Some(_), .. }
+                )
             })
-            .collect();
-        assert_eq!(finishes.len(), 4);
-        assert!(finishes.iter().all(|e| e.is_some()));
+            .count();
+        assert_eq!(finishes, 8, "4 invocations × 2 attempts, all failed");
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e, ExperimentEvent::InvocationRetried { .. }))
+            .count();
+        assert_eq!(retries, 4);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ExperimentEvent::BenchmarkQuarantined { censored: 4, .. })));
         match events.last().unwrap() {
             ExperimentEvent::ExperimentFinished {
                 failed_invocations, ..
             } => assert_eq!(*failed_invocations, 4),
             other => panic!("stream must end with ExperimentFinished, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn divergent_workload_is_censored_not_hung() {
+        let obs = Arc::new(CollectingObserver::new());
+        let cfg = quick_config()
+            .with_invocations(2)
+            .with_deadline_ns(5.0e7)
+            .with_max_retries(1);
+        let m = Runner::new(cfg)
+            .observer(obs.clone())
+            .measure_source(DIVERGENT_SRC, "divergent")
+            .unwrap();
+        assert!(m.invocations.is_empty());
+        assert_eq!(m.censored.len(), 2);
+        assert!(m.quarantined);
+        for c in &m.censored {
+            assert_eq!(c.failure, FailureKind::Timeout);
+            assert_eq!(c.attempts, 2);
+        }
+        let timeouts = obs
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ExperimentEvent::InvocationTimedOut { .. }))
+            .count();
+        assert_eq!(timeouts, 4, "each of the 2×2 attempts trips the deadline");
+    }
+
+    #[test]
+    fn fuel_budget_censors_with_fuel_taxonomy() {
+        let cfg = quick_config()
+            .with_invocations(1)
+            .with_step_budget(50_000)
+            .with_max_retries(0);
+        let m = measure_source(DIVERGENT_SRC, "divergent", &cfg).unwrap();
+        assert_eq!(m.censored.len(), 1);
+        assert_eq!(m.censored[0].failure, FailureKind::FuelExhausted);
+        assert_eq!(m.censored[0].attempts, 1);
+    }
+
+    #[test]
+    fn quarantine_threshold_is_respected() {
+        // All invocations censored, but threshold 1.0 never quarantines.
+        let cfg = quick_config()
+            .with_invocations(2)
+            .with_deadline_ns(5.0e7)
+            .with_quarantine_threshold(1.0);
+        let m = measure_source(DIVERGENT_SRC, "divergent", &cfg).unwrap();
+        assert_eq!(m.censored.len(), 2);
+        assert!(!m.quarantined);
+    }
+
+    #[test]
+    fn injected_panics_are_retried_and_censored() {
+        let cfg = quick_config().with_max_retries(0);
+        let w = find("sieve").unwrap();
+        let m = Runner::new(cfg)
+            .fault_plan(FaultPlan::new(11).with_panic_rate(1.0))
+            .measure(&w)
+            .unwrap();
+        assert!(m.invocations.is_empty());
+        assert_eq!(m.censored.len(), 4);
+        assert!(m.censored.iter().all(|c| c.failure == FailureKind::Panic));
+    }
+
+    #[test]
+    fn retries_recover_from_transient_injected_faults() {
+        // With a 50% panic rate and plenty of retries, every invocation
+        // should eventually land a clean attempt (the plan's decisions are
+        // independent across attempts).
+        let cfg = quick_config().with_invocations(8).with_max_retries(6);
+        let w = find("sieve").unwrap();
+        let m = Runner::new(cfg)
+            .fault_plan(FaultPlan::new(13).with_panic_rate(0.5))
+            .measure(&w)
+            .unwrap();
+        assert_eq!(m.n_invocations() + m.censored.len(), 8);
+        assert!(
+            m.invocations.iter().any(|r| r.attempts > 1),
+            "a 50% fault rate over 8 invocations should force some retries"
+        );
+        // First-try successes must be bit-identical to an injection-free run.
+        let clean = measure_workload(&w, &quick_config().with_invocations(8)).unwrap();
+        for r in m.invocations.iter().filter(|r| r.attempts == 1) {
+            let reference = &clean.invocations[r.invocation as usize];
+            assert_eq!(r.iteration_ns, reference.iteration_ns);
+        }
+    }
+
+    #[test]
+    fn panicking_observer_is_isolated_and_stream_survives() {
+        struct Grenade;
+        impl ExperimentObserver for Grenade {
+            fn on_event(&self, _event: &ExperimentEvent) {
+                panic!("observer bug");
+            }
+        }
+        let collector = Arc::new(CollectingObserver::new());
+        let w = find("sieve").unwrap();
+        let m = Runner::new(quick_config())
+            .observer(Arc::new(Grenade))
+            .observer(collector.clone())
+            .measure(&w)
+            .unwrap();
+        assert_eq!(m.n_invocations(), 4, "measurement must survive the panic");
+        // The healthy observer still saw the complete stream.
+        assert_eq!(collector.len(), 2 + 2 * 4 + 4 * 5);
+    }
+
+    #[test]
+    fn journal_replays_skip_completed_invocations() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rigor-runner-journal-{}.jsonl", std::process::id()));
+        let w = find("sieve").unwrap();
+        let cfg = quick_config();
+        let full = Runner::new(cfg.clone()).journal(&path).measure(&w).unwrap();
+
+        // Truncate the journal to 2 completed invocations (meta + 2 lines),
+        // as if the process died mid-experiment.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let prefix: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(&path, format!("{}\n", prefix.join("\n"))).unwrap();
+
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.completed(), 2);
+        let resumed = Runner::new(cfg).resume(journal).measure(&w).unwrap();
+        assert_eq!(resumed.n_invocations(), 4);
+        for (a, b) in full.invocations.iter().zip(&resumed.invocations) {
+            assert_eq!(a.iteration_ns, b.iteration_ns);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.checksum, b.checksum);
+        }
+        // Byte-identical exports: the resume acceptance criterion.
+        assert_eq!(
+            crate::export::to_json(&[full]).unwrap(),
+            crate::export::to_json(&[resumed]).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_journal_is_rejected() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "rigor-runner-mismatch-{}.jsonl",
+            std::process::id()
+        ));
+        let w = find("sieve").unwrap();
+        Runner::new(quick_config())
+            .journal(&path)
+            .measure(&w)
+            .unwrap();
+        let journal = Journal::load(&path).unwrap();
+        // Different seed → the journaled records are not replayable.
+        let r = Runner::new(quick_config().with_seed(999))
+            .resume(journal)
+            .measure(&w);
+        assert!(r.is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

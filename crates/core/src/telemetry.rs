@@ -12,7 +12,13 @@
 //! ```
 //!
 //! For a fully successful experiment of `N` invocations × `M` iterations the
-//! stream holds exactly `2 + 2·N + N·M` events. Invocations run in parallel,
+//! stream holds exactly `2 + 2·N + N·M` events. Fault handling adds events:
+//! every retry attempt emits its own `InvocationStarted`/`InvocationFinished`
+//! pair plus an `InvocationRetried` marker, budget exhaustion emits
+//! `InvocationTimedOut`, checkpointing emits `CheckpointWritten` per
+//! journaled invocation, and a quarantined benchmark emits one
+//! `BenchmarkQuarantined` immediately before `ExperimentFinished`.
+//! Invocations run in parallel,
 //! so events of different invocations interleave; within one invocation the
 //! order `InvocationStarted → IterationFinished… → InvocationFinished` always
 //! holds, and all events of the experiment sit between `ExperimentStarted`
@@ -81,6 +87,48 @@ pub enum ExperimentEvent {
         /// The error message when the invocation failed; `None` on success.
         error: Option<String>,
     },
+    /// A failed invocation attempt is about to be retried with a fresh seed.
+    InvocationRetried {
+        /// Benchmark name.
+        benchmark: String,
+        /// Invocation index.
+        invocation: u32,
+        /// 1-based index of the retry attempt about to start.
+        attempt: u32,
+        /// The error that triggered the retry.
+        error: String,
+    },
+    /// An invocation attempt exceeded its virtual-time deadline or its step
+    /// (fuel) budget and was stopped by the VM.
+    InvocationTimedOut {
+        /// Benchmark name.
+        benchmark: String,
+        /// Invocation index.
+        invocation: u32,
+        /// 0-based attempt that timed out.
+        attempt: u32,
+        /// Which budget tripped: `"timeout"` or `"fuel_exhausted"`.
+        kind: String,
+    },
+    /// The benchmark's censored-invocation rate exceeded the quarantine
+    /// threshold; its statistics are untrustworthy.
+    BenchmarkQuarantined {
+        /// Benchmark name.
+        benchmark: String,
+        /// Invocations censored after exhausting retries.
+        censored: u32,
+        /// Total invocations requested.
+        invocations: u32,
+    },
+    /// Completed invocation records were flushed to the checkpoint journal.
+    CheckpointWritten {
+        /// Benchmark name.
+        benchmark: String,
+        /// The invocation whose completion triggered the checkpoint.
+        invocation: u32,
+        /// Records in the journal after this write.
+        records: u32,
+    },
     /// The experiment completed; emitted exactly once, after every
     /// invocation finished.
     ExperimentFinished {
@@ -101,6 +149,10 @@ impl ExperimentEvent {
             ExperimentEvent::InvocationStarted { .. } => "invocation_started",
             ExperimentEvent::IterationFinished { .. } => "iteration_finished",
             ExperimentEvent::InvocationFinished { .. } => "invocation_finished",
+            ExperimentEvent::InvocationRetried { .. } => "invocation_retried",
+            ExperimentEvent::InvocationTimedOut { .. } => "invocation_timed_out",
+            ExperimentEvent::BenchmarkQuarantined { .. } => "benchmark_quarantined",
+            ExperimentEvent::CheckpointWritten { .. } => "checkpoint_written",
             ExperimentEvent::ExperimentFinished { .. } => "experiment_finished",
         }
     }
@@ -112,6 +164,10 @@ impl ExperimentEvent {
             | ExperimentEvent::InvocationStarted { benchmark, .. }
             | ExperimentEvent::IterationFinished { benchmark, .. }
             | ExperimentEvent::InvocationFinished { benchmark, .. }
+            | ExperimentEvent::InvocationRetried { benchmark, .. }
+            | ExperimentEvent::InvocationTimedOut { benchmark, .. }
+            | ExperimentEvent::BenchmarkQuarantined { benchmark, .. }
+            | ExperimentEvent::CheckpointWritten { benchmark, .. }
             | ExperimentEvent::ExperimentFinished { benchmark, .. } => benchmark,
         }
     }
@@ -176,6 +232,46 @@ impl Serialize for ExperimentEvent {
                 put("iterations", iterations.to_value());
                 put("error", error.to_value());
             }
+            ExperimentEvent::InvocationRetried {
+                benchmark,
+                invocation,
+                attempt,
+                error,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("invocation", invocation.to_value());
+                put("attempt", attempt.to_value());
+                put("error", error.to_value());
+            }
+            ExperimentEvent::InvocationTimedOut {
+                benchmark,
+                invocation,
+                attempt,
+                kind,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("invocation", invocation.to_value());
+                put("attempt", attempt.to_value());
+                put("kind", kind.to_value());
+            }
+            ExperimentEvent::BenchmarkQuarantined {
+                benchmark,
+                censored,
+                invocations,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("censored", censored.to_value());
+                put("invocations", invocations.to_value());
+            }
+            ExperimentEvent::CheckpointWritten {
+                benchmark,
+                invocation,
+                records,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("invocation", invocation.to_value());
+                put("records", records.to_value());
+            }
             ExperimentEvent::ExperimentFinished {
                 benchmark,
                 engine,
@@ -219,6 +315,28 @@ impl Deserialize for ExperimentEvent {
                 startup_ns: get_field(v, "startup_ns")?,
                 iterations: get_field(v, "iterations")?,
                 error: get_field(v, "error")?,
+            }),
+            "invocation_retried" => Ok(ExperimentEvent::InvocationRetried {
+                benchmark: get_field(v, "benchmark")?,
+                invocation: get_field(v, "invocation")?,
+                attempt: get_field(v, "attempt")?,
+                error: get_field(v, "error")?,
+            }),
+            "invocation_timed_out" => Ok(ExperimentEvent::InvocationTimedOut {
+                benchmark: get_field(v, "benchmark")?,
+                invocation: get_field(v, "invocation")?,
+                attempt: get_field(v, "attempt")?,
+                kind: get_field(v, "kind")?,
+            }),
+            "benchmark_quarantined" => Ok(ExperimentEvent::BenchmarkQuarantined {
+                benchmark: get_field(v, "benchmark")?,
+                censored: get_field(v, "censored")?,
+                invocations: get_field(v, "invocations")?,
+            }),
+            "checkpoint_written" => Ok(ExperimentEvent::CheckpointWritten {
+                benchmark: get_field(v, "benchmark")?,
+                invocation: get_field(v, "invocation")?,
+                records: get_field(v, "records")?,
             }),
             "experiment_finished" => Ok(ExperimentEvent::ExperimentFinished {
                 benchmark: get_field(v, "benchmark")?,
@@ -413,7 +531,30 @@ impl ExperimentObserver for ProgressObserver {
                     "[{benchmark}/{engine}] done in {elapsed:.1}s{failures}"
                 ));
             }
-            ExperimentEvent::InvocationStarted { .. } => {}
+            ExperimentEvent::InvocationRetried {
+                invocation,
+                attempt,
+                error,
+                ..
+            } => {
+                drop(guard);
+                self.line(format!(
+                    "  invocation {invocation}: retry attempt {attempt} after {error}"
+                ));
+            }
+            ExperimentEvent::BenchmarkQuarantined {
+                benchmark,
+                censored,
+                invocations,
+            } => {
+                drop(guard);
+                self.line(format!(
+                    "[{benchmark}] QUARANTINED: {censored}/{invocations} invocations censored"
+                ));
+            }
+            ExperimentEvent::InvocationStarted { .. }
+            | ExperimentEvent::InvocationTimedOut { .. }
+            | ExperimentEvent::CheckpointWritten { .. } => {}
         }
     }
 }
@@ -466,17 +607,50 @@ impl<W: Write + Send> ExperimentObserver for JsonlTraceObserver<W> {
     }
 }
 
+/// A parsed JSONL trace: the events, plus a warning when the trace ended in
+/// a truncated line (the writer crashed mid-write).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedTrace {
+    /// The successfully parsed events, in file order.
+    pub events: Vec<ExperimentEvent>,
+    /// Set when the final non-empty line failed to parse but a valid prefix
+    /// existed: the trace is usable but incomplete.
+    pub warning: Option<String>,
+}
+
 /// Parses a JSONL trace back into events.
+///
+/// A crash mid-write leaves a truncated final line; that is tolerated — the
+/// valid prefix is returned together with a warning — because a trace that
+/// survived a crash is exactly the trace worth reading. A bad line anywhere
+/// *else* (or a trace with no valid events at all) is still an error: that
+/// is corruption, not truncation.
 ///
 /// # Errors
 ///
-/// When any non-empty line is not a valid event.
-pub fn parse_trace(jsonl: &str) -> Result<Vec<ExperimentEvent>, serde_json::Error> {
-    jsonl
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(serde_json::from_str)
-        .collect()
+/// When a non-final non-empty line is not a valid event, or the first
+/// non-empty line is invalid.
+pub fn parse_trace(jsonl: &str) -> Result<ParsedTrace, serde_json::Error> {
+    let lines: Vec<&str> = jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut events = Vec::with_capacity(lines.len());
+    for (idx, line) in lines.iter().enumerate() {
+        match serde_json::from_str(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) if idx + 1 == lines.len() && !events.is_empty() => {
+                return Ok(ParsedTrace {
+                    events,
+                    warning: Some(format!(
+                        "trace ends in a truncated line (crash mid-write?): {e}"
+                    )),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ParsedTrace {
+        events,
+        warning: None,
+    })
 }
 
 #[cfg(test)]
@@ -513,6 +687,28 @@ mod tests {
                 startup_ns: 10.0,
                 iterations: 2,
                 error: None,
+            },
+            ExperimentEvent::InvocationRetried {
+                benchmark: "sieve".into(),
+                invocation: 0,
+                attempt: 1,
+                error: "TimeoutError: deadline passed".into(),
+            },
+            ExperimentEvent::InvocationTimedOut {
+                benchmark: "sieve".into(),
+                invocation: 0,
+                attempt: 0,
+                kind: "timeout".into(),
+            },
+            ExperimentEvent::BenchmarkQuarantined {
+                benchmark: "sieve".into(),
+                censored: 3,
+                invocations: 4,
+            },
+            ExperimentEvent::CheckpointWritten {
+                benchmark: "sieve".into(),
+                invocation: 0,
+                records: 1,
             },
             ExperimentEvent::ExperimentFinished {
                 benchmark: "sieve".into(),
@@ -555,7 +751,7 @@ mod tests {
         for ev in sample_events() {
             c.on_event(&ev);
         }
-        assert_eq!(c.len(), 5);
+        assert_eq!(c.len(), sample_events().len());
         assert_eq!(c.events(), sample_events());
     }
 
@@ -568,13 +764,39 @@ mod tests {
         let bytes = obs.writer.into_inner().unwrap();
         let text = String::from_utf8(bytes).unwrap();
         let parsed = parse_trace(&text).unwrap();
-        assert_eq!(parsed, sample_events());
+        assert_eq!(parsed.events, sample_events());
+        assert!(parsed.warning.is_none());
     }
 
     #[test]
     fn parse_trace_rejects_garbage() {
+        // A trace with no valid prefix is corruption, not truncation.
         assert!(parse_trace("{\"event\": \"nope\"}\n").is_err());
         assert!(parse_trace("not json\n").is_err());
+    }
+
+    #[test]
+    fn parse_trace_tolerates_truncated_final_line() {
+        let mut text = String::new();
+        for ev in sample_events() {
+            text.push_str(&serde_json::to_string(&ev).unwrap());
+            text.push('\n');
+        }
+        // Simulate a crash mid-write: chop the last line in half.
+        let cut = text.trim_end().len() - 10;
+        let truncated = &text[..cut];
+        let parsed = parse_trace(truncated).unwrap();
+        assert_eq!(parsed.events.len(), sample_events().len() - 1);
+        assert_eq!(parsed.events, sample_events()[..sample_events().len() - 1]);
+        let warning = parsed.warning.expect("truncation must be reported");
+        assert!(warning.contains("truncated"));
+    }
+
+    #[test]
+    fn parse_trace_rejects_garbage_in_the_middle() {
+        let good = serde_json::to_string(&sample_events()[0]).unwrap();
+        let text = format!("{good}\nnot json\n{good}\n");
+        assert!(parse_trace(&text).is_err());
     }
 
     #[test]

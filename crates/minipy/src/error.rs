@@ -76,10 +76,27 @@ pub enum RuntimeErrorKind {
     Overflow,
     /// Call-stack depth limit exceeded.
     RecursionLimit,
-    /// The virtual-time budget for the execution was exhausted.
-    TimeBudget,
+    /// The virtual-time deadline for the execution passed (the workload
+    /// diverged or ran far beyond its budget).
+    Timeout,
+    /// The opcode (step) budget for the execution was exhausted — the fuel
+    /// analogue of [`RuntimeErrorKind::Timeout`], immune to cost-model
+    /// changes because it counts steps, not virtual nanoseconds.
+    FuelExhausted,
     /// Internal VM invariant violation; indicates a bug in MiniPy itself.
     Internal,
+}
+
+impl RuntimeErrorKind {
+    /// True for the budget-exhaustion kinds ([`RuntimeErrorKind::Timeout`],
+    /// [`RuntimeErrorKind::FuelExhausted`]): the program did not fail, it was
+    /// stopped. Harnesses treat these as censoring events, not workload bugs.
+    pub fn is_budget_exhaustion(self) -> bool {
+        matches!(
+            self,
+            RuntimeErrorKind::Timeout | RuntimeErrorKind::FuelExhausted
+        )
+    }
 }
 
 impl fmt::Display for RuntimeErrorKind {
@@ -93,7 +110,8 @@ impl fmt::Display for RuntimeErrorKind {
             RuntimeErrorKind::ZeroDivision => "ZeroDivisionError",
             RuntimeErrorKind::Overflow => "OverflowError",
             RuntimeErrorKind::RecursionLimit => "RecursionError",
-            RuntimeErrorKind::TimeBudget => "TimeBudgetError",
+            RuntimeErrorKind::Timeout => "TimeoutError",
+            RuntimeErrorKind::FuelExhausted => "FuelExhaustedError",
             RuntimeErrorKind::Internal => "InternalError",
         };
         f.write_str(name)
@@ -172,6 +190,19 @@ mod tests {
             span: Span::new(0, 1, 4),
         };
         assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn budget_kinds_are_classified() {
+        assert!(RuntimeErrorKind::Timeout.is_budget_exhaustion());
+        assert!(RuntimeErrorKind::FuelExhausted.is_budget_exhaustion());
+        assert!(!RuntimeErrorKind::Type.is_budget_exhaustion());
+        assert!(!RuntimeErrorKind::Internal.is_budget_exhaustion());
+        assert_eq!(RuntimeErrorKind::Timeout.to_string(), "TimeoutError");
+        assert_eq!(
+            RuntimeErrorKind::FuelExhausted.to_string(),
+            "FuelExhaustedError"
+        );
     }
 
     #[test]

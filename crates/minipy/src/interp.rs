@@ -1473,6 +1473,23 @@ def run():
         cfg.time_budget_ns = Some(1.0e7);
         let mut vm = Vm::compile_and_load("while True:\n    pass\n", 1, cfg).unwrap();
         let err = vm.run_module().expect_err("must hit budget");
-        assert_eq!(err.runtime_kind(), Some(RuntimeErrorKind::TimeBudget));
+        assert_eq!(err.runtime_kind(), Some(RuntimeErrorKind::Timeout));
+    }
+
+    #[test]
+    fn budget_error_unwinds_to_usable_vm() {
+        // After a deadline abort the frame stack is unwound, so the same VM
+        // can keep serving calls — the property the retrying harness relies
+        // on when it reuses nothing but still must not see a poisoned state.
+        let mut cfg = VmConfig::interp();
+        cfg.step_budget = Some(5_000);
+        let src = "def spin():\n    while True:\n        pass\ndef ok():\n    return 7\n";
+        let mut vm = Vm::compile_and_load(src, 1, cfg).unwrap();
+        vm.run_module().unwrap();
+        let err = vm
+            .call_function("spin", &[])
+            .expect_err("must exhaust fuel");
+        assert_eq!(err.runtime_kind(), Some(RuntimeErrorKind::FuelExhausted));
+        assert_eq!(vm.call_function("ok", &[]).unwrap(), Value::Int(7));
     }
 }

@@ -82,7 +82,9 @@ impl Session {
     /// # Errors
     ///
     /// `NameError` if the workload defines no `run`, plus anything `run`
-    /// raises.
+    /// raises. A divergent `run` terminates with a typed `Timeout` /
+    /// `FuelExhausted` error once the session's virtual-time deadline or
+    /// step budget (see [`VmConfig`]) is exceeded — it never spins forever.
     pub fn run_iteration(&mut self) -> MpResult<IterationResult> {
         let counters_before = self.vm.counters();
         let t0 = self.vm.now_ns();
@@ -252,6 +254,32 @@ def run():
         assert!(
             first > last * 1.5,
             "first iteration {first} should exceed steady {last}"
+        );
+    }
+
+    #[test]
+    fn divergent_run_times_out_with_typed_error() {
+        let src = "def run():\n    while True:\n        pass\n";
+        let mut cfg = VmConfig::interp();
+        cfg.time_budget_ns = Some(1.0e7);
+        let mut s = Session::start(src, 1, cfg).unwrap();
+        let err = s.run_iteration().expect_err("must hit the deadline");
+        assert_eq!(
+            err.runtime_kind(),
+            Some(crate::error::RuntimeErrorKind::Timeout)
+        );
+    }
+
+    #[test]
+    fn divergent_run_exhausts_fuel_with_typed_error() {
+        let src = "def run():\n    while True:\n        pass\n";
+        let mut cfg = VmConfig::interp();
+        cfg.step_budget = Some(50_000);
+        let mut s = Session::start(src, 1, cfg).unwrap();
+        let err = s.run_iteration().expect_err("must exhaust fuel");
+        assert_eq!(
+            err.runtime_kind(),
+            Some(crate::error::RuntimeErrorKind::FuelExhausted)
         );
     }
 

@@ -58,8 +58,13 @@ pub struct VmConfig {
     /// Whether `print` output is rendered and captured (it always costs
     /// virtual time proportional to the rendered length when enabled).
     pub capture_output: bool,
-    /// Abort execution when the virtual clock passes this budget.
+    /// Abort execution with a typed `Timeout` error when the virtual clock
+    /// passes this deadline.
     pub time_budget_ns: Option<f64>,
+    /// Abort execution with a typed `FuelExhausted` error after this many
+    /// executed opcodes. Unlike the virtual-time deadline this is immune to
+    /// cost-model changes, so it bounds divergent workloads deterministically.
+    pub step_budget: Option<u64>,
     /// Maximum call-stack depth.
     pub recursion_limit: usize,
     /// Pins the GC allocation threshold (disables adaptive growth);
@@ -75,6 +80,7 @@ impl Default for VmConfig {
             cost: CostModel::default(),
             capture_output: false,
             time_budget_ns: Some(60.0e9),
+            step_budget: None,
             recursion_limit: 4_000,
             gc_threshold: None,
         }
@@ -131,6 +137,7 @@ pub struct Vm {
     pub(crate) stdout: String,
     pub(crate) capture_output: bool,
     pub(crate) time_budget_ns: Option<f64>,
+    pub(crate) step_budget: Option<u64>,
     pub(crate) recursion_limit: usize,
     pub(crate) ops_since_housekeeping: u32,
     engine: EngineKind,
@@ -257,6 +264,7 @@ impl Vm {
             stdout: String::new(),
             capture_output: config.capture_output,
             time_budget_ns: config.time_budget_ns,
+            step_budget: config.step_budget,
             recursion_limit: config.recursion_limit,
             ops_since_housekeeping: 0,
             engine: config.engine,
@@ -301,6 +309,17 @@ impl Vm {
     /// Takes and clears everything `print` has emitted so far.
     pub fn take_stdout(&mut self) -> String {
         std::mem::take(&mut self.stdout)
+    }
+
+    /// Advances the virtual clock by `ns` without executing anything — a
+    /// hook for fault-injection harnesses that model external stalls
+    /// (noisy neighbours, page faults). The stall counts toward any
+    /// configured virtual-time deadline, so injected slowness exercises
+    /// the same timeout machinery as a genuinely divergent workload.
+    pub fn inject_stall(&mut self, ns: f64) {
+        self.clock.advance(ns);
+        self.counters.jitter_ns += ns;
+        self.counters.jitter_events += 1;
     }
 
     /// Borrows the heap (for inspecting returned values).
@@ -434,8 +453,16 @@ impl Vm {
         if let Some(budget) = self.time_budget_ns {
             if self.clock.now_ns() > budget {
                 return Err(MpError::runtime(
-                    RuntimeErrorKind::TimeBudget,
-                    format!("virtual time budget of {budget} ns exhausted"),
+                    RuntimeErrorKind::Timeout,
+                    format!("virtual-time deadline of {budget} ns passed"),
+                ));
+            }
+        }
+        if let Some(budget) = self.step_budget {
+            if self.counters.total_ops > budget {
+                return Err(MpError::runtime(
+                    RuntimeErrorKind::FuelExhausted,
+                    format!("step budget of {budget} opcodes exhausted"),
                 ));
             }
         }
@@ -536,6 +563,41 @@ mod tests {
         cfg.noise.layout = false;
         let vm = Vm::compile_and_load("x = 1\n", 5, cfg).unwrap();
         assert_eq!(vm.layout_factor, 1.0);
+    }
+
+    #[test]
+    fn step_budget_aborts_divergent_loop() {
+        let mut cfg = VmConfig::interp();
+        cfg.step_budget = Some(10_000);
+        let mut vm = Vm::compile_and_load("while True:\n    pass\n", 1, cfg).unwrap();
+        let err = vm.run_module().expect_err("must exhaust fuel");
+        assert_eq!(err.runtime_kind(), Some(RuntimeErrorKind::FuelExhausted));
+        // The budget is enforced at housekeeping boundaries, so overshoot is
+        // bounded by one housekeeping interval.
+        assert!(vm.counters().total_ops < 10_000 + 128);
+    }
+
+    #[test]
+    fn injected_stall_advances_clock_and_counts() {
+        let mut vm = Vm::compile_and_load("x = 1\n", 1, VmConfig::interp()).unwrap();
+        vm.run_module().unwrap();
+        let before = vm.now_ns();
+        vm.inject_stall(5_000.0);
+        assert!((vm.now_ns() - before - 5_000.0).abs() < 1e-9);
+        assert_eq!(vm.counters().jitter_events, 1);
+    }
+
+    #[test]
+    fn injected_stall_trips_the_deadline() {
+        let mut cfg = VmConfig::interp();
+        cfg.time_budget_ns = Some(1.0e6);
+        let src =
+            "def run():\n    s = 0\n    for i in range(1000):\n        s += i\n    return s\n";
+        let mut vm = Vm::compile_and_load(src, 1, cfg).unwrap();
+        vm.run_module().unwrap();
+        vm.inject_stall(2.0e6);
+        let err = vm.call_function("run", &[]).expect_err("deadline passed");
+        assert_eq!(err.runtime_kind(), Some(RuntimeErrorKind::Timeout));
     }
 
     #[test]

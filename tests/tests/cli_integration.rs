@@ -82,7 +82,9 @@ fn trace_flag_writes_parseable_jsonl() {
     );
     assert_eq!(rigor_cli::run(&argv(&cmd)), 0);
     let text = fs::read_to_string(&trace).expect("trace written");
-    let events = rigor::parse_trace(&text).expect("trace parses as event JSONL");
+    let parsed = rigor::parse_trace(&text).expect("trace parses as event JSONL");
+    assert!(parsed.warning.is_none(), "a complete trace has no warning");
+    let events = parsed.events;
     // A fully successful N x M experiment emits exactly 2 + 2N + N*M events.
     assert_eq!(events.len(), 2 + 2 * 3 + 3 * 5);
     assert!(matches!(
@@ -112,6 +114,85 @@ fn trace_summary_rejects_garbage() {
         rigor_cli::run(&argv(&format!("trace-summary {}", bogus.display()))),
         1
     );
+}
+
+#[test]
+fn fault_flag_usage_errors_exit_two() {
+    assert_eq!(
+        rigor_cli::run(&argv("measure sieve --quarantine-threshold 2")),
+        2
+    );
+    assert_eq!(rigor_cli::run(&argv("measure sieve --deadline-ns -5")), 2);
+    assert_eq!(rigor_cli::run(&argv("measure sieve --fuel 0")), 2);
+    // Checkpoint flags outside `measure` are usage errors too.
+    assert_eq!(rigor_cli::run(&argv("suite --journal j.jsonl")), 2);
+    assert_eq!(rigor_cli::run(&argv("compare sieve --resume j.jsonl")), 2);
+}
+
+#[test]
+fn quarantined_benchmark_exits_one() {
+    // A deadline no real iteration can meet censors everything; the report
+    // still prints (and exports still happen) but the verdict is exit 1.
+    let dir = tmp_dir();
+    let json = dir.join("quarantined.json");
+    let cmd = format!(
+        "measure sieve -n 2 -i 3 --size small --deadline-ns 100 --max-retries 0 --json {}",
+        json.display()
+    );
+    assert_eq!(rigor_cli::run(&argv(&cmd)), 1);
+    // The export carries the censoring taxonomy despite the failure verdict.
+    let text = fs::read_to_string(&json).expect("export still written");
+    assert!(text.contains("\"quarantined\": true"));
+    assert!(text.contains("\"failure\": \"timeout\""));
+}
+
+#[test]
+fn journal_resume_roundtrip_through_the_cli() {
+    let dir = tmp_dir();
+    let journal = dir.join("roundtrip.jsonl");
+    let full_json = dir.join("full.json");
+    let resumed_json = dir.join("resumed.json");
+    let base = "measure sieve -n 4 -i 5 --size small --seed 11 --quiet";
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "{base} --journal {} --json {}",
+            journal.display(),
+            full_json.display()
+        ))),
+        0
+    );
+    // Drop all but the meta line + 2 checkpoints, as a crash would.
+    let text = fs::read_to_string(&journal).expect("journal written");
+    let prefix: Vec<&str> = text.lines().take(3).collect();
+    fs::write(&journal, format!("{}\n", prefix.join("\n"))).expect("truncate");
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "{base} --resume {} --json {}",
+            journal.display(),
+            resumed_json.display()
+        ))),
+        0
+    );
+    assert_eq!(
+        fs::read_to_string(&full_json).expect("full export"),
+        fs::read_to_string(&resumed_json).expect("resumed export"),
+        "resumed run must export byte-identical measurements"
+    );
+}
+
+#[test]
+fn missing_resume_journal_exits_one() {
+    assert_eq!(
+        rigor_cli::run(&argv(
+            "measure sieve --resume /definitely/not/a/journal.jsonl"
+        )),
+        1
+    );
+}
+
+#[test]
+fn self_test_exits_zero() {
+    assert_eq!(rigor_cli::run(&argv("self-test --quiet")), 0);
 }
 
 #[test]

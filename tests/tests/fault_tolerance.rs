@@ -1,0 +1,164 @@
+//! Integration tests of the fault-tolerance machinery across crates:
+//! deadlines and fuel budgets (minipy), retry + censoring + quarantine
+//! (rigor runner), and checkpoint/resume equivalence (property-tested).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use rigor::{ExperimentConfig, FailureKind, FaultPlan, Journal, Runner};
+use rigor_workloads::{find, Size};
+
+const DIVERGENT_SRC: &str = "def run():\n    while True:\n        pass\n";
+
+fn quick_config() -> ExperimentConfig {
+    ExperimentConfig::interp()
+        .with_invocations(4)
+        .with_iterations(5)
+        .with_size(Size::Small)
+        .with_seed(7)
+}
+
+/// A unique temp path per call, so parallel tests and proptest cases never
+/// collide on a journal file.
+fn temp_journal(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rigor-ft-{tag}-{}-{n}.jsonl", std::process::id()))
+}
+
+/// The headline acceptance criterion: a workload that never terminates is
+/// stopped by the virtual-time deadline with a typed timeout, retried per
+/// config, and the experiment still produces a (censored, quarantined)
+/// report instead of hanging or erroring.
+#[test]
+fn divergent_workload_yields_a_censored_report() {
+    let cfg = quick_config()
+        .with_invocations(3)
+        .with_deadline_ns(5.0e7)
+        .with_max_retries(2);
+    let m = rigor::measure_source(DIVERGENT_SRC, "divergent", &cfg)
+        .expect("runtime failures must not abort the experiment");
+    assert_eq!(m.n_invocations(), 0);
+    assert_eq!(m.censored.len(), 3);
+    assert!(m.quarantined);
+    for c in &m.censored {
+        assert_eq!(c.failure, FailureKind::Timeout);
+        assert_eq!(c.attempts, 3, "max_retries=2 means 3 attempts per slot");
+        assert!(c.error.contains("TimeoutError"), "typed error: {}", c.error);
+    }
+    // The censored taxonomy survives both export formats.
+    let json = rigor::to_json(std::slice::from_ref(&m)).expect("export");
+    assert!(json.contains("\"quarantined\": true"));
+    assert!(json.contains("\"failure\": \"timeout\""));
+    let csv = rigor::to_csv(std::slice::from_ref(&m));
+    assert!(csv.lines().any(|l| l.ends_with("censored:timeout")));
+}
+
+/// Fuel exhaustion is the same story with the other budget and taxonomy.
+#[test]
+fn fuel_exhaustion_yields_a_censored_report() {
+    let cfg = quick_config()
+        .with_invocations(1)
+        .with_step_budget(50_000)
+        .with_max_retries(0);
+    let m = rigor::measure_source(DIVERGENT_SRC, "divergent", &cfg).expect("censored, not error");
+    assert_eq!(m.censored.len(), 1);
+    assert_eq!(m.censored[0].failure, FailureKind::FuelExhausted);
+}
+
+/// Fault injection composes with journaling: a run that limps through
+/// transient panics still checkpoints every resolved slot.
+#[test]
+fn faulty_runs_checkpoint_every_slot() {
+    let w = find("sieve").expect("in the suite");
+    let path = temp_journal("faulty");
+    let m = Runner::new(quick_config().with_max_retries(4))
+        .fault_plan(FaultPlan::new(21).with_panic_rate(0.4))
+        .journal(&path)
+        .measure(&w)
+        .expect("recoverable faults");
+    let journal = Journal::load(&path).expect("journal parses");
+    assert_eq!(journal.completed(), m.n_requested());
+    for r in &m.invocations {
+        assert!(journal.contains(r.invocation));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Resume equivalence, property-tested: kill an experiment after any
+    /// prefix of its checkpoint journal and resume — the summary statistics
+    /// (the full JSON export) are byte-identical to the uninterrupted run.
+    #[test]
+    fn resume_reproduces_uninterrupted_run(
+        seed in 0u64..1000,
+        invocations in 2u32..6,
+        iterations in 2u32..5,
+        keep_fraction in 0.0f64..=1.0,
+    ) {
+        let w = find("sieve").expect("in the suite");
+        let cfg = quick_config()
+            .with_invocations(invocations)
+            .with_iterations(iterations)
+            .with_seed(seed);
+        let path = temp_journal("prop");
+        let full = Runner::new(cfg.clone())
+            .journal(&path)
+            .measure(&w)
+            .expect("clean run");
+
+        // Simulate dying after an arbitrary number of checkpoint lines
+        // (0 = right after the meta line, all = a completed journal).
+        let text = std::fs::read_to_string(&path).expect("journal readable");
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = 1 + ((lines.len() - 1) as f64 * keep_fraction).floor() as usize;
+        let keep = keep.min(lines.len());
+        std::fs::write(&path, format!("{}\n", lines[..keep].join("\n"))).expect("truncate");
+
+        let journal = Journal::load(&path).expect("prefix parses");
+        prop_assert_eq!(journal.completed(), keep - 1);
+        let resumed = Runner::new(cfg)
+            .resume(journal)
+            .measure(&w)
+            .expect("resumed run");
+        std::fs::remove_file(&path).ok();
+
+        let a = rigor::to_json(std::slice::from_ref(&full)).expect("export full");
+        let b = rigor::to_json(std::slice::from_ref(&resumed)).expect("export resumed");
+        prop_assert_eq!(a, b, "resume must be indistinguishable from an uninterrupted run");
+    }
+
+    /// A truncated *final* journal line (torn write at the kill point) is
+    /// forgiven: the journal loads as the valid prefix and resume works.
+    #[test]
+    fn torn_final_journal_line_is_forgiven(seed in 0u64..1000, cut in 1usize..40) {
+        let w = find("sieve").expect("in the suite");
+        let cfg = quick_config().with_invocations(3).with_seed(seed);
+        let path = temp_journal("torn");
+        let full = Runner::new(cfg.clone())
+            .journal(&path)
+            .measure(&w)
+            .expect("clean run");
+
+        let text = std::fs::read_to_string(&path).expect("journal readable");
+        let lines: Vec<&str> = text.lines().collect();
+        // Keep meta + 1 full record, then a torn prefix of the next line.
+        let torn = &lines[2][..cut.min(lines[2].len() - 1)];
+        std::fs::write(&path, format!("{}\n{}\n{}", lines[0], lines[1], torn))
+            .expect("tear the file");
+
+        let journal = Journal::load(&path).expect("torn tail tolerated");
+        prop_assert!(journal.truncated, "the torn line must be flagged");
+        prop_assert_eq!(journal.completed(), 1);
+        let resumed = Runner::new(cfg)
+            .resume(journal)
+            .measure(&w)
+            .expect("resumed run");
+        std::fs::remove_file(&path).ok();
+        let a = rigor::to_json(std::slice::from_ref(&full)).expect("export full");
+        let b = rigor::to_json(std::slice::from_ref(&resumed)).expect("export resumed");
+        prop_assert_eq!(a, b);
+    }
+}
