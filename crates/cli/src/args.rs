@@ -43,6 +43,19 @@ pub struct GlobalOpts {
     pub journal: Option<String>,
     /// Optional checkpoint journal to resume a measurement from.
     pub resume: Option<String>,
+    /// Results-archive directory for archive/history/check.
+    pub store: String,
+    /// Optional human label recorded with an archived run.
+    pub label: Option<String>,
+    /// Baseline reference for `check` (`last`, `last-N`, id prefix, label).
+    pub baseline: Option<String>,
+    /// FDR level q applied to corrected p-values (`check`).
+    pub fdr: Option<f64>,
+    /// Tolerated slowdown in percent before a significant change regresses
+    /// the gate (`check`).
+    pub max_regression_pct: Option<f64>,
+    /// Multiple-comparison correction name (`bh` or `holm`, `check`).
+    pub correction: Option<String>,
 }
 
 impl Default for GlobalOpts {
@@ -65,6 +78,12 @@ impl Default for GlobalOpts {
             quarantine_threshold: None,
             journal: None,
             resume: None,
+            store: ".rigor-store".to_string(),
+            label: None,
+            baseline: None,
+            fdr: None,
+            max_regression_pct: None,
+            correction: None,
         }
     }
 }
@@ -93,6 +112,14 @@ pub enum Command {
     /// `rigor self-test` — exercise the fault-tolerance machinery under
     /// deterministic fault injection.
     SelfTest,
+    /// `rigor archive [benchmark]` — measure (one benchmark or the whole
+    /// suite) and persist the run to the results archive.
+    Archive { benchmark: Option<String> },
+    /// `rigor history <benchmark>` — trend table over archived runs.
+    History { benchmark: String },
+    /// `rigor check [benchmark]` — regression gate against an archived
+    /// baseline (exit 0 = pass, 1 = regressed).
+    Check { benchmark: Option<String> },
     /// `rigor help`.
     Help,
 }
@@ -210,6 +237,34 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
             }
             "--journal" => opts.journal = Some(next_value(arg, &mut it)?),
             "--resume" => opts.resume = Some(next_value(arg, &mut it)?),
+            "--store" => opts.store = next_value(arg, &mut it)?,
+            "--label" => opts.label = Some(next_value(arg, &mut it)?),
+            "--baseline" => opts.baseline = Some(next_value(arg, &mut it)?),
+            "--fdr" => {
+                let q: f64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--fdr requires a number"))?;
+                if !(q > 0.0 && q <= 1.0) {
+                    return Err(err("--fdr must be in (0, 1]"));
+                }
+                opts.fdr = Some(q);
+            }
+            "--max-regression" => {
+                let pct: f64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--max-regression requires a percentage"))?;
+                if !(pct.is_finite() && pct >= 0.0) {
+                    return Err(err("--max-regression must be a non-negative percentage"));
+                }
+                opts.max_regression_pct = Some(pct);
+            }
+            "--correction" => {
+                let c = next_value(arg, &mut it)?;
+                if rigor::Correction::parse(&c).is_none() {
+                    return Err(err(format!("unknown correction '{c}' (use bh or holm)")));
+                }
+                opts.correction = Some(c);
+            }
             "--help" | "-h" => positional.push("help".to_string()),
             other if other.starts_with('-') => {
                 return Err(err(format!("unknown flag '{other}'")));
@@ -255,6 +310,17 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
                 .ok_or_else(|| err("trace-summary needs a trace file path"))?,
         },
         Some("self-test") => Command::SelfTest,
+        Some("archive") => Command::Archive {
+            benchmark: pos.next(),
+        },
+        Some("history") => Command::History {
+            benchmark: pos
+                .next()
+                .ok_or_else(|| err("history needs a benchmark name"))?,
+        },
+        Some("check") => Command::Check {
+            benchmark: pos.next(),
+        },
         Some(other) => return Err(err(format!("unknown command '{other}'"))),
     };
     if let Some(extra) = pos.next() {
@@ -282,6 +348,12 @@ COMMANDS:
     trace-summary <file>      summarize an event trace written by --trace
     self-test                 exercise the fault-tolerance machinery under
                               deterministic fault injection
+    archive [benchmark]       measure (default: whole suite) and persist the
+                              run to the results archive
+    history <benchmark>       trend table over the archived runs of one
+                              benchmark
+    check [benchmark]         regression gate against an archived baseline;
+                              exit 0 = no significant regression, 1 = regressed
     help                      this message
 
 OPTIONS:
@@ -307,6 +379,15 @@ FAULT TOLERANCE:
                               (measure only)
     --resume <file>           replay a checkpoint journal, run only the
                               missing invocations (measure only)
+
+RESULTS ARCHIVE:
+    --store <dir>             archive directory (default .rigor-store)
+    --label <text>            label recorded with an archived run
+    --baseline <ref>          baseline for check: last (default), last-N
+                              (pooled), a run id prefix, or a label
+    --fdr <q>                 FDR level on corrected p-values (default 0.05)
+    --max-regression <pct>    tolerated slowdown in percent (default 0)
+    --correction <bh|holm>    multiple-comparison correction (default bh)
 ";
 
 #[cfg(test)]
@@ -430,6 +511,59 @@ mod tests {
         assert!(parse_args(&argv("measure sieve --quarantine-threshold 1.5")).is_err());
         assert!(parse_args(&argv("measure sieve --journal")).is_err());
         assert!(parse_args(&argv("measure sieve --resume")).is_err());
+    }
+
+    #[test]
+    fn archive_history_check_parse() {
+        assert_eq!(
+            parse_args(&argv("archive")).unwrap().0,
+            Command::Archive { benchmark: None }
+        );
+        assert_eq!(
+            parse_args(&argv("archive sieve --label nightly"))
+                .unwrap()
+                .0,
+            Command::Archive {
+                benchmark: Some("sieve".into())
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("history sieve")).unwrap().0,
+            Command::History {
+                benchmark: "sieve".into()
+            }
+        );
+        assert!(parse_args(&argv("history")).is_err());
+        assert_eq!(
+            parse_args(&argv("check")).unwrap().0,
+            Command::Check { benchmark: None }
+        );
+        assert!(parse_args(&argv("archive sieve extra")).is_err());
+    }
+
+    #[test]
+    fn store_flags_parse_and_validate() {
+        let (_, opts) = parse_args(&argv(
+            "check --store /tmp/s --baseline last-3 --fdr 0.1 \
+             --max-regression 2.5 --correction holm --label tag",
+        ))
+        .unwrap();
+        assert_eq!(opts.store, "/tmp/s");
+        assert_eq!(opts.baseline.as_deref(), Some("last-3"));
+        assert_eq!(opts.fdr, Some(0.1));
+        assert_eq!(opts.max_regression_pct, Some(2.5));
+        assert_eq!(opts.correction.as_deref(), Some("holm"));
+        assert_eq!(opts.label.as_deref(), Some("tag"));
+        // Defaults.
+        let (_, opts) = parse_args(&argv("check")).unwrap();
+        assert_eq!(opts.store, ".rigor-store");
+        assert_eq!(opts.baseline, None);
+        // Validation.
+        assert!(parse_args(&argv("check --fdr 0")).is_err());
+        assert!(parse_args(&argv("check --fdr 1.5")).is_err());
+        assert!(parse_args(&argv("check --max-regression -1")).is_err());
+        assert!(parse_args(&argv("check --correction nope")).is_err());
+        assert!(parse_args(&argv("check --baseline")).is_err());
     }
 
     #[test]

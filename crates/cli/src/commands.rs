@@ -9,6 +9,7 @@ use rigor::{
     ExperimentEvent, ExperimentObserver, FaultPlan, Journal, JsonlTraceObserver, ProgressObserver,
     SteadyStateDetector, Table, WarmupClassifier,
 };
+use rigor_store::{BaselineRef, ConfigFingerprint, Store};
 use rigor_workloads::{characterize, find, suite, Size, Workload};
 
 use crate::args::{Command, GlobalOpts, ParseError, USAGE};
@@ -34,6 +35,9 @@ pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
         Command::Disasm { path } => cmd_disasm(path),
         Command::TraceSummary { path } => cmd_trace_summary(path),
         Command::SelfTest => cmd_self_test(opts),
+        Command::Archive { benchmark } => cmd_archive(benchmark.as_deref(), opts),
+        Command::History { benchmark } => cmd_history(benchmark, opts),
+        Command::Check { benchmark } => cmd_check(benchmark.as_deref(), opts),
     }
 }
 
@@ -489,6 +493,12 @@ fn cmd_trace_summary(path: &str) -> CliResult {
             None => kinds.push((ev.name(), 1)),
         }
         let bench = ev.benchmark().to_string();
+        if bench.is_empty() {
+            // Run-level events (run_archived, regression_checked) belong to
+            // no benchmark; they are counted by kind above but would pollute
+            // the per-benchmark table as an unnamed row.
+            continue;
+        }
         let totals = match totals.iter_mut().find(|(b, _)| *b == bench) {
             Some((_, t)) => t,
             None => {
@@ -585,6 +595,313 @@ fn cmd_trace_summary(path: &str) -> CliResult {
         println!("{slow_table}");
     }
     Ok(())
+}
+
+/// Opens the results archive, mapping store failures onto the CLI error
+/// surface.
+fn open_store(dir: &str) -> Result<Store, CliError> {
+    Store::open(dir).map_err(store_err(dir))
+}
+
+/// Attaches the store directory to a store error.
+fn store_err(dir: &str) -> impl Fn(rigor_store::StoreError) -> CliError + '_ {
+    move |e| CliError::Store {
+        path: dir.to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// The workloads an optional benchmark argument selects: one, or the whole
+/// suite.
+fn selected_workloads(benchmark: Option<&str>) -> Result<Vec<Workload>, CliError> {
+    match benchmark {
+        Some(b) => Ok(vec![lookup(b)?]),
+        None => Ok(suite()),
+    }
+}
+
+/// Measures `workloads` under `cfg`, streaming progress names to stderr
+/// when more than one is measured.
+fn measure_all(
+    workloads: &[Workload],
+    cfg: &ExperimentConfig,
+    obs: &[Arc<dyn ExperimentObserver>],
+    quiet: bool,
+) -> Result<Vec<rigor::BenchmarkMeasurement>, CliError> {
+    let mut out = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        if !quiet && workloads.len() > 1 {
+            eprintln!("measuring {} ...", w.name);
+        }
+        let m = measure_observed(w, cfg, obs)?;
+        note_faults(&m, quiet);
+        out.push(m);
+    }
+    Ok(out)
+}
+
+/// `rigor archive [benchmark]`: measure and persist one fsynced,
+/// content-addressed run record to the results archive.
+fn cmd_archive(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
+    reject_checkpoint_flags(opts, "archive")?;
+    let workloads = selected_workloads(benchmark)?;
+    let cfg = experiment_config(opts);
+    let obs = observers(opts)?;
+    let measurements = measure_all(&workloads, &cfg, &obs, opts.quiet)?;
+
+    let mut store = open_store(&opts.store)?;
+    if store.recovered_torn_tail() && !opts.quiet {
+        eprintln!(
+            "note: {}: recovered from a torn final line (interrupted append)",
+            opts.store
+        );
+    }
+    let record = store
+        .append(opts.label.clone(), &cfg, measurements.clone())
+        .map_err(store_err(&opts.store))?;
+    println!(
+        "archived run {} (seq {}, {} benchmark(s), engine {}) to {}",
+        record.short_id(),
+        record.seq,
+        record.measurements.len(),
+        cfg.engine.name(),
+        opts.store
+    );
+    let event = ExperimentEvent::RunArchived {
+        store: opts.store.clone(),
+        run_id: record.id.clone(),
+        seq: record.seq,
+        benchmarks: record.measurements.len() as u32,
+    };
+    for o in &obs {
+        o.on_event(&event);
+    }
+    export(opts, &measurements)
+}
+
+/// `rigor history <benchmark>`: trend table over the archived runs of one
+/// benchmark, with per-run steady-state CIs.
+fn cmd_history(benchmark: &str, opts: &GlobalOpts) -> CliResult {
+    let store = open_store(&opts.store)?;
+    let det = SteadyStateDetector::default();
+    let mut table = Table::new(vec![
+        "seq",
+        "run",
+        "label",
+        "engine",
+        "shape",
+        "steady mean",
+        "censored",
+    ])
+    .with_title(format!("history of {benchmark} in {}", opts.store));
+    let mut rows = 0usize;
+    for r in store.runs() {
+        let Some(m) = r.benchmark(benchmark) else {
+            continue;
+        };
+        let mean = match precision_of(m, &det, opts.confidence) {
+            (Some(ci), _) => format!(
+                "{} [{}, {}]",
+                fmt_ns(ci.estimate),
+                fmt_ns(ci.lower),
+                fmt_ns(ci.upper)
+            ),
+            _ => "no steady state".to_string(),
+        };
+        table.row(vec![
+            r.seq.to_string(),
+            r.short_id().to_string(),
+            r.label.clone().unwrap_or_default(),
+            r.fingerprint.engine.clone(),
+            format!(
+                "{}x{} {}",
+                r.fingerprint.invocations, r.fingerprint.iterations, r.fingerprint.size
+            ),
+            mean,
+            if m.censored.is_empty() {
+                String::new()
+            } else {
+                format!("{}/{}", m.censored.len(), m.n_requested())
+            },
+        ]);
+        rows += 1;
+    }
+    if rows == 0 {
+        println!(
+            "no archived runs measure '{benchmark}' in {} ({} run(s) archived)",
+            opts.store,
+            store.len()
+        );
+        return Ok(());
+    }
+    println!("{table}");
+    Ok(())
+}
+
+/// `rigor check [benchmark]`: measure the current engine and gate it
+/// against an archived baseline. Exit 0 = no FDR-significant regression
+/// beyond the tolerance; exit 1 = regressed (with the verdict table
+/// printed first).
+fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
+    reject_checkpoint_flags(opts, "check")?;
+    let store = open_store(&opts.store)?;
+    let base_ref = BaselineRef::parse(opts.baseline.as_deref().unwrap_or("last"));
+    let baseline_runs = base_ref.select(&store).map_err(store_err(&opts.store))?;
+
+    let cfg = experiment_config(opts);
+    let fp = ConfigFingerprint::of(&cfg);
+    if !opts.quiet {
+        for r in &baseline_runs {
+            if !r.fingerprint.shape_matches(&fp) {
+                eprintln!(
+                    "warning: baseline run {} was measured with shape {}x{} {} seed {}, \
+                     current shape is {}x{} {} seed {} — the samples estimate \
+                     different quantities",
+                    r.short_id(),
+                    r.fingerprint.invocations,
+                    r.fingerprint.iterations,
+                    r.fingerprint.size,
+                    r.fingerprint.seed,
+                    fp.invocations,
+                    fp.iterations,
+                    fp.size,
+                    fp.seed
+                );
+            }
+        }
+    }
+
+    // What to measure: the named benchmark, or every baseline benchmark
+    // still present in the suite (in baseline order, first appearance).
+    let names: Vec<String> = match benchmark {
+        Some(b) => vec![b.to_string()],
+        None => {
+            let mut names: Vec<String> = Vec::new();
+            for r in &baseline_runs {
+                for n in r.benchmark_names() {
+                    if !names.iter().any(|have| have == n) {
+                        names.push(n.to_string());
+                    }
+                }
+            }
+            let (known, unknown): (Vec<String>, Vec<String>) =
+                names.into_iter().partition(|n| find(n).is_some());
+            if !unknown.is_empty() && !opts.quiet {
+                eprintln!(
+                    "note: skipping archived benchmark(s) no longer in the suite: {}",
+                    unknown.join(", ")
+                );
+            }
+            known
+        }
+    };
+    let workloads: Result<Vec<Workload>, CliError> = names.iter().map(|n| lookup(n)).collect();
+    let obs = observers(opts)?;
+    let current = measure_all(&workloads?, &cfg, &obs, opts.quiet)?;
+
+    let slices: Vec<&[rigor::BenchmarkMeasurement]> = baseline_runs
+        .iter()
+        .map(|r| r.measurements.as_slice())
+        .collect();
+    let pooled = rigor::pool_measurements(&slices);
+
+    let mut policy = rigor::GatePolicy::default().with_confidence(opts.confidence);
+    if let Some(q) = opts.fdr {
+        policy = policy.with_fdr_q(q);
+    }
+    if let Some(pct) = opts.max_regression_pct {
+        policy = policy.with_max_regression(pct / 100.0);
+    }
+    if let Some(c) = &opts.correction {
+        policy = policy.with_correction(
+            rigor::Correction::parse(c).expect("correction validated at argument parsing"),
+        );
+    }
+    let report =
+        rigor::check_regressions(&pooled, &current, &SteadyStateDetector::default(), &policy);
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "verdict",
+        "change",
+        "speedup (base/cur)",
+        "p (adj)",
+        "note",
+    ])
+    .with_title(format!(
+        "regression gate vs baseline `{base_ref}` ({} run(s), correction {}, q {}, tolerance {:.1}%)",
+        baseline_runs.len(),
+        policy.correction,
+        policy.fdr_q,
+        policy.max_regression * 100.0
+    ));
+    for g in &report.benchmarks {
+        let change = g
+            .change_frac()
+            .map(|c| format!("{:+.2}%", c * 100.0))
+            .unwrap_or_default();
+        let speedup = g
+            .result
+            .as_ref()
+            .map(|r| fmt_ci(&r.speedup))
+            .unwrap_or_default();
+        let p_adj = g.p_adjusted.map(|p| format!("{p:.3}")).unwrap_or_default();
+        table.row(vec![
+            g.benchmark.clone(),
+            g.status.name().to_string(),
+            change,
+            speedup,
+            p_adj,
+            g.note.clone().unwrap_or_default(),
+        ]);
+    }
+    println!("{table}");
+
+    let regressed: Vec<String> = report
+        .regressed()
+        .iter()
+        .map(|g| g.benchmark.clone())
+        .collect();
+    println!(
+        "checked {} benchmark(s): {}",
+        report.benchmarks.len(),
+        if regressed.is_empty() {
+            "no significant regression".to_string()
+        } else {
+            format!("{} REGRESSED ({})", regressed.len(), regressed.join(", "))
+        }
+    );
+
+    // `--json` exports the gate report here (not raw measurements): the
+    // verdicts are what a CI pipeline consumes. `--csv` still exports the
+    // current measurements for archaeology.
+    if let Some(path) = &opts.json_out {
+        fs::write(path, serde_json::to_string_pretty(&report)?).map_err(io_err(path))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &opts.csv_out {
+        fs::write(path, rigor::to_csv(&current)).map_err(io_err(path))?;
+        println!("wrote {path}");
+    }
+
+    let event = ExperimentEvent::RegressionChecked {
+        store: opts.store.clone(),
+        baseline: base_ref.to_string(),
+        checked: report.benchmarks.len() as u32,
+        regressed: regressed.len() as u32,
+        passed: regressed.is_empty(),
+    };
+    for o in &obs {
+        o.on_event(&event);
+    }
+
+    if regressed.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Regression {
+            benchmarks: regressed,
+        })
+    }
 }
 
 /// A workload that never finishes an iteration — only a deadline or fuel

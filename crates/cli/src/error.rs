@@ -53,6 +53,19 @@ pub enum CliError {
         /// The names of the failing scenarios.
         failed: Vec<String>,
     },
+    /// The results archive could not be opened, read or written.
+    Store {
+        /// The store directory.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// `rigor check` found statistically significant regressions. The
+    /// verdict table is still printed before this error is surfaced.
+    Regression {
+        /// The benchmarks that regressed.
+        benchmarks: Vec<String>,
+    },
 }
 
 impl CliError {
@@ -90,6 +103,13 @@ impl fmt::Display for CliError {
             CliError::SelfTest { failed } => {
                 write!(f, "self-test failed: {}", failed.join(", "))
             }
+            CliError::Store { path, message } => write!(f, "{path}: {message}"),
+            CliError::Regression { benchmarks } => write!(
+                f,
+                "regression gate failed: {} benchmark(s) regressed: {}",
+                benchmarks.len(),
+                benchmarks.join(", ")
+            ),
         }
     }
 }
@@ -171,6 +191,21 @@ mod tests {
         assert_eq!(
             CliError::SelfTest {
                 failed: vec!["x".into()]
+            }
+            .exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::Store {
+                path: ".rigor-store".into(),
+                message: "corrupt".into()
+            }
+            .exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::Regression {
+                benchmarks: vec!["sieve".into()]
             }
             .exit_code(),
             1

@@ -28,6 +28,10 @@
 //!    benchmarks are quarantined, and completed invocations stream to a
 //!    [`checkpoint`] journal that [`Runner::resume`] replays bit-for-bit.
 //!    The [`fault`] module injects deterministic faults to test all of it.
+//! 7. **Gate** — [`check_regressions`] compares the current run against a
+//!    baseline drawn from history (see the `rigor-store` archive crate),
+//!    controlling the suite-wide false-alarm rate with the corrections in
+//!    `rigor_stats::fdr`.
 //!
 //! ```rust
 //! use rigor::prelude::*;
@@ -58,6 +62,7 @@ pub mod export;
 pub mod fault;
 pub mod measurement;
 pub mod naive;
+pub mod regress;
 pub mod report;
 pub mod runner;
 pub mod sequential;
@@ -69,7 +74,7 @@ pub mod warmup;
 pub use checkpoint::{Journal, JournalMeta, JournalWriter};
 pub use compare::{compare, compare_suite, CompareError, SpeedupResult, SuiteComparison};
 pub use config::ExperimentConfig;
-pub use export::{from_json, to_csv, to_json};
+pub use export::{from_csv, from_json, to_csv, to_json, SCHEMA_VERSION};
 pub use fault::{FaultPlan, InjectedFault};
 pub use measurement::{
     BenchmarkMeasurement, CensoredInvocation, FailureKind, InvocationRecord, IterationCounters,
@@ -77,6 +82,10 @@ pub use measurement::{
 pub use naive::{
     all_schemes, evaluate_scheme, verdict_from_ci, verdict_from_point, NaiveEvaluation,
     NaiveScheme, Verdict,
+};
+pub use regress::{
+    check_regressions, pool_measurements, BenchmarkGate, Correction, GatePolicy, GateReport,
+    GateStatus,
 };
 pub use report::{fmt_ci, fmt_ns, fmt_pct, sparkline, Table};
 pub use runner::{measure_source, measure_workload, Runner};

@@ -72,6 +72,18 @@ impl FailureKind {
     pub fn is_budget_exhaustion(self) -> bool {
         matches!(self, FailureKind::Timeout | FailureKind::FuelExhausted)
     }
+
+    /// Parses a wire name produced by [`FailureKind::name`] (used when
+    /// reading the CSV `status` column back).
+    pub fn from_name(name: &str) -> Option<FailureKind> {
+        match name {
+            "timeout" => Some(FailureKind::Timeout),
+            "fuel_exhausted" => Some(FailureKind::FuelExhausted),
+            "panic" => Some(FailureKind::Panic),
+            "vm_error" => Some(FailureKind::VmError),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for FailureKind {
@@ -89,13 +101,8 @@ impl Serialize for FailureKind {
 impl Deserialize for FailureKind {
     fn from_value(v: &JsonValue) -> Result<FailureKind, DeError> {
         let s: String = Deserialize::from_value(v)?;
-        match s.as_str() {
-            "timeout" => Ok(FailureKind::Timeout),
-            "fuel_exhausted" => Ok(FailureKind::FuelExhausted),
-            "panic" => Ok(FailureKind::Panic),
-            "vm_error" => Ok(FailureKind::VmError),
-            other => Err(DeError::new(format!("unknown failure kind `{other}`"))),
-        }
+        FailureKind::from_name(&s)
+            .ok_or_else(|| DeError::new(format!("unknown failure kind `{s}`")))
     }
 }
 
@@ -188,7 +195,7 @@ impl Deserialize for InvocationRecord {
 }
 
 /// All invocations of one benchmark on one engine, measured and censored.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkMeasurement {
     /// Benchmark name.
     pub benchmark: String,

@@ -139,6 +139,34 @@ pub enum ExperimentEvent {
         /// How many invocations failed.
         failed_invocations: u32,
     },
+    /// A completed run — every benchmark it measured — was persisted to the
+    /// results archive. A *run-level* event: it belongs to no single
+    /// benchmark.
+    RunArchived {
+        /// Archive directory.
+        store: String,
+        /// Content-addressed run id.
+        run_id: String,
+        /// The run's sequence number within the archive.
+        seq: u64,
+        /// How many benchmarks the archived run holds.
+        benchmarks: u32,
+    },
+    /// The regression gate compared the current run against an archived
+    /// baseline. A *run-level* event: it belongs to no single benchmark.
+    RegressionChecked {
+        /// Archive directory.
+        store: String,
+        /// The baseline reference that was resolved (`last`, `last-3`, a
+        /// run-id prefix).
+        baseline: String,
+        /// Benchmarks checked.
+        checked: u32,
+        /// Benchmarks that regressed.
+        regressed: u32,
+        /// Whether the gate passed.
+        passed: bool,
+    },
 }
 
 impl ExperimentEvent {
@@ -154,10 +182,14 @@ impl ExperimentEvent {
             ExperimentEvent::BenchmarkQuarantined { .. } => "benchmark_quarantined",
             ExperimentEvent::CheckpointWritten { .. } => "checkpoint_written",
             ExperimentEvent::ExperimentFinished { .. } => "experiment_finished",
+            ExperimentEvent::RunArchived { .. } => "run_archived",
+            ExperimentEvent::RegressionChecked { .. } => "regression_checked",
         }
     }
 
-    /// The benchmark this event belongs to.
+    /// The benchmark this event belongs to — empty for run-level events
+    /// ([`ExperimentEvent::RunArchived`], [`ExperimentEvent::RegressionChecked`]),
+    /// which span the whole suite.
     pub fn benchmark(&self) -> &str {
         match self {
             ExperimentEvent::ExperimentStarted { benchmark, .. }
@@ -169,6 +201,7 @@ impl ExperimentEvent {
             | ExperimentEvent::BenchmarkQuarantined { benchmark, .. }
             | ExperimentEvent::CheckpointWritten { benchmark, .. }
             | ExperimentEvent::ExperimentFinished { benchmark, .. } => benchmark,
+            ExperimentEvent::RunArchived { .. } | ExperimentEvent::RegressionChecked { .. } => "",
         }
     }
 }
@@ -281,6 +314,30 @@ impl Serialize for ExperimentEvent {
                 put("engine", engine.to_value());
                 put("failed_invocations", failed_invocations.to_value());
             }
+            ExperimentEvent::RunArchived {
+                store,
+                run_id,
+                seq,
+                benchmarks,
+            } => {
+                put("store", store.to_value());
+                put("run_id", run_id.to_value());
+                put("seq", seq.to_value());
+                put("benchmarks", benchmarks.to_value());
+            }
+            ExperimentEvent::RegressionChecked {
+                store,
+                baseline,
+                checked,
+                regressed,
+                passed,
+            } => {
+                put("store", store.to_value());
+                put("baseline", baseline.to_value());
+                put("checked", checked.to_value());
+                put("regressed", regressed.to_value());
+                put("passed", passed.to_value());
+            }
         }
         JsonValue::Object(fields)
     }
@@ -342,6 +399,19 @@ impl Deserialize for ExperimentEvent {
                 benchmark: get_field(v, "benchmark")?,
                 engine: get_field(v, "engine")?,
                 failed_invocations: get_field(v, "failed_invocations")?,
+            }),
+            "run_archived" => Ok(ExperimentEvent::RunArchived {
+                store: get_field(v, "store")?,
+                run_id: get_field(v, "run_id")?,
+                seq: get_field(v, "seq")?,
+                benchmarks: get_field(v, "benchmarks")?,
+            }),
+            "regression_checked" => Ok(ExperimentEvent::RegressionChecked {
+                store: get_field(v, "store")?,
+                baseline: get_field(v, "baseline")?,
+                checked: get_field(v, "checked")?,
+                regressed: get_field(v, "regressed")?,
+                passed: get_field(v, "passed")?,
             }),
             other => Err(DeError::new(format!("unknown event kind `{other}`"))),
         }
@@ -554,7 +624,9 @@ impl ExperimentObserver for ProgressObserver {
             }
             ExperimentEvent::InvocationStarted { .. }
             | ExperimentEvent::InvocationTimedOut { .. }
-            | ExperimentEvent::CheckpointWritten { .. } => {}
+            | ExperimentEvent::CheckpointWritten { .. }
+            | ExperimentEvent::RunArchived { .. }
+            | ExperimentEvent::RegressionChecked { .. } => {}
         }
     }
 }
@@ -715,6 +787,19 @@ mod tests {
                 engine: "interp".into(),
                 failed_invocations: 0,
             },
+            ExperimentEvent::RunArchived {
+                store: ".rigor-store".into(),
+                run_id: "ab12cd34ef56".into(),
+                seq: 3,
+                benchmarks: 2,
+            },
+            ExperimentEvent::RegressionChecked {
+                store: ".rigor-store".into(),
+                baseline: "last-3".into(),
+                checked: 2,
+                regressed: 1,
+                passed: false,
+            },
         ]
     }
 
@@ -742,6 +827,17 @@ mod tests {
         let json = serde_json::to_string(&failed).unwrap();
         let back: ExperimentEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, failed);
+    }
+
+    #[test]
+    fn run_level_events_have_no_benchmark() {
+        let events = sample_events();
+        let archived = &events[events.len() - 2];
+        let checked = &events[events.len() - 1];
+        assert_eq!(archived.name(), "run_archived");
+        assert_eq!(checked.name(), "regression_checked");
+        assert_eq!(archived.benchmark(), "");
+        assert_eq!(checked.benchmark(), "");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod ci;
 pub mod descriptive;
 pub mod dist;
 pub mod effect;
+pub mod fdr;
 pub mod htest;
 pub mod outlier;
 pub mod quantile;
@@ -45,6 +46,7 @@ pub use ci::{mean_ci, ratio_ci_delta, welch_diff_ci, ConfidenceInterval};
 pub use descriptive::{cov, geomean, harmonic_mean, mean, median, sem, std_dev, variance, Summary};
 pub use dist::{chi2_cdf, f_cdf, normal_cdf, normal_quantile, t_cdf, t_critical, t_quantile};
 pub use effect::{classify_cohens_d, cliffs_delta, cohens_d, EffectMagnitude};
+pub use fdr::{benjamini_hochberg, bh_adjusted, holm_adjusted, holm_bonferroni};
 pub use htest::{mann_whitney_u, welch_t_test, TestResult};
 pub use outlier::{despike, mad, mad_outliers, remove_tukey_outliers, tukey_outliers};
 pub use quantile::{iqr, quantile, quantiles};

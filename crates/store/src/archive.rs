@@ -1,0 +1,834 @@
+//! The append-only archive journal: one fsynced, length- and
+//! hash-protected JSONL line per run.
+//!
+//! ```text
+//! {"store":"rigor-archive","version":1}
+//! {"len":1234,"hash":"<32 hex>","run":{...canonical payload...}}
+//! {"len":987,"hash":"<32 hex>","run":{...}}
+//! ```
+//!
+//! Crash semantics mirror `rigor::checkpoint`: every append writes one
+//! complete line and fsyncs, so after a kill the file holds every archived
+//! run plus at most one torn final line. [`Store::open`] keeps the valid
+//! prefix and remembers where it ends; the next append truncates the torn
+//! tail before writing, so the file never accumulates garbage. A *complete*
+//! line that fails its length/hash check is corruption, not truncation, and
+//! is a hard error.
+
+use std::fmt;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use rigor::measurement::BenchmarkMeasurement;
+use rigor::ExperimentConfig;
+use serde::json::{get_field, DeError, JsonValue};
+use serde::{Deserialize, Serialize};
+
+use crate::hash::content_hash;
+use crate::index::{Index, IndexEntry};
+use crate::record::{Payload, RunRecord};
+
+/// File name of the archive journal inside the store directory.
+pub const ARCHIVE_FILE: &str = "archive.jsonl";
+/// Magic tag of the meta line.
+const MAGIC: &str = "rigor-archive";
+/// Archive format version.
+const VERSION: u32 = 1;
+
+/// Any failure of the results archive.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Reading or writing the store failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The archive file exists but is not a rigor archive (bad meta line or
+    /// unsupported version).
+    NotAnArchive {
+        /// The archive path.
+        path: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A complete (newline-terminated) line failed to parse or failed its
+    /// length/hash integrity check — corruption, not a torn write.
+    Corrupt {
+        /// 1-based line number in the archive file.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A baseline reference matched no archived run.
+    UnknownRun {
+        /// The reference as given.
+        reference: String,
+    },
+    /// A run-id prefix matched more than one archived run.
+    AmbiguousRun {
+        /// The reference as given.
+        reference: String,
+        /// The ids it matched.
+        matches: Vec<String>,
+    },
+    /// The archive holds no runs yet.
+    Empty,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "{path}: {source}"),
+            StoreError::NotAnArchive { path, message } => {
+                write!(f, "{path}: not a rigor archive: {message}")
+            }
+            StoreError::Corrupt { line, message } => {
+                write!(f, "archive line {line}: corrupt: {message}")
+            }
+            StoreError::UnknownRun { reference } => {
+                write!(f, "no archived run matches `{reference}`")
+            }
+            StoreError::AmbiguousRun { reference, matches } => write!(
+                f,
+                "run reference `{reference}` is ambiguous: matches {}",
+                matches.join(", ")
+            ),
+            StoreError::Empty => write!(
+                f,
+                "the archive holds no runs yet (run `rigor archive` first)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path) -> impl Fn(io::Error) -> StoreError + '_ {
+    move |source| StoreError::Io {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+/// `from_str` needs a `Deserialize` target; keeps the raw value for
+/// shape dispatch.
+struct RawValue(JsonValue);
+
+impl Deserialize for RawValue {
+    fn from_value(v: &JsonValue) -> Result<RawValue, DeError> {
+        Ok(RawValue(v.clone()))
+    }
+}
+
+fn meta_line_text() -> String {
+    let meta = JsonValue::Object(vec![
+        ("store".into(), JsonValue::Str(MAGIC.into())),
+        ("version".into(), VERSION.to_value()),
+    ]);
+    serde_json::to_string(&Payload(meta)).expect("meta is plain data")
+}
+
+/// Formats one record line. The payload text is spliced in verbatim so the
+/// stored bytes are exactly the bytes the hash was computed over.
+fn record_line(record: &RunRecord) -> String {
+    let payload = record.payload_json();
+    format!(
+        "{{\"len\":{},\"hash\":\"{}\",\"run\":{}}}",
+        payload.len(),
+        record.id,
+        payload
+    )
+}
+
+/// Parses and integrity-checks one record line.
+fn parse_record_line(line: &str) -> Result<RunRecord, DeError> {
+    let RawValue(v) = serde_json::from_str(line).map_err(|e| DeError::new(e.to_string()))?;
+    let len: u64 = get_field(&v, "len")?;
+    let hash: String = get_field(&v, "hash")?;
+    let run = v
+        .get("run")
+        .ok_or_else(|| DeError::new("missing `run` field"))?;
+    let record = RunRecord::from_payload(run)?;
+    // `record.id` was recomputed from the canonical re-serialization of the
+    // parsed payload, so comparing it against the stored hash (and length)
+    // verifies every byte that matters survived.
+    let payload = record.payload_json();
+    if payload.len() as u64 != len {
+        return Err(DeError::new(format!(
+            "length mismatch: header says {len}, payload re-serializes to {}",
+            payload.len()
+        )));
+    }
+    if record.id != hash {
+        return Err(DeError::new(format!(
+            "content hash mismatch: header says {hash}, payload hashes to {}",
+            record.id
+        )));
+    }
+    debug_assert_eq!(record.id, content_hash(payload.as_bytes()));
+    Ok(record)
+}
+
+/// One run plus where its line lives in the journal.
+#[derive(Debug, Clone)]
+struct StoredRun {
+    record: RunRecord,
+    offset: u64,
+    bytes: u64,
+}
+
+/// Result of a [`Store::verify`] integrity scan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Runs whose length and content hash checked out.
+    pub intact: usize,
+    /// Complete lines that failed parsing or integrity (1-based line
+    /// number, message).
+    pub corrupt: Vec<(usize, String)>,
+    /// True when the file ends in an unterminated (torn) line.
+    pub torn_tail: bool,
+}
+
+impl VerifyReport {
+    /// True when every line checked out and the file ends cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && !self.torn_tail
+    }
+}
+
+/// Result of a [`Store::compact`] rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Runs kept.
+    pub kept: usize,
+    /// Runs dropped (when a retention limit was given).
+    pub dropped: usize,
+    /// Journal size before, bytes.
+    pub bytes_before: u64,
+    /// Journal size after, bytes.
+    pub bytes_after: u64,
+}
+
+/// An open results archive: the parsed journal plus its on-disk location.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    runs: Vec<StoredRun>,
+    /// Byte length of the valid journal prefix (meta line + every intact
+    /// record line). Anything past this is a torn tail, dropped on the next
+    /// append.
+    valid_len: u64,
+    torn: bool,
+}
+
+impl Store {
+    /// Opens (creating if needed) the archive in directory `dir`.
+    ///
+    /// A torn final line — the signature of a kill mid-append — is
+    /// tolerated: the valid prefix loads and the tail is dropped on the
+    /// next append. Corruption anywhere else is a hard error. The index
+    /// sidecar is rebuilt whenever it is missing or stale.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a non-archive file at the journal path, or a corrupt
+    /// complete line.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(io_err(&dir))?;
+        let path = dir.join(ARCHIVE_FILE);
+        if !path.exists() {
+            let mut f = std::fs::File::create(&path).map_err(io_err(&path))?;
+            writeln!(f, "{}", meta_line_text()).map_err(io_err(&path))?;
+            f.sync_all().map_err(io_err(&path))?;
+        }
+        let text = std::fs::read_to_string(&path).map_err(io_err(&path))?;
+        let mut store = Store {
+            dir,
+            runs: Vec::new(),
+            valid_len: 0,
+            torn: false,
+        };
+        store.parse_journal(&path, &text)?;
+        store.refresh_index()?;
+        Ok(store)
+    }
+
+    fn parse_journal(&mut self, path: &Path, text: &str) -> Result<(), StoreError> {
+        // Split into newline-*terminated* lines; an unterminated final
+        // segment is a torn tail, never parsed.
+        let mut offset = 0usize;
+        let mut complete: Vec<(usize, &str)> = Vec::new(); // (offset, line without \n)
+        let bytes = text.as_bytes();
+        while offset < bytes.len() {
+            match bytes[offset..].iter().position(|&b| b == b'\n') {
+                Some(rel) => {
+                    complete.push((offset, &text[offset..offset + rel]));
+                    offset += rel + 1;
+                }
+                None => {
+                    self.torn = true;
+                    break;
+                }
+            }
+        }
+
+        let Some((_, first)) = complete.first() else {
+            // Nothing complete on disk (fresh kill before the meta line
+            // finished): treat as an empty archive; the torn tail — if any
+            // — is dropped on the next append.
+            self.valid_len = 0;
+            return Ok(());
+        };
+        let head: RawValue = serde_json::from_str(first).map_err(|e| StoreError::NotAnArchive {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let magic: Option<String> = get_field(&head.0, "store").ok();
+        if magic.as_deref() != Some(MAGIC) {
+            return Err(StoreError::NotAnArchive {
+                path: path.display().to_string(),
+                message: format!("missing `\"store\":\"{MAGIC}\"` tag"),
+            });
+        }
+        let version: u32 = get_field(&head.0, "version").unwrap_or(0);
+        if version != VERSION {
+            return Err(StoreError::NotAnArchive {
+                path: path.display().to_string(),
+                message: format!("unsupported archive version {version} (expected {VERSION})"),
+            });
+        }
+        self.valid_len = (complete[0].0 + complete[0].1.len() + 1) as u64;
+
+        for (idx, (line_offset, line)) in complete.iter().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                self.valid_len = (*line_offset + line.len() + 1) as u64;
+                continue;
+            }
+            let record = parse_record_line(line).map_err(|e| StoreError::Corrupt {
+                line: idx + 1,
+                message: e.to_string(),
+            })?;
+            self.runs.push(StoredRun {
+                record,
+                offset: *line_offset as u64,
+                bytes: (line.len() + 1) as u64,
+            });
+            self.valid_len = (*line_offset + line.len() + 1) as u64;
+        }
+        Ok(())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the archive journal.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(ARCHIVE_FILE)
+    }
+
+    /// True when the journal ended in a torn line at open time.
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.torn
+    }
+
+    /// Number of archived runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no run is archived.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// All archived runs, in append order.
+    pub fn runs(&self) -> impl Iterator<Item = &RunRecord> {
+        self.runs.iter().map(|s| &s.record)
+    }
+
+    /// The most recently archived run.
+    pub fn latest(&self) -> Option<&RunRecord> {
+        self.runs.last().map(|s| &s.record)
+    }
+
+    /// The last `n` archived runs (fewer when the archive is shorter), in
+    /// append order.
+    pub fn last_n(&self, n: usize) -> Vec<&RunRecord> {
+        let start = self.runs.len().saturating_sub(n.max(1));
+        self.runs[start..].iter().map(|s| &s.record).collect()
+    }
+
+    /// Finds a run by id prefix (at least one hex character) or exact
+    /// label.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownRun`] when nothing matches,
+    /// [`StoreError::AmbiguousRun`] when an id prefix matches several runs.
+    pub fn get(&self, reference: &str) -> Result<&RunRecord, StoreError> {
+        if let Some(run) = self
+            .runs
+            .iter()
+            .find(|s| s.record.label.as_deref() == Some(reference))
+        {
+            return Ok(&run.record);
+        }
+        let matches: Vec<&RunRecord> = self
+            .runs
+            .iter()
+            .map(|s| &s.record)
+            .filter(|r| r.id.starts_with(reference))
+            .collect();
+        match matches.as_slice() {
+            [] => Err(StoreError::UnknownRun {
+                reference: reference.to_string(),
+            }),
+            [one] => Ok(one),
+            many => Err(StoreError::AmbiguousRun {
+                reference: reference.to_string(),
+                matches: many.iter().map(|r| r.short_id().to_string()).collect(),
+            }),
+        }
+    }
+
+    /// Archives one run: builds the content-addressed record, appends its
+    /// line (dropping any torn tail first), fsyncs, and refreshes the
+    /// index. Returns the stored record.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append(
+        &mut self,
+        label: Option<String>,
+        config: &ExperimentConfig,
+        measurements: Vec<BenchmarkMeasurement>,
+    ) -> Result<&RunRecord, StoreError> {
+        let seq = self.runs.last().map(|s| s.record.seq + 1).unwrap_or(0);
+        let record = RunRecord::new(seq, label, config, measurements);
+        let line = record_line(&record);
+        let path = self.journal_path();
+
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(io_err(&path))?;
+        let disk_len = file.metadata().map_err(io_err(&path))?.len();
+        if self.valid_len == 0 {
+            // Recovering from a kill before the meta line landed: rewrite
+            // the header from scratch.
+            file.set_len(0).map_err(io_err(&path))?;
+            file.seek(SeekFrom::Start(0)).map_err(io_err(&path))?;
+            writeln!(file, "{}", meta_line_text()).map_err(io_err(&path))?;
+            self.valid_len = (meta_line_text().len() + 1) as u64;
+        } else if disk_len > self.valid_len {
+            // Drop the torn tail so the journal never holds mid-file garbage.
+            file.set_len(self.valid_len).map_err(io_err(&path))?;
+        }
+        file.seek(SeekFrom::Start(self.valid_len))
+            .map_err(io_err(&path))?;
+        writeln!(file, "{line}").map_err(io_err(&path))?;
+        // fsync per append: the whole point is surviving a kill.
+        file.sync_all().map_err(io_err(&path))?;
+
+        let stored = StoredRun {
+            record,
+            offset: self.valid_len,
+            bytes: (line.len() + 1) as u64,
+        };
+        self.valid_len += stored.bytes;
+        self.torn = false;
+        self.runs.push(stored);
+        self.refresh_index()?;
+        Ok(&self.runs.last().expect("just pushed").record)
+    }
+
+    /// The index the current in-memory state corresponds to.
+    fn index(&self) -> Index {
+        Index {
+            entries: self
+                .runs
+                .iter()
+                .map(|s| IndexEntry::of(&s.record, s.offset, s.bytes))
+                .collect(),
+        }
+    }
+
+    /// Rewrites the index sidecar if it is missing or disagrees with the
+    /// journal (the journal is always the source of truth).
+    fn refresh_index(&self) -> Result<(), StoreError> {
+        let want = self.index();
+        if Index::load(&self.dir).ok().as_ref() != Some(&want) {
+            want.write(&self.dir).map_err(io_err(&self.dir))?;
+        }
+        Ok(())
+    }
+
+    /// Re-reads the journal from disk and integrity-checks every line
+    /// (length + content hash) without touching the in-memory state.
+    ///
+    /// # Errors
+    ///
+    /// Only on I/O failure — integrity problems are *reported*, not thrown.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let path = self.journal_path();
+        let mut text = String::new();
+        std::fs::File::open(&path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(io_err(&path))?;
+        let mut report = VerifyReport::default();
+        let ends_clean = text.is_empty() || text.ends_with('\n');
+        let mut lines: Vec<&str> = text.split('\n').collect();
+        if ends_clean {
+            lines.pop(); // the empty segment after the final newline
+        } else {
+            lines.pop();
+            report.torn_tail = true;
+        }
+        for (idx, line) in lines.iter().enumerate() {
+            if idx == 0 || line.trim().is_empty() {
+                continue; // meta line shape is checked at open
+            }
+            match parse_record_line(line) {
+                Ok(_) => report.intact += 1,
+                Err(e) => report.corrupt.push((idx + 1, e.to_string())),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Rewrites the journal from the in-memory runs — dropping any torn
+    /// tail and, when `keep_last` is given, all but the newest N runs —
+    /// then rebuilds the index. Atomic: written to a temp file, fsynced,
+    /// renamed over the journal.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn compact(&mut self, keep_last: Option<usize>) -> Result<CompactionReport, StoreError> {
+        let path = self.journal_path();
+        let bytes_before = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let keep_from = keep_last
+            .map(|n| self.runs.len().saturating_sub(n))
+            .unwrap_or(0);
+        let dropped = keep_from;
+
+        let tmp = self.dir.join(format!("{ARCHIVE_FILE}.tmp"));
+        let mut kept: Vec<StoredRun> = Vec::with_capacity(self.runs.len() - keep_from);
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(io_err(&tmp))?;
+            writeln!(f, "{}", meta_line_text()).map_err(io_err(&tmp))?;
+            let mut offset = (meta_line_text().len() + 1) as u64;
+            for s in &self.runs[keep_from..] {
+                let line = record_line(&s.record);
+                writeln!(f, "{line}").map_err(io_err(&tmp))?;
+                let bytes = (line.len() + 1) as u64;
+                kept.push(StoredRun {
+                    record: s.record.clone(),
+                    offset,
+                    bytes,
+                });
+                offset += bytes;
+            }
+            f.sync_all().map_err(io_err(&tmp))?;
+        }
+        std::fs::rename(&tmp, &path).map_err(io_err(&path))?;
+
+        self.runs = kept;
+        self.valid_len = self
+            .runs
+            .last()
+            .map(|s| s.offset + s.bytes)
+            .unwrap_or((meta_line_text().len() + 1) as u64);
+        self.torn = false;
+        self.refresh_index()?;
+        let bytes_after = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        Ok(CompactionReport {
+            kept: self.runs.len(),
+            dropped,
+            bytes_before,
+            bytes_after,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigor::measurement::InvocationRecord;
+
+    fn measurement(benchmark: &str, level: f64) -> BenchmarkMeasurement {
+        BenchmarkMeasurement {
+            benchmark: benchmark.into(),
+            engine: "interp".into(),
+            invocations: (0..3)
+                .map(|i| InvocationRecord {
+                    invocation: i,
+                    seed: u64::from(i),
+                    startup_ns: 5.0,
+                    iteration_ns: vec![level, level * 1.01, level * 0.99],
+                    gc_cycles: 0,
+                    jit_compiles: 0,
+                    deopts: 0,
+                    checksum: "7".into(),
+                    iteration_counters: None,
+                    attempts: 1,
+                })
+                .collect(),
+            censored: Vec::new(),
+            quarantined: false,
+        }
+    }
+
+    fn config() -> ExperimentConfig {
+        ExperimentConfig::interp()
+            .with_invocations(3)
+            .with_iterations(3)
+            .with_seed(11)
+    }
+
+    fn temp_store(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rigor-store-archive-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn append_load_roundtrip() {
+        let dir = temp_store("roundtrip");
+        let mut store = Store::open(&dir).unwrap();
+        assert!(store.is_empty());
+        let id0 = store
+            .append(None, &config(), vec![measurement("sieve", 100.0)])
+            .unwrap()
+            .id
+            .clone();
+        let id1 = store
+            .append(
+                Some("second".into()),
+                &config(),
+                vec![measurement("sieve", 100.0), measurement("nbody", 50.0)],
+            )
+            .unwrap()
+            .id
+            .clone();
+        assert_ne!(id0, id1);
+
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert!(!reopened.recovered_torn_tail());
+        let runs: Vec<&RunRecord> = reopened.runs().collect();
+        assert_eq!(runs[0].id, id0);
+        assert_eq!(runs[0].seq, 0);
+        assert_eq!(runs[1].id, id1);
+        assert_eq!(runs[1].seq, 1);
+        assert_eq!(runs[1].label.as_deref(), Some("second"));
+        assert_eq!(runs[1].benchmark_names(), vec!["sieve", "nbody"]);
+        assert_eq!(reopened.latest().unwrap().id, id1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lookup_by_prefix_and_label() {
+        let dir = temp_store("lookup");
+        let mut store = Store::open(&dir).unwrap();
+        let id = store
+            .append(
+                Some("tagged".into()),
+                &config(),
+                vec![measurement("a", 1.0)],
+            )
+            .unwrap()
+            .id
+            .clone();
+        store
+            .append(None, &config(), vec![measurement("a", 2.0)])
+            .unwrap();
+        assert_eq!(store.get(&id[..8]).unwrap().id, id);
+        assert_eq!(store.get("tagged").unwrap().id, id);
+        assert!(matches!(
+            store.get("zzzz"),
+            Err(StoreError::UnknownRun { .. })
+        ));
+        // The empty prefix matches everything → ambiguous.
+        assert!(matches!(
+            store.get(""),
+            Err(StoreError::AmbiguousRun { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_recovered_and_truncated_on_append() {
+        let dir = temp_store("torn");
+        let mut store = Store::open(&dir).unwrap();
+        store
+            .append(None, &config(), vec![measurement("a", 1.0)])
+            .unwrap();
+        store
+            .append(None, &config(), vec![measurement("a", 2.0)])
+            .unwrap();
+        let clean = std::fs::read(dir.join(ARCHIVE_FILE)).unwrap();
+
+        // Chop the final line mid-way, as a kill mid-append would.
+        std::fs::write(dir.join(ARCHIVE_FILE), &clean[..clean.len() - 20]).unwrap();
+        let mut recovered = Store::open(&dir).unwrap();
+        assert!(recovered.recovered_torn_tail());
+        assert_eq!(recovered.len(), 1);
+
+        // Re-appending the lost run reproduces the uninterrupted file
+        // byte-for-byte (determinism makes the payload identical).
+        recovered
+            .append(None, &config(), vec![measurement("a", 2.0)])
+            .unwrap();
+        assert_eq!(std::fs::read(dir.join(ARCHIVE_FILE)).unwrap(), clean);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn complete_corrupt_line_is_a_hard_error() {
+        let dir = temp_store("corrupt");
+        let mut store = Store::open(&dir).unwrap();
+        store
+            .append(None, &config(), vec![measurement("a", 1.0)])
+            .unwrap();
+        let path = dir.join(ARCHIVE_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Flip a digit inside the record line (keeping it complete).
+        let flipped = text.replace("\"len\":", "\"len\":9");
+        assert_ne!(flipped, text);
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(Store::open(&dir), Err(StoreError::Corrupt { .. })));
+        // Same for a bit flipped in the payload itself.
+        text = text.replace("\"startup_ns\":5.0", "\"startup_ns\":6.0");
+        assert!(text.contains("\"startup_ns\":6.0"));
+        std::fs::write(&path, &text).unwrap();
+        assert!(matches!(Store::open(&dir), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_non_archives() {
+        let dir = temp_store("nonarchive");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(ARCHIVE_FILE), "{\"foo\":1}\n").unwrap();
+        assert!(matches!(
+            Store::open(&dir),
+            Err(StoreError::NotAnArchive { .. })
+        ));
+        std::fs::write(
+            dir.join(ARCHIVE_FILE),
+            "{\"store\":\"rigor-archive\",\"version\":99}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            Store::open(&dir),
+            Err(StoreError::NotAnArchive { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_reports_integrity() {
+        let dir = temp_store("verify");
+        let mut store = Store::open(&dir).unwrap();
+        store
+            .append(None, &config(), vec![measurement("a", 1.0)])
+            .unwrap();
+        store
+            .append(None, &config(), vec![measurement("b", 2.0)])
+            .unwrap();
+        let report = store.verify().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.intact, 2);
+
+        // Torn tail shows up in the report.
+        let path = dir.join(ARCHIVE_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let report = Store::open(&dir).unwrap().verify().unwrap();
+        assert!(report.torn_tail);
+        assert!(!report.is_clean());
+        assert_eq!(report.intact, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_drops_old_runs_and_rebuilds_index() {
+        let dir = temp_store("compact");
+        let mut store = Store::open(&dir).unwrap();
+        for i in 0..5 {
+            store
+                .append(None, &config(), vec![measurement("a", 1.0 + f64::from(i))])
+                .unwrap();
+        }
+        let report = store.compact(Some(2)).unwrap();
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.dropped, 3);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(store.len(), 2);
+        // Sequence numbers survive compaction (they are part of identity).
+        let seqs: Vec<u64> = store.runs().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        // New appends continue the sequence.
+        store
+            .append(None, &config(), vec![measurement("a", 9.0)])
+            .unwrap();
+        assert_eq!(store.latest().unwrap().seq, 5);
+
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert!(reopened.verify().unwrap().is_clean());
+        let index = Index::load(&dir).unwrap();
+        assert_eq!(index.entries.len(), 3);
+        assert_eq!(index.entries[0].seq, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_index_is_rebuilt_on_open() {
+        let dir = temp_store("staleindex");
+        let mut store = Store::open(&dir).unwrap();
+        store
+            .append(None, &config(), vec![measurement("a", 1.0)])
+            .unwrap();
+        // Sabotage the sidecar; the journal stays authoritative.
+        std::fs::write(dir.join("index.json"), "{\"entries\":[]}\n").unwrap();
+        let _ = Store::open(&dir).unwrap();
+        let index = Index::load(&dir).unwrap();
+        assert_eq!(index.entries.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn last_n_clamps() {
+        let dir = temp_store("lastn");
+        let mut store = Store::open(&dir).unwrap();
+        for i in 0..3 {
+            store
+                .append(None, &config(), vec![measurement("a", 1.0 + f64::from(i))])
+                .unwrap();
+        }
+        assert_eq!(store.last_n(2).len(), 2);
+        assert_eq!(store.last_n(10).len(), 3);
+        assert_eq!(store.last_n(0).len(), 1); // 0 is clamped to 1
+        assert_eq!(store.last_n(2)[1].seq, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

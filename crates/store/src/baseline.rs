@@ -1,0 +1,139 @@
+//! Baseline selection: turning a `--baseline` reference into archived runs.
+//!
+//! Three forms are understood:
+//!
+//! * `last` — the most recent archived run,
+//! * `last-N` — the newest N runs pooled into one baseline sample,
+//! * anything else — a run id prefix or exact label.
+
+use std::fmt;
+
+use crate::archive::{Store, StoreError};
+use crate::record::RunRecord;
+
+/// A parsed `--baseline` reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineRef {
+    /// The most recent archived run.
+    Last,
+    /// The newest N runs, pooled.
+    LastN(usize),
+    /// A run id prefix or exact label.
+    Id(String),
+}
+
+impl BaselineRef {
+    /// Parses a reference as given on the command line.
+    ///
+    /// `last` and `last-N` (N ≥ 1) are recognized keywords; everything
+    /// else is treated as an id prefix / label, resolved at selection time.
+    pub fn parse(text: &str) -> BaselineRef {
+        if text.eq_ignore_ascii_case("last") {
+            return BaselineRef::Last;
+        }
+        if let Some(n) = text
+            .strip_prefix("last-")
+            .and_then(|n| n.parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return BaselineRef::LastN(n);
+            }
+        }
+        BaselineRef::Id(text.to_string())
+    }
+
+    /// Resolves the reference against an open store, newest last.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Empty`] when the archive holds no runs, plus the
+    /// lookup errors of [`Store::get`] for id references.
+    pub fn select<'s>(&self, store: &'s Store) -> Result<Vec<&'s RunRecord>, StoreError> {
+        if store.is_empty() {
+            return Err(StoreError::Empty);
+        }
+        match self {
+            BaselineRef::Last => Ok(vec![store.latest().expect("non-empty")]),
+            BaselineRef::LastN(n) => Ok(store.last_n(*n)),
+            BaselineRef::Id(reference) => Ok(vec![store.get(reference)?]),
+        }
+    }
+}
+
+impl fmt::Display for BaselineRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineRef::Last => write!(f, "last"),
+            BaselineRef::LastN(n) => write!(f, "last-{n}"),
+            BaselineRef::Id(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigor::ExperimentConfig;
+
+    #[test]
+    fn parses_keywords_and_ids() {
+        assert_eq!(BaselineRef::parse("last"), BaselineRef::Last);
+        assert_eq!(BaselineRef::parse("LAST"), BaselineRef::Last);
+        assert_eq!(BaselineRef::parse("last-3"), BaselineRef::LastN(3));
+        assert_eq!(BaselineRef::parse("last-1"), BaselineRef::LastN(1));
+        // Degenerate or non-numeric suffixes fall through to id lookup.
+        assert_eq!(
+            BaselineRef::parse("last-0"),
+            BaselineRef::Id("last-0".into())
+        );
+        assert_eq!(
+            BaselineRef::parse("last-x"),
+            BaselineRef::Id("last-x".into())
+        );
+        assert_eq!(
+            BaselineRef::parse("ab12cd"),
+            BaselineRef::Id("ab12cd".into())
+        );
+    }
+
+    #[test]
+    fn displays_roundtrip() {
+        for text in ["last", "last-3", "ab12cd"] {
+            assert_eq!(BaselineRef::parse(text).to_string(), text);
+        }
+    }
+
+    #[test]
+    fn selects_from_store() {
+        let dir =
+            std::env::temp_dir().join(format!("rigor-store-baseline-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = Store::open(&dir).unwrap();
+        assert!(matches!(
+            BaselineRef::Last.select(&store),
+            Err(StoreError::Empty)
+        ));
+        let config = ExperimentConfig::interp();
+        store.append(Some("first".into()), &config, vec![]).unwrap();
+        store.append(None, &config, vec![]).unwrap();
+        store.append(None, &config, vec![]).unwrap();
+
+        let last = BaselineRef::Last.select(&store).unwrap();
+        assert_eq!(last.len(), 1);
+        assert_eq!(last[0].seq, 2);
+
+        let pooled = BaselineRef::LastN(2).select(&store).unwrap();
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled[0].seq, 1);
+        assert_eq!(pooled[1].seq, 2);
+
+        let by_label = BaselineRef::parse("first").select(&store).unwrap();
+        assert_eq!(by_label[0].seq, 0);
+
+        assert!(matches!(
+            BaselineRef::parse("nope").select(&store),
+            Err(StoreError::UnknownRun { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,67 @@
+//! Content addressing for archived runs.
+//!
+//! Run ids are a 128-bit hex digest of the run's canonical JSON payload.
+//! The digest is two chained 64-bit FNV-1a lanes — an *integrity* checksum
+//! (torn writes, bit rot, accidental edits), not a cryptographic one; the
+//! archive is a local append-only file, not an adversarial input. What
+//! matters here is determinism: the JSON printer is canonical (fixed field
+//! order, shortest-round-trip floats), so the same measurements always
+//! produce the same id, byte for byte, machine to machine.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// 128-bit content digest of `bytes` as 32 lowercase hex characters.
+///
+/// Lane one is plain FNV-1a; lane two re-runs FNV-1a seeded with lane
+/// one's digest (rotated so the lanes cannot cancel), which makes the
+/// second half depend on every byte through a different path.
+pub fn content_hash(bytes: &[u8]) -> String {
+    let a = fnv1a(FNV_OFFSET, bytes);
+    let b = fnv1a(a.rotate_left(31) ^ FNV_OFFSET, bytes);
+    format!("{a:016x}{b:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_hex() {
+        let d = content_hash(b"hello");
+        assert_eq!(d.len(), 32);
+        assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(d, content_hash(b"hello"));
+    }
+
+    #[test]
+    fn digest_separates_close_inputs() {
+        let inputs: Vec<String> = (0..1000).map(|i| format!("payload-{i}")).collect();
+        let mut digests: Vec<String> = inputs.iter().map(|s| content_hash(s.as_bytes())).collect();
+        digests.sort();
+        digests.dedup();
+        assert_eq!(digests.len(), inputs.len(), "collision among close inputs");
+    }
+
+    #[test]
+    fn lanes_differ() {
+        // If the two lanes ever collapsed into one, ids would lose half
+        // their width silently.
+        let d = content_hash(b"x");
+        assert_ne!(&d[..16], &d[16..]);
+    }
+
+    #[test]
+    fn empty_input_hashes() {
+        assert_eq!(content_hash(b"").len(), 32);
+    }
+}

@@ -1,0 +1,135 @@
+//! The archive's sidecar index: a small JSON summary of every run —
+//! enough for `rigor history` to render a trend table without parsing the
+//! full measurement payloads — rebuilt from the journal whenever it is
+//! missing or stale, and rewritten atomically (temp file + rename) so a
+//! crash can never leave a half-written index behind.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::RunRecord;
+
+/// File name of the index sidecar inside the store directory.
+pub const INDEX_FILE: &str = "index.json";
+
+/// One run's summary in the index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Content-addressed run id.
+    pub id: String,
+    /// Sequence number within the archive.
+    pub seq: u64,
+    /// Optional human label.
+    pub label: Option<String>,
+    /// Engine the run measured.
+    pub engine: String,
+    /// Benchmark names in the run.
+    pub benchmarks: Vec<String>,
+    /// Byte offset of the run's line in `archive.jsonl`.
+    pub offset: u64,
+    /// Length of the run's line in bytes (newline included).
+    pub bytes: u64,
+}
+
+impl IndexEntry {
+    /// Builds the entry for a record stored at `offset` with `bytes` length.
+    pub fn of(record: &RunRecord, offset: u64, bytes: u64) -> IndexEntry {
+        IndexEntry {
+            id: record.id.clone(),
+            seq: record.seq,
+            label: record.label.clone(),
+            engine: record.fingerprint.engine.clone(),
+            benchmarks: record
+                .benchmark_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            offset,
+            bytes,
+        }
+    }
+}
+
+/// The whole index.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Index {
+    /// One entry per archived run, in append order.
+    pub entries: Vec<IndexEntry>,
+}
+
+impl Index {
+    /// Loads the index sidecar from a store directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors or malformed JSON.
+    pub fn load(dir: &Path) -> io::Result<Index> {
+        let text = std::fs::read_to_string(dir.join(INDEX_FILE))?;
+        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Writes the index sidecar atomically: to a temp file in the same
+    /// directory, fsynced, then renamed over the target.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let tmp = dir.join(format!("{INDEX_FILE}.tmp"));
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, dir.join(INDEX_FILE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigor::ExperimentConfig;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rigor-store-index-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let rec = RunRecord::new(
+            2,
+            Some("nightly".into()),
+            &ExperimentConfig::interp(),
+            vec![],
+        );
+        let index = Index {
+            entries: vec![IndexEntry::of(&rec, 48, 512)],
+        };
+        index.write(&dir).unwrap();
+        let back = Index::load(&dir).unwrap();
+        assert_eq!(back, index);
+        assert_eq!(back.entries[0].seq, 2);
+        assert_eq!(back.entries[0].label.as_deref(), Some("nightly"));
+        assert_eq!(back.entries[0].engine, "interp");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_index_is_an_io_error() {
+        let dir = temp_dir("missing");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(Index::load(&dir).is_err());
+    }
+}

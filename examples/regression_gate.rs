@@ -1,0 +1,106 @@
+//! The results archive + regression gate, end to end and fully offline:
+//! archive runs into a content-addressed store, pool a multi-run baseline,
+//! and gate a new measurement against it with multiple-comparison-corrected
+//! significance — the API behind `rigor archive` / `rigor history` /
+//! `rigor check`.
+//!
+//! Run with: `cargo run --release -p examples --bin regression_gate`
+
+use rigor::prelude::*;
+use rigor::{check_regressions, pool_measurements, GatePolicy, GateStatus};
+use rigor_store::{BaselineRef, Store};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("rigor-gate-example-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- Phase 1: archive a few baseline runs ----------------------------
+    // Each append writes one fsynced, hash-protected JSONL record; the id
+    // is the content hash of the run's canonical payload.
+    let cfg = ExperimentConfig::interp()
+        .with_invocations(6)
+        .with_iterations(20)
+        .with_size(Size::Small)
+        .with_seed(17);
+    let workloads = ["sieve", "leibniz"];
+    let mut store = Store::open(&dir)?;
+    for label in ["monday", "tuesday", "wednesday"] {
+        let mut measurements = Vec::new();
+        for name in workloads {
+            let w = find(name).expect("in the suite");
+            measurements.push(measure_workload(&w, &cfg)?);
+        }
+        let run = store.append(Some(label.into()), &cfg, measurements)?;
+        println!(
+            "archived {} (seq {}, label {label}) — deterministic content id",
+            run.short_id(),
+            run.seq
+        );
+    }
+    let report = store.verify()?;
+    println!(
+        "integrity: {} records intact, clean = {}\n",
+        report.intact,
+        report.is_clean()
+    );
+
+    // --- Phase 2: gate an unchanged engine against the pooled baseline ---
+    let baseline = BaselineRef::parse("last-3").select(&store)?;
+    let slices: Vec<&[BenchmarkMeasurement]> =
+        baseline.iter().map(|r| r.measurements.as_slice()).collect();
+    let pooled = pool_measurements(&slices);
+    let mut current = Vec::new();
+    for name in workloads {
+        let w = find(name).expect("in the suite");
+        current.push(measure_workload(&w, &cfg)?);
+    }
+    let policy = GatePolicy::default(); // BH correction, q = 0.05, 0% tolerance
+    let verdict = check_regressions(&pooled, &current, &SteadyStateDetector::default(), &policy);
+    println!("unchanged engine vs pooled last-3 baseline:");
+    for g in &verdict.benchmarks {
+        println!("  {:<10} {}", g.benchmark, g.status.name());
+    }
+    assert!(verdict.passed(), "a deterministic re-run must gate clean");
+
+    // --- Phase 3: a deliberate slowdown must be caught --------------------
+    // The interpreter standing in for "someone broke the JIT".
+    let jit_cfg = ExperimentConfig::jit()
+        .with_invocations(6)
+        .with_iterations(20)
+        .with_size(Size::Small)
+        .with_seed(17);
+    let mut fast = Vec::new();
+    for name in workloads {
+        let w = find(name).expect("in the suite");
+        fast.push(measure_workload(&w, &jit_cfg)?);
+    }
+    let slowdown = check_regressions(&fast, &current, &SteadyStateDetector::default(), &policy);
+    println!("\ninterpreter gated against a JIT baseline:");
+    for g in &slowdown.benchmarks {
+        let change = g
+            .change_frac()
+            .map(|c| format!("{:+.0}%", c * 100.0))
+            .unwrap_or_default();
+        let p = g.p_adjusted.map(|p| format!("{p:.3}")).unwrap_or_default();
+        println!(
+            "  {:<10} {:<10} change {change:>7}  corrected p {p}",
+            g.benchmark,
+            g.status.name()
+        );
+        assert_eq!(g.status, GateStatus::Regressed);
+    }
+    assert!(!slowdown.passed());
+
+    // --- Phase 4: retention ------------------------------------------------
+    let compaction = store.compact(Some(2))?;
+    println!(
+        "\ncompacted: kept {} of {} runs, {} -> {} bytes",
+        compaction.kept,
+        compaction.kept + compaction.dropped,
+        compaction.bytes_before,
+        compaction.bytes_after
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! End-to-end tests of `rigor archive` / `rigor history` / `rigor check`
+//! through the library entry point, covering the exit-code contract the
+//! docs promise: an unchanged engine gates clean (exit 0), a deliberately
+//! slowed engine regresses (exit 1) and the regressed benchmark is named.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn tmp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rigor-gate-cli-{}-{name}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Small, fast experiment shape shared by the scenarios.
+const SHAPE: &str = "-n 4 -i 20 --size small --quiet";
+
+#[test]
+fn unchanged_engine_gates_clean() {
+    let store = tmp_store("clean");
+    let store = store.display();
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("archive leibniz {SHAPE} --store {store}"))),
+        0
+    );
+    // Determinism makes the re-measurement identical; the gate must pass.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "check leibniz {SHAPE} --store {store} --baseline last"
+        ))),
+        0
+    );
+    // Default baseline is `last`, so omitting the flag behaves the same.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("check leibniz {SHAPE} --store {store}"))),
+        0
+    );
+}
+
+#[test]
+fn slowed_engine_regresses_with_exit_one() {
+    let store = tmp_store("slow");
+    let dir = store.clone();
+    let store = store.display();
+    // Baseline on the JIT; the current run on the interpreter is the
+    // "deliberate slowdown" (JIT disabled via the existing engine flag).
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "archive leibniz {SHAPE} --engine jit --store {store}"
+        ))),
+        0
+    );
+    let json = dir.join("gate.json");
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "check leibniz {SHAPE} --engine interp --store {store} --json {}",
+            json.display()
+        ))),
+        1
+    );
+    // The gate report names the regressed benchmark with a corrected p.
+    let report = fs::read_to_string(&json).expect("gate report written");
+    assert!(report.contains("\"benchmark\": \"leibniz\""), "{report}");
+    assert!(report.contains("\"status\": \"regressed\""), "{report}");
+    assert!(report.contains("\"p_adjusted\""), "{report}");
+    assert!(report.contains("\"speedup\""), "{report}");
+}
+
+#[test]
+fn tolerance_and_correction_flags_are_honored() {
+    let store = tmp_store("tolerance");
+    let store = store.display();
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("archive leibniz {SHAPE} --store {store}"))),
+        0
+    );
+    // A huge tolerance cannot turn a clean pass into anything else, and the
+    // Holm correction must also run end to end.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "check leibniz {SHAPE} --store {store} --max-regression 50 \
+             --fdr 0.01 --correction holm"
+        ))),
+        0
+    );
+}
+
+#[test]
+fn history_renders_archived_runs_and_check_needs_a_baseline() {
+    let store = tmp_store("history");
+    let store = store.display();
+    // Checking an empty store is a runtime error, not a pass.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("check leibniz {SHAPE} --store {store}"))),
+        1
+    );
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "archive leibniz {SHAPE} --store {store} --label nightly"
+        ))),
+        0
+    );
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("history leibniz --store {store}"))),
+        0
+    );
+    // A benchmark with no archived runs still exits 0 (empty history is
+    // not an error).
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("history sieve --store {store}"))),
+        0
+    );
+    // Unknown baseline references are runtime errors.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "check leibniz {SHAPE} --store {store} --baseline deadbeef"
+        ))),
+        1
+    );
+}
+
+#[test]
+fn archive_emits_run_archived_to_the_trace() {
+    let store = tmp_store("trace");
+    let dir = store.clone();
+    let store = store.display();
+    fs::create_dir_all(&dir).expect("store dir");
+    let trace = dir.join("trace.jsonl");
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "archive leibniz {SHAPE} --store {store} --trace {}",
+            trace.display()
+        ))),
+        0
+    );
+    let text = fs::read_to_string(&trace).expect("trace written");
+    assert!(text.contains("\"run_archived\""), "{text}");
+    // And check emits its own closing event.
+    let trace2 = dir.join("trace2.jsonl");
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "check leibniz {SHAPE} --store {store} --trace {}",
+            trace2.display()
+        ))),
+        0
+    );
+    let text = fs::read_to_string(&trace2).expect("trace2 written");
+    assert!(text.contains("\"regression_checked\""), "{text}");
+    // trace-summary must digest a trace containing run-level events.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("trace-summary {}", trace2.display()))),
+        0
+    );
+}

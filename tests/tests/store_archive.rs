@@ -1,0 +1,191 @@
+//! Crash-safety properties of the results archive: killing a process after
+//! *any* byte prefix of `archive.jsonl` must leave a store that opens,
+//! loads exactly the complete records, and — once the lost runs are
+//! re-appended — reproduces the uninterrupted file byte for byte. A
+//! recovered archive must also gate regressions identically to one that
+//! was never interrupted.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rigor::measurement::{BenchmarkMeasurement, InvocationRecord};
+use rigor::{check_regressions, GatePolicy, SteadyStateDetector};
+use rigor_store::{BaselineRef, Store, ARCHIVE_FILE};
+
+/// A deterministic, steady measurement: every iteration takes `level` ns.
+fn constant(benchmark: &str, level: f64) -> BenchmarkMeasurement {
+    BenchmarkMeasurement {
+        benchmark: benchmark.into(),
+        engine: "interp".into(),
+        invocations: (0..4)
+            .map(|i| InvocationRecord {
+                invocation: i,
+                seed: u64::from(i) + 1,
+                startup_ns: 10.0,
+                iteration_ns: vec![level; 12],
+                gc_cycles: 0,
+                jit_compiles: 0,
+                deopts: 0,
+                checksum: "42".into(),
+                iteration_counters: None,
+                attempts: 1,
+            })
+            .collect(),
+        censored: Vec::new(),
+        quarantined: false,
+    }
+}
+
+fn config() -> rigor::ExperimentConfig {
+    rigor::ExperimentConfig::interp()
+        .with_invocations(4)
+        .with_iterations(12)
+        .with_seed(0xA11CE)
+}
+
+/// The three runs every scenario archives, in order.
+fn runs() -> Vec<(Option<String>, Vec<BenchmarkMeasurement>)> {
+    vec![
+        (
+            None,
+            vec![constant("sieve", 100.0), constant("nbody", 50.0)],
+        ),
+        (
+            Some("second".into()),
+            vec![constant("sieve", 101.0), constant("nbody", 50.5)],
+        ),
+        (None, vec![constant("sieve", 99.5), constant("nbody", 49.8)]),
+    ]
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rigor-store-prefix-test-{}-{name}",
+        std::process::id()
+    ));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Builds the uninterrupted archive and returns its journal bytes.
+fn clean_archive_bytes(dir: &PathBuf) -> Vec<u8> {
+    let mut store = Store::open(dir).expect("open fresh store");
+    for (label, measurements) in runs() {
+        store
+            .append(label, &config(), measurements)
+            .expect("append");
+    }
+    fs::read(dir.join(ARCHIVE_FILE)).expect("read journal")
+}
+
+#[test]
+fn every_byte_prefix_recovers_and_reappends_byte_identically() {
+    let clean_dir = temp_dir("clean");
+    let clean = clean_archive_bytes(&clean_dir);
+    // How many complete record lines a prefix of each length contains:
+    // count newlines past the meta line.
+    let meta_end = clean
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("meta newline")
+        + 1;
+
+    let work_dir = temp_dir("work");
+    for cut in 0..=clean.len() {
+        fs::remove_dir_all(&work_dir).ok();
+        fs::create_dir_all(&work_dir).expect("work dir");
+        fs::write(work_dir.join(ARCHIVE_FILE), &clean[..cut]).expect("write prefix");
+
+        let mut store = Store::open(&work_dir)
+            .unwrap_or_else(|e| panic!("prefix of {cut} bytes failed to open: {e}"));
+        let complete_records = if cut < meta_end {
+            0
+        } else {
+            clean[meta_end..cut].iter().filter(|&&b| b == b'\n').count()
+        };
+        assert_eq!(
+            store.len(),
+            complete_records,
+            "prefix of {cut} bytes must load exactly the complete records"
+        );
+        // A cut strictly inside a line is a torn tail.
+        let at_boundary = cut == 0 || clean[cut - 1] == b'\n';
+        assert_eq!(
+            store.recovered_torn_tail(),
+            !at_boundary,
+            "torn-tail flag wrong at cut {cut}"
+        );
+
+        // Re-append the lost runs: the journal must reproduce the
+        // uninterrupted file byte for byte (content addressing demands the
+        // payload bytes be deterministic).
+        for (label, measurements) in runs().into_iter().skip(store.len()) {
+            store
+                .append(label, &config(), measurements)
+                .unwrap_or_else(|e| panic!("re-append after cut {cut} failed: {e}"));
+        }
+        let repaired = fs::read(work_dir.join(ARCHIVE_FILE)).expect("read repaired");
+        assert_eq!(
+            repaired, clean,
+            "repaired journal differs from the uninterrupted one after cut {cut}"
+        );
+    }
+    fs::remove_dir_all(&clean_dir).ok();
+    fs::remove_dir_all(&work_dir).ok();
+}
+
+#[test]
+fn recovered_archive_gates_identically_to_uninterrupted() {
+    let clean_dir = temp_dir("gate-clean");
+    let clean = clean_archive_bytes(&clean_dir);
+
+    // Kill mid-way through the final record line, then recover + re-append.
+    let torn_dir = temp_dir("gate-torn");
+    fs::create_dir_all(&torn_dir).expect("torn dir");
+    fs::write(torn_dir.join(ARCHIVE_FILE), &clean[..clean.len() - 31]).expect("torn write");
+    let mut recovered = Store::open(&torn_dir).expect("open torn");
+    assert!(recovered.recovered_torn_tail());
+    assert_eq!(recovered.len(), 2);
+    for (label, measurements) in runs().into_iter().skip(recovered.len()) {
+        recovered
+            .append(label, &config(), measurements)
+            .expect("re-append");
+    }
+
+    // The same "current" measurement gated against both stores must yield
+    // identical reports (down to the serialized JSON).
+    let current = vec![constant("sieve", 100.2), constant("nbody", 50.1)];
+    let det = SteadyStateDetector::default();
+    let policy = GatePolicy::default();
+    let report_of = |store: &Store| {
+        let baseline = BaselineRef::parse("last-3").select(store).expect("select");
+        let slices: Vec<&[BenchmarkMeasurement]> =
+            baseline.iter().map(|r| r.measurements.as_slice()).collect();
+        let pooled = rigor::pool_measurements(&slices);
+        serde_json::to_string(&check_regressions(&pooled, &current, &det, &policy))
+            .expect("serialize report")
+    };
+    let clean_store = Store::open(&clean_dir).expect("reopen clean");
+    assert_eq!(report_of(&clean_store), report_of(&recovered));
+
+    fs::remove_dir_all(&clean_dir).ok();
+    fs::remove_dir_all(&torn_dir).ok();
+}
+
+#[test]
+fn verify_is_clean_on_recovered_then_repaired_archive() {
+    let dir = temp_dir("verify");
+    let clean = clean_archive_bytes(&dir);
+    fs::write(dir.join(ARCHIVE_FILE), &clean[..clean.len() - 5]).expect("tear");
+    let mut store = Store::open(&dir).expect("open torn");
+    assert!(!store.verify().expect("verify").is_clean());
+    for (label, measurements) in runs().into_iter().skip(store.len()) {
+        store
+            .append(label, &config(), measurements)
+            .expect("append");
+    }
+    let report = store.verify().expect("verify repaired");
+    assert!(report.is_clean());
+    assert_eq!(report.intact, 3);
+    fs::remove_dir_all(&dir).ok();
+}
