@@ -56,6 +56,12 @@ pub struct GlobalOpts {
     pub max_regression_pct: Option<f64>,
     /// Multiple-comparison correction name (`bh` or `holm`, `check`).
     pub correction: Option<String>,
+    /// Minimum runs per trend segment (`trend`, `history --alerts`).
+    pub min_segment: Option<usize>,
+    /// Segmentation penalty: `auto`, `bic`, or a positive factor (`trend`).
+    pub penalty: Option<rigor::Penalty>,
+    /// Annotate `history` output with trend shift alerts.
+    pub alerts: bool,
 }
 
 impl Default for GlobalOpts {
@@ -84,6 +90,9 @@ impl Default for GlobalOpts {
             fdr: None,
             max_regression_pct: None,
             correction: None,
+            min_segment: None,
+            penalty: None,
+            alerts: false,
         }
     }
 }
@@ -120,6 +129,9 @@ pub enum Command {
     /// `rigor check [benchmark]` — regression gate against an archived
     /// baseline (exit 0 = pass, 1 = regressed).
     Check { benchmark: Option<String> },
+    /// `rigor trend [benchmark]` — changepoint analysis over the archived
+    /// history (exit 0 = stable, 1 = significant shift at HEAD).
+    Trend { benchmark: Option<String> },
     /// `rigor help`.
     Help,
 }
@@ -265,6 +277,24 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
                 }
                 opts.correction = Some(c);
             }
+            "--min-segment" => {
+                let m: usize = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--min-segment requires an integer"))?;
+                if m == 0 {
+                    return Err(err("--min-segment must be at least 1"));
+                }
+                opts.min_segment = Some(m);
+            }
+            "--penalty" => {
+                let p = next_value(arg, &mut it)?;
+                opts.penalty = Some(rigor::Penalty::parse(&p).ok_or_else(|| {
+                    err(format!(
+                        "unknown penalty '{p}' (use auto, bic, or a positive factor)"
+                    ))
+                })?);
+            }
+            "--alerts" => opts.alerts = true,
             "--help" | "-h" => positional.push("help".to_string()),
             other if other.starts_with('-') => {
                 return Err(err(format!("unknown flag '{other}'")));
@@ -321,6 +351,9 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
         Some("check") => Command::Check {
             benchmark: pos.next(),
         },
+        Some("trend") => Command::Trend {
+            benchmark: pos.next(),
+        },
         Some(other) => return Err(err(format!("unknown command '{other}'"))),
     };
     if let Some(extra) = pos.next() {
@@ -354,6 +387,8 @@ COMMANDS:
                               benchmark
     check [benchmark]         regression gate against an archived baseline;
                               exit 0 = no significant regression, 1 = regressed
+    trend [benchmark]         changepoint analysis over the archived history;
+                              exit 0 = stable, 1 = significant shift at HEAD
     help                      this message
 
 OPTIONS:
@@ -384,10 +419,17 @@ RESULTS ARCHIVE:
     --store <dir>             archive directory (default .rigor-store)
     --label <text>            label recorded with an archived run
     --baseline <ref>          baseline for check: last (default), last-N
-                              (pooled), a run id prefix, or a label
+                              (pooled), segment (current trend segment),
+                              a run id prefix, or a label
     --fdr <q>                 FDR level on corrected p-values (default 0.05)
     --max-regression <pct>    tolerated slowdown in percent (default 0)
     --correction <bh|holm>    multiple-comparison correction (default bh)
+
+TREND ANALYSIS:
+    --min-segment <N>         minimum runs per trend segment (default 2)
+    --penalty <auto|bic|F>    segmentation penalty: stability-swept (auto,
+                              the default), plain BIC, or an explicit factor
+    --alerts                  annotate `history` output with detected shifts
 ";
 
 #[cfg(test)]
@@ -564,6 +606,37 @@ mod tests {
         assert!(parse_args(&argv("check --max-regression -1")).is_err());
         assert!(parse_args(&argv("check --correction nope")).is_err());
         assert!(parse_args(&argv("check --baseline")).is_err());
+    }
+
+    #[test]
+    fn trend_flags_parse_and_validate() {
+        assert_eq!(
+            parse_args(&argv("trend")).unwrap().0,
+            Command::Trend { benchmark: None }
+        );
+        let (cmd, opts) =
+            parse_args(&argv("trend sieve --min-segment 3 --penalty bic --alerts")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trend {
+                benchmark: Some("sieve".into())
+            }
+        );
+        assert_eq!(opts.min_segment, Some(3));
+        assert_eq!(opts.penalty, Some(rigor::Penalty::Bic));
+        assert!(opts.alerts);
+        let (_, opts) = parse_args(&argv("trend --penalty 2.5")).unwrap();
+        assert_eq!(opts.penalty, Some(rigor::Penalty::Factor(2.5)));
+        let (_, opts) = parse_args(&argv("history sieve --alerts")).unwrap();
+        assert!(opts.alerts);
+        // Validation: bad penalties and a zero minimum are usage errors.
+        assert!(parse_args(&argv("trend --penalty bogus")).is_err());
+        assert!(parse_args(&argv("trend --penalty -1")).is_err());
+        assert!(parse_args(&argv("trend --penalty 0")).is_err());
+        assert!(parse_args(&argv("trend --penalty nan")).is_err());
+        assert!(parse_args(&argv("trend --min-segment 0")).is_err());
+        assert!(parse_args(&argv("trend --min-segment x")).is_err());
+        assert!(parse_args(&argv("trend sieve extra")).is_err());
     }
 
     #[test]

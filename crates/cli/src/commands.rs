@@ -38,6 +38,7 @@ pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
         Command::Archive { benchmark } => cmd_archive(benchmark.as_deref(), opts),
         Command::History { benchmark } => cmd_history(benchmark, opts),
         Command::Check { benchmark } => cmd_check(benchmark.as_deref(), opts),
+        Command::Trend { benchmark } => cmd_trend(benchmark.as_deref(), opts),
     }
 }
 
@@ -735,7 +736,206 @@ fn cmd_history(benchmark: &str, opts: &GlobalOpts) -> CliResult {
         return Ok(());
     }
     println!("{table}");
+    // `--alerts` annotates the table with a changepoint analysis of this
+    // one history. Informational only: unlike `rigor trend`, a detected
+    // shift does not change the exit code.
+    if opts.alerts {
+        let config = trend_config(opts);
+        let points = rigor_store::benchmark_history(&store, benchmark, &det);
+        let trend = rigor::analyze_trend(benchmark, &points, &config);
+        let shifts = trend.significant_shifts();
+        if let Some(note) = &trend.note {
+            println!("trend: {note}");
+        } else if shifts.is_empty() {
+            println!(
+                "trend: stable — no significant level shift across {} run(s)",
+                trend.runs
+            );
+        } else {
+            for cp in shifts {
+                println!(
+                    "trend: {} from seq {} (run {}): {} -> {} ({}){}",
+                    cp.direction.name(),
+                    cp.seq,
+                    cp.run_id.chars().take(12).collect::<String>(),
+                    fmt_ns(cp.before_mean),
+                    fmt_ns(cp.after_mean),
+                    cp.magnitude.as_ref().map(fmt_ci).unwrap_or_default(),
+                    if cp.at_head { " — at HEAD" } else { "" }
+                );
+            }
+        }
+    }
     Ok(())
+}
+
+/// The trend configuration the flags ask for. The bootstrap seed is left
+/// at its fixed default (not `--seed`, which shapes measurements) so the
+/// same archive always yields byte-identical trend reports.
+fn trend_config(opts: &GlobalOpts) -> rigor::TrendConfig {
+    let mut cfg = rigor::TrendConfig::default().with_confidence(opts.confidence);
+    if let Some(m) = opts.min_segment {
+        cfg = cfg.with_min_segment(m);
+    }
+    if let Some(p) = opts.penalty {
+        cfg = cfg.with_penalty(p);
+    }
+    if let Some(q) = opts.fdr {
+        cfg = cfg.with_fdr_q(q);
+    }
+    if let Some(c) = &opts.correction {
+        cfg = cfg.with_correction(
+            rigor::Correction::parse(c).expect("correction validated at argument parsing"),
+        );
+    }
+    cfg
+}
+
+/// `rigor trend [benchmark]`: changepoint analysis over the archived
+/// history — pure archive reading, nothing is measured. Exit 0 = every
+/// history is stable at HEAD; exit 1 = a statistically significant shift
+/// was newly detected at the head of at least one history.
+fn cmd_trend(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
+    reject_checkpoint_flags(opts, "trend")?;
+    let store = open_store(&opts.store)?;
+    // The archive, not the current suite, defines what can be analyzed:
+    // benchmarks that left the suite still have histories worth watching.
+    let names: Vec<String> = match benchmark {
+        Some(b) => vec![b.to_string()],
+        None => rigor_store::benchmark_names(&store),
+    };
+    if names.is_empty() {
+        println!("no archived runs in {} — nothing to analyze", opts.store);
+        return Ok(());
+    }
+    let det = SteadyStateDetector::default();
+    let config = trend_config(opts);
+    let report = rigor_store::trend_report(&store, &names, &det, &config);
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "runs",
+        "status",
+        "penalty",
+        "segments",
+        "shifts",
+        "note",
+    ])
+    .with_title(format!(
+        "trend analysis of {} ({} run(s), min-segment {}, penalty {}, correction {}, q {})",
+        opts.store,
+        store.len(),
+        config.min_segment,
+        config.penalty,
+        config.correction,
+        config.fdr_q
+    ));
+    for b in &report.benchmarks {
+        table.row(vec![
+            b.benchmark.clone(),
+            b.runs.to_string(),
+            b.status.name().to_string(),
+            b.penalty_factor
+                .map(|f| format!("{f:.2}"))
+                .unwrap_or_default(),
+            b.segments.len().to_string(),
+            b.significant_shifts().len().to_string(),
+            b.note.clone().unwrap_or_default(),
+        ]);
+    }
+    println!("{table}");
+
+    if report.changepoint_count() > 0 {
+        let mut shifts = Table::new(vec![
+            "benchmark",
+            "seq",
+            "run",
+            "direction",
+            "magnitude",
+            "p (adj)",
+            "significant",
+            "at HEAD",
+        ])
+        .with_title("detected level shifts (magnitude = time ratio after/before)");
+        for b in &report.benchmarks {
+            for cp in &b.changepoints {
+                shifts.row(vec![
+                    b.benchmark.clone(),
+                    cp.seq.to_string(),
+                    cp.run_id.chars().take(12).collect(),
+                    cp.direction.name().to_string(),
+                    cp.magnitude.as_ref().map(fmt_ci).unwrap_or_default(),
+                    cp.p_adjusted.map(|p| format!("{p:.3}")).unwrap_or_default(),
+                    if cp.significant { "yes" } else { "no" }.to_string(),
+                    if cp.at_head { "yes" } else { "no" }.to_string(),
+                ]);
+            }
+        }
+        println!("{shifts}");
+    }
+
+    let alerts: Vec<String> = report
+        .alerts()
+        .iter()
+        .map(|b| b.benchmark.clone())
+        .collect();
+    println!(
+        "analyzed {} benchmark(s) over {} archived run(s): {} changepoint(s), {} significant, {}",
+        report.benchmarks.len(),
+        store.len(),
+        report.changepoint_count(),
+        report.significant_count(),
+        if alerts.is_empty() {
+            "no shift at HEAD".to_string()
+        } else {
+            format!("{} ALERT(S) ({})", alerts.len(), alerts.join(", "))
+        }
+    );
+
+    // `--json` exports the full typed report — what a dashboard or CI
+    // pipeline consumes.
+    if let Some(path) = &opts.json_out {
+        fs::write(path, serde_json::to_string_pretty(&report)?).map_err(io_err(path))?;
+        println!("wrote {path}");
+    }
+
+    let obs = observers(opts)?;
+    for b in &report.benchmarks {
+        for cp in b.significant_shifts() {
+            let event = ExperimentEvent::ChangepointDetected {
+                benchmark: b.benchmark.clone(),
+                run_id: cp.run_id.clone(),
+                seq: cp.seq,
+                direction: cp.direction.name().to_string(),
+                magnitude: cp
+                    .magnitude
+                    .as_ref()
+                    .map(|ci| ci.estimate)
+                    .unwrap_or(cp.after_mean / cp.before_mean),
+                p_adjusted: cp.p_adjusted.unwrap_or(cp.p_raw),
+                at_head: cp.at_head,
+            };
+            for o in &obs {
+                o.on_event(&event);
+            }
+        }
+    }
+    let event = ExperimentEvent::TrendAnalyzed {
+        store: opts.store.clone(),
+        benchmarks: report.benchmarks.len() as u32,
+        runs: store.len() as u32,
+        changepoints: report.changepoint_count() as u32,
+        alerts: alerts.len() as u32,
+    };
+    for o in &obs {
+        o.on_event(&event);
+    }
+
+    if alerts.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::TrendShift { benchmarks: alerts })
+    }
 }
 
 /// `rigor check [benchmark]`: measure the current engine and gate it
@@ -799,11 +999,12 @@ fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     let obs = observers(opts)?;
     let current = measure_all(&workloads?, &cfg, &obs, opts.quiet)?;
 
-    let slices: Vec<&[rigor::BenchmarkMeasurement]> = baseline_runs
-        .iter()
-        .map(|r| r.measurements.as_slice())
-        .collect();
-    let pooled = rigor::pool_measurements(&slices);
+    // `--baseline segment` pools, per benchmark, only the runs of the
+    // current trend segment; every other reference pools its selected runs
+    // wholesale (equivalent to the old direct pooling).
+    let pooled = base_ref
+        .pooled_measurements(&store, &SteadyStateDetector::default(), &trend_config(opts))
+        .map_err(store_err(&opts.store))?;
 
     let mut policy = rigor::GatePolicy::default().with_confidence(opts.confidence);
     if let Some(q) = opts.fdr {

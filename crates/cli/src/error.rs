@@ -66,6 +66,13 @@ pub enum CliError {
         /// The benchmarks that regressed.
         benchmarks: Vec<String>,
     },
+    /// `rigor trend` detected a significant level shift at the head of
+    /// one or more benchmark histories. The trend tables are still
+    /// printed before this error is surfaced.
+    TrendShift {
+        /// The benchmarks whose level shifted at HEAD.
+        benchmarks: Vec<String>,
+    },
 }
 
 impl CliError {
@@ -107,6 +114,12 @@ impl fmt::Display for CliError {
             CliError::Regression { benchmarks } => write!(
                 f,
                 "regression gate failed: {} benchmark(s) regressed: {}",
+                benchmarks.len(),
+                benchmarks.join(", ")
+            ),
+            CliError::TrendShift { benchmarks } => write!(
+                f,
+                "trend alert: {} benchmark(s) shifted at HEAD: {}",
                 benchmarks.len(),
                 benchmarks.join(", ")
             ),
@@ -210,6 +223,13 @@ mod tests {
             .exit_code(),
             1
         );
+        assert_eq!(
+            CliError::TrendShift {
+                benchmarks: vec!["sieve".into()]
+            }
+            .exit_code(),
+            1
+        );
     }
 
     #[test]
@@ -222,5 +242,10 @@ mod tests {
         assert!(CliError::UnknownBenchmark("nope".into())
             .to_string()
             .contains("nope"));
+        let e = CliError::TrendShift {
+            benchmarks: vec!["sieve".into(), "nbody".into()],
+        };
+        assert!(e.to_string().contains("sieve"));
+        assert!(e.to_string().contains("2 benchmark(s)"));
     }
 }

@@ -32,6 +32,10 @@
 //!    baseline drawn from history (see the `rigor-store` archive crate),
 //!    controlling the suite-wide false-alarm rate with the corrections in
 //!    `rigor_stats::fdr`.
+//! 8. **Watch trends** — [`analyze_trends`] segments each benchmark's whole
+//!    archived history into level shifts ([`trend`]), with bootstrap CIs on
+//!    every segment and shift magnitude and corrected significance across
+//!    benchmarks × changepoints, alerting when HEAD just shifted.
 //!
 //! ```rust
 //! use rigor::prelude::*;
@@ -68,6 +72,7 @@ pub mod runner;
 pub mod sequential;
 pub mod steady;
 pub mod telemetry;
+pub mod trend;
 pub mod variance;
 pub mod warmup;
 
@@ -96,6 +101,10 @@ pub use steady::{
 pub use telemetry::{
     parse_trace, CollectingObserver, ExperimentEvent, ExperimentObserver, JsonlTraceObserver,
     NullObserver, ParsedTrace, ProgressObserver,
+};
+pub use trend::{
+    analyze_trend, analyze_trends, BenchmarkTrend, Changepoint, Penalty, ShiftDirection,
+    TrendConfig, TrendPoint, TrendReport, TrendSegment, TrendStatus,
 };
 pub use variance::{decompose, VarianceDecomposition};
 pub use warmup::{aggregate_classes, BenchmarkWarmupClass, WarmupClass, WarmupClassifier};

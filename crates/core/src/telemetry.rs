@@ -167,6 +167,38 @@ pub enum ExperimentEvent {
         /// Whether the gate passed.
         passed: bool,
     },
+    /// Trend analysis scanned the archived histories for level shifts. A
+    /// *run-level* event: it spans the whole suite.
+    TrendAnalyzed {
+        /// Archive directory.
+        store: String,
+        /// Benchmarks whose histories were analyzed.
+        benchmarks: u32,
+        /// Archived runs in the store.
+        runs: u32,
+        /// Detected changepoints across the suite (significant or not).
+        changepoints: u32,
+        /// Benchmarks with a significant newly-detected shift at HEAD.
+        alerts: u32,
+    },
+    /// Trend analysis found a statistically significant level shift in one
+    /// benchmark's archived history.
+    ChangepointDetected {
+        /// Benchmark name.
+        benchmark: String,
+        /// Content-addressed id of the run that starts the new level.
+        run_id: String,
+        /// Archive sequence number of that run.
+        seq: u64,
+        /// Shift direction (`"slower"` / `"faster"`).
+        direction: String,
+        /// Magnitude point estimate, as the time ratio after/before.
+        magnitude: f64,
+        /// The shift's p-value after suite-wide correction.
+        p_adjusted: f64,
+        /// Whether the shift is newly detected at HEAD (an alert).
+        at_head: bool,
+    },
 }
 
 impl ExperimentEvent {
@@ -184,6 +216,8 @@ impl ExperimentEvent {
             ExperimentEvent::ExperimentFinished { .. } => "experiment_finished",
             ExperimentEvent::RunArchived { .. } => "run_archived",
             ExperimentEvent::RegressionChecked { .. } => "regression_checked",
+            ExperimentEvent::TrendAnalyzed { .. } => "trend_analyzed",
+            ExperimentEvent::ChangepointDetected { .. } => "changepoint_detected",
         }
     }
 
@@ -200,8 +234,11 @@ impl ExperimentEvent {
             | ExperimentEvent::InvocationTimedOut { benchmark, .. }
             | ExperimentEvent::BenchmarkQuarantined { benchmark, .. }
             | ExperimentEvent::CheckpointWritten { benchmark, .. }
-            | ExperimentEvent::ExperimentFinished { benchmark, .. } => benchmark,
-            ExperimentEvent::RunArchived { .. } | ExperimentEvent::RegressionChecked { .. } => "",
+            | ExperimentEvent::ExperimentFinished { benchmark, .. }
+            | ExperimentEvent::ChangepointDetected { benchmark, .. } => benchmark,
+            ExperimentEvent::RunArchived { .. }
+            | ExperimentEvent::RegressionChecked { .. }
+            | ExperimentEvent::TrendAnalyzed { .. } => "",
         }
     }
 }
@@ -338,6 +375,36 @@ impl Serialize for ExperimentEvent {
                 put("regressed", regressed.to_value());
                 put("passed", passed.to_value());
             }
+            ExperimentEvent::TrendAnalyzed {
+                store,
+                benchmarks,
+                runs,
+                changepoints,
+                alerts,
+            } => {
+                put("store", store.to_value());
+                put("benchmarks", benchmarks.to_value());
+                put("runs", runs.to_value());
+                put("changepoints", changepoints.to_value());
+                put("alerts", alerts.to_value());
+            }
+            ExperimentEvent::ChangepointDetected {
+                benchmark,
+                run_id,
+                seq,
+                direction,
+                magnitude,
+                p_adjusted,
+                at_head,
+            } => {
+                put("benchmark", benchmark.to_value());
+                put("run_id", run_id.to_value());
+                put("seq", seq.to_value());
+                put("direction", direction.to_value());
+                put("magnitude", magnitude.to_value());
+                put("p_adjusted", p_adjusted.to_value());
+                put("at_head", at_head.to_value());
+            }
         }
         JsonValue::Object(fields)
     }
@@ -412,6 +479,22 @@ impl Deserialize for ExperimentEvent {
                 checked: get_field(v, "checked")?,
                 regressed: get_field(v, "regressed")?,
                 passed: get_field(v, "passed")?,
+            }),
+            "trend_analyzed" => Ok(ExperimentEvent::TrendAnalyzed {
+                store: get_field(v, "store")?,
+                benchmarks: get_field(v, "benchmarks")?,
+                runs: get_field(v, "runs")?,
+                changepoints: get_field(v, "changepoints")?,
+                alerts: get_field(v, "alerts")?,
+            }),
+            "changepoint_detected" => Ok(ExperimentEvent::ChangepointDetected {
+                benchmark: get_field(v, "benchmark")?,
+                run_id: get_field(v, "run_id")?,
+                seq: get_field(v, "seq")?,
+                direction: get_field(v, "direction")?,
+                magnitude: get_field(v, "magnitude")?,
+                p_adjusted: get_field(v, "p_adjusted")?,
+                at_head: get_field(v, "at_head")?,
             }),
             other => Err(DeError::new(format!("unknown event kind `{other}`"))),
         }
@@ -626,7 +709,9 @@ impl ExperimentObserver for ProgressObserver {
             | ExperimentEvent::InvocationTimedOut { .. }
             | ExperimentEvent::CheckpointWritten { .. }
             | ExperimentEvent::RunArchived { .. }
-            | ExperimentEvent::RegressionChecked { .. } => {}
+            | ExperimentEvent::RegressionChecked { .. }
+            | ExperimentEvent::TrendAnalyzed { .. }
+            | ExperimentEvent::ChangepointDetected { .. } => {}
         }
     }
 }
@@ -800,6 +885,22 @@ mod tests {
                 regressed: 1,
                 passed: false,
             },
+            ExperimentEvent::TrendAnalyzed {
+                store: ".rigor-store".into(),
+                benchmarks: 2,
+                runs: 9,
+                changepoints: 1,
+                alerts: 1,
+            },
+            ExperimentEvent::ChangepointDetected {
+                benchmark: "sieve".into(),
+                run_id: "ab12cd34ef56".into(),
+                seq: 7,
+                direction: "slower".into(),
+                magnitude: 1.31,
+                p_adjusted: 0.0004,
+                at_head: true,
+            },
         ]
     }
 
@@ -832,12 +933,17 @@ mod tests {
     #[test]
     fn run_level_events_have_no_benchmark() {
         let events = sample_events();
-        let archived = &events[events.len() - 2];
-        let checked = &events[events.len() - 1];
-        assert_eq!(archived.name(), "run_archived");
-        assert_eq!(checked.name(), "regression_checked");
-        assert_eq!(archived.benchmark(), "");
-        assert_eq!(checked.benchmark(), "");
+        let by_name = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.name() == name)
+                .unwrap_or_else(|| panic!("sample stream has {name}"))
+        };
+        for name in ["run_archived", "regression_checked", "trend_analyzed"] {
+            assert_eq!(by_name(name).benchmark(), "", "{name}");
+        }
+        // A detected changepoint belongs to its benchmark.
+        assert_eq!(by_name("changepoint_detected").benchmark(), "sieve");
     }
 
     #[test]

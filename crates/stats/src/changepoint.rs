@@ -105,10 +105,13 @@ impl Default for SegmentConfig {
 /// ```
 pub fn segment(xs: &[f64], config: &SegmentConfig) -> Vec<Segment> {
     let n = xs.len();
+    // A zero minimum would admit empty segments (and an n == 1 series would
+    // reach the noise estimator with no lag-1 differences); clamp to 1.
+    let min_len = config.min_segment_len.max(1);
     if n == 0 {
         return Vec::new();
     }
-    if n < 2 * config.min_segment_len {
+    if n < 2 * min_len {
         return vec![Segment {
             start: 0,
             end: n,
@@ -123,7 +126,13 @@ pub fn segment(xs: &[f64], config: &SegmentConfig) -> Vec<Segment> {
     let abs_diffs: Vec<f64> = xs.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
     let med = crate::descriptive::median(&abs_diffs);
     let sigma = med / (std::f64::consts::SQRT_2 * 0.6745);
-    let sigma2 = (sigma * sigma).max(1e-30);
+    // Floor σ̂² relative to the data scale: on (near-)constant series the
+    // median difference is 0, and an absolute floor like 1e-30 sits below
+    // the rounding error of the prefix-sum SSE (~n·ε·scale²) — spurious
+    // "gains" of that size would split constant data. Relative level
+    // differences under 1e-6 are numerical noise, never a real shift.
+    let scale = xs.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    let sigma2 = (sigma * sigma).max((1e-6 * scale).powi(2)).max(1e-30);
     let penalty = config.penalty_factor * sigma2 * (n as f64).ln() * 4.0;
 
     let mut boundaries = vec![0usize, n];
@@ -135,11 +144,11 @@ pub fn segment(xs: &[f64], config: &SegmentConfig) -> Vec<Segment> {
         let mut best: Option<(f64, usize)> = None;
         for w in boundaries.windows(2) {
             let (a, b) = (w[0], w[1]);
-            if b - a < 2 * config.min_segment_len {
+            if b - a < 2 * min_len {
                 continue;
             }
             let whole = prefix.sse(a, b);
-            for s in (a + config.min_segment_len)..=(b - config.min_segment_len) {
+            for s in (a + min_len)..=(b - min_len) {
                 let gain = whole - prefix.sse(a, s) - prefix.sse(s, b);
                 if best.map(|(g, _)| gain > g).unwrap_or(true) {
                     best = Some((gain, s));
@@ -165,6 +174,78 @@ pub fn segment(xs: &[f64], config: &SegmentConfig) -> Vec<Segment> {
             mean: prefix.mean(w[0], w[1]),
         })
         .collect()
+}
+
+/// Penalty factors swept by [`select_penalty_factor`], a geometric grid
+/// spanning aggressive (0.25× BIC) to very conservative (64× BIC).
+pub const PENALTY_GRID: [f64; 9] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// How many of the [`PENALTY_GRID`] factors must reproduce a boundary for
+/// [`select_penalty_factor`] to treat it as stable.
+const STABLE_FACTOR_COUNT: usize = 3;
+
+/// Selects a penalty factor for `xs` by a stability sweep.
+///
+/// The series is segmented at every factor in [`PENALTY_GRID`] and each
+/// interior boundary is scored by how many factors reproduce it. A genuine
+/// mean shift survives a wide penalty range, so its boundary recurs across
+/// many factors; spurious noise-driven splits exist only in a narrow window
+/// at the aggressive end of the grid, recurring once or twice. Boundaries
+/// reproduced by at least [`STABLE_FACTOR_COUNT`] factors form the stable
+/// segmentation, and the returned factor is the middle of the grid factors
+/// that yield exactly that segmentation. On a pure-noise series the stable
+/// set is empty and the selection lands on the (conservative) unsplit
+/// factors.
+///
+/// Degenerate inputs (too short to ever split) and series where no grid
+/// factor reproduces the stable set exactly return plain BIC (1.0).
+pub fn select_penalty_factor(xs: &[f64], config: &SegmentConfig) -> f64 {
+    let min_len = config.min_segment_len.max(1);
+    if xs.len() < 2 * min_len {
+        return 1.0;
+    }
+    // Interior boundaries per grid factor (already sorted by construction).
+    let boundaries: Vec<Vec<usize>> = PENALTY_GRID
+        .iter()
+        .map(|&factor| {
+            segment(
+                xs,
+                &SegmentConfig {
+                    penalty_factor: factor,
+                    ..*config
+                },
+            )
+            .iter()
+            .skip(1)
+            .map(|s| s.start)
+            .collect()
+        })
+        .collect();
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for bs in &boundaries {
+        for &b in bs {
+            match counts.iter_mut().find(|(idx, _)| *idx == b) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((b, 1)),
+            }
+        }
+    }
+    let mut stable: Vec<usize> = counts
+        .iter()
+        .filter(|(_, n)| *n >= STABLE_FACTOR_COUNT)
+        .map(|(b, _)| *b)
+        .collect();
+    stable.sort_unstable();
+    let matching: Vec<usize> = boundaries
+        .iter()
+        .enumerate()
+        .filter(|(_, bs)| **bs == stable)
+        .map(|(i, _)| i)
+        .collect();
+    match matching.get(matching.len() / 2) {
+        Some(&mid) => PENALTY_GRID[mid],
+        None => 1.0,
+    }
 }
 
 /// Merges adjacent segments whose means are equivalent within a relative
@@ -327,6 +408,104 @@ mod tests {
             },
         );
         assert!(loose.len() >= strict.len());
+    }
+
+    // Inter-run histories are much shorter than iteration series; the
+    // degenerate lengths below must yield "insufficient data" behaviour (a
+    // single whole-series segment, or nothing) — never a panic or a
+    // spurious split.
+
+    #[test]
+    fn single_point_is_one_whole_segment() {
+        let segs = segment(&[42.0], &SegmentConfig::default());
+        assert_eq!(
+            segs,
+            vec![Segment {
+                start: 0,
+                end: 1,
+                mean: 42.0
+            }]
+        );
+    }
+
+    #[test]
+    fn zero_min_segment_len_is_clamped_not_panicking() {
+        let cfg = SegmentConfig {
+            min_segment_len: 0,
+            ..Default::default()
+        };
+        // n == 1 with min_len 0 used to reach the noise estimator with an
+        // empty diff series; the clamp keeps it on the short-series path.
+        let segs = segment(&[7.0], &cfg);
+        assert_eq!(segs.len(), 1);
+        // And longer series must never produce empty segments.
+        let mut xs = vec![10.0; 8];
+        xs.extend(vec![20.0; 8]);
+        let segs = segment(&xs, &cfg);
+        assert!(segs.iter().all(|s| !s.is_empty()), "{segs:?}");
+        assert_eq!(segs.first().unwrap().start, 0);
+        assert_eq!(segs.last().unwrap().end, xs.len());
+    }
+
+    #[test]
+    fn series_shorter_than_two_min_segments_is_never_split() {
+        let cfg = SegmentConfig {
+            min_segment_len: 4,
+            ..Default::default()
+        };
+        // A blatant step, but with only 7 points no split can satisfy the
+        // minimum segment length on both sides.
+        let xs = [10.0, 10.0, 10.0, 10.0, 99.0, 99.0, 99.0];
+        let segs = segment(&xs, &cfg);
+        assert_eq!(segs.len(), 1, "{segs:?}");
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs[0].end, xs.len());
+    }
+
+    #[test]
+    fn constant_series_is_one_segment() {
+        let xs = vec![5.0; 40];
+        let segs = segment(&xs, &SegmentConfig::default());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].mean, 5.0);
+    }
+
+    #[test]
+    fn auto_penalty_keeps_a_clear_step() {
+        let mut xs = noisy(20.0, 40, 11);
+        xs.extend(noisy(10.0, 40, 12));
+        let cfg = SegmentConfig::default();
+        let factor = select_penalty_factor(&xs, &cfg);
+        let segs = segment(
+            &xs,
+            &SegmentConfig {
+                penalty_factor: factor,
+                ..cfg
+            },
+        );
+        assert_eq!(segs.len(), 2, "factor {factor}: {segs:?}");
+    }
+
+    #[test]
+    fn auto_penalty_is_conservative_on_noise() {
+        let xs = noisy(10.0, 80, 13);
+        let cfg = SegmentConfig::default();
+        let factor = select_penalty_factor(&xs, &cfg);
+        let segs = segment(
+            &xs,
+            &SegmentConfig {
+                penalty_factor: factor,
+                ..cfg
+            },
+        );
+        assert_eq!(segs.len(), 1, "factor {factor}: {segs:?}");
+    }
+
+    #[test]
+    fn auto_penalty_on_degenerate_input_is_bic() {
+        let cfg = SegmentConfig::default();
+        assert_eq!(select_penalty_factor(&[], &cfg), 1.0);
+        assert_eq!(select_penalty_factor(&[1.0, 2.0], &cfg), 1.0);
     }
 
     #[test]

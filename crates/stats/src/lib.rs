@@ -41,7 +41,9 @@ pub use autocorr::{autocorrelation, autocorrelations, effective_sample_size};
 pub use bootstrap::{
     bootstrap_bca_ci, bootstrap_ci, bootstrap_mean_ci, bootstrap_ratio_ci, DEFAULT_RESAMPLES,
 };
-pub use changepoint::{merge_equivalent, segment, Segment, SegmentConfig};
+pub use changepoint::{
+    merge_equivalent, segment, select_penalty_factor, Segment, SegmentConfig, PENALTY_GRID,
+};
 pub use ci::{mean_ci, ratio_ci_delta, welch_diff_ci, ConfidenceInterval};
 pub use descriptive::{cov, geomean, harmonic_mean, mean, median, sem, std_dev, variance, Summary};
 pub use dist::{chi2_cdf, f_cdf, normal_cdf, normal_quantile, t_cdf, t_critical, t_quantile};

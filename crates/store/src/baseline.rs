@@ -1,14 +1,22 @@
 //! Baseline selection: turning a `--baseline` reference into archived runs.
 //!
-//! Three forms are understood:
+//! Four forms are understood:
 //!
 //! * `last` — the most recent archived run,
 //! * `last-N` — the newest N runs pooled into one baseline sample,
+//! * `segment` — every run since each benchmark's level last shifted
+//!   (the current trend segment; see [`crate::history`]),
 //! * anything else — a run id prefix or exact label.
 
 use std::fmt;
 
+use rigor::measurement::BenchmarkMeasurement;
+use rigor::pool_measurements;
+use rigor::steady::SteadyStateDetector;
+use rigor::trend::TrendConfig;
+
 use crate::archive::{Store, StoreError};
+use crate::history::segment_baseline;
 use crate::record::RunRecord;
 
 /// A parsed `--baseline` reference.
@@ -18,6 +26,9 @@ pub enum BaselineRef {
     Last,
     /// The newest N runs, pooled.
     LastN(usize),
+    /// The current trend segment, per benchmark: every run since the
+    /// benchmark's level last shifted.
+    Segment,
     /// A run id prefix or exact label.
     Id(String),
 }
@@ -25,11 +36,15 @@ pub enum BaselineRef {
 impl BaselineRef {
     /// Parses a reference as given on the command line.
     ///
-    /// `last` and `last-N` (N ≥ 1) are recognized keywords; everything
-    /// else is treated as an id prefix / label, resolved at selection time.
+    /// `last`, `last-N` (N ≥ 1) and `segment` are recognized keywords;
+    /// everything else is treated as an id prefix / label, resolved at
+    /// selection time.
     pub fn parse(text: &str) -> BaselineRef {
         if text.eq_ignore_ascii_case("last") {
             return BaselineRef::Last;
+        }
+        if text.eq_ignore_ascii_case("segment") {
+            return BaselineRef::Segment;
         }
         if let Some(n) = text
             .strip_prefix("last-")
@@ -44,6 +59,10 @@ impl BaselineRef {
 
     /// Resolves the reference against an open store, newest last.
     ///
+    /// For [`BaselineRef::Segment`] this returns every archived run — the
+    /// candidate set; which runs actually contribute is decided *per
+    /// benchmark* by [`BaselineRef::pooled_measurements`].
+    ///
     /// # Errors
     ///
     /// [`StoreError::Empty`] when the archive holds no runs, plus the
@@ -55,7 +74,38 @@ impl BaselineRef {
         match self {
             BaselineRef::Last => Ok(vec![store.latest().expect("non-empty")]),
             BaselineRef::LastN(n) => Ok(store.last_n(*n)),
+            BaselineRef::Segment => Ok(store.runs().collect()),
             BaselineRef::Id(reference) => Ok(vec![store.get(reference)?]),
+        }
+    }
+
+    /// The reference resolved all the way to one pooled per-benchmark
+    /// baseline sample — what the regression gate consumes.
+    ///
+    /// `last`/`last-N`/id references pool the selected runs wholesale;
+    /// `segment` runs the trend analysis under `trend_config` and pools,
+    /// per benchmark, only the runs of the current (final) segment.
+    ///
+    /// # Errors
+    ///
+    /// The selection errors of [`BaselineRef::select`].
+    pub fn pooled_measurements(
+        &self,
+        store: &Store,
+        detector: &SteadyStateDetector,
+        trend_config: &TrendConfig,
+    ) -> Result<Vec<BenchmarkMeasurement>, StoreError> {
+        if store.is_empty() {
+            return Err(StoreError::Empty);
+        }
+        match self {
+            BaselineRef::Segment => Ok(segment_baseline(store, detector, trend_config)),
+            _ => {
+                let runs = self.select(store)?;
+                let slices: Vec<&[BenchmarkMeasurement]> =
+                    runs.iter().map(|r| r.measurements.as_slice()).collect();
+                Ok(pool_measurements(&slices))
+            }
         }
     }
 }
@@ -65,6 +115,7 @@ impl fmt::Display for BaselineRef {
         match self {
             BaselineRef::Last => write!(f, "last"),
             BaselineRef::LastN(n) => write!(f, "last-{n}"),
+            BaselineRef::Segment => write!(f, "segment"),
             BaselineRef::Id(id) => write!(f, "{id}"),
         }
     }
@@ -79,6 +130,8 @@ mod tests {
     fn parses_keywords_and_ids() {
         assert_eq!(BaselineRef::parse("last"), BaselineRef::Last);
         assert_eq!(BaselineRef::parse("LAST"), BaselineRef::Last);
+        assert_eq!(BaselineRef::parse("segment"), BaselineRef::Segment);
+        assert_eq!(BaselineRef::parse("SEGMENT"), BaselineRef::Segment);
         assert_eq!(BaselineRef::parse("last-3"), BaselineRef::LastN(3));
         assert_eq!(BaselineRef::parse("last-1"), BaselineRef::LastN(1));
         // Degenerate or non-numeric suffixes fall through to id lookup.
@@ -98,7 +151,7 @@ mod tests {
 
     #[test]
     fn displays_roundtrip() {
-        for text in ["last", "last-3", "ab12cd"] {
+        for text in ["last", "last-3", "segment", "ab12cd"] {
             assert_eq!(BaselineRef::parse(text).to_string(), text);
         }
     }
@@ -130,9 +183,21 @@ mod tests {
         let by_label = BaselineRef::parse("first").select(&store).unwrap();
         assert_eq!(by_label[0].seq, 0);
 
+        // `segment` selects every run as its candidate set.
+        let all = BaselineRef::Segment.select(&store).unwrap();
+        assert_eq!(all.len(), 3);
+
         assert!(matches!(
             BaselineRef::parse("nope").select(&store),
             Err(StoreError::UnknownRun { .. })
+        ));
+        assert!(matches!(
+            BaselineRef::Segment.pooled_measurements(
+                &Store::open(dir.join("empty")).unwrap(),
+                &SteadyStateDetector::default(),
+                &TrendConfig::default()
+            ),
+            Err(StoreError::Empty)
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -44,11 +44,13 @@
 pub mod archive;
 pub mod baseline;
 pub mod hash;
+pub mod history;
 pub mod index;
 pub mod record;
 
 pub use archive::{CompactionReport, Store, StoreError, VerifyReport, ARCHIVE_FILE};
 pub use baseline::BaselineRef;
 pub use hash::content_hash;
+pub use history::{benchmark_history, benchmark_names, segment_baseline, trend_report};
 pub use index::{Index, IndexEntry, INDEX_FILE};
 pub use record::{ConfigFingerprint, HostMeta, RunRecord, RECORD_SCHEMA_VERSION};

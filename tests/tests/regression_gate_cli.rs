@@ -156,3 +156,102 @@ fn archive_emits_run_archived_to_the_trace() {
         0
     );
 }
+
+// ---------------------------------------------------------------------------
+// `rigor trend`: the exit-code contract of the changepoint alert command
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trend_usage_errors_exit_two() {
+    // Bad flag values are usage errors (exit 2), not runtime failures —
+    // they must be rejected before any store is touched.
+    assert_eq!(rigor_cli::run(&argv("trend --penalty bogus")), 2);
+    assert_eq!(rigor_cli::run(&argv("trend --penalty -1")), 2);
+    assert_eq!(rigor_cli::run(&argv("trend --min-segment 0")), 2);
+    assert_eq!(rigor_cli::run(&argv("trend --min-segment x")), 2);
+    assert_eq!(rigor_cli::run(&argv("trend leibniz extra")), 2);
+}
+
+#[test]
+fn trend_on_stable_history_exits_zero() {
+    let store = tmp_store("trend-stable");
+    let store = store.display();
+    // An empty archive has no trends to alert on.
+    assert_eq!(rigor_cli::run(&argv(&format!("trend --store {store}"))), 0);
+    for _ in 0..2 {
+        assert_eq!(
+            rigor_cli::run(&argv(&format!("archive leibniz {SHAPE} --store {store}"))),
+            0
+        );
+    }
+    // Two identical deterministic runs: no level shift, exit 0 — both at
+    // the default minimum segment length (insufficient history) and at the
+    // permissive one (sufficient history, but nothing shifted).
+    assert_eq!(rigor_cli::run(&argv(&format!("trend --store {store}"))), 0);
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("trend --store {store} --min-segment 1"))),
+        0
+    );
+    // `history --alerts` renders the same analysis inline and stays
+    // informational (exit 0) either way.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("history leibniz --store {store} --alerts"))),
+        0
+    );
+    // Pooling the trend segment as the gate baseline must also gate clean.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "check leibniz {SHAPE} --store {store} --baseline segment"
+        ))),
+        0
+    );
+}
+
+#[test]
+fn trend_alerts_on_a_shift_at_head_with_exit_one() {
+    let store = tmp_store("trend-shift");
+    let dir = store.clone();
+    let store = store.display();
+    fs::create_dir_all(&dir).expect("store dir");
+    // Three interpreter runs establish the old level (three, so the
+    // robust noise estimate has a clean majority of no-change diffs); a
+    // JIT run at HEAD is the injected shift.
+    for _ in 0..3 {
+        assert_eq!(
+            rigor_cli::run(&argv(&format!("archive leibniz {SHAPE} --store {store}"))),
+            0
+        );
+    }
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "archive leibniz {SHAPE} --engine jit --store {store}"
+        ))),
+        0
+    );
+    let json = dir.join("trend.json");
+    let trace = dir.join("trend-trace.jsonl");
+    assert_eq!(
+        rigor_cli::run(&argv(&format!(
+            "trend --store {store} --min-segment 1 --json {} --trace {}",
+            json.display(),
+            trace.display()
+        ))),
+        1,
+        "a shift at HEAD must exit 1"
+    );
+    // The JSON report names the shifted benchmark and flags the head run.
+    let report = fs::read_to_string(&json).expect("trend report written");
+    assert!(report.contains("\"benchmark\": \"leibniz\""), "{report}");
+    assert!(report.contains("\"status\": \"shifted\""), "{report}");
+    assert!(report.contains("\"at_head\": true"), "{report}");
+    assert!(report.contains("\"p_adjusted\""), "{report}");
+    // The telemetry trace carries both trend events.
+    let text = fs::read_to_string(&trace).expect("trace written");
+    assert!(text.contains("\"changepoint_detected\""), "{text}");
+    assert!(text.contains("\"trend_analyzed\""), "{text}");
+    // `history --alerts` narrates the shift but remains informational.
+    assert_eq!(
+        rigor_cli::run(&argv(&format!("history leibniz --store {store} --alerts"))),
+        0
+    );
+}

@@ -1,0 +1,266 @@
+//! Statistical calibration of the trend/changepoint alert pipeline, plus
+//! the golden-fixture contract of `rigor trend --json`.
+//!
+//! The detector is *measured*, not trusted: seeded synthetic histories
+//! with known ground truth (no-change nulls, injected steps, drift,
+//! heteroscedastic noise) bound its empirical false-positive rate and its
+//! detection power, and a committed synthetic archive pins the exact JSON
+//! `TrendReport` the CLI emits.
+//!
+//! Regenerate the archive fixture and pinned report after a *deliberate*
+//! format or detector change with:
+//! `BLESS=1 cargo test -p integration-tests --test trend_alerts`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rigor::measurement::{BenchmarkMeasurement, InvocationRecord};
+use rigor::trend::synth::{detected_shift_index, null_alert_rate, Shape, SynthHistory};
+use rigor::trend::{analyze_trend, TrendConfig, TrendStatus};
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Calibration: false-positive rate on nulls
+// ---------------------------------------------------------------------------
+
+/// The acceptance bound: across 200 seeded no-change replications, the
+/// fraction that raises any significant changepoint must not exceed the
+/// configured FDR level.
+#[test]
+fn null_histories_alert_at_most_at_the_fdr_level() {
+    let config = TrendConfig::default();
+    let rate = null_alert_rate(&SynthHistory::default(), 200, &config);
+    assert!(
+        rate <= config.fdr_q,
+        "empirical FPR {rate} exceeds configured FDR level {} over 200 null replications",
+        config.fdr_q
+    );
+}
+
+/// The bound must also hold when the noise scale itself is unstable from
+/// run to run (heteroscedastic nulls are the classic source of spurious
+/// "changepoints" on real machines).
+#[test]
+fn heteroscedastic_nulls_stay_within_the_fdr_level() {
+    let config = TrendConfig::default();
+    let base = SynthHistory {
+        heteroscedastic: true,
+        ..SynthHistory::default()
+    };
+    let rate = null_alert_rate(&base, 100, &config);
+    assert!(
+        rate <= config.fdr_q,
+        "heteroscedastic empirical FPR {rate} exceeds {}",
+        config.fdr_q
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Power and localization on known shifts
+// ---------------------------------------------------------------------------
+
+/// A single injected 3σ step (σ of the run value) must be detected in the
+/// large majority of seeded replications, and the detections must locate
+/// the step: almost all within ±1 run of the injected index, and none far
+/// from it. (At exactly 3σ a noise realization can ramp up just before
+/// the true step and pull the maximal-gain split a couple of runs early,
+/// so the ±1 bound is on the distribution, not on every single draw.)
+#[test]
+fn three_sigma_steps_are_detected_and_located() {
+    let config = TrendConfig::default();
+    let base = SynthHistory::default();
+    let frac = 3.0 * base.value_sigma() / base.level;
+    let at = 20usize;
+    let mut detected = 0usize;
+    let mut within_one = 0usize;
+    for seed in 0..25u64 {
+        let h = base
+            .clone()
+            .with_shape(Shape::Step { at, frac })
+            .with_seed(1000 + seed);
+        if let Some(idx) = detected_shift_index(&h, &config) {
+            detected += 1;
+            let err = (idx as i64 - at as i64).abs();
+            if err <= 1 {
+                within_one += 1;
+            }
+            assert!(
+                err <= 3,
+                "seed {seed}: 3σ step located at {idx}, injected at {at}"
+            );
+        }
+    }
+    assert!(
+        detected >= 20,
+        "3σ step detected in only {detected}/25 replications"
+    );
+    assert!(
+        within_one >= 22,
+        "3σ step located within ±1 in only {within_one}/25 replications"
+    );
+}
+
+/// Changepoint locations are stable under segment-preserving noise
+/// reseeds: regenerating the *noise* (same ground-truth step, different
+/// seed) must keep the detected changepoint within ±1 of the injected
+/// index in every replication — the segmentation reacts to the level
+/// structure, not to one realization of the noise.
+#[test]
+fn changepoints_are_stable_under_noise_reseeds() {
+    let config = TrendConfig::default();
+    let base = SynthHistory::default();
+    // A large (8σ) step: detection is certain, so every reseed must both
+    // find it and agree on where it is.
+    let frac = 8.0 * base.value_sigma() / base.level;
+    let at = 12usize;
+    for seed in 0..20u64 {
+        let h = base
+            .clone()
+            .with_shape(Shape::Step { at, frac })
+            .with_seed(5000 + seed);
+        let idx = detected_shift_index(&h, &config)
+            .unwrap_or_else(|| panic!("seed {seed}: 8σ step not detected"));
+        assert!(
+            (idx as i64 - at as i64).abs() <= 1,
+            "seed {seed}: 8σ step located at {idx}, injected at {at}"
+        );
+    }
+}
+
+/// Smoke: drift (no true step) analyzes without panicking under every
+/// penalty policy; whatever segmentation it picks, the report is
+/// structurally sound (segments tile the history).
+#[test]
+fn drift_histories_analyze_cleanly() {
+    for penalty in ["auto", "bic", "4.0"] {
+        let config = TrendConfig::default()
+            .with_penalty(rigor::Penalty::parse(penalty).expect("valid penalty"));
+        let points = SynthHistory::default()
+            .with_shape(Shape::Drift { total_frac: 0.15 })
+            .generate();
+        let trend = analyze_trend("drifty", &points, &config);
+        assert!(trend.status != TrendStatus::InsufficientData);
+        assert_eq!(trend.segments.first().map(|s| s.start), Some(0));
+        assert_eq!(trend.segments.last().map(|s| s.end), Some(points.len()));
+        for pair in trend.segments.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture: the exact TrendReport JSON over a committed archive
+// ---------------------------------------------------------------------------
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/trend_history")
+}
+
+/// A deterministic synthetic measurement: `n_inv` invocations whose
+/// iteration series settle on `level` with a small repeating jitter, so
+/// the default steady-state detector accepts every invocation.
+fn measurement(name: &str, level: f64, n_inv: usize) -> BenchmarkMeasurement {
+    let invocations = (0..n_inv)
+        .map(|i| InvocationRecord {
+            invocation: i as u32,
+            seed: i as u64,
+            startup_ns: 250.0,
+            iteration_ns: (0..12)
+                .map(|j| level * (1.0 + ((i + j) % 3) as f64 * 0.002))
+                .collect(),
+            gc_cycles: 0,
+            jit_compiles: 0,
+            deopts: 0,
+            checksum: "42".into(),
+            iteration_counters: None,
+            attempts: 1,
+        })
+        .collect();
+    BenchmarkMeasurement {
+        benchmark: name.into(),
+        engine: "interp".into(),
+        invocations,
+        censored: Vec::new(),
+        quarantined: false,
+    }
+}
+
+/// Rebuilds the committed archive from scratch: eight runs of two
+/// benchmarks, `steady` flat throughout and `shifty` stepping from 100 to
+/// 130 at run 5 — a mid-history shift, so `rigor trend` on the fixture
+/// exits 0 (shifted, but not at HEAD).
+fn regenerate_fixture_archive(dir: &PathBuf) {
+    fs::remove_dir_all(dir).ok();
+    let mut store = rigor_store::Store::open(dir).expect("open fixture store");
+    let config = rigor::ExperimentConfig::interp()
+        .with_invocations(4)
+        .with_iterations(12)
+        .with_seed(11);
+    for seq in 0..8u64 {
+        let shifty_level = if seq >= 5 { 130.0 } else { 100.0 };
+        let label = (seq == 5).then(|| "first-shifted-run".to_string());
+        store
+            .append(
+                label,
+                &config,
+                vec![
+                    measurement("steady", 50.0, 4),
+                    measurement("shifty", shifty_level, 4),
+                ],
+            )
+            .expect("append fixture run");
+    }
+}
+
+#[test]
+fn trend_report_matches_the_golden_fixture() {
+    let dir = fixture_dir();
+    if std::env::var_os("BLESS").is_some() {
+        regenerate_fixture_archive(&dir);
+    }
+    let out = std::env::temp_dir().join(format!("rigor-trend-golden-{}.json", std::process::id()));
+    let code = rigor_cli::run(&argv(&format!(
+        "trend --store {} --json {}",
+        dir.display(),
+        out.display()
+    )));
+    assert_eq!(code, 0, "mid-history shift is not an at-HEAD alert");
+    let actual = fs::read_to_string(&out).expect("trend report written");
+    fs::remove_file(&out).ok();
+    let pinned = dir.join("report.json");
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&pinned, &actual).expect("bless pinned report");
+    }
+    let expected =
+        fs::read_to_string(&pinned).expect("pinned report missing — regenerate with BLESS=1");
+    assert_eq!(
+        actual, expected,
+        "rigor trend --json drifted from the pinned TrendReport; if the \
+         change is deliberate, regenerate with BLESS=1"
+    );
+    // Structural spot checks on top of the byte-for-byte pin: the report
+    // names the shifting run (seq 5, the labelled run in the archive),
+    // carries segment means on both sides of the step, and adjusted
+    // p-values marking the shift significant.
+    assert!(actual.contains("\"benchmark\": \"shifty\""), "{actual}");
+    assert!(actual.contains("\"status\": \"shifted\""), "{actual}");
+    assert!(actual.contains("\"status\": \"stable\""), "{actual}");
+    assert!(actual.contains("\"seq\": 5"), "{actual}");
+    assert!(actual.contains("\"direction\": \"slower\""), "{actual}");
+    assert!(actual.contains("\"p_adjusted\""), "{actual}");
+    assert!(actual.contains("\"at_head\": false"), "{actual}");
+    // The named run id resolves in the committed archive and is the run
+    // the fixture labelled as the first at the new level.
+    let store = rigor_store::Store::open(&dir).expect("open committed fixture");
+    let id_field = actual
+        .split("\"run_id\": \"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("report names a run id");
+    let run = store.get(id_field).expect("run id resolves in the archive");
+    assert_eq!(run.seq, 5);
+    assert_eq!(run.label.as_deref(), Some("first-shifted-run"));
+}
