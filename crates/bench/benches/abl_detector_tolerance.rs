@@ -7,9 +7,14 @@
 //! toward 0 and warmup contaminates the means). The default (2%) sits where
 //! both error modes are rare on this suite.
 
-use rigor::{measure_workload, SteadyStateDetector, Table};
+use rigor::{SteadyStateDetector, Table};
 use rigor_bench::{banner, jit_config};
 use rigor_workloads::suite;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const TOLERANCES: [f64; 5] = [0.005, 0.02, 0.03, 0.08, 0.3];
 
@@ -26,7 +31,11 @@ fn main() {
     ]);
     let measurements: Vec<_> = suite()
         .iter()
-        .map(|w| measure_workload(w, &jit_config().with_iterations(40)).expect("run"))
+        .map(|w| {
+            runner(&jit_config().with_iterations(40))
+                .measure(w)
+                .expect("run")
+        })
         .collect();
     for tol in TOLERANCES {
         let det = SteadyStateDetector::RobustTail {

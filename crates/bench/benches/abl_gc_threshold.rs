@@ -8,9 +8,14 @@
 //! whole regime — the steady-state detector and CI machinery are exercised
 //! at every point.
 
-use rigor::{fmt_ns, measure_workload, precision_of, SteadyStateDetector, Table};
+use rigor::{fmt_ns, precision_of, SteadyStateDetector, Table};
 use rigor_bench::{banner, interp_config};
 use rigor_workloads::find;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const THRESHOLDS: [u64; 4] = [1_024, 8_192, 65_536, 1 << 22];
 
@@ -34,7 +39,7 @@ fn main() {
         // The threshold knob lives on the heap; plumb it through the
         // session-level override.
         cfg.gc_threshold_override = Some(threshold);
-        let m = measure_workload(&w, &cfg).expect("run");
+        let m = runner(&cfg).measure(&w).expect("run");
         let gc: f64 = m
             .invocations
             .iter()

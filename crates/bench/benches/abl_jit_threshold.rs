@@ -10,9 +10,14 @@
 //! runs).
 
 use minipy::{EngineKind, JitConfig};
-use rigor::{compare, measure_workload, SteadyStateDetector, Table};
+use rigor::{compare, SteadyStateDetector, Table};
 use rigor_bench::{banner, interp_config, jit_config};
 use rigor_workloads::find;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const THRESHOLDS: [u32; 5] = [50, 200, 500, 2_000, 20_000];
 const BENCHMARKS: [&str; 3] = ["spectral", "fib_recursive", "dict_churn"];
@@ -25,7 +30,7 @@ fn main() {
     let det = SteadyStateDetector::robust_tail();
     for name in BENCHMARKS {
         let w = find(name).expect("known benchmark");
-        let base = measure_workload(&w, &interp_config()).expect("interp");
+        let base = runner(&interp_config()).measure(&w).expect("interp");
         let mut table = Table::new(vec![
             "hot threshold",
             "steady from iter",
@@ -38,7 +43,7 @@ fn main() {
                 hot_threshold: threshold,
                 ..JitConfig::default()
             });
-            let m = measure_workload(&w, &cfg).expect("jit");
+            let m = runner(&cfg).measure(&w).expect("jit");
             let steady = rigor::common_steady_start(m.series(), &det)
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| "never".into());

@@ -5,9 +5,14 @@
 //! high (profiling + compilation), drop in visible steps, then flatten —
 //! except `polymorph`, whose deopt churn keeps perturbing the series.
 
-use rigor::{fmt_ns, measure_workload, sparkline};
+use rigor::{fmt_ns, sparkline};
 use rigor_bench::{banner, interp_config, jit_config};
 use rigor_workloads::find;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const BENCHMARKS: [&str; 4] = ["leibniz", "spectral", "fib_recursive", "polymorph"];
 
@@ -20,8 +25,8 @@ fn main() {
     let jit_cfg = jit_config().with_invocations(5).with_iterations(50);
     for name in BENCHMARKS {
         let w = find(name).expect("known benchmark");
-        let mi = measure_workload(&w, &interp_cfg).expect("interp run");
-        let mj = measure_workload(&w, &jit_cfg).expect("jit run");
+        let mi = runner(&interp_cfg).measure(&w).expect("interp run");
+        let mj = runner(&jit_cfg).measure(&w).expect("jit run");
         let ci = mi.mean_curve();
         let cj = mj.mean_curve();
         println!("{name}");

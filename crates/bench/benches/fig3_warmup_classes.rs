@@ -6,9 +6,14 @@
 //! is overwhelmingly flat; the JIT is mostly warmup with a no-steady-state
 //! tail driven by the adversarial workloads.
 
-use rigor::{aggregate_classes, measure_workload, Table, WarmupClass, WarmupClassifier};
+use rigor::{aggregate_classes, Table, WarmupClass, WarmupClassifier};
 use rigor_bench::{banner, bar, interp_config, jit_config};
 use rigor_workloads::suite;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 fn main() {
     banner("Figure 3", "warmup classification breakdown per engine");
@@ -28,7 +33,7 @@ fn main() {
     for w in suite() {
         let mut verdicts = Vec::new();
         for (engine_ix, cfg) in [&interp_cfg, &jit_cfg].into_iter().enumerate() {
-            let m = measure_workload(&w, cfg).expect("run");
+            let m = runner(cfg).measure(&w).expect("run");
             let classes: Vec<WarmupClass> = m.series().map(|s| classifier.classify(s)).collect();
             for &c in &classes {
                 hist[engine_ix].1[idx(c)] += 1;

@@ -7,9 +7,14 @@
 //! factor + hash seed are per-process constants), with `gc_pressure` as the
 //! intra-heavy counterexample.
 
-use rigor::{common_steady_start, decompose, measure_workload, SteadyStateDetector, Table};
+use rigor::{common_steady_start, decompose, SteadyStateDetector, Table};
 use rigor_bench::{banner, bar, interp_config};
 use rigor_workloads::suite;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 fn main() {
     banner(
@@ -27,7 +32,7 @@ fn main() {
         "",
     ]);
     for w in suite() {
-        let m = measure_workload(&w, &cfg).expect("run");
+        let m = runner(&cfg).measure(&w).expect("run");
         let start = common_steady_start(m.series(), &det).unwrap_or(0);
         let Some(d) = decompose(&m, start) else {
             continue;

@@ -6,9 +6,14 @@
 //! below on startup-dominated and allocation-bound workloads; `polymorph`
 //! either converges to a modest number or is reported as non-converged.
 
-use rigor::{compare_suite, fmt_ci, measure_workload, SteadyStateDetector, Table};
+use rigor::{compare_suite, fmt_ci, SteadyStateDetector, Table};
 use rigor_bench::{banner, bar, interp_config, jit_config};
 use rigor_workloads::suite;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 fn main() {
     banner(
@@ -19,8 +24,8 @@ fn main() {
     let jit_cfg = jit_config().with_invocations(15);
     let mut pairs = Vec::new();
     for w in suite() {
-        let base = measure_workload(&w, &interp_cfg).expect("interp run");
-        let cand = measure_workload(&w, &jit_cfg).expect("jit run");
+        let base = runner(&interp_cfg).measure(&w).expect("interp run");
+        let cand = runner(&jit_cfg).measure(&w).expect("jit run");
         assert_eq!(
             base.invocations[0].checksum, cand.invocations[0].checksum,
             "engines must agree semantically on {}",

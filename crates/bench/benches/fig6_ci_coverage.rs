@@ -10,10 +10,15 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rigor::{common_steady_start, measure_workload, SteadyStateDetector, Table};
+use rigor::{common_steady_start, SteadyStateDetector, Table};
 use rigor_bench::{banner, interp_config, EVAL_SEED};
 use rigor_stats::{bootstrap_bca_ci, bootstrap_mean_ci, mean, mean_ci, std_dev};
 use rigor_workloads::find;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const NS: [usize; 5] = [3, 5, 10, 20, 30];
 const TRIALS: usize = 1000;
@@ -25,7 +30,9 @@ fn main() {
     );
     // Fit the invocation-mean distribution from real data.
     let w = find("dict_churn").expect("known benchmark");
-    let m = measure_workload(&w, &interp_config().with_invocations(30)).expect("run");
+    let m = runner(&interp_config().with_invocations(30))
+        .measure(&w)
+        .expect("run");
     let start = common_steady_start(m.series(), &SteadyStateDetector::robust_tail()).unwrap_or(0);
     let means = m.tail_means(start);
     let logs: Vec<f64> = means.iter().map(|x| x.ln()).collect();

@@ -6,9 +6,14 @@
 //! 1/sqrt(n) while adding *iterations* saturates quickly — inter-invocation
 //! variance is what limits precision.
 
-use rigor::{measure_workload, precision_of, SteadyStateDetector, Table};
+use rigor::{precision_of, SteadyStateDetector, Table};
 use rigor_bench::{banner, interp_config};
 use rigor_workloads::find;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const BENCHMARKS: [&str; 3] = ["leibniz", "dict_churn", "gc_pressure"];
 const INVOCATIONS: [u32; 4] = [3, 5, 10, 20];
@@ -33,7 +38,7 @@ fn main() {
             let mut cells = vec![inv.to_string()];
             for iter in ITERATIONS {
                 let cfg = interp_config().with_invocations(inv).with_iterations(iter);
-                let m = measure_workload(&w, &cfg).expect("run");
+                let m = runner(&cfg).measure(&w).expect("run");
                 let (_, rel) = precision_of(&m, &det, 0.95);
                 cells.push(match rel {
                     Some(r) => format!("{:.2}%", r * 100.0),

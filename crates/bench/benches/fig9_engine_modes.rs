@@ -10,9 +10,14 @@
 //! the paper's own evaluation.
 
 use minipy::{EngineKind, JitConfig};
-use rigor::{compare, fmt_ci, measure_workload, SteadyStateDetector, Table};
+use rigor::{compare, fmt_ci, SteadyStateDetector, Table};
 use rigor_bench::{banner, interp_config, EVAL_INVOCATIONS, EVAL_ITERATIONS, EVAL_SEED};
 use rigor_workloads::{find, Size};
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const BENCHMARKS: [&str; 6] = [
     "leibniz",
@@ -37,7 +42,7 @@ fn main() {
     let mut table = Table::new(vec!["benchmark", "loops-only", "methods-only", "full"]);
     for name in BENCHMARKS {
         let w = find(name).expect("known benchmark");
-        let base = measure_workload(&w, &interp_config()).expect("interp");
+        let base = runner(&interp_config()).measure(&w).expect("interp");
         let mut cells = vec![name.to_string()];
         for (_, jc) in &modes {
             let mut cfg = rigor::ExperimentConfig::interp()
@@ -46,7 +51,7 @@ fn main() {
                 .with_seed(EVAL_SEED)
                 .with_size(Size::Default);
             cfg.engine = EngineKind::Jit(*jc);
-            let m = measure_workload(&w, &cfg).expect("jit run");
+            let m = runner(&cfg).measure(&w).expect("jit run");
             cells.push(match compare(&base, &m, &det, 0.95) {
                 Ok(r) => fmt_ci(&r.speedup),
                 Err(e) => format!("({e})"),

@@ -6,9 +6,14 @@
 //! conservative of the two on warmup series; adversarial benchmarks show
 //! `never` on at least one detector.
 
-use rigor::{common_steady_start, measure_workload, SteadyStateDetector, Table};
+use rigor::{common_steady_start, SteadyStateDetector, Table};
 use rigor_bench::{banner, interp_config, jit_config};
 use rigor_workloads::suite;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 fn fmt(start: Option<usize>) -> String {
     match start {
@@ -38,8 +43,8 @@ fn main() {
         "jit/robust",
     ]);
     for w in suite() {
-        let mi = measure_workload(&w, &interp_cfg).expect("run");
-        let mj = measure_workload(&w, &jit_cfg).expect("run");
+        let mi = runner(&interp_cfg).measure(&w).expect("run");
+        let mj = runner(&jit_cfg).measure(&w).expect("run");
         table.row(vec![
             w.name.to_string(),
             fmt(common_steady_start(mi.series(), &cov)),

@@ -9,12 +9,14 @@
 //! best-of-N and warmup-inclusive means are systematically biased; even
 //! one-process steady means remain overconfident.
 
-use rigor::{
-    all_schemes, compare, evaluate_scheme, measure_workload, verdict_from_ci, SteadyStateDetector,
-    Table,
-};
+use rigor::{all_schemes, compare, evaluate_scheme, verdict_from_ci, SteadyStateDetector, Table};
 use rigor_bench::{banner, interp_config, jit_config};
 use rigor_workloads::find;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const BENCHMARKS: [&str; 10] = [
     "leibniz",
@@ -52,8 +54,8 @@ fn main() {
     ]);
     for name in BENCHMARKS {
         let w = find(name).expect("known benchmark");
-        let base = measure_workload(&w, &interp_cfg).expect("interp run");
-        let cand = measure_workload(&w, &jit_cfg).expect("jit run");
+        let base = runner(&interp_cfg).measure(&w).expect("interp run");
+        let cand = runner(&jit_cfg).measure(&w).expect("jit run");
         let truth = match compare(&base, &cand, &det, 0.95) {
             Ok(t) => t,
             Err(e) => {

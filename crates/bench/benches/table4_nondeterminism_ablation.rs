@@ -9,9 +9,14 @@
 //! are small); all-off collapses to exactly 0 (full determinism).
 
 use minipy::NoiseConfig;
-use rigor::{common_steady_start, decompose, measure_workload, SteadyStateDetector, Table};
+use rigor::{common_steady_start, decompose, SteadyStateDetector, Table};
 use rigor_bench::{banner, interp_config};
 use rigor_workloads::find;
+
+/// Builds a runner for a fixed harness config (shape validity asserted).
+fn runner(cfg: &rigor::ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 const BENCHMARKS: [&str; 4] = ["leibniz", "dict_churn", "str_keys", "gc_pressure"];
 
@@ -72,7 +77,7 @@ fn main() {
                 .with_invocations(16)
                 .with_iterations(20)
                 .with_noise(noise);
-            let m = measure_workload(&w, &cfg).expect("run");
+            let m = runner(&cfg).measure(&w).expect("run");
             let start = common_steady_start(m.series(), &det).unwrap_or(0);
             let cell = match decompose(&m, start) {
                 Some(d) => format!("{:.4}%", d.inter_cov * 100.0),

@@ -62,6 +62,27 @@ pub struct GlobalOpts {
     pub penalty: Option<rigor::Penalty>,
     /// Annotate `history` output with trend shift alerts.
     pub alerts: bool,
+    /// Benchmark axis of a campaign grid (`campaign`; default: the suite).
+    pub benchmarks: Option<Vec<String>>,
+    /// Engine axis of a campaign grid (default: interp and jit).
+    pub engines: Option<Vec<EngineKind>>,
+    /// Config-variant axis (`NxM` shapes) of a campaign grid.
+    pub variants: Option<Vec<rigor::ConfigVariant>>,
+    /// Explicit seed axis of a campaign grid.
+    pub seeds: Option<Vec<u64>>,
+    /// Seed-axis shorthand: `N` consecutive seeds from `--seed`.
+    pub repeats: Option<u32>,
+    /// Campaign worker threads.
+    pub workers: usize,
+    /// Campaign inter-cell arrival process.
+    pub arrival: rigor::ArrivalProcess,
+    /// Print the campaign's cell grid without executing it.
+    pub plan: bool,
+    /// Execute at most this many cells, then stop (resumable).
+    pub max_cells: Option<usize>,
+    /// Gate `check` against measurements exported as JSON instead of an
+    /// archived baseline.
+    pub baseline_json: Option<String>,
 }
 
 impl Default for GlobalOpts {
@@ -93,6 +114,16 @@ impl Default for GlobalOpts {
             min_segment: None,
             penalty: None,
             alerts: false,
+            benchmarks: None,
+            engines: None,
+            variants: None,
+            seeds: None,
+            repeats: None,
+            workers: 4,
+            arrival: rigor::ArrivalProcess::Immediate,
+            plan: false,
+            max_cells: None,
+            baseline_json: None,
         }
     }
 }
@@ -132,6 +163,10 @@ pub enum Command {
     /// `rigor trend [benchmark]` — changepoint analysis over the archived
     /// history (exit 0 = stable, 1 = significant shift at HEAD).
     Trend { benchmark: Option<String> },
+    /// `rigor campaign` — execute a benchmarks × engines × variants × seeds
+    /// cell grid on a work-stealing worker pool, streaming each cell into
+    /// the results archive.
+    Campaign,
     /// `rigor help`.
     Help,
 }
@@ -295,6 +330,97 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
                 })?);
             }
             "--alerts" => opts.alerts = true,
+            "--benchmarks" => {
+                let list: Vec<String> = next_value(arg, &mut it)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if list.is_empty() {
+                    return Err(err("--benchmarks requires a comma-separated list"));
+                }
+                opts.benchmarks = Some(list);
+            }
+            "--engines" => {
+                let mut engines = Vec::new();
+                for name in next_value(arg, &mut it)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                {
+                    engines.push(match name {
+                        "interp" => EngineKind::Interp,
+                        "jit" => EngineKind::Jit(minipy::JitConfig::default()),
+                        other => return Err(err(format!("unknown engine '{other}'"))),
+                    });
+                }
+                if engines.is_empty() {
+                    return Err(err("--engines requires a comma-separated list"));
+                }
+                opts.engines = Some(engines);
+            }
+            "--variants" => {
+                let mut variants = Vec::new();
+                for shape in next_value(arg, &mut it)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                {
+                    variants.push(rigor::ConfigVariant::parse(shape).map_err(err)?);
+                }
+                if variants.is_empty() {
+                    return Err(err("--variants requires a comma-separated list"));
+                }
+                opts.variants = Some(variants);
+            }
+            "--seeds" => {
+                let mut seeds = Vec::new();
+                for s in next_value(arg, &mut it)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                {
+                    seeds.push(if let Some(hex) = s.strip_prefix("0x") {
+                        u64::from_str_radix(hex, 16).map_err(|_| err("bad hex seed in --seeds"))?
+                    } else {
+                        s.parse().map_err(|_| err("--seeds requires integers"))?
+                    });
+                }
+                if seeds.is_empty() {
+                    return Err(err("--seeds requires a comma-separated list"));
+                }
+                opts.seeds = Some(seeds);
+            }
+            "--repeats" => {
+                let r: u32 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--repeats requires an integer"))?;
+                if r == 0 {
+                    return Err(err("--repeats must be at least 1"));
+                }
+                opts.repeats = Some(r);
+            }
+            "--workers" => {
+                let w: usize = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--workers requires an integer"))?;
+                if w == 0 {
+                    return Err(err("--workers must be at least 1"));
+                }
+                opts.workers = w;
+            }
+            "--arrival" => {
+                let a = next_value(arg, &mut it)?;
+                opts.arrival = rigor::ArrivalProcess::parse(&a).map_err(err)?;
+            }
+            "--plan" => opts.plan = true,
+            "--max-cells" => {
+                let m: usize = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--max-cells requires an integer"))?;
+                if m == 0 {
+                    return Err(err("--max-cells must be at least 1"));
+                }
+                opts.max_cells = Some(m);
+            }
+            "--baseline-json" => opts.baseline_json = Some(next_value(arg, &mut it)?),
             "--help" | "-h" => positional.push("help".to_string()),
             other if other.starts_with('-') => {
                 return Err(err(format!("unknown flag '{other}'")));
@@ -354,11 +480,28 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
         Some("trend") => Command::Trend {
             benchmark: pos.next(),
         },
+        Some("campaign") => Command::Campaign,
         Some(other) => return Err(err(format!("unknown command '{other}'"))),
     };
     if let Some(extra) = pos.next() {
         return Err(err(format!("unexpected argument '{extra}'")));
     }
+    if opts.seeds.is_some() && opts.repeats.is_some() {
+        return Err(err("--seeds and --repeats are mutually exclusive"));
+    }
+    // Reject invalid experiment shapes at the CLI boundary (exit 2) instead
+    // of letting Runner::new fail later with exit 1.
+    let probe = {
+        let mut cfg = rigor::ExperimentConfig::default()
+            .with_invocations(opts.invocations)
+            .with_iterations(opts.iterations)
+            .with_confidence(opts.confidence);
+        if let Some(q) = opts.quarantine_threshold {
+            cfg = cfg.with_quarantine_threshold(q);
+        }
+        cfg
+    };
+    probe.validate().map_err(|e| err(e.to_string()))?;
     Ok((command, opts))
 }
 
@@ -389,6 +532,9 @@ COMMANDS:
                               exit 0 = no significant regression, 1 = regressed
     trend [benchmark]         changepoint analysis over the archived history;
                               exit 0 = stable, 1 = significant shift at HEAD
+    campaign                  execute a benchmarks × engines × variants ×
+                              seeds grid on a worker pool, streaming every
+                              cell into the results archive
     help                      this message
 
 OPTIONS:
@@ -424,6 +570,22 @@ RESULTS ARCHIVE:
     --fdr <q>                 FDR level on corrected p-values (default 0.05)
     --max-regression <pct>    tolerated slowdown in percent (default 0)
     --correction <bh|holm>    multiple-comparison correction (default bh)
+    --baseline-json <file>    gate against measurements exported as JSON
+                              instead of an archived baseline (check)
+
+CAMPAIGN ORCHESTRATION:
+    --benchmarks <a,b,...>    benchmark axis (default: the whole suite)
+    --engines <interp,jit>    engine axis (default: interp,jit)
+    --variants <NxM,...>      invocations-x-iterations axis (default: -n/-i)
+    --seeds <a,b,...>         explicit seed axis (default: --seed)
+    --repeats <N>             N consecutive seeds from --seed (excludes
+                              --seeds)
+    --workers <N>             worker threads (default 4)
+    --arrival <spec>          inter-cell arrival process: immediate (default),
+                              uniform:MS, or poisson:MS mean delay
+    --plan                    print the cell grid without executing it
+    --max-cells <N>           stop after N cells (campaign stays resumable)
+    --resume <file>           resume a torn campaign from its journal
 
 TREND ANALYSIS:
     --min-segment <N>         minimum runs per trend segment (default 2)
@@ -637,6 +799,63 @@ mod tests {
         assert!(parse_args(&argv("trend --min-segment 0")).is_err());
         assert!(parse_args(&argv("trend --min-segment x")).is_err());
         assert!(parse_args(&argv("trend sieve extra")).is_err());
+    }
+
+    #[test]
+    fn campaign_flags_parse_and_validate() {
+        let (cmd, opts) = parse_args(&argv(
+            "campaign --benchmarks sieve,nbody --engines interp,jit \
+             --variants 2x3,5x10 --seeds 1,2,0x10 --workers 2 \
+             --arrival poisson:5 --max-cells 3 --plan",
+        ))
+        .unwrap();
+        assert_eq!(cmd, Command::Campaign);
+        assert_eq!(
+            opts.benchmarks,
+            Some(vec!["sieve".to_string(), "nbody".to_string()])
+        );
+        let engines = opts.engines.unwrap();
+        assert_eq!(engines.len(), 2);
+        assert!(matches!(engines[0], EngineKind::Interp));
+        assert!(matches!(engines[1], EngineKind::Jit(_)));
+        let variants = opts.variants.unwrap();
+        assert_eq!(variants[0].invocations, 2);
+        assert_eq!(variants[1].iterations, 10);
+        assert_eq!(opts.seeds, Some(vec![1, 2, 0x10]));
+        assert_eq!(opts.workers, 2);
+        assert_eq!(
+            opts.arrival,
+            rigor::ArrivalProcess::Poisson { mean_ms: 5.0 }
+        );
+        assert_eq!(opts.max_cells, Some(3));
+        assert!(opts.plan);
+
+        let (_, opts) = parse_args(&argv("campaign --repeats 4")).unwrap();
+        assert_eq!(opts.repeats, Some(4));
+        assert_eq!(opts.workers, 4, "default worker count");
+
+        assert!(parse_args(&argv("campaign --seeds 1 --repeats 2")).is_err());
+        assert!(parse_args(&argv("campaign --engines pypy")).is_err());
+        assert!(parse_args(&argv("campaign --variants 2by3")).is_err());
+        assert!(parse_args(&argv("campaign --workers 0")).is_err());
+        assert!(parse_args(&argv("campaign --repeats 0")).is_err());
+        assert!(parse_args(&argv("campaign --max-cells 0")).is_err());
+        assert!(parse_args(&argv("campaign --arrival sometimes")).is_err());
+        assert!(parse_args(&argv("campaign extra")).is_err());
+    }
+
+    #[test]
+    fn invalid_experiment_shapes_are_usage_errors() {
+        assert!(parse_args(&argv("measure sieve -n 0")).is_err());
+        assert!(parse_args(&argv("suite -i 0")).is_err());
+        assert!(parse_args(&argv("campaign -n 0")).is_err());
+    }
+
+    #[test]
+    fn check_baseline_json_parses() {
+        let (_, opts) = parse_args(&argv("check --baseline-json BENCH.json")).unwrap();
+        assert_eq!(opts.baseline_json.as_deref(), Some("BENCH.json"));
+        assert!(parse_args(&argv("check --baseline-json")).is_err());
     }
 
     #[test]

@@ -39,11 +39,19 @@ pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
         Command::History { benchmark } => cmd_history(benchmark, opts),
         Command::Check { benchmark } => cmd_check(benchmark.as_deref(), opts),
         Command::Trend { benchmark } => cmd_trend(benchmark.as_deref(), opts),
+        Command::Campaign => cmd_campaign(opts),
     }
 }
 
 fn lookup(benchmark: &str) -> Result<Workload, CliError> {
     find(benchmark).ok_or_else(|| CliError::UnknownBenchmark(benchmark.to_string()))
+}
+
+/// Maps an invalid experiment shape onto the usage error surface (exit 2).
+/// Argument parsing pre-validates the shape, so hitting this means a flag
+/// combination slipped past that probe.
+fn config_err(e: rigor::ConfigError) -> CliError {
+    CliError::Usage(ParseError(e.to_string()))
 }
 
 fn experiment_config(opts: &GlobalOpts) -> ExperimentConfig {
@@ -123,7 +131,7 @@ fn measure_observed(
     cfg: &ExperimentConfig,
     observers: &[Arc<dyn ExperimentObserver>],
 ) -> Result<rigor::BenchmarkMeasurement, CliError> {
-    let mut runner = rigor::Runner::new(cfg.clone());
+    let mut runner = rigor::Runner::new(cfg.clone()).map_err(config_err)?;
     for obs in observers {
         runner = runner.observer(obs.clone());
     }
@@ -211,7 +219,7 @@ fn cmd_characterize(benchmark: &str, opts: &GlobalOpts) -> CliResult {
 fn cmd_measure(benchmark: &str, opts: &GlobalOpts) -> CliResult {
     let w = lookup(benchmark)?;
     let cfg = experiment_config(opts);
-    let mut runner = rigor::Runner::new(cfg.clone());
+    let mut runner = rigor::Runner::new(cfg.clone()).map_err(config_err)?;
     for obs in observers(opts)? {
         runner = runner.observer(obs);
     }
@@ -944,6 +952,9 @@ fn cmd_trend(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
 /// printed first).
 fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     reject_checkpoint_flags(opts, "check")?;
+    if let Some(path) = opts.baseline_json.as_deref() {
+        return cmd_check_json(benchmark, opts, path);
+    }
     let store = open_store(&opts.store)?;
     let base_ref = BaselineRef::parse(opts.baseline.as_deref().unwrap_or("last"));
     let baseline_runs = base_ref.select(&store).map_err(store_err(&opts.store))?;
@@ -1006,6 +1017,85 @@ fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
         .pooled_measurements(&store, &SteadyStateDetector::default(), &trend_config(opts))
         .map_err(store_err(&opts.store))?;
 
+    let policy = gate_policy(opts);
+    let report =
+        rigor::check_regressions(&pooled, &current, &SteadyStateDetector::default(), &policy);
+    finish_check(
+        &report,
+        format!(
+            "regression gate vs baseline `{base_ref}` ({} run(s), correction {}, q {}, tolerance {:.1}%)",
+            baseline_runs.len(),
+            policy.correction,
+            policy.fdr_q,
+            policy.max_regression * 100.0
+        ),
+        (opts.store.clone(), base_ref.to_string()),
+        &current,
+        &obs,
+        opts,
+    )
+}
+
+/// `rigor check --baseline-json <file>`: the same regression gate, but the
+/// baseline is a measurement export (`--json` of an earlier run) instead of
+/// an archived store run — what a CI job uses to gate against a committed
+/// reference file without shipping the whole archive.
+fn cmd_check_json(benchmark: Option<&str>, opts: &GlobalOpts, path: &str) -> CliResult {
+    let text = fs::read_to_string(path).map_err(io_err(path))?;
+    let baseline = rigor::from_json(&text)?;
+
+    // What to measure: the named benchmark, or every baseline benchmark
+    // still present in the suite (in file order, first appearance).
+    let names: Vec<String> = match benchmark {
+        Some(b) => vec![b.to_string()],
+        None => {
+            let mut names: Vec<String> = Vec::new();
+            for m in &baseline {
+                if !names.iter().any(|have| have == &m.benchmark) {
+                    names.push(m.benchmark.clone());
+                }
+            }
+            let (known, unknown): (Vec<String>, Vec<String>) =
+                names.into_iter().partition(|n| find(n).is_some());
+            if !unknown.is_empty() && !opts.quiet {
+                eprintln!(
+                    "note: skipping baseline benchmark(s) not in the suite: {}",
+                    unknown.join(", ")
+                );
+            }
+            known
+        }
+    };
+    let workloads: Result<Vec<Workload>, CliError> = names.iter().map(|n| lookup(n)).collect();
+    let cfg = experiment_config(opts);
+    let obs = observers(opts)?;
+    let current = measure_all(&workloads?, &cfg, &obs, opts.quiet)?;
+
+    let policy = gate_policy(opts);
+    let report = rigor::check_regressions(
+        &baseline,
+        &current,
+        &SteadyStateDetector::default(),
+        &policy,
+    );
+    finish_check(
+        &report,
+        format!(
+            "regression gate vs baseline file {path} ({} measurement(s), correction {}, q {}, tolerance {:.1}%)",
+            baseline.len(),
+            policy.correction,
+            policy.fdr_q,
+            policy.max_regression * 100.0
+        ),
+        (path.to_string(), format!("json:{path}")),
+        &current,
+        &obs,
+        opts,
+    )
+}
+
+/// The regression-gate policy the flags ask for.
+fn gate_policy(opts: &GlobalOpts) -> rigor::GatePolicy {
     let mut policy = rigor::GatePolicy::default().with_confidence(opts.confidence);
     if let Some(q) = opts.fdr {
         policy = policy.with_fdr_q(q);
@@ -1018,9 +1108,21 @@ fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
             rigor::Correction::parse(c).expect("correction validated at argument parsing"),
         );
     }
-    let report =
-        rigor::check_regressions(&pooled, &current, &SteadyStateDetector::default(), &policy);
+    policy
+}
 
+/// Prints a gate report's verdict table and summary, handles `--json`/
+/// `--csv` export, emits the `regression_checked` event, and converts
+/// regressions into the exit-1 error. `source` is the (store-or-file,
+/// baseline reference) pair recorded in the event.
+fn finish_check(
+    report: &rigor::GateReport,
+    title: String,
+    source: (String, String),
+    current: &[rigor::BenchmarkMeasurement],
+    obs: &[Arc<dyn ExperimentObserver>],
+    opts: &GlobalOpts,
+) -> CliResult {
     let mut table = Table::new(vec![
         "benchmark",
         "verdict",
@@ -1029,13 +1131,7 @@ fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
         "p (adj)",
         "note",
     ])
-    .with_title(format!(
-        "regression gate vs baseline `{base_ref}` ({} run(s), correction {}, q {}, tolerance {:.1}%)",
-        baseline_runs.len(),
-        policy.correction,
-        policy.fdr_q,
-        policy.max_regression * 100.0
-    ));
+    .with_title(title);
     for g in &report.benchmarks {
         let change = g
             .change_frac()
@@ -1077,22 +1173,22 @@ fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     // verdicts are what a CI pipeline consumes. `--csv` still exports the
     // current measurements for archaeology.
     if let Some(path) = &opts.json_out {
-        fs::write(path, serde_json::to_string_pretty(&report)?).map_err(io_err(path))?;
+        fs::write(path, serde_json::to_string_pretty(report)?).map_err(io_err(path))?;
         println!("wrote {path}");
     }
     if let Some(path) = &opts.csv_out {
-        fs::write(path, rigor::to_csv(&current)).map_err(io_err(path))?;
+        fs::write(path, rigor::to_csv(current)).map_err(io_err(path))?;
         println!("wrote {path}");
     }
 
     let event = ExperimentEvent::RegressionChecked {
-        store: opts.store.clone(),
-        baseline: base_ref.to_string(),
+        store: source.0,
+        baseline: source.1,
         checked: report.benchmarks.len() as u32,
         regressed: regressed.len() as u32,
         passed: regressed.is_empty(),
     };
-    for o in &obs {
+    for o in obs {
         o.on_event(&event);
     }
 
@@ -1101,6 +1197,152 @@ fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     } else {
         Err(CliError::Regression {
             benchmarks: regressed,
+        })
+    }
+}
+
+/// The campaign grid the flags ask for. Unset axes fall back to the widest
+/// sensible default: every suite benchmark, both engines, the `-n`/`-i`
+/// shape, the single `--seed`.
+fn campaign_spec(opts: &GlobalOpts) -> rigor::CampaignSpec {
+    let base = experiment_config(opts);
+    let benchmarks: Vec<String> = match &opts.benchmarks {
+        Some(names) => names.clone(),
+        None => suite().iter().map(|w| w.name.to_string()).collect(),
+    };
+    let engines = opts.engines.clone().unwrap_or_else(|| {
+        vec![
+            minipy::EngineKind::Interp,
+            minipy::EngineKind::Jit(minipy::JitConfig::default()),
+        ]
+    });
+    let seeds = match (&opts.seeds, opts.repeats) {
+        (Some(seeds), _) => seeds.clone(),
+        (None, Some(r)) => (0..u64::from(r))
+            .map(|i| opts.seed.wrapping_add(i))
+            .collect(),
+        (None, None) => vec![opts.seed],
+    };
+    let mut spec = rigor::CampaignSpec::new(base)
+        .with_benchmarks(benchmarks)
+        .with_engines(engines)
+        .with_seeds(seeds)
+        .with_arrival(opts.arrival);
+    if let Some(variants) = &opts.variants {
+        spec = spec.with_variants(variants.clone());
+    }
+    spec
+}
+
+/// `rigor campaign`: execute a benchmarks × engines × variants × seeds
+/// grid on a work-stealing worker pool, streaming every completed cell
+/// into the results archive as its own labeled run. A killed campaign is
+/// resumed with `--resume <journal>`: cells already archived are skipped
+/// and the final archive holds the same content-id set as an uninterrupted
+/// run.
+fn cmd_campaign(opts: &GlobalOpts) -> CliResult {
+    if opts.journal.is_some() {
+        return Err(CliError::Usage(ParseError(
+            "--journal does not apply to `campaign` (its journal lives at <store>/campaign.jsonl)"
+                .to_string(),
+        )));
+    }
+    let spec = campaign_spec(opts);
+    let cells = spec.cells()?;
+
+    if opts.plan {
+        let mut table = Table::new(vec!["index", "benchmark", "engine", "shape", "seed"])
+            .with_title(format!(
+                "campaign plan: {} cell(s), fingerprint {}, arrival {}",
+                cells.len(),
+                spec.fingerprint(),
+                spec.arrival
+            ));
+        for c in &cells {
+            table.row(vec![
+                c.index.to_string(),
+                c.id.benchmark.clone(),
+                c.id.engine.clone(),
+                c.id.variant.clone(),
+                c.id.seed.to_string(),
+            ]);
+        }
+        println!("{table}");
+        return Ok(());
+    }
+
+    let sink = rigor_store::SharedStore::open(&opts.store).map_err(store_err(&opts.store))?;
+    let journal_path = opts
+        .resume
+        .clone()
+        .unwrap_or_else(|| format!("{}/campaign.jsonl", opts.store));
+    let mut campaign = rigor::Campaign::new(spec)
+        .workers(opts.workers)
+        .journal(&journal_path)
+        .resume(opts.resume.is_some());
+    for obs in observers(opts)? {
+        campaign = campaign.observer(obs);
+    }
+    if let Some(m) = opts.max_cells {
+        campaign = campaign.max_cells(m);
+    }
+    let report = campaign.run(&sink)?;
+
+    println!(
+        "campaign {}: {} of {} cell(s) archived in {} \
+         ({} skipped as already archived, {} executed, {} stolen between workers)",
+        report.fingerprint,
+        report.completed(),
+        report.total,
+        opts.store,
+        report.skipped,
+        report.executed,
+        report.stolen,
+    );
+    if report.remaining > 0 {
+        println!(
+            "{} cell(s) not yet scheduled — continue with \
+             `rigor campaign --resume {journal_path}` (same grid flags)",
+            report.remaining
+        );
+    }
+    if !report.quarantined.is_empty() && !opts.quiet {
+        eprintln!(
+            "note: {} cell(s) quarantined: {}",
+            report.quarantined.len(),
+            report.quarantined.join(", ")
+        );
+    }
+
+    // `--json`/`--csv` export every archived cell of the grid, flattened in
+    // grid order — deterministic however the workers interleaved.
+    if opts.json_out.is_some() || opts.csv_out.is_some() {
+        let all: Vec<rigor::BenchmarkMeasurement> = sink.with(|store| {
+            cells
+                .iter()
+                .filter_map(|c| {
+                    let label = c.id.canonical();
+                    store
+                        .runs()
+                        .find(|r| r.label.as_deref() == Some(label.as_str()))
+                        .map(|r| r.measurements.clone())
+                })
+                .flatten()
+                .collect()
+        });
+        export(opts, &all)?;
+    }
+
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        let mut table = Table::new(vec!["cell", "error"]).with_title("failed cells");
+        for (cell, error) in &report.failures {
+            table.row(vec![cell.clone(), error.clone()]);
+        }
+        println!("{table}");
+        Err(CliError::CampaignCells {
+            failed: report.failures.iter().map(|(c, _)| c.clone()).collect(),
         })
     }
 }
@@ -1133,7 +1375,9 @@ fn self_test_deadline() -> Result<(), String> {
         .with_invocations(2)
         .with_deadline_ns(5.0e7)
         .with_max_retries(0);
-    let m = rigor::measure_source(DIVERGENT_SRC, "divergent", &cfg)
+    let m = rigor::Runner::new(cfg)
+        .map_err(|e| format!("bad config: {e}"))?
+        .measure_source(DIVERGENT_SRC, "divergent")
         .map_err(|e| format!("measurement errored instead of censoring: {e}"))?;
     expect(m.invocations.is_empty(), "no invocation should succeed")?;
     expect(m.censored.len() == 2, "both invocations should be censored")?;
@@ -1156,7 +1400,9 @@ fn self_test_fuel() -> Result<(), String> {
         .with_invocations(1)
         .with_step_budget(50_000)
         .with_max_retries(0);
-    let m = rigor::measure_source(DIVERGENT_SRC, "divergent", &cfg)
+    let m = rigor::Runner::new(cfg)
+        .map_err(|e| format!("bad config: {e}"))?
+        .measure_source(DIVERGENT_SRC, "divergent")
         .map_err(|e| format!("measurement errored instead of censoring: {e}"))?;
     expect(m.censored.len() == 1, "the invocation should be censored")?;
     expect(
@@ -1171,6 +1417,7 @@ fn self_test_retry() -> Result<(), String> {
     let w = find("sieve").ok_or("sieve missing from suite")?;
     let cfg = self_test_config().with_invocations(8).with_max_retries(6);
     let m = rigor::Runner::new(cfg)
+        .map_err(|e| format!("bad config: {e}"))?
         .fault_plan(FaultPlan::new(13).with_panic_rate(0.5))
         .measure(&w)
         .map_err(|e| format!("measurement errored: {e}"))?;
@@ -1193,6 +1440,7 @@ fn self_test_quarantine() -> Result<(), String> {
     let w = find("sieve").ok_or("sieve missing from suite")?;
     let cfg = self_test_config().with_invocations(2).with_max_retries(0);
     let m = rigor::Runner::new(cfg)
+        .map_err(|e| format!("bad config: {e}"))?
         .fault_plan(FaultPlan::new(5).with_panic_rate(1.0))
         .measure(&w)
         .map_err(|e| format!("measurement errored: {e}"))?;
@@ -1220,7 +1468,10 @@ fn self_test_resume() -> Result<(), String> {
         std::fs::remove_file(&path).ok();
         r
     };
-    let full = match rigor::Runner::new(cfg.clone()).journal(&path).measure(&w) {
+    let full = match rigor::Runner::new(cfg.clone())
+        .map_err(|e| e.to_string())
+        .and_then(|r| r.journal(&path).measure(&w).map_err(|e| e.to_string()))
+    {
         Ok(m) => m,
         Err(e) => return cleanup(Err(format!("journaled run errored: {e}"))),
     };
@@ -1243,7 +1494,10 @@ fn self_test_resume() -> Result<(), String> {
             journal.completed()
         )));
     }
-    let resumed = match rigor::Runner::new(cfg).resume(journal).measure(&w) {
+    let resumed = match rigor::Runner::new(cfg)
+        .map_err(|e| e.to_string())
+        .and_then(|r| r.resume(journal).measure(&w).map_err(|e| e.to_string()))
+    {
         Ok(m) => m,
         Err(e) => return cleanup(Err(format!("resumed run errored: {e}"))),
     };
@@ -1269,6 +1523,7 @@ fn self_test_observer_isolation() -> Result<(), String> {
     let collector = Arc::new(rigor::CollectingObserver::new());
     let cfg = self_test_config().with_invocations(2).with_iterations(3);
     let m = rigor::Runner::new(cfg)
+        .map_err(|e| format!("bad config: {e}"))?
         .observer(Arc::new(Grenade))
         .observer(collector.clone())
         .measure(&w)
@@ -1397,6 +1652,33 @@ mod tests {
                 "{cmd} must be a usage error"
             );
         }
+    }
+
+    #[test]
+    fn campaign_plan_and_run_archive_every_cell() {
+        let dir = std::env::temp_dir().join(format!("rigor-cli-campaign-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = dir.join("store");
+        let base = format!(
+            "campaign --benchmarks sieve,leibniz --engines interp --seeds 1,2 \
+             -n 2 -i 3 --size small --workers 2 --quiet --store {}",
+            store.display()
+        );
+        dispatch(&parse_args(&argv(&format!("{base} --plan"))).unwrap()).unwrap();
+        assert!(!store.exists(), "--plan must not touch the store");
+        dispatch(&parse_args(&argv(&base)).unwrap()).unwrap();
+        let opened = rigor_store::Store::open(&store).unwrap();
+        assert_eq!(opened.len(), 4, "every cell becomes one archived run");
+        // Rerunning the same grid is a no-op: every cell is already archived.
+        dispatch(&parse_args(&argv(&base)).unwrap()).unwrap();
+        assert_eq!(rigor_store::Store::open(&store).unwrap().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_rejects_journal_flag() {
+        let r = dispatch(&parse_args(&argv("campaign --journal j.jsonl")).unwrap());
+        assert!(matches!(r, Err(CliError::Usage(_))));
     }
 
     #[test]

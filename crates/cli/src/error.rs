@@ -73,6 +73,15 @@ pub enum CliError {
         /// The benchmarks whose level shifted at HEAD.
         benchmarks: Vec<String>,
     },
+    /// A campaign could not run to completion (journal or sink failure,
+    /// grid mismatch on resume).
+    Campaign(String),
+    /// A campaign finished, but some cells failed to measure. The summary
+    /// is still printed before this error is surfaced.
+    CampaignCells {
+        /// Canonical ids of the failed cells.
+        failed: Vec<String>,
+    },
 }
 
 impl CliError {
@@ -123,6 +132,13 @@ impl fmt::Display for CliError {
                 benchmarks.len(),
                 benchmarks.join(", ")
             ),
+            CliError::Campaign(message) => write!(f, "campaign failed: {message}"),
+            CliError::CampaignCells { failed } => write!(
+                f,
+                "campaign finished with {} failed cell(s): {}",
+                failed.len(),
+                failed.join(", ")
+            ),
         }
     }
 }
@@ -160,6 +176,19 @@ impl From<CompareError> for CliError {
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> CliError {
         CliError::Json(e)
+    }
+}
+
+impl From<rigor::CampaignError> for CliError {
+    fn from(e: rigor::CampaignError) -> CliError {
+        match e {
+            rigor::CampaignError::UnknownBenchmark(name) => CliError::UnknownBenchmark(name),
+            // Bad grid axes or per-cell configs are the caller's fault.
+            rigor::CampaignError::EmptyAxis(_) | rigor::CampaignError::Config { .. } => {
+                CliError::Usage(ParseError(e.to_string()))
+            }
+            other => CliError::Campaign(other.to_string()),
+        }
     }
 }
 
@@ -230,6 +259,24 @@ mod tests {
             .exit_code(),
             1
         );
+        assert_eq!(CliError::Campaign("torn".into()).exit_code(), 1);
+        assert_eq!(
+            CliError::CampaignCells {
+                failed: vec!["sieve/interp/2x3/0".into()]
+            }
+            .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn campaign_errors_map_onto_cli_variants() {
+        let e: CliError = rigor::CampaignError::UnknownBenchmark("nope".into()).into();
+        assert!(matches!(e, CliError::UnknownBenchmark(ref n) if n == "nope"));
+        let e: CliError = rigor::CampaignError::EmptyAxis("seeds").into();
+        assert_eq!(e.exit_code(), 2, "bad grid axes are usage errors");
+        let e: CliError = rigor::CampaignError::Journal("torn".into()).into();
+        assert_eq!(e.exit_code(), 1);
     }
 
     #[test]

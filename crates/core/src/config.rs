@@ -1,7 +1,50 @@
 //! Experiment configuration.
 
+use std::fmt;
+
 use minipy::{CostModel, EngineKind, JitConfig, NoiseConfig};
 use rigor_workloads::Size;
+
+/// A structurally invalid [`ExperimentConfig`], caught before any VM runs.
+///
+/// Produced by [`ExperimentConfig::validate`]; [`crate::Runner::new`] and the
+/// CLI argument parser both reject configs up front with this error so a bad
+/// design fails fast instead of mid-experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `invocations == 0`: an experiment with no samples.
+    ZeroInvocations,
+    /// `iterations == 0`: invocations that never run the workload.
+    ZeroIterations,
+    /// Confidence level outside the open interval (0, 1).
+    Confidence(f64),
+    /// Quarantine threshold outside the closed interval [0, 1].
+    QuarantineThreshold(f64),
+    /// `threads == 0`: no workers to run invocations on.
+    ZeroThreads,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroInvocations => {
+                write!(f, "invocations must be at least 1")
+            }
+            ConfigError::ZeroIterations => {
+                write!(f, "iterations must be at least 1")
+            }
+            ConfigError::Confidence(c) => {
+                write!(f, "confidence must be inside (0, 1), got {c}")
+            }
+            ConfigError::QuarantineThreshold(t) => {
+                write!(f, "quarantine threshold must be inside [0, 1], got {t}")
+            }
+            ConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Design of one benchmarking experiment, in the paper's vocabulary:
 /// `invocations` fresh VM processes, each running `iterations` in-process
@@ -156,6 +199,31 @@ impl ExperimentConfig {
         self
     }
 
+    /// Checks the config's structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] for zero invocations/iterations/threads, a confidence
+    /// level outside (0, 1), or a quarantine threshold outside [0, 1].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.invocations == 0 {
+            return Err(ConfigError::ZeroInvocations);
+        }
+        if self.iterations == 0 {
+            return Err(ConfigError::ZeroIterations);
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(ConfigError::Confidence(self.confidence));
+        }
+        if !(self.quarantine_threshold >= 0.0 && self.quarantine_threshold <= 1.0) {
+            return Err(ConfigError::QuarantineThreshold(self.quarantine_threshold));
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(())
+    }
+
     /// Builds the per-invocation VM configuration.
     pub fn vm_config(&self) -> minipy::VmConfig {
         let mut cfg = minipy::VmConfig {
@@ -220,6 +288,51 @@ mod tests {
         assert_eq!(c.step_budget, Some(1_000_000));
         assert_eq!(c.max_retries, 3);
         assert!((c.quarantine_threshold - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_each_invariant() {
+        assert_eq!(ExperimentConfig::default().validate(), Ok(()));
+        assert_eq!(ExperimentConfig::jit().validate(), Ok(()));
+        assert_eq!(
+            ExperimentConfig::interp().with_invocations(0).validate(),
+            Err(ConfigError::ZeroInvocations)
+        );
+        assert_eq!(
+            ExperimentConfig::interp().with_iterations(0).validate(),
+            Err(ConfigError::ZeroIterations)
+        );
+        for bad in [0.0, 1.0, -0.2, 1.5, f64::NAN] {
+            assert!(matches!(
+                ExperimentConfig::interp().with_confidence(bad).validate(),
+                Err(ConfigError::Confidence(_))
+            ));
+        }
+        for bad in [-0.1, 1.1, f64::NAN] {
+            assert!(matches!(
+                ExperimentConfig::interp()
+                    .with_quarantine_threshold(bad)
+                    .validate(),
+                Err(ConfigError::QuarantineThreshold(_))
+            ));
+        }
+        assert_eq!(
+            ExperimentConfig::interp().with_threads(0).validate(),
+            Err(ConfigError::ZeroThreads)
+        );
+        // Boundary values that are legal.
+        assert_eq!(
+            ExperimentConfig::interp()
+                .with_quarantine_threshold(0.0)
+                .validate(),
+            Ok(())
+        );
+        assert_eq!(
+            ExperimentConfig::interp()
+                .with_quarantine_threshold(1.0)
+                .validate(),
+            Ok(())
+        );
     }
 
     #[test]

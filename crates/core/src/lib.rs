@@ -7,7 +7,7 @@
 //!
 //! The pipeline:
 //!
-//! 1. **Measure** — [`measure_workload`] runs N fresh VM *invocations* ×
+//! 1. **Measure** — [`Runner::measure`] runs N fresh VM *invocations* ×
 //!    M in-process *iterations* and records every per-iteration virtual time.
 //! 2. **Detect steady state** — [`SteadyStateDetector`] excises warmup per
 //!    invocation (CoV-window à la Georges et al., or changepoint à la
@@ -36,21 +36,24 @@
 //!    archived history into level shifts ([`trend`]), with bootstrap CIs on
 //!    every segment and shift magnitude and corrected significance across
 //!    benchmarks × changepoints, alerting when HEAD just shifted.
+//! 9. **Orchestrate fleets** — a [`CampaignSpec`] names an explicit cell
+//!    grid (benchmarks × engines × config variants × seeds) that
+//!    [`Campaign`] executes on a work-stealing worker pool, streaming every
+//!    completed [`Cell`] into a [`CellSink`] (the `rigor-store` archive)
+//!    and a per-cell journal, so a killed campaign resumes exactly at its
+//!    first incomplete cell; see the [`campaign`] and [`orchestrator`]
+//!    modules.
 //!
 //! ```rust
 //! use rigor::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let sieve = find("sieve").expect("in the suite");
-//! let cfg = ExperimentConfig::interp()
-//!     .with_invocations(4)
-//!     .with_iterations(20)
-//!     .with_size(Size::Small);
-//! let interp = measure_workload(&sieve, &cfg)?;
-//! let jit = measure_workload(&sieve, &ExperimentConfig::jit()
-//!     .with_invocations(4)
-//!     .with_iterations(20)
-//!     .with_size(Size::Small))?;
+//! let small = |cfg: ExperimentConfig| {
+//!     cfg.with_invocations(4).with_iterations(20).with_size(Size::Small)
+//! };
+//! let interp = Runner::new(small(ExperimentConfig::interp()))?.measure(&sieve)?;
+//! let jit = Runner::new(small(ExperimentConfig::jit()))?.measure(&sieve)?;
 //! let result = compare(&interp, &jit, &SteadyStateDetector::default(), 0.95)?;
 //! println!("sieve speedup: {:.2}x", result.speedup.estimate);
 //! # Ok(())
@@ -59,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod checkpoint;
 pub mod compare;
 pub mod config;
@@ -66,6 +70,7 @@ pub mod export;
 pub mod fault;
 pub mod measurement;
 pub mod naive;
+pub mod orchestrator;
 pub mod regress;
 pub mod report;
 pub mod runner;
@@ -76,9 +81,13 @@ pub mod trend;
 pub mod variance;
 pub mod warmup;
 
+pub use campaign::{
+    ArrivalProcess, CampaignError, CampaignJournal, CampaignJournalMeta, CampaignJournalWriter,
+    CampaignSpec, Cell, CellDone, CellId, CellReceipt, CellSink, ConfigVariant, MemorySink,
+};
 pub use checkpoint::{Journal, JournalMeta, JournalWriter};
 pub use compare::{compare, compare_suite, CompareError, SpeedupResult, SuiteComparison};
-pub use config::ExperimentConfig;
+pub use config::{ConfigError, ExperimentConfig};
 pub use export::{from_csv, from_json, to_csv, to_json, SCHEMA_VERSION};
 pub use fault::{FaultPlan, InjectedFault};
 pub use measurement::{
@@ -88,12 +97,15 @@ pub use naive::{
     all_schemes, evaluate_scheme, verdict_from_ci, verdict_from_point, NaiveEvaluation,
     NaiveScheme, Verdict,
 };
+pub use orchestrator::{Campaign, CampaignReport};
 pub use regress::{
     check_regressions, pool_measurements, BenchmarkGate, Correction, GatePolicy, GateReport,
     GateStatus,
 };
 pub use report::{fmt_ci, fmt_ns, fmt_pct, sparkline, Table};
-pub use runner::{measure_source, measure_workload, Runner};
+pub use runner::Runner;
+#[allow(deprecated)]
+pub use runner::{measure_source, measure_workload};
 pub use sequential::{precision_of, run_until_precise, SequentialPlan, SequentialResult};
 pub use steady::{
     common_steady_start, per_invocation_steady_means, SteadyState, SteadyStateDetector,
@@ -112,11 +124,16 @@ pub use warmup::{aggregate_classes, BenchmarkWarmupClass, WarmupClass, WarmupCla
 /// One-stop imports for the common measure → detect → compare pipeline,
 /// including the workload suite: `use rigor::prelude::*;`.
 pub mod prelude {
+    pub use crate::campaign::{ArrivalProcess, CampaignSpec, CellSink, ConfigVariant};
     pub use crate::compare::{compare, compare_suite, SpeedupResult};
+    pub use crate::config::ConfigError;
     pub use crate::config::ExperimentConfig;
     pub use crate::measurement::{BenchmarkMeasurement, InvocationRecord, IterationCounters};
+    pub use crate::orchestrator::{Campaign, CampaignReport};
     pub use crate::report::Table;
-    pub use crate::runner::{measure_source, measure_workload, Runner};
+    pub use crate::runner::Runner;
+    #[allow(deprecated)]
+    pub use crate::runner::{measure_source, measure_workload};
     pub use crate::steady::SteadyStateDetector;
     pub use crate::telemetry::{
         CollectingObserver, ExperimentEvent, ExperimentObserver, JsonlTraceObserver,

@@ -1,0 +1,687 @@
+//! The campaign orchestrator: executes a cell grid on a work-stealing
+//! scheduler of std worker threads, streaming each completed cell into a
+//! [`CellSink`] and a campaign journal as it finishes.
+//!
+//! Scheduling model: the pending cells are dealt round-robin onto per-worker
+//! deques (worker *w* gets pending cells *w*, *w*+W, …). A worker pops from
+//! the **front** of its own deque; when empty it steals from the **back** of
+//! the longest other deque (emitting `cell_stolen`), so cells migrate from
+//! loaded workers to idle ones without a central queue lock on the hot path.
+//!
+//! Each cell runs through [`crate::Runner::measure`] — the cell-execution
+//! primitive — under the cell's own validated config, with the campaign's
+//! observers attached, so per-cell experiment streams arrive alongside the
+//! campaign-level events (`campaign_started`, `campaign_resumed`,
+//! `cell_completed`, `cell_stolen`).
+//!
+//! Resume: the **archive is authoritative** — on [`Campaign::resume`] every
+//! cell the sink already holds is skipped; the campaign journal only
+//! verifies the grid identity (fingerprint + cell count), so a torn run
+//! picks up exactly at its first incomplete cell. The journal is rewritten
+//! from scratch on every run (replayed cells re-journaled first), so it
+//! always ends up complete.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+
+use crate::campaign::{
+    CampaignError, CampaignJournal, CampaignJournalMeta, CampaignJournalWriter, CampaignSpec, Cell,
+    CellDone, CellSink,
+};
+use crate::runner::Runner;
+use crate::telemetry::{ExperimentEvent, ExperimentObserver};
+
+/// A cloneable event outlet handed to workers; a no-op with no observers
+/// (same shape as the runner's sink, so telemetry costs nothing unless
+/// asked for).
+#[derive(Clone)]
+struct EventSink(Option<Sender<ExperimentEvent>>);
+
+impl EventSink {
+    fn send(&self, event: ExperimentEvent) {
+        if let Some(tx) = &self.0 {
+            let _ = tx.send(event);
+        }
+    }
+}
+
+/// What a finished campaign run did, cell by cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignReport {
+    /// The campaign's identity fingerprint.
+    pub fingerprint: String,
+    /// Cells in the grid.
+    pub total: usize,
+    /// Cells skipped because a previous (interrupted) run had already
+    /// archived them.
+    pub skipped: usize,
+    /// Cells executed and archived by this run.
+    pub executed: usize,
+    /// Cells stolen between workers by this run.
+    pub stolen: usize,
+    /// Canonical ids of executed cells whose measurement was quarantined.
+    pub quarantined: Vec<String>,
+    /// Cells that failed (canonical id, error) — compile-class measurement
+    /// errors or sink failures; not journaled, so a rerun retries them.
+    pub failures: Vec<(String, String)>,
+    /// Cells left unscheduled (a [`Campaign::max_cells`] budget ran out).
+    pub remaining: usize,
+}
+
+impl CampaignReport {
+    /// Cells present in the archive after this run.
+    pub fn completed(&self) -> usize {
+        self.skipped + self.executed
+    }
+
+    /// True when every cell of the grid is archived.
+    pub fn is_complete(&self) -> bool {
+        self.completed() == self.total
+    }
+}
+
+/// Executes a [`CampaignSpec`] on a work-stealing worker pool. Builder
+/// style: configure, then [`Campaign::run`].
+pub struct Campaign {
+    spec: CampaignSpec,
+    workers: usize,
+    observers: Vec<Arc<dyn ExperimentObserver>>,
+    journal_path: Option<PathBuf>,
+    resume: bool,
+    max_cells: Option<usize>,
+}
+
+impl Campaign {
+    /// A campaign over `spec` with 4 workers, no observers, no journal.
+    pub fn new(spec: CampaignSpec) -> Campaign {
+        Campaign {
+            spec,
+            workers: 4,
+            observers: Vec::new(),
+            journal_path: None,
+            resume: false,
+            max_cells: None,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style); clamped to at least 1.
+    pub fn workers(mut self, workers: usize) -> Campaign {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Attaches an observer (builder style); it receives the campaign-level
+    /// events *and* every cell's experiment stream. Call repeatedly to fan
+    /// out.
+    pub fn observer(mut self, observer: Arc<dyn ExperimentObserver>) -> Campaign {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Journals completed cells to `path` (builder style). The file is
+    /// rewritten on every run; combined with [`Campaign::resume`], replayed
+    /// cells are re-journaled first so the file always ends up complete.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Campaign {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Resumes a torn campaign (builder style): cells the sink already
+    /// holds are skipped, and a journal at the configured path (if one
+    /// exists) must identify this same grid.
+    pub fn resume(mut self, resume: bool) -> Campaign {
+        self.resume = resume;
+        self
+    }
+
+    /// Caps how many cells this run may execute (builder style) — the rest
+    /// stay pending for a later `--resume`. Used to interrupt
+    /// deterministically in tests and CI smoke runs.
+    pub fn max_cells(mut self, max_cells: usize) -> Campaign {
+        self.max_cells = Some(max_cells);
+        self
+    }
+
+    /// The campaign's spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Expands the grid and executes it, streaming completed cells into
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Grid-expansion errors ([`CampaignError::EmptyAxis`] /
+    /// [`CampaignError::UnknownBenchmark`] / [`CampaignError::Config`]), a
+    /// resume journal for a different grid
+    /// ([`CampaignError::JournalMismatch`]), journal I/O errors, and sink
+    /// failures while probing for already-completed cells. Per-cell
+    /// measurement and archival failures do **not** abort the run — they
+    /// are collected in [`CampaignReport::failures`].
+    pub fn run(&self, sink: &dyn CellSink) -> Result<CampaignReport, CampaignError> {
+        let cells = self.spec.cells()?;
+        let fingerprint = self.spec.fingerprint();
+        let total = cells.len();
+
+        // Resume: the archive is authoritative for *what* is done; the
+        // journal only proves the path belongs to this grid.
+        let mut skipped: Vec<(Cell, String)> = Vec::new();
+        let mut pending: Vec<Cell> = Vec::new();
+        if self.resume {
+            if let Some(path) = &self.journal_path {
+                if let Some(journal) = CampaignJournal::load_tolerant(path)
+                    .map_err(|e| CampaignError::Journal(e.to_string()))?
+                {
+                    journal
+                        .check_matches(&fingerprint, total as u32)
+                        .map_err(CampaignError::JournalMismatch)?;
+                }
+            }
+            for cell in cells {
+                match sink.completed_cell(&cell).map_err(CampaignError::Sink)? {
+                    Some(receipt) => skipped.push((cell, receipt.run_id)),
+                    None => pending.push(cell),
+                }
+            }
+        } else {
+            pending = cells;
+        }
+
+        let meta = CampaignJournalMeta {
+            fingerprint: fingerprint.clone(),
+            cells: total as u32,
+        };
+        let writer = match &self.journal_path {
+            Some(path) => {
+                let mut w = CampaignJournalWriter::create(path, &meta)
+                    .map_err(|e| CampaignError::Journal(e.to_string()))?;
+                // Re-journal replayed cells first: the journal must end up
+                // complete whether or not this run was a resume.
+                for (cell, run_id) in &skipped {
+                    w.append_cell(&CellDone {
+                        index: cell.index as u32,
+                        id: cell.id.canonical(),
+                        run_id: run_id.clone(),
+                    })
+                    .map_err(|e| CampaignError::Journal(e.to_string()))?;
+                }
+                Some(Mutex::new(w))
+            }
+            None => None,
+        };
+
+        // Deal pending cells round-robin onto per-worker deques.
+        let workers = self.workers.clamp(1, pending.len().max(1));
+        let mut deques: Vec<VecDeque<Cell>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, cell) in pending.drain(..).enumerate() {
+            deques[i % workers].push_back(cell);
+        }
+        let queues: Vec<Mutex<VecDeque<Cell>>> = deques.into_iter().map(Mutex::new).collect();
+
+        let completed = AtomicU32::new(skipped.len() as u32);
+        let executed = AtomicUsize::new(0);
+        let stolen = AtomicUsize::new(0);
+        // Execution budget: claiming a ticket is the only gate, so the cap
+        // is exact even under contention.
+        let budget = AtomicUsize::new(self.max_cells.unwrap_or(usize::MAX));
+        let quarantined: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let failures: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            // Telemetry drain, exactly as in the runner: a dedicated thread
+            // fans events out, a panicking observer is disabled once.
+            let sink_events = if self.observers.is_empty() {
+                EventSink(None)
+            } else {
+                let (tx, rx) = channel::<ExperimentEvent>();
+                let observers = &self.observers;
+                scope.spawn(move || {
+                    let mut disabled = vec![false; observers.len()];
+                    for event in rx {
+                        for (idx, obs) in observers.iter().enumerate() {
+                            if disabled[idx] {
+                                continue;
+                            }
+                            let outcome = catch_unwind(AssertUnwindSafe(|| obs.on_event(&event)));
+                            if outcome.is_err() {
+                                disabled[idx] = true;
+                                eprintln!(
+                                    "rigor: observer #{idx} panicked on `{}`; \
+                                     disabling it for the rest of the campaign",
+                                    event.name()
+                                );
+                            }
+                        }
+                    }
+                });
+                EventSink(Some(tx))
+            };
+
+            sink_events.send(ExperimentEvent::CampaignStarted {
+                campaign: fingerprint.clone(),
+                cells: total as u32,
+                workers: workers as u32,
+                arrival: self.spec.arrival.to_string(),
+            });
+            if self.resume {
+                sink_events.send(ExperimentEvent::CampaignResumed {
+                    campaign: fingerprint.clone(),
+                    completed: skipped.len() as u32,
+                    cells: total as u32,
+                });
+            }
+
+            for me in 0..workers {
+                let sink_events = sink_events.clone();
+                let queues = &queues;
+                let completed = &completed;
+                let executed = &executed;
+                let stolen = &stolen;
+                let budget = &budget;
+                let quarantined = &quarantined;
+                let failures = &failures;
+                let writer = &writer;
+                let observers = &self.observers;
+                let spec = &self.spec;
+                scope.spawn(move || loop {
+                    // Claim an execution ticket before touching any queue.
+                    if budget
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    // Own deque first (front) …
+                    let mut cell = queues[me].lock().expect("queue poisoned").pop_front();
+                    // … then steal from the back of the longest other deque.
+                    if cell.is_none() {
+                        let victim = (0..queues.len())
+                            .filter(|&v| v != me)
+                            .map(|v| (v, queues[v].lock().expect("queue poisoned").len()))
+                            .filter(|&(_, len)| len > 0)
+                            .max_by_key(|&(_, len)| len)
+                            .map(|(v, _)| v);
+                        if let Some(v) = victim {
+                            cell = queues[v].lock().expect("queue poisoned").pop_back();
+                            if let Some(c) = &cell {
+                                stolen.fetch_add(1, Ordering::Relaxed);
+                                sink_events.send(ExperimentEvent::CellStolen {
+                                    cell: c.id.canonical(),
+                                    index: c.index as u32,
+                                    from_worker: v as u32,
+                                    to_worker: me as u32,
+                                });
+                            }
+                        }
+                    }
+                    let Some(cell) = cell else { break };
+
+                    // Seeded arrival pacing: a pure function of (campaign
+                    // seed, cell index), so the pattern replays under the
+                    // same seed whatever the worker count.
+                    let delay = spec
+                        .arrival
+                        .delay(spec.base.experiment_seed, cell.index as u64);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+
+                    execute_cell(
+                        &cell,
+                        me,
+                        total,
+                        observers,
+                        sink,
+                        writer,
+                        &sink_events,
+                        completed,
+                        executed,
+                        quarantined,
+                        failures,
+                    );
+                });
+            }
+            // `scope` joins the workers, then the drain (its channel closes
+            // when the last worker's sink clone drops with this binding).
+            drop(sink_events);
+        });
+
+        let remaining = queues
+            .into_iter()
+            .map(|q| q.into_inner().expect("queue poisoned").len())
+            .sum();
+        Ok(CampaignReport {
+            fingerprint,
+            total,
+            skipped: skipped.len(),
+            executed: executed.into_inner(),
+            stolen: stolen.into_inner(),
+            quarantined: quarantined.into_inner().expect("quarantine list poisoned"),
+            failures: failures.into_inner().expect("failure list poisoned"),
+            remaining,
+        })
+    }
+}
+
+/// Measures one cell and streams it to the sink + journal, recording the
+/// outcome in the shared campaign state. Never panics the worker: every
+/// failure becomes a `failures` entry.
+#[allow(clippy::too_many_arguments)]
+fn execute_cell(
+    cell: &Cell,
+    worker: usize,
+    total: usize,
+    observers: &[Arc<dyn ExperimentObserver>],
+    sink: &dyn CellSink,
+    writer: &Option<Mutex<CampaignJournalWriter>>,
+    sink_events: &EventSink,
+    completed: &AtomicU32,
+    executed: &AtomicUsize,
+    quarantined: &Mutex<Vec<String>>,
+    failures: &Mutex<Vec<(String, String)>>,
+) {
+    let id = cell.id.canonical();
+    // The config was validated at grid expansion; a rejection here would be
+    // a logic error, but record it rather than panicking a worker.
+    let mut runner = match Runner::new(cell.config.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            record_failure(failures, &id, format!("invalid config: {e}"));
+            return;
+        }
+    };
+    for obs in observers {
+        runner = runner.observer(obs.clone());
+    }
+    let measurement = match runner.measure(&cell.workload) {
+        Ok(m) => m,
+        Err(e) => {
+            record_failure(failures, &id, e.to_string());
+            return;
+        }
+    };
+    if measurement.quarantined {
+        quarantined
+            .lock()
+            .expect("quarantine list poisoned")
+            .push(id.clone());
+    }
+    let receipt = match sink.archive_cell(cell, &measurement) {
+        Ok(r) => r,
+        Err(e) => {
+            record_failure(failures, &id, format!("sink: {e}"));
+            return;
+        }
+    };
+    if let Some(writer) = writer {
+        let done = CellDone {
+            index: cell.index as u32,
+            id: id.clone(),
+            run_id: receipt.run_id.clone(),
+        };
+        // Journal failures are reported, not fatal: losing the journal must
+        // not lose the archived cell.
+        if let Err(e) = writer
+            .lock()
+            .expect("journal writer poisoned")
+            .append_cell(&done)
+        {
+            eprintln!("rigor: campaign journal write failed (cell {id}): {e}");
+        }
+    }
+    executed.fetch_add(1, Ordering::Relaxed);
+    let done_so_far = completed.fetch_add(1, Ordering::Relaxed) + 1;
+    sink_events.send(ExperimentEvent::CellCompleted {
+        cell: id,
+        index: cell.index as u32,
+        worker: worker as u32,
+        run_id: receipt.run_id,
+        completed: done_so_far,
+        cells: total as u32,
+    });
+}
+
+fn record_failure(failures: &Mutex<Vec<(String, String)>>, id: &str, error: String) {
+    failures
+        .lock()
+        .expect("failure list poisoned")
+        .push((id.to_string(), error));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{ArrivalProcess, ConfigVariant, MemorySink};
+    use crate::config::ExperimentConfig;
+    use crate::telemetry::CollectingObserver;
+    use minipy::EngineKind;
+    use rigor_workloads::Size;
+
+    fn small_spec() -> CampaignSpec {
+        let base = ExperimentConfig::interp()
+            .with_invocations(2)
+            .with_iterations(3)
+            .with_size(Size::Small)
+            .with_seed(11);
+        CampaignSpec::new(base)
+            .with_benchmarks(["sieve", "leibniz"])
+            .with_engines(vec![EngineKind::Interp])
+            .with_variants(vec![ConfigVariant::parse("2x3").unwrap()])
+            .with_seeds(vec![11, 12])
+    }
+
+    fn journal_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "rigor-orchestrator-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn campaign_executes_every_cell_exactly_once() {
+        let sink = MemorySink::new();
+        let report = Campaign::new(small_spec()).workers(3).run(&sink).unwrap();
+        assert_eq!(report.total, 4);
+        assert_eq!(report.executed, 4);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.remaining, 0);
+        assert!(report.failures.is_empty());
+        assert!(report.is_complete());
+        let ids: Vec<String> = sink.cells().into_iter().map(|(_, id, _)| id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "sieve/interp/2x3/11",
+                "sieve/interp/2x3/12",
+                "leibniz/interp/2x3/11",
+                "leibniz/interp/2x3/12",
+            ]
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_measurements() {
+        let one = MemorySink::new();
+        Campaign::new(small_spec()).workers(1).run(&one).unwrap();
+        let four = MemorySink::new();
+        Campaign::new(small_spec()).workers(4).run(&four).unwrap();
+        let a = one.cells();
+        let b = four.cells();
+        assert_eq!(a.len(), b.len());
+        for ((ia, ida, ma), (ib, idb, mb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib);
+            assert_eq!(ida, idb);
+            assert_eq!(
+                crate::export::to_json(std::slice::from_ref(ma)).unwrap(),
+                crate::export::to_json(std::slice::from_ref(mb)).unwrap(),
+                "cell {ida} must measure identically under any worker count"
+            );
+        }
+    }
+
+    #[test]
+    fn max_cells_interrupts_and_resume_completes() {
+        let path = journal_path("budget");
+        let sink = MemorySink::new();
+        let first = Campaign::new(small_spec())
+            .workers(1)
+            .journal(&path)
+            .max_cells(2)
+            .run(&sink)
+            .unwrap();
+        assert_eq!(first.executed, 2);
+        assert_eq!(first.remaining, 2);
+        assert!(!first.is_complete());
+        assert_eq!(sink.len(), 2);
+
+        let second = Campaign::new(small_spec())
+            .workers(1)
+            .journal(&path)
+            .resume(true)
+            .run(&sink)
+            .unwrap();
+        assert_eq!(second.skipped, 2);
+        assert_eq!(second.executed, 2);
+        assert!(second.is_complete());
+        assert_eq!(sink.len(), 4);
+
+        // The resumed archive matches an uninterrupted run cell for cell.
+        let clean = MemorySink::new();
+        Campaign::new(small_spec()).workers(1).run(&clean).unwrap();
+        for ((ia, ida, ma), (ib, idb, mb)) in sink.cells().iter().zip(&clean.cells()) {
+            assert_eq!((ia, ida), (ib, idb));
+            assert_eq!(
+                crate::export::to_json(std::slice::from_ref(ma)).unwrap(),
+                crate::export::to_json(std::slice::from_ref(mb)).unwrap()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_another_grid() {
+        let path = journal_path("mismatch");
+        let sink = MemorySink::new();
+        Campaign::new(small_spec())
+            .journal(&path)
+            .run(&sink)
+            .unwrap();
+        let other = small_spec().with_seeds(vec![99]);
+        let err = Campaign::new(other)
+            .journal(&path)
+            .resume(true)
+            .run(&MemorySink::new())
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::JournalMismatch(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn campaign_events_flow_to_observers() {
+        let obs = Arc::new(CollectingObserver::new());
+        let sink = MemorySink::new();
+        Campaign::new(small_spec())
+            .workers(2)
+            .observer(obs.clone())
+            .run(&sink)
+            .unwrap();
+        let events = obs.events();
+        let starts = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ExperimentEvent::CampaignStarted {
+                        cells: 4,
+                        workers: 2,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(starts, 1);
+        let cells_done: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                ExperimentEvent::CellCompleted { completed, .. } => Some(*completed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cells_done.len(), 4);
+        assert_eq!(*cells_done.iter().max().unwrap(), 4);
+        // Per-cell experiment streams ride along with campaign events.
+        let experiments = events
+            .iter()
+            .filter(|e| matches!(e, ExperimentEvent::ExperimentFinished { .. }))
+            .count();
+        assert_eq!(experiments, 4);
+        // No resume ⇒ no campaign_resumed.
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, ExperimentEvent::CampaignResumed { .. })));
+    }
+
+    #[test]
+    fn resumed_complete_campaign_executes_nothing() {
+        let path = journal_path("noop");
+        let sink = MemorySink::new();
+        Campaign::new(small_spec())
+            .journal(&path)
+            .run(&sink)
+            .unwrap();
+        let obs = Arc::new(CollectingObserver::new());
+        let report = Campaign::new(small_spec())
+            .journal(&path)
+            .resume(true)
+            .observer(obs.clone())
+            .run(&sink)
+            .unwrap();
+        assert_eq!(report.skipped, 4);
+        assert_eq!(report.executed, 0);
+        assert!(report.is_complete());
+        assert!(obs
+            .events()
+            .iter()
+            .any(|e| matches!(e, ExperimentEvent::CampaignResumed { completed: 4, .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn arrival_pacing_still_completes_the_grid() {
+        let sink = MemorySink::new();
+        let spec = small_spec().with_arrival(ArrivalProcess::Uniform { mean_ms: 1.0 });
+        let report = Campaign::new(spec).workers(4).run(&sink).unwrap();
+        assert_eq!(report.executed, 4);
+        assert_eq!(sink.len(), 4);
+    }
+
+    #[test]
+    fn work_stealing_fires_on_imbalanced_queues() {
+        // 8 cells dealt onto 8 workers would give 1 each; instead deal onto
+        // 2 queues but run 8 workers by over-asking: workers clamp to
+        // pending, so force imbalance via many cells and few initial deals.
+        // Simplest observable: with workers > 1 and stealing possible, a
+        // campaign over enough cells records either perfectly local pops or
+        // some steals — assert the accounting stays consistent either way.
+        let spec = small_spec().with_seeds(vec![1, 2, 3, 4, 5, 6]);
+        let obs = Arc::new(CollectingObserver::new());
+        let sink = MemorySink::new();
+        let report = Campaign::new(spec)
+            .workers(3)
+            .observer(obs.clone())
+            .run(&sink)
+            .unwrap();
+        assert_eq!(report.executed, 12);
+        let stolen_events = obs
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ExperimentEvent::CellStolen { .. }))
+            .count();
+        assert_eq!(report.stolen, stolen_events);
+    }
+}

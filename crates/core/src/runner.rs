@@ -8,10 +8,10 @@
 //! use rigor::{CollectingObserver, ExperimentConfig, Runner};
 //! use rigor_workloads::{find, Size};
 //!
-//! # fn main() -> minipy::MpResult<()> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let sieve = find("sieve").expect("in the suite");
 //! let observer = Arc::new(CollectingObserver::new());
-//! let m = Runner::new(ExperimentConfig::interp().with_invocations(2).with_iterations(3))
+//! let m = Runner::new(ExperimentConfig::interp().with_invocations(2).with_iterations(3))?
 //!     .observer(observer.clone())
 //!     .measure(&sieve)?;
 //! assert_eq!(m.n_invocations(), 2);
@@ -20,9 +20,11 @@
 //! # }
 //! ```
 //!
-//! The free functions [`measure_source`] / [`measure_workload`] are thin
-//! wrappers over an observer-less `Runner` kept for callers that need no
-//! telemetry.
+//! `Runner::measure` is the cell-execution primitive of the campaign
+//! orchestrator (`rigor::campaign`): it makes no top-of-stack assumptions,
+//! so any number of runners can execute concurrently on library threads.
+//! The free functions [`measure_source`] / [`measure_workload`] are
+//! deprecated thin wrappers over an observer-less `Runner`.
 //!
 //! # Fault tolerance
 //!
@@ -47,7 +49,7 @@ use minipy::{invocation_seed, MpError, MpResult, RuntimeErrorKind, Session};
 use rigor_workloads::Workload;
 
 use crate::checkpoint::{Journal, JournalMeta, JournalWriter};
-use crate::config::ExperimentConfig;
+use crate::config::{ConfigError, ExperimentConfig};
 use crate::fault::{FaultPlan, InjectedFault};
 use crate::measurement::{BenchmarkMeasurement, CensoredInvocation, FailureKind, InvocationRecord};
 use crate::telemetry::{ExperimentEvent, ExperimentObserver};
@@ -271,16 +273,35 @@ pub struct Runner {
     resume_from: Option<Journal>,
 }
 
+// Manual: observers are opaque trait objects.
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("config", &self.config)
+            .field("observers", &self.observers.len())
+            .field("journal_path", &self.journal_path)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Runner {
     /// A runner with no observers.
-    pub fn new(config: ExperimentConfig) -> Runner {
-        Runner {
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when the config violates a structural invariant
+    /// (zero invocations/iterations/threads, confidence outside (0, 1),
+    /// quarantine threshold outside [0, 1]) — caught here, before any VM
+    /// runs.
+    pub fn new(config: ExperimentConfig) -> Result<Runner, ConfigError> {
+        config.validate()?;
+        Ok(Runner {
             config,
             observers: Vec::new(),
             fault_plan: None,
             journal_path: None,
             resume_from: None,
-        }
+        })
     }
 
     /// Attaches an observer (builder style); call repeatedly to fan out.
@@ -544,31 +565,52 @@ fn journal_outcome(
     }
 }
 
+/// Maps a config rejected at construction into the crate's error type, for
+/// the deprecated wrappers whose signatures predate [`ConfigError`].
+fn config_mp_err(e: ConfigError) -> MpError {
+    MpError::runtime(RuntimeErrorKind::Value, format!("invalid config: {e}"))
+}
+
 /// Measures a workload source under `config` with no telemetry; see
 /// [`Runner::measure_source`].
 ///
+/// **Deprecated.** [`Runner`] is the one entry point: use
+/// `Runner::new(config)?.measure_source(source, benchmark)`, which also
+/// surfaces invalid configs as a typed [`ConfigError`].
+///
 /// # Errors
 ///
-/// As [`Runner::measure_source`].
+/// As [`Runner::measure_source`], plus a runtime `Value` error when the
+/// config fails validation.
+#[deprecated(note = "use Runner::new(config)?.measure_source(source, benchmark)")]
 pub fn measure_source(
     source: &str,
     benchmark: &str,
     config: &ExperimentConfig,
 ) -> MpResult<BenchmarkMeasurement> {
-    Runner::new(config.clone()).measure_source(source, benchmark)
+    Runner::new(config.clone())
+        .map_err(config_mp_err)?
+        .measure_source(source, benchmark)
 }
 
 /// Measures a suite workload at the configured size preset with no
 /// telemetry; see [`Runner::measure`].
 ///
+/// **Deprecated.** [`Runner`] is the one entry point: use
+/// `Runner::new(config)?.measure(workload)`, which also surfaces invalid
+/// configs as a typed [`ConfigError`].
+///
 /// # Errors
 ///
 /// As [`measure_source`].
+#[deprecated(note = "use Runner::new(config)?.measure(workload)")]
 pub fn measure_workload(
     workload: &Workload,
     config: &ExperimentConfig,
 ) -> MpResult<BenchmarkMeasurement> {
-    Runner::new(config.clone()).measure(workload)
+    Runner::new(config.clone())
+        .map_err(config_mp_err)?
+        .measure(workload)
 }
 
 #[cfg(test)]
@@ -588,10 +630,43 @@ mod tests {
             .with_seed(7)
     }
 
+    /// A runner over a config the test knows is valid.
+    fn runner(cfg: ExperimentConfig) -> Runner {
+        Runner::new(cfg).expect("valid config")
+    }
+
+    fn measure(w: &rigor_workloads::Workload, cfg: &ExperimentConfig) -> BenchmarkMeasurement {
+        runner(cfg.clone()).measure(w).expect("measure")
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let err = Runner::new(quick_config().with_invocations(0)).unwrap_err();
+        assert_eq!(err, ConfigError::ZeroInvocations);
+        assert!(Runner::new(quick_config().with_confidence(1.5)).is_err());
+        assert!(Runner::new(quick_config().with_quarantine_threshold(-0.5)).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_runner() {
+        let w = find("sieve").unwrap();
+        let via_wrapper = measure_workload(&w, &quick_config()).unwrap();
+        let via_runner = measure(&w, &quick_config());
+        assert_eq!(
+            crate::export::to_json(&[via_wrapper]).unwrap(),
+            crate::export::to_json(&[via_runner]).unwrap()
+        );
+        // The wrappers surface invalid configs as runtime errors, keeping
+        // their pre-redesign signature.
+        let err = measure_workload(&w, &quick_config().with_iterations(0)).unwrap_err();
+        assert!(err.to_string().contains("invalid config"), "{err}");
+    }
+
     #[test]
     fn measurement_has_requested_shape() {
         let w = find("sieve").unwrap();
-        let m = measure_workload(&w, &quick_config()).unwrap();
+        let m = measure(&w, &quick_config());
         assert_eq!(m.n_invocations(), 4);
         assert_eq!(m.n_iterations(), 5);
         assert_eq!(m.benchmark, "sieve");
@@ -606,8 +681,8 @@ mod tests {
     #[test]
     fn measurement_is_reproducible() {
         let w = find("str_keys").unwrap();
-        let a = measure_workload(&w, &quick_config()).unwrap();
-        let b = measure_workload(&w, &quick_config()).unwrap();
+        let a = measure(&w, &quick_config());
+        let b = measure(&w, &quick_config());
         for (ra, rb) in a.invocations.iter().zip(&b.invocations) {
             assert_eq!(ra.iteration_ns, rb.iteration_ns);
             assert_eq!(ra.seed, rb.seed);
@@ -617,16 +692,16 @@ mod tests {
     #[test]
     fn different_master_seed_changes_times() {
         let w = find("str_keys").unwrap();
-        let a = measure_workload(&w, &quick_config()).unwrap();
-        let b = measure_workload(&w, &quick_config().with_seed(8)).unwrap();
+        let a = measure(&w, &quick_config());
+        let b = measure(&w, &quick_config().with_seed(8));
         assert_ne!(a.invocations[0].iteration_ns, b.invocations[0].iteration_ns);
     }
 
     #[test]
     fn parallel_matches_serial() {
         let w = find("leibniz").unwrap();
-        let serial = measure_workload(&w, &quick_config().with_threads(1)).unwrap();
-        let parallel = measure_workload(&w, &quick_config().with_threads(4)).unwrap();
+        let serial = measure(&w, &quick_config().with_threads(1));
+        let parallel = measure(&w, &quick_config().with_threads(4));
         for (rs, rp) in serial.invocations.iter().zip(&parallel.invocations) {
             assert_eq!(rs.iteration_ns, rp.iteration_ns);
         }
@@ -638,7 +713,7 @@ mod tests {
         let cfg = quick_config()
             .with_iterations(15)
             .with_engine(EngineKind::Jit(minipy::JitConfig::default()));
-        let m = measure_workload(&w, &cfg).unwrap();
+        let m = measure(&w, &cfg);
         assert_eq!(m.engine, "jit");
         assert!(
             m.invocations.iter().any(|r| r.jit_compiles > 0),
@@ -650,7 +725,9 @@ mod tests {
     fn bad_source_propagates_error() {
         // Compile-class errors fail fast: no retry can fix a parse error.
         let cfg = quick_config();
-        assert!(measure_source("def broken(:\n", "broken", &cfg).is_err());
+        assert!(runner(cfg.clone())
+            .measure_source("def broken(:\n", "broken")
+            .is_err());
     }
 
     #[test]
@@ -669,7 +746,7 @@ mod tests {
         let cfg = quick_config()
             .with_iterations(15)
             .with_engine(EngineKind::Jit(minipy::JitConfig::default()));
-        let m = measure_workload(&w, &cfg).unwrap();
+        let m = measure(&w, &cfg);
         for r in &m.invocations {
             let counters = r.iteration_counters.as_ref().expect("runner records them");
             assert_eq!(counters.len(), r.iteration_ns.len());
@@ -689,7 +766,7 @@ mod tests {
     fn observers_see_a_complete_stream() {
         let w = find("sieve").unwrap();
         let obs = Arc::new(CollectingObserver::new());
-        let m = Runner::new(quick_config())
+        let m = runner(quick_config())
             .observer(obs.clone())
             .measure(&w)
             .unwrap();
@@ -701,7 +778,7 @@ mod tests {
     #[test]
     fn runtime_failures_are_retried_then_censored() {
         let obs = Arc::new(CollectingObserver::new());
-        let runner = Runner::new(quick_config()).observer(obs.clone());
+        let runner = runner(quick_config()).observer(obs.clone());
         // Runtime NameError during module setup: retried, then censored.
         let m = runner.measure_source("x = undefined\n", "broken").unwrap();
         assert!(m.invocations.is_empty());
@@ -747,7 +824,7 @@ mod tests {
             .with_invocations(2)
             .with_deadline_ns(5.0e7)
             .with_max_retries(1);
-        let m = Runner::new(cfg)
+        let m = runner(cfg)
             .observer(obs.clone())
             .measure_source(DIVERGENT_SRC, "divergent")
             .unwrap();
@@ -772,7 +849,9 @@ mod tests {
             .with_invocations(1)
             .with_step_budget(50_000)
             .with_max_retries(0);
-        let m = measure_source(DIVERGENT_SRC, "divergent", &cfg).unwrap();
+        let m = runner(cfg.clone())
+            .measure_source(DIVERGENT_SRC, "divergent")
+            .unwrap();
         assert_eq!(m.censored.len(), 1);
         assert_eq!(m.censored[0].failure, FailureKind::FuelExhausted);
         assert_eq!(m.censored[0].attempts, 1);
@@ -785,7 +864,9 @@ mod tests {
             .with_invocations(2)
             .with_deadline_ns(5.0e7)
             .with_quarantine_threshold(1.0);
-        let m = measure_source(DIVERGENT_SRC, "divergent", &cfg).unwrap();
+        let m = runner(cfg.clone())
+            .measure_source(DIVERGENT_SRC, "divergent")
+            .unwrap();
         assert_eq!(m.censored.len(), 2);
         assert!(!m.quarantined);
     }
@@ -794,7 +875,7 @@ mod tests {
     fn injected_panics_are_retried_and_censored() {
         let cfg = quick_config().with_max_retries(0);
         let w = find("sieve").unwrap();
-        let m = Runner::new(cfg)
+        let m = runner(cfg)
             .fault_plan(FaultPlan::new(11).with_panic_rate(1.0))
             .measure(&w)
             .unwrap();
@@ -810,7 +891,7 @@ mod tests {
         // independent across attempts).
         let cfg = quick_config().with_invocations(8).with_max_retries(6);
         let w = find("sieve").unwrap();
-        let m = Runner::new(cfg)
+        let m = runner(cfg)
             .fault_plan(FaultPlan::new(13).with_panic_rate(0.5))
             .measure(&w)
             .unwrap();
@@ -820,7 +901,7 @@ mod tests {
             "a 50% fault rate over 8 invocations should force some retries"
         );
         // First-try successes must be bit-identical to an injection-free run.
-        let clean = measure_workload(&w, &quick_config().with_invocations(8)).unwrap();
+        let clean = measure(&w, &quick_config().with_invocations(8));
         for r in m.invocations.iter().filter(|r| r.attempts == 1) {
             let reference = &clean.invocations[r.invocation as usize];
             assert_eq!(r.iteration_ns, reference.iteration_ns);
@@ -837,7 +918,7 @@ mod tests {
         }
         let collector = Arc::new(CollectingObserver::new());
         let w = find("sieve").unwrap();
-        let m = Runner::new(quick_config())
+        let m = runner(quick_config())
             .observer(Arc::new(Grenade))
             .observer(collector.clone())
             .measure(&w)
@@ -853,7 +934,7 @@ mod tests {
         let path = dir.join(format!("rigor-runner-journal-{}.jsonl", std::process::id()));
         let w = find("sieve").unwrap();
         let cfg = quick_config();
-        let full = Runner::new(cfg.clone()).journal(&path).measure(&w).unwrap();
+        let full = runner(cfg.clone()).journal(&path).measure(&w).unwrap();
 
         // Truncate the journal to 2 completed invocations (meta + 2 lines),
         // as if the process died mid-experiment.
@@ -863,7 +944,7 @@ mod tests {
 
         let journal = Journal::load(&path).unwrap();
         assert_eq!(journal.completed(), 2);
-        let resumed = Runner::new(cfg).resume(journal).measure(&w).unwrap();
+        let resumed = runner(cfg).resume(journal).measure(&w).unwrap();
         assert_eq!(resumed.n_invocations(), 4);
         for (a, b) in full.invocations.iter().zip(&resumed.invocations) {
             assert_eq!(a.iteration_ns, b.iteration_ns);
@@ -886,13 +967,10 @@ mod tests {
             std::process::id()
         ));
         let w = find("sieve").unwrap();
-        Runner::new(quick_config())
-            .journal(&path)
-            .measure(&w)
-            .unwrap();
+        runner(quick_config()).journal(&path).measure(&w).unwrap();
         let journal = Journal::load(&path).unwrap();
         // Different seed → the journaled records are not replayable.
-        let r = Runner::new(quick_config().with_seed(999))
+        let r = runner(quick_config().with_seed(999))
             .resume(journal)
             .measure(&w);
         assert!(r.is_err());

@@ -9,9 +9,11 @@ use minipy::MpResult;
 use rigor_stats::ci::{mean_ci, ConfidenceInterval};
 use serde::{Deserialize, Serialize};
 
+use minipy::{MpError, RuntimeErrorKind};
+
 use crate::config::ExperimentConfig;
 use crate::measurement::BenchmarkMeasurement;
-use crate::runner::measure_source;
+use crate::runner::Runner;
 use crate::steady::{per_invocation_steady_means, SteadyStateDetector};
 
 /// Outcome of a sequential-sampling run.
@@ -78,7 +80,9 @@ pub fn run_until_precise(
         // so this equals incrementally extending (and keeps the runner API
         // simple); virtual time is cheap.
         let cfg = config.clone().with_invocations(n);
-        let m = measure_source(source, benchmark, &cfg)?;
+        let m = Runner::new(cfg)
+            .map_err(|e| MpError::runtime(RuntimeErrorKind::Value, format!("invalid config: {e}")))?
+            .measure_source(source, benchmark)?;
         let (ci, rel) = precision_of(&m, detector, config.confidence);
         let met = rel
             .map(|r| r <= plan.target_rel_half_width)
@@ -181,7 +185,10 @@ mod tests {
     #[test]
     fn precision_of_reports_relative_half_width() {
         let w = find("sieve").unwrap();
-        let m = measure_source(&w.source(Size::Small), w.name, &cfg().with_invocations(6)).unwrap();
+        let m = Runner::new(cfg().with_invocations(6))
+            .unwrap()
+            .measure_source(&w.source(Size::Small), w.name)
+            .unwrap();
         let (ci, rel) = precision_of(&m, &SteadyStateDetector::default(), 0.95);
         let ci = ci.expect("steady benchmark has a CI");
         let rel = rel.unwrap();

@@ -24,6 +24,11 @@
 //! holds, and all events of the experiment sit between `ExperimentStarted`
 //! and `ExperimentFinished`.
 //!
+//! Campaign orchestration (see `rigor::campaign`) wraps many such streams:
+//! the run-level events `CampaignStarted`, `CellCompleted`, `CellStolen` and
+//! `CampaignResumed` bracket the per-cell experiment streams, all flowing to
+//! the same observers.
+//!
 //! Observers receive events on a dedicated drain thread — never on the
 //! worker threads timing iterations — so a slow observer cannot serialize
 //! parallel invocations. Implementations must therefore be `Send + Sync`.
@@ -199,6 +204,56 @@ pub enum ExperimentEvent {
         /// Whether the shift is newly detected at HEAD (an alert).
         at_head: bool,
     },
+    /// A campaign began: the orchestrator expanded the cell grid and is
+    /// about to schedule cells onto workers. A *run-level* event.
+    CampaignStarted {
+        /// The campaign's identity fingerprint.
+        campaign: String,
+        /// Cells in the grid.
+        cells: u32,
+        /// Worker threads executing cells.
+        workers: u32,
+        /// Arrival-process description (`"immediate"`, `"uniform:…"`, …).
+        arrival: String,
+    },
+    /// A torn campaign was resumed: cells already present in the archive
+    /// are skipped and only the remainder is scheduled. A *run-level* event.
+    CampaignResumed {
+        /// The campaign's identity fingerprint.
+        campaign: String,
+        /// Cells already archived by the interrupted run.
+        completed: u32,
+        /// Cells in the grid.
+        cells: u32,
+    },
+    /// One campaign cell finished measuring and was streamed into the
+    /// archive. A *run-level* event (the cell id names the benchmark).
+    CellCompleted {
+        /// Canonical cell id (`benchmark/engine/variant/seed`).
+        cell: String,
+        /// The cell's index in grid-expansion order.
+        index: u32,
+        /// The worker that executed the cell.
+        worker: u32,
+        /// Content-addressed id of the archived run, when archived.
+        run_id: String,
+        /// Cells completed so far, including this one.
+        completed: u32,
+        /// Cells in the grid.
+        cells: u32,
+    },
+    /// An idle worker stole a queued cell from another worker's deque.
+    /// A *run-level* event.
+    CellStolen {
+        /// Canonical cell id of the stolen cell.
+        cell: String,
+        /// The cell's index in grid-expansion order.
+        index: u32,
+        /// The worker the cell was queued on.
+        from_worker: u32,
+        /// The worker that stole and will execute it.
+        to_worker: u32,
+    },
 }
 
 impl ExperimentEvent {
@@ -218,6 +273,10 @@ impl ExperimentEvent {
             ExperimentEvent::RegressionChecked { .. } => "regression_checked",
             ExperimentEvent::TrendAnalyzed { .. } => "trend_analyzed",
             ExperimentEvent::ChangepointDetected { .. } => "changepoint_detected",
+            ExperimentEvent::CampaignStarted { .. } => "campaign_started",
+            ExperimentEvent::CampaignResumed { .. } => "campaign_resumed",
+            ExperimentEvent::CellCompleted { .. } => "cell_completed",
+            ExperimentEvent::CellStolen { .. } => "cell_stolen",
         }
     }
 
@@ -238,7 +297,11 @@ impl ExperimentEvent {
             | ExperimentEvent::ChangepointDetected { benchmark, .. } => benchmark,
             ExperimentEvent::RunArchived { .. }
             | ExperimentEvent::RegressionChecked { .. }
-            | ExperimentEvent::TrendAnalyzed { .. } => "",
+            | ExperimentEvent::TrendAnalyzed { .. }
+            | ExperimentEvent::CampaignStarted { .. }
+            | ExperimentEvent::CampaignResumed { .. }
+            | ExperimentEvent::CellCompleted { .. }
+            | ExperimentEvent::CellStolen { .. } => "",
         }
     }
 }
@@ -405,6 +468,52 @@ impl Serialize for ExperimentEvent {
                 put("p_adjusted", p_adjusted.to_value());
                 put("at_head", at_head.to_value());
             }
+            ExperimentEvent::CampaignStarted {
+                campaign,
+                cells,
+                workers,
+                arrival,
+            } => {
+                put("campaign", campaign.to_value());
+                put("cells", cells.to_value());
+                put("workers", workers.to_value());
+                put("arrival", arrival.to_value());
+            }
+            ExperimentEvent::CampaignResumed {
+                campaign,
+                completed,
+                cells,
+            } => {
+                put("campaign", campaign.to_value());
+                put("completed", completed.to_value());
+                put("cells", cells.to_value());
+            }
+            ExperimentEvent::CellCompleted {
+                cell,
+                index,
+                worker,
+                run_id,
+                completed,
+                cells,
+            } => {
+                put("cell", cell.to_value());
+                put("index", index.to_value());
+                put("worker", worker.to_value());
+                put("run_id", run_id.to_value());
+                put("completed", completed.to_value());
+                put("cells", cells.to_value());
+            }
+            ExperimentEvent::CellStolen {
+                cell,
+                index,
+                from_worker,
+                to_worker,
+            } => {
+                put("cell", cell.to_value());
+                put("index", index.to_value());
+                put("from_worker", from_worker.to_value());
+                put("to_worker", to_worker.to_value());
+            }
         }
         JsonValue::Object(fields)
     }
@@ -495,6 +604,31 @@ impl Deserialize for ExperimentEvent {
                 magnitude: get_field(v, "magnitude")?,
                 p_adjusted: get_field(v, "p_adjusted")?,
                 at_head: get_field(v, "at_head")?,
+            }),
+            "campaign_started" => Ok(ExperimentEvent::CampaignStarted {
+                campaign: get_field(v, "campaign")?,
+                cells: get_field(v, "cells")?,
+                workers: get_field(v, "workers")?,
+                arrival: get_field(v, "arrival")?,
+            }),
+            "campaign_resumed" => Ok(ExperimentEvent::CampaignResumed {
+                campaign: get_field(v, "campaign")?,
+                completed: get_field(v, "completed")?,
+                cells: get_field(v, "cells")?,
+            }),
+            "cell_completed" => Ok(ExperimentEvent::CellCompleted {
+                cell: get_field(v, "cell")?,
+                index: get_field(v, "index")?,
+                worker: get_field(v, "worker")?,
+                run_id: get_field(v, "run_id")?,
+                completed: get_field(v, "completed")?,
+                cells: get_field(v, "cells")?,
+            }),
+            "cell_stolen" => Ok(ExperimentEvent::CellStolen {
+                cell: get_field(v, "cell")?,
+                index: get_field(v, "index")?,
+                from_worker: get_field(v, "from_worker")?,
+                to_worker: get_field(v, "to_worker")?,
             }),
             other => Err(DeError::new(format!("unknown event kind `{other}`"))),
         }
@@ -705,13 +839,45 @@ impl ExperimentObserver for ProgressObserver {
                     "[{benchmark}] QUARANTINED: {censored}/{invocations} invocations censored"
                 ));
             }
+            ExperimentEvent::CampaignStarted {
+                cells,
+                workers,
+                arrival,
+                ..
+            } => {
+                drop(guard);
+                self.line(format!(
+                    "[campaign] {cells} cells on {workers} workers (arrival: {arrival})"
+                ));
+            }
+            ExperimentEvent::CampaignResumed {
+                completed, cells, ..
+            } => {
+                drop(guard);
+                self.line(format!(
+                    "[campaign] resumed: {completed}/{cells} cells already archived"
+                ));
+            }
+            ExperimentEvent::CellCompleted {
+                cell,
+                worker,
+                completed,
+                cells,
+                ..
+            } => {
+                drop(guard);
+                self.line(format!(
+                    "[campaign] ({completed}/{cells}) {cell}  worker {worker}"
+                ));
+            }
             ExperimentEvent::InvocationStarted { .. }
             | ExperimentEvent::InvocationTimedOut { .. }
             | ExperimentEvent::CheckpointWritten { .. }
             | ExperimentEvent::RunArchived { .. }
             | ExperimentEvent::RegressionChecked { .. }
             | ExperimentEvent::TrendAnalyzed { .. }
-            | ExperimentEvent::ChangepointDetected { .. } => {}
+            | ExperimentEvent::ChangepointDetected { .. }
+            | ExperimentEvent::CellStolen { .. } => {}
         }
     }
 }
@@ -901,6 +1067,31 @@ mod tests {
                 p_adjusted: 0.0004,
                 at_head: true,
             },
+            ExperimentEvent::CampaignStarted {
+                campaign: "c0ffee12".into(),
+                cells: 8,
+                workers: 2,
+                arrival: "poisson:1000".into(),
+            },
+            ExperimentEvent::CampaignResumed {
+                campaign: "c0ffee12".into(),
+                completed: 3,
+                cells: 8,
+            },
+            ExperimentEvent::CellCompleted {
+                cell: "sieve/interp/10x30/42".into(),
+                index: 4,
+                worker: 1,
+                run_id: "ab12cd34ef56".into(),
+                completed: 5,
+                cells: 8,
+            },
+            ExperimentEvent::CellStolen {
+                cell: "sieve/jit/10x30/42".into(),
+                index: 6,
+                from_worker: 0,
+                to_worker: 1,
+            },
         ]
     }
 
@@ -939,7 +1130,15 @@ mod tests {
                 .find(|e| e.name() == name)
                 .unwrap_or_else(|| panic!("sample stream has {name}"))
         };
-        for name in ["run_archived", "regression_checked", "trend_analyzed"] {
+        for name in [
+            "run_archived",
+            "regression_checked",
+            "trend_analyzed",
+            "campaign_started",
+            "campaign_resumed",
+            "cell_completed",
+            "cell_stolen",
+        ] {
             assert_eq!(by_name(name).benchmark(), "", "{name}");
         }
         // A detected changepoint belongs to its benchmark.

@@ -417,6 +417,25 @@ impl Store {
         measurements: Vec<BenchmarkMeasurement>,
     ) -> Result<&RunRecord, StoreError> {
         let seq = self.runs.last().map(|s| s.record.seq + 1).unwrap_or(0);
+        self.append_at_seq(seq, label, config, measurements)
+    }
+
+    /// Archives one run under an explicit sequence number instead of the
+    /// next free one. The campaign orchestrator uses this to give every
+    /// cell its grid index as `seq`, so a cell's archived line is
+    /// byte-identical whatever order concurrent workers complete in (the
+    /// content hash covers `seq`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append_at_seq(
+        &mut self,
+        seq: u64,
+        label: Option<String>,
+        config: &ExperimentConfig,
+        measurements: Vec<BenchmarkMeasurement>,
+    ) -> Result<&RunRecord, StoreError> {
         let record = RunRecord::new(seq, label, config, measurements);
         let line = record_line(&record);
         let path = self.journal_path();

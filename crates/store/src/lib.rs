@@ -47,6 +47,7 @@ pub mod hash;
 pub mod history;
 pub mod index;
 pub mod record;
+pub mod shared;
 
 pub use archive::{CompactionReport, Store, StoreError, VerifyReport, ARCHIVE_FILE};
 pub use baseline::BaselineRef;
@@ -54,3 +55,4 @@ pub use hash::content_hash;
 pub use history::{benchmark_history, benchmark_names, segment_baseline, trend_report};
 pub use index::{Index, IndexEntry, INDEX_FILE};
 pub use record::{ConfigFingerprint, HostMeta, RunRecord, RECORD_SCHEMA_VERSION};
+pub use shared::SharedStore;

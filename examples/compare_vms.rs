@@ -33,8 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let w = find(name).expect("known benchmark");
         println!("measuring {name} on both engines ...");
         pairs.push((
-            measure_workload(&w, &interp_cfg)?,
-            measure_workload(&w, &jit_cfg)?,
+            Runner::new(interp_cfg.clone())?.measure(&w)?,
+            Runner::new(jit_cfg.clone())?.measure(&w)?,
         ));
     }
 

@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_seed(5),
     ] {
         let engine = cfg.engine.name();
-        let m = measure_source(SOURCE, "collatz", &cfg)?;
+        let m = Runner::new(cfg.clone())?.measure_source(SOURCE, "collatz")?;
         let (ci, _) = precision_of(&m, &det, 0.95);
         match ci {
             Some(ci) => println!(

@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_iterations(30)
         .with_size(Size::Default)
         .with_seed(3);
-    let base = measure_workload(&w, &interp_cfg)?;
-    let cand = measure_workload(&w, &jit_cfg)?;
+    let base = Runner::new(interp_cfg.clone())?.measure(&w)?;
+    let cand = Runner::new(jit_cfg.clone())?.measure(&w)?;
 
     let truth = compare(&base, &cand, &SteadyStateDetector::default(), 0.95)?;
     println!(

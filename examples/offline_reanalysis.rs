@@ -11,20 +11,20 @@ use rigor::{from_json, to_json};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Phase 1: the (expensive) measurement campaign -------------------
     let w = find("sieve").expect("in the suite");
-    let interp = measure_workload(
-        &w,
-        &ExperimentConfig::interp()
+    let interp = Runner::new(
+        ExperimentConfig::interp()
             .with_invocations(10)
             .with_iterations(25)
             .with_seed(21),
-    )?;
-    let jit = measure_workload(
-        &w,
-        &ExperimentConfig::jit()
+    )?
+    .measure(&w)?;
+    let jit = Runner::new(
+        ExperimentConfig::jit()
             .with_invocations(10)
             .with_iterations(25)
             .with_seed(21),
-    )?;
+    )?
+    .measure(&w)?;
     let archive = to_json(&[interp, jit])?;
     println!(
         "archived {} bytes of raw measurements (normally written to disk)\n",

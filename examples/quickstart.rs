@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(42);
 
     // Measure. Every per-iteration virtual time is recorded.
-    let measurement = measure_workload(&sieve, &config)?;
+    let measurement = Runner::new(config.clone())?.measure(&sieve)?;
     println!(
         "measured  : {} invocations x {} iterations",
         measurement.n_invocations(),

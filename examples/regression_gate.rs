@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut measurements = Vec::new();
         for name in workloads {
             let w = find(name).expect("in the suite");
-            measurements.push(measure_workload(&w, &cfg)?);
+            measurements.push(Runner::new(cfg.clone())?.measure(&w)?);
         }
         let run = store.append(Some(label.into()), &cfg, measurements)?;
         println!(
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut current = Vec::new();
     for name in workloads {
         let w = find(name).expect("in the suite");
-        current.push(measure_workload(&w, &cfg)?);
+        current.push(Runner::new(cfg.clone())?.measure(&w)?);
     }
     let policy = GatePolicy::default(); // BH correction, q = 0.05, 0% tolerance
     let verdict = check_regressions(&pooled, &current, &SteadyStateDetector::default(), &policy);
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fast = Vec::new();
     for name in workloads {
         let w = find(name).expect("in the suite");
-        fast.push(measure_workload(&w, &jit_cfg)?);
+        fast.push(Runner::new(jit_cfg.clone())?.measure(&w)?);
     }
     let slowdown = check_regressions(&fast, &current, &SteadyStateDetector::default(), &policy);
     println!("\ninterpreter gated against a JIT baseline:");

@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_iterations(50)
         .with_size(Size::Default)
         .with_seed(11);
-    let m = measure_workload(&w, &cfg)?;
+    let m = Runner::new(cfg.clone())?.measure(&w)?;
 
     println!("{} on the JIT engine — per-invocation series:\n", w.name);
     let classifier = WarmupClassifier::default();

@@ -1,0 +1,198 @@
+//! Crash-safety of campaign orchestration: killing a campaign after *any*
+//! byte prefix of its journal and resuming must yield an archive
+//! byte-identical to the uninterrupted run's (single worker), and a
+//! content-id set identical to it under concurrent workers — the campaign
+//! analogue of `store_archive.rs`.
+//!
+//! The simulated kill point is "right after the journal flush of cell J":
+//! the archive (appended before the journal line, and authoritative on
+//! resume) holds exactly the first J cells, and the journal holds the
+//! prefix — possibly with a torn final line, which resume must forgive.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use rigor::{Campaign, CampaignSpec, ExperimentConfig};
+use rigor_store::{SharedStore, Store, ARCHIVE_FILE};
+use rigor_workloads::Size;
+
+/// The grid under test: 2 benchmarks x 1 engine x 1 variant x 2 seeds.
+fn spec() -> CampaignSpec {
+    let base = ExperimentConfig::interp()
+        .with_invocations(1)
+        .with_iterations(2)
+        .with_size(Size::Small)
+        .with_seed(3);
+    CampaignSpec::new(base)
+        .with_benchmarks(["sieve", "leibniz"])
+        .with_seeds(vec![3, 4])
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rigor-campaign-resume-{}-{name}",
+        std::process::id()
+    ));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Runs the campaign uninterrupted on one worker (deterministic append
+/// order: grid order) and returns its (archive bytes, journal bytes).
+fn clean_run(dir: &PathBuf) -> (Vec<u8>, Vec<u8>) {
+    let sink = SharedStore::open(dir).expect("open store");
+    let journal = dir.join("campaign.jsonl");
+    let report = Campaign::new(spec())
+        .workers(1)
+        .journal(&journal)
+        .run(&sink)
+        .expect("clean campaign");
+    assert!(report.is_complete());
+    assert_eq!(report.executed, 4);
+    (
+        fs::read(dir.join(ARCHIVE_FILE)).expect("read archive"),
+        fs::read(&journal).expect("read journal"),
+    )
+}
+
+/// The content-id set of every archived run, with its grid seq.
+fn id_set(dir: &PathBuf) -> BTreeSet<(u64, String)> {
+    let store = Store::open(dir).expect("open");
+    store.runs().map(|r| (r.seq, r.id.clone())).collect()
+}
+
+#[test]
+fn every_journal_byte_prefix_resumes_to_a_byte_identical_archive() {
+    let clean_dir = temp_dir("clean");
+    let (clean_archive, clean_journal) = clean_run(&clean_dir);
+
+    // Archive line boundaries: meta line, then one line per cell in grid
+    // order (workers=1). Slicing at these boundaries reconstructs the
+    // archive state after any number of completed cells.
+    let archive_line_ends: Vec<usize> = clean_archive
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    let journal_meta_end = clean_journal
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("journal meta newline")
+        + 1;
+
+    let work_dir = temp_dir("work");
+    for cut in 0..=clean_journal.len() {
+        // Complete journaled cells in this prefix.
+        let journaled = if cut < journal_meta_end {
+            0
+        } else {
+            clean_journal[journal_meta_end..cut]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+        };
+        fs::remove_dir_all(&work_dir).ok();
+        fs::create_dir_all(&work_dir).expect("work dir");
+        fs::write(work_dir.join("campaign.jsonl"), &clean_journal[..cut]).expect("journal prefix");
+        // Archive = meta line + the first `journaled` cell lines.
+        fs::write(
+            work_dir.join(ARCHIVE_FILE),
+            &clean_archive[..archive_line_ends[journaled]],
+        )
+        .expect("archive prefix");
+
+        let sink = SharedStore::open(&work_dir).expect("open work store");
+        let report = Campaign::new(spec())
+            .workers(1)
+            .journal(work_dir.join("campaign.jsonl"))
+            .resume(true)
+            .run(&sink)
+            .unwrap_or_else(|e| panic!("resume after journal cut {cut} failed: {e}"));
+        assert!(report.is_complete(), "cut {cut} left the campaign torn");
+        assert_eq!(
+            report.skipped, journaled,
+            "cut {cut} must skip exactly the archived cells"
+        );
+
+        let resumed = fs::read(work_dir.join(ARCHIVE_FILE)).expect("read resumed archive");
+        assert_eq!(
+            resumed, clean_archive,
+            "archive differs from uninterrupted run after journal cut {cut}"
+        );
+    }
+    fs::remove_dir_all(&clean_dir).ok();
+    fs::remove_dir_all(&work_dir).ok();
+}
+
+#[test]
+fn interrupted_concurrent_campaign_resumes_to_the_same_content_id_set() {
+    let clean_dir = temp_dir("set-clean");
+    let (clean_archive, _) = clean_run(&clean_dir);
+
+    // Interrupt a 4-worker run after at most 2 cells, then resume it.
+    let work_dir = temp_dir("set-work");
+    let journal = work_dir.join("campaign.jsonl");
+    let sink = SharedStore::open(&work_dir).expect("open store");
+    let partial = Campaign::new(spec())
+        .workers(4)
+        .journal(&journal)
+        .max_cells(2)
+        .run(&sink)
+        .expect("interrupted campaign");
+    assert!(!partial.is_complete());
+    assert_eq!(partial.executed, 2);
+    drop(sink);
+
+    let sink = SharedStore::open(&work_dir).expect("reopen store");
+    let resumed = Campaign::new(spec())
+        .workers(4)
+        .journal(&journal)
+        .resume(true)
+        .run(&sink)
+        .expect("resumed campaign");
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.skipped, 2);
+
+    // Same content-id set as the uninterrupted run, and — because each
+    // cell's line carries its grid index as seq and is byte-identical under
+    // any completion order — the same archive lines up to ordering.
+    assert_eq!(id_set(&work_dir), id_set(&clean_dir));
+    let mut clean_lines: Vec<&[u8]> = clean_archive.split(|&b| b == b'\n').collect();
+    let work_archive = fs::read(work_dir.join(ARCHIVE_FILE)).expect("read archive");
+    let mut work_lines: Vec<&[u8]> = work_archive.split(|&b| b == b'\n').collect();
+    clean_lines.sort();
+    work_lines.sort();
+    assert_eq!(clean_lines, work_lines);
+
+    fs::remove_dir_all(&clean_dir).ok();
+    fs::remove_dir_all(&work_dir).ok();
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_grid() {
+    let dir = temp_dir("mismatch");
+    let journal = dir.join("campaign.jsonl");
+    let sink = SharedStore::open(&dir).expect("open store");
+    Campaign::new(spec())
+        .workers(1)
+        .journal(&journal)
+        .run(&sink)
+        .expect("clean campaign");
+
+    // Same store, different seed axis: the journal no longer describes
+    // this grid and resuming must fail loudly instead of mixing cells.
+    let other = spec().with_seeds(vec![5]);
+    let err = Campaign::new(other)
+        .workers(1)
+        .journal(&journal)
+        .resume(true)
+        .run(&sink)
+        .expect_err("grid mismatch must be rejected");
+    assert!(
+        err.to_string().contains("journal"),
+        "unexpected error: {err}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}

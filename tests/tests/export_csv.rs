@@ -133,7 +133,10 @@ fn live_measurement_roundtrips_through_csv() {
         .with_size(rigor_workloads::Size::Small)
         .with_seed(3);
     let w = rigor_workloads::find("sieve").expect("sieve in suite");
-    let m = rigor::Runner::new(cfg).measure(&w).expect("measure");
+    let m = rigor::Runner::new(cfg)
+        .expect("valid config")
+        .measure(&w)
+        .expect("measure");
     let csv = rigor::to_csv(std::slice::from_ref(&m));
     let parsed = rigor::from_csv(&csv).expect("parse own export");
     assert_eq!(rigor::to_csv(&parsed), csv);

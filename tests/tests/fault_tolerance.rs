@@ -18,6 +18,10 @@ fn quick_config() -> ExperimentConfig {
         .with_seed(7)
 }
 
+fn runner(cfg: ExperimentConfig) -> Runner {
+    Runner::new(cfg).expect("valid config")
+}
+
 /// A unique temp path per call, so parallel tests and proptest cases never
 /// collide on a journal file.
 fn temp_journal(tag: &str) -> std::path::PathBuf {
@@ -36,7 +40,8 @@ fn divergent_workload_yields_a_censored_report() {
         .with_invocations(3)
         .with_deadline_ns(5.0e7)
         .with_max_retries(2);
-    let m = rigor::measure_source(DIVERGENT_SRC, "divergent", &cfg)
+    let m = runner(cfg)
+        .measure_source(DIVERGENT_SRC, "divergent")
         .expect("runtime failures must not abort the experiment");
     assert_eq!(m.n_invocations(), 0);
     assert_eq!(m.censored.len(), 3);
@@ -61,7 +66,9 @@ fn fuel_exhaustion_yields_a_censored_report() {
         .with_invocations(1)
         .with_step_budget(50_000)
         .with_max_retries(0);
-    let m = rigor::measure_source(DIVERGENT_SRC, "divergent", &cfg).expect("censored, not error");
+    let m = runner(cfg)
+        .measure_source(DIVERGENT_SRC, "divergent")
+        .expect("censored, not error");
     assert_eq!(m.censored.len(), 1);
     assert_eq!(m.censored[0].failure, FailureKind::FuelExhausted);
 }
@@ -72,7 +79,7 @@ fn fuel_exhaustion_yields_a_censored_report() {
 fn faulty_runs_checkpoint_every_slot() {
     let w = find("sieve").expect("in the suite");
     let path = temp_journal("faulty");
-    let m = Runner::new(quick_config().with_max_retries(4))
+    let m = runner(quick_config().with_max_retries(4))
         .fault_plan(FaultPlan::new(21).with_panic_rate(0.4))
         .journal(&path)
         .measure(&w)
@@ -104,7 +111,7 @@ proptest! {
             .with_iterations(iterations)
             .with_seed(seed);
         let path = temp_journal("prop");
-        let full = Runner::new(cfg.clone())
+        let full = runner(cfg.clone())
             .journal(&path)
             .measure(&w)
             .expect("clean run");
@@ -119,7 +126,7 @@ proptest! {
 
         let journal = Journal::load(&path).expect("prefix parses");
         prop_assert_eq!(journal.completed(), keep - 1);
-        let resumed = Runner::new(cfg)
+        let resumed = runner(cfg)
             .resume(journal)
             .measure(&w)
             .expect("resumed run");
@@ -137,7 +144,7 @@ proptest! {
         let w = find("sieve").expect("in the suite");
         let cfg = quick_config().with_invocations(3).with_seed(seed);
         let path = temp_journal("torn");
-        let full = Runner::new(cfg.clone())
+        let full = runner(cfg.clone())
             .journal(&path)
             .measure(&w)
             .expect("clean run");
@@ -152,7 +159,7 @@ proptest! {
         let journal = Journal::load(&path).expect("torn tail tolerated");
         prop_assert!(journal.truncated, "the torn line must be flagged");
         prop_assert_eq!(journal.completed(), 1);
-        let resumed = Runner::new(cfg)
+        let resumed = runner(cfg)
             .resume(journal)
             .measure(&w)
             .expect("resumed run");

@@ -2,8 +2,13 @@
 //! steady-state detection → rigorous comparison.
 
 use integration_tests::test_seed;
-use rigor::{compare, compare_suite, measure_workload, ExperimentConfig, SteadyStateDetector};
+use rigor::{compare, compare_suite, ExperimentConfig, SteadyStateDetector};
 use rigor_workloads::{find, suite, Size};
+
+/// Builds a runner for a fixed test config (shape validity asserted).
+fn runner(cfg: &ExperimentConfig) -> rigor::Runner {
+    rigor::Runner::new(cfg.clone()).expect("valid config")
+}
 
 fn interp(invocations: u32, iterations: u32) -> ExperimentConfig {
     ExperimentConfig::interp()
@@ -24,8 +29,8 @@ fn jit(invocations: u32, iterations: u32) -> ExperimentConfig {
 #[test]
 fn full_pipeline_detects_jit_speedup_on_numeric_kernel() {
     let w = find("leibniz").expect("in suite");
-    let base = measure_workload(&w, &interp(6, 25)).expect("interp");
-    let cand = measure_workload(&w, &jit(6, 25)).expect("jit");
+    let base = runner(&interp(6, 25)).measure(&w).expect("interp");
+    let cand = runner(&jit(6, 25)).measure(&w).expect("jit");
     let r = compare(&base, &cand, &SteadyStateDetector::default(), 0.95).expect("converges");
     assert!(r.significant, "{:?}", r.speedup);
     assert!(r.speedup.estimate > 3.0, "leibniz speedup {:?}", r.speedup);
@@ -36,8 +41,8 @@ fn full_pipeline_detects_jit_speedup_on_numeric_kernel() {
 #[test]
 fn startup_dominated_benchmark_shows_no_speedup() {
     let w = find("startup_heavy").expect("in suite");
-    let base = measure_workload(&w, &interp(6, 25)).expect("interp");
-    let cand = measure_workload(&w, &jit(6, 25)).expect("jit");
+    let base = runner(&interp(6, 25)).measure(&w).expect("interp");
+    let cand = runner(&jit(6, 25)).measure(&w).expect("jit");
     let r = compare(&base, &cand, &SteadyStateDetector::default(), 0.95).expect("converges");
     assert!(
         r.speedup.estimate < 1.3,
@@ -58,7 +63,7 @@ fn engines_agree_semantically_on_whole_suite() {
 #[test]
 fn checksums_consistent_across_invocations_for_whole_suite() {
     for w in suite() {
-        let m = measure_workload(&w, &interp(3, 2)).expect(w.name);
+        let m = runner(&interp(3, 2)).measure(&w).expect(w.name);
         assert!(
             m.checksums_consistent(),
             "{} must compute a seed-independent checksum",
@@ -76,8 +81,8 @@ fn suite_comparison_on_subset_has_sane_geomean() {
         // dict_churn's JIT warmup is the longest of the three; 40 iterations
         // leaves enough steady tail for the detector at this seed.
         pairs.push((
-            measure_workload(&w, &interp(5, 40)).expect("interp"),
-            measure_workload(&w, &jit(5, 40)).expect("jit"),
+            runner(&interp(5, 40)).measure(&w).expect("interp"),
+            runner(&jit(5, 40)).measure(&w).expect("jit"),
         ));
     }
     let s = compare_suite(&pairs, &SteadyStateDetector::default(), 0.95);
@@ -92,8 +97,8 @@ fn suite_comparison_on_subset_has_sane_geomean() {
 fn experiment_is_fully_reproducible_end_to_end() {
     let w = find("str_keys").expect("in suite");
     let cfg = interp(4, 6);
-    let a = measure_workload(&w, &cfg).expect("run a");
-    let b = measure_workload(&w, &cfg).expect("run b");
+    let a = runner(&cfg).measure(&w).expect("run a");
+    let b = runner(&cfg).measure(&w).expect("run b");
     let ja = rigor::to_json(&[a]).expect("json");
     let jb = rigor::to_json(&[b]).expect("json");
     assert_eq!(
@@ -105,7 +110,7 @@ fn experiment_is_fully_reproducible_end_to_end() {
 #[test]
 fn export_roundtrip_preserves_measurement() {
     let w = find("sieve").expect("in suite");
-    let m = measure_workload(&w, &interp(3, 4)).expect("run");
+    let m = runner(&interp(3, 4)).measure(&w).expect("run");
     let json = rigor::to_json(std::slice::from_ref(&m)).expect("json");
     let back = rigor::from_json(&json).expect("parse");
     assert_eq!(back[0].benchmark, m.benchmark);
@@ -121,8 +126,8 @@ fn export_roundtrip_preserves_measurement() {
 fn interp_is_steady_immediately_jit_is_not() {
     let w = find("leibniz").expect("in suite");
     let det = SteadyStateDetector::default();
-    let mi = measure_workload(&w, &interp(4, 25)).expect("interp");
-    let mj = measure_workload(&w, &jit(4, 25)).expect("jit");
+    let mi = runner(&interp(4, 25)).measure(&w).expect("interp");
+    let mj = runner(&jit(4, 25)).measure(&w).expect("jit");
     let si = rigor::common_steady_start(mi.series(), &det).expect("interp steady");
     let sj = rigor::common_steady_start(mj.series(), &det).expect("jit steady");
     assert_eq!(si, 0, "interpreter has no warmup");
