@@ -83,6 +83,16 @@ pub struct GlobalOpts {
     /// Gate `check` against measurements exported as JSON instead of an
     /// archived baseline.
     pub baseline_json: Option<String>,
+    /// Shared archive service URL; archive/history/check/trend/campaign
+    /// talk to it instead of the local `--store` directory.
+    pub store_url: Option<String>,
+    /// Local write-ahead spool directory for undeliverable uploads
+    /// (campaign with `--store-url`; default `<store>/spool`).
+    pub spool: Option<String>,
+    /// Listen address for `rigor serve`.
+    pub listen: String,
+    /// Verify the archive's integrity instead of measuring (`archive`).
+    pub verify: bool,
 }
 
 impl Default for GlobalOpts {
@@ -124,6 +134,10 @@ impl Default for GlobalOpts {
             plan: false,
             max_cells: None,
             baseline_json: None,
+            store_url: None,
+            spool: None,
+            listen: "127.0.0.1:7878".to_string(),
+            verify: false,
         }
     }
 }
@@ -167,6 +181,8 @@ pub enum Command {
     /// cell grid on a work-stealing worker pool, streaming each cell into
     /// the results archive.
     Campaign,
+    /// `rigor serve` — run the shared archive service over one store.
+    Serve,
     /// `rigor help`.
     Help,
 }
@@ -421,6 +437,21 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
                 opts.max_cells = Some(m);
             }
             "--baseline-json" => opts.baseline_json = Some(next_value(arg, &mut it)?),
+            "--store-url" => {
+                let url = next_value(arg, &mut it)?;
+                if url
+                    .trim()
+                    .trim_start_matches("http://")
+                    .trim_end_matches('/')
+                    .is_empty()
+                {
+                    return Err(err("--store-url requires a host:port address"));
+                }
+                opts.store_url = Some(url);
+            }
+            "--spool" => opts.spool = Some(next_value(arg, &mut it)?),
+            "--listen" => opts.listen = next_value(arg, &mut it)?,
+            "--verify" => opts.verify = true,
             "--help" | "-h" => positional.push("help".to_string()),
             other if other.starts_with('-') => {
                 return Err(err(format!("unknown flag '{other}'")));
@@ -481,6 +512,7 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
             benchmark: pos.next(),
         },
         Some("campaign") => Command::Campaign,
+        Some("serve") => Command::Serve,
         Some(other) => return Err(err(format!("unknown command '{other}'"))),
     };
     if let Some(extra) = pos.next() {
@@ -488,6 +520,16 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
     }
     if opts.seeds.is_some() && opts.repeats.is_some() {
         return Err(err("--seeds and --repeats are mutually exclusive"));
+    }
+    if opts.store_url.is_some() && opts.baseline_json.is_some() {
+        return Err(err(
+            "--baseline-json and --store-url are mutually exclusive (the server owns the baseline)",
+        ));
+    }
+    if opts.store_url.is_some() && opts.alerts {
+        return Err(err(
+            "--alerts needs the local archive; use `trend` against --store-url instead",
+        ));
     }
     // Reject invalid experiment shapes at the CLI boundary (exit 2) instead
     // of letting Runner::new fail later with exit 1.
@@ -535,6 +577,7 @@ COMMANDS:
     campaign                  execute a benchmarks × engines × variants ×
                               seeds grid on a worker pool, streaming every
                               cell into the results archive
+    serve                     run the shared archive service over one store
     help                      this message
 
 OPTIONS:
@@ -572,6 +615,17 @@ RESULTS ARCHIVE:
     --correction <bh|holm>    multiple-comparison correction (default bh)
     --baseline-json <file>    gate against measurements exported as JSON
                               instead of an archived baseline (check)
+    --verify                  check archive integrity instead of measuring
+                              (archive); reports line and byte offset of
+                              every corrupt record
+
+SHARED ARCHIVE SERVICE:
+    --listen <host:port>      serve's listen address (default 127.0.0.1:7878)
+    --store-url <host:port>   talk to a shared archive service instead of
+                              the local --store directory (archive, history,
+                              check, trend, campaign)
+    --spool <dir>             write-ahead spool for uploads the server could
+                              not take (campaign; default <store>/spool)
 
 CAMPAIGN ORCHESTRATION:
     --benchmarks <a,b,...>    benchmark axis (default: the whole suite)
@@ -856,6 +910,33 @@ mod tests {
         let (_, opts) = parse_args(&argv("check --baseline-json BENCH.json")).unwrap();
         assert_eq!(opts.baseline_json.as_deref(), Some("BENCH.json"));
         assert!(parse_args(&argv("check --baseline-json")).is_err());
+    }
+
+    #[test]
+    fn serve_and_remote_store_flags_parse() {
+        let (cmd, opts) = parse_args(&argv("serve --listen 0.0.0.0:9000 --store /tmp/s")).unwrap();
+        assert_eq!(cmd, Command::Serve);
+        assert_eq!(opts.listen, "0.0.0.0:9000");
+        assert_eq!(opts.store, "/tmp/s");
+        let (_, opts) = parse_args(&argv("serve")).unwrap();
+        assert_eq!(opts.listen, "127.0.0.1:7878", "default listen address");
+
+        let (_, opts) = parse_args(&argv(
+            "campaign --store-url 127.0.0.1:7878 --spool /tmp/spool",
+        ))
+        .unwrap();
+        assert_eq!(opts.store_url.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(opts.spool.as_deref(), Some("/tmp/spool"));
+
+        let (_, opts) = parse_args(&argv("archive --verify")).unwrap();
+        assert!(opts.verify);
+
+        assert!(parse_args(&argv("serve extra")).is_err());
+        assert!(parse_args(&argv("campaign --store-url")).is_err());
+        assert!(parse_args(&argv("campaign --store-url http://")).is_err());
+        // The server owns the baseline and the local-trend annotations.
+        assert!(parse_args(&argv("check --store-url h:1 --baseline-json b.json")).is_err());
+        assert!(parse_args(&argv("history sieve --store-url h:1 --alerts")).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fs;
 use std::sync::Arc;
+use std::time::Duration;
 
 use minipy::{Session, VmConfig};
 use rigor::{
@@ -9,8 +10,11 @@ use rigor::{
     ExperimentEvent, ExperimentObserver, FaultPlan, Journal, JsonlTraceObserver, ProgressObserver,
     SteadyStateDetector, Table, WarmupClassifier,
 };
-use rigor_store::{BaselineRef, ConfigFingerprint, Store};
+use rigor_serve::{ArchiveServer, RemoteStore, ServeError};
+use rigor_store::{BaselineRef, ConfigFingerprint, RunRecord, Store};
 use rigor_workloads::{characterize, find, suite, Size, Workload};
+use serde::json::JsonValue;
+use serde::Serialize as _;
 
 use crate::args::{Command, GlobalOpts, ParseError, USAGE};
 use crate::error::{io_err, CliError};
@@ -40,6 +44,17 @@ pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
         Command::Check { benchmark } => cmd_check(benchmark.as_deref(), opts),
         Command::Trend { benchmark } => cmd_trend(benchmark.as_deref(), opts),
         Command::Campaign => cmd_campaign(opts),
+        Command::Serve => cmd_serve(opts),
+    }
+}
+
+/// Serialize adapter for a borrowed raw [`JsonValue`] (the vendored serde
+/// has no blanket impl on the value type itself).
+struct RawJson<'a>(&'a JsonValue);
+
+impl serde::Serialize for RawJson<'_> {
+    fn to_value(&self) -> JsonValue {
+        self.0.clone()
     }
 }
 
@@ -620,6 +635,28 @@ fn store_err(dir: &str) -> impl Fn(rigor_store::StoreError) -> CliError + '_ {
     }
 }
 
+/// Attaches the service URL to a remote-client error.
+fn remote_err(url: &str) -> impl Fn(rigor_serve::RemoteError) -> CliError + '_ {
+    move |source| CliError::Remote {
+        url: url.to_string(),
+        source,
+    }
+}
+
+/// The resilient client `--store-url` asks for, with the command's
+/// observers attached so retry/breaker/spool telemetry lands in the same
+/// trace as the measurements. No network traffic happens here.
+fn remote_client(url: &str, opts: &GlobalOpts, obs: &[Arc<dyn ExperimentObserver>]) -> RemoteStore {
+    let mut client = RemoteStore::connect(url).with_seed(opts.seed);
+    if let Some(r) = opts.max_retries {
+        client = client.with_retries(r);
+    }
+    for o in obs {
+        client = client.with_observer(o.clone());
+    }
+    client
+}
+
 /// The workloads an optional benchmark argument selects: one, or the whole
 /// suite.
 fn selected_workloads(benchmark: Option<&str>) -> Result<Vec<Workload>, CliError> {
@@ -649,13 +686,108 @@ fn measure_all(
     Ok(out)
 }
 
+/// `rigor serve`: host the shared archive service over the local store
+/// until killed. Every archive-touching command accepts `--store-url` to
+/// talk to it instead of a local directory.
+fn cmd_serve(opts: &GlobalOpts) -> CliResult {
+    reject_checkpoint_flags(opts, "serve")?;
+    if opts.store_url.is_some() {
+        return Err(CliError::Usage(ParseError(
+            "`serve` hosts the local --store; --store-url does not apply".to_string(),
+        )));
+    }
+    let server = ArchiveServer::bind(&opts.listen, &opts.store).map_err(|e| match e {
+        ServeError::Store(e) => store_err(&opts.store)(e),
+        e @ ServeError::Io { .. } => CliError::Store {
+            path: opts.listen.clone(),
+            message: e.to_string(),
+        },
+    })?;
+    println!(
+        "rigor-serve: archive {} on http://{} — PUT /runs, GET /history, POST /check, POST /trend",
+        opts.store,
+        server.handle().addr()
+    );
+    server.serve().map_err(|e| CliError::Store {
+        path: opts.listen.clone(),
+        message: e.to_string(),
+    })
+}
+
+/// `rigor archive --verify`: integrity-scan the local archive without
+/// measuring anything, locating every corrupt line by line number and
+/// byte offset. Unlike `Store::open`, this works on a damaged archive —
+/// exactly when a located damage report matters most.
+fn cmd_verify_store(opts: &GlobalOpts) -> CliResult {
+    if opts.store_url.is_some() {
+        return Err(CliError::Usage(ParseError(
+            "--verify scans the local --store directory (the server verifies its own archive)"
+                .to_string(),
+        )));
+    }
+    let report = Store::verify_dir(&opts.store).map_err(store_err(&opts.store))?;
+    for c in &report.corrupt {
+        println!("corrupt: {c}");
+    }
+    if report.torn_tail {
+        println!("note: torn final line (interrupted append) — dropped on the next open");
+    }
+    println!(
+        "verified {}: {} intact run(s), {} corrupt line(s)",
+        opts.store,
+        report.intact,
+        report.corrupt.len()
+    );
+    if report.corrupt.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Verify {
+            path: opts.store.clone(),
+            corrupt: report.corrupt.len(),
+        })
+    }
+}
+
 /// `rigor archive [benchmark]`: measure and persist one fsynced,
-/// content-addressed run record to the results archive.
+/// content-addressed run record to the results archive (local directory
+/// or, with `--store-url`, the shared archive service).
 fn cmd_archive(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     reject_checkpoint_flags(opts, "archive")?;
+    if opts.verify {
+        return cmd_verify_store(opts);
+    }
     let workloads = selected_workloads(benchmark)?;
     let cfg = experiment_config(opts);
     let obs = observers(opts)?;
+
+    if let Some(url) = opts.store_url.as_deref() {
+        // Fail before measuring: a one-shot archive against a dead server
+        // should exit 1 immediately (`campaign` spools instead).
+        let client = remote_client(url, opts, &obs);
+        client.ping().map_err(remote_err(url))?;
+        let measurements = measure_all(&workloads, &cfg, &obs, opts.quiet)?;
+        let receipt = client
+            .archive_run(opts.label.clone(), &cfg, measurements.clone())
+            .map_err(remote_err(url))?;
+        println!(
+            "archived run {} (seq {}, {} benchmark(s), engine {}) to {url}",
+            receipt.run_id.chars().take(12).collect::<String>(),
+            receipt.seq,
+            measurements.len(),
+            cfg.engine.name(),
+        );
+        let event = ExperimentEvent::RunArchived {
+            store: url.to_string(),
+            run_id: receipt.run_id.clone(),
+            seq: receipt.seq,
+            benchmarks: measurements.len() as u32,
+        };
+        for o in &obs {
+            o.on_event(&event);
+        }
+        return export(opts, &measurements);
+    }
+
     let measurements = measure_all(&workloads, &cfg, &obs, opts.quiet)?;
 
     let mut store = open_store(&opts.store)?;
@@ -688,10 +820,14 @@ fn cmd_archive(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     export(opts, &measurements)
 }
 
-/// `rigor history <benchmark>`: trend table over the archived runs of one
-/// benchmark, with per-run steady-state CIs.
-fn cmd_history(benchmark: &str, opts: &GlobalOpts) -> CliResult {
-    let store = open_store(&opts.store)?;
+/// Builds the per-run history trend table over `runs`; returns the table
+/// and how many runs measured `benchmark`.
+fn history_table<'a>(
+    runs: impl Iterator<Item = &'a RunRecord>,
+    benchmark: &str,
+    opts: &GlobalOpts,
+    source: &str,
+) -> (Table, usize) {
     let det = SteadyStateDetector::default();
     let mut table = Table::new(vec![
         "seq",
@@ -702,9 +838,9 @@ fn cmd_history(benchmark: &str, opts: &GlobalOpts) -> CliResult {
         "steady mean",
         "censored",
     ])
-    .with_title(format!("history of {benchmark} in {}", opts.store));
+    .with_title(format!("history of {benchmark} in {source}"));
     let mut rows = 0usize;
-    for r in store.runs() {
+    for r in runs {
         let Some(m) = r.benchmark(benchmark) else {
             continue;
         };
@@ -735,6 +871,35 @@ fn cmd_history(benchmark: &str, opts: &GlobalOpts) -> CliResult {
         ]);
         rows += 1;
     }
+    (table, rows)
+}
+
+/// `rigor history <benchmark> --store-url`: the same trend table, fed from
+/// the shared service. Every fetched line is integrity-checked locally.
+fn cmd_history_remote(benchmark: &str, opts: &GlobalOpts, url: &str) -> CliResult {
+    let obs = observers(opts)?;
+    let client = remote_client(url, opts, &obs);
+    let records = client.history(None).map_err(remote_err(url))?;
+    let (table, rows) = history_table(records.iter(), benchmark, opts, url);
+    if rows == 0 {
+        println!(
+            "no archived runs measure '{benchmark}' at {url} ({} run(s) archived)",
+            records.len()
+        );
+        return Ok(());
+    }
+    println!("{table}");
+    Ok(())
+}
+
+/// `rigor history <benchmark>`: trend table over the archived runs of one
+/// benchmark, with per-run steady-state CIs.
+fn cmd_history(benchmark: &str, opts: &GlobalOpts) -> CliResult {
+    if let Some(url) = opts.store_url.as_deref() {
+        return cmd_history_remote(benchmark, opts, url);
+    }
+    let store = open_store(&opts.store)?;
+    let (table, rows) = history_table(store.runs(), benchmark, opts, &opts.store);
     if rows == 0 {
         println!(
             "no archived runs measure '{benchmark}' in {} ({} run(s) archived)",
@@ -748,6 +913,7 @@ fn cmd_history(benchmark: &str, opts: &GlobalOpts) -> CliResult {
     // one history. Informational only: unlike `rigor trend`, a detected
     // shift does not change the exit code.
     if opts.alerts {
+        let det = SteadyStateDetector::default();
         let config = trend_config(opts);
         let points = rigor_store::benchmark_history(&store, benchmark, &det);
         let trend = rigor::analyze_trend(benchmark, &points, &config);
@@ -805,6 +971,9 @@ fn trend_config(opts: &GlobalOpts) -> rigor::TrendConfig {
 /// was newly detected at the head of at least one history.
 fn cmd_trend(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     reject_checkpoint_flags(opts, "trend")?;
+    if let Some(url) = opts.store_url.as_deref() {
+        return cmd_trend_remote(benchmark, opts, url);
+    }
     let store = open_store(&opts.store)?;
     // The archive, not the current suite, defines what can be analyzed:
     // benchmarks that left the suite still have histories worth watching.
@@ -946,6 +1115,247 @@ fn cmd_trend(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     }
 }
 
+/// Reads a `u64`-ish field out of a server response, defaulting to 0.
+fn response_u64(v: &JsonValue, name: &str) -> u64 {
+    v.get(name).and_then(|x| x.as_u64()).unwrap_or(0)
+}
+
+/// Reads a string-array field out of a server response.
+fn response_names(v: &JsonValue, name: &str) -> Vec<String> {
+    match v.get(name) {
+        Some(JsonValue::Array(xs)) => xs
+            .iter()
+            .filter_map(|x| x.as_str().map(String::from))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Writes a raw server-side report (`"report"` in the response) to the
+/// `--json` path.
+fn export_response_report(response: &JsonValue, opts: &GlobalOpts) -> CliResult {
+    if let Some(path) = &opts.json_out {
+        let report = response.get("report").cloned().unwrap_or(JsonValue::Null);
+        fs::write(path, serde_json::to_string_pretty(&RawJson(&report))?).map_err(io_err(path))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// The trend-shape fields of a server request body, from whichever flags
+/// were given; unset flags stay at the server's defaults.
+fn trend_request_fields(opts: &GlobalOpts) -> Vec<(String, JsonValue)> {
+    let mut fields: Vec<(String, JsonValue)> =
+        vec![("confidence".into(), opts.confidence.to_value())];
+    if let Some(m) = opts.min_segment {
+        fields.push(("min_segment".into(), m.to_value()));
+    }
+    if let Some(p) = opts.penalty {
+        // `Penalty` round-trips through its display form ("auto", "bic",
+        // or a factor), which is what the server parses back.
+        fields.push(("penalty".into(), p.to_string().to_value()));
+    }
+    if let Some(q) = opts.fdr {
+        fields.push(("fdr".into(), q.to_value()));
+    }
+    if let Some(c) = &opts.correction {
+        fields.push(("correction".into(), c.to_value()));
+    }
+    fields
+}
+
+/// `rigor trend --store-url`: changepoint analysis executed server-side
+/// over the service's authoritative archive.
+fn cmd_trend_remote(benchmark: Option<&str>, opts: &GlobalOpts, url: &str) -> CliResult {
+    let obs = observers(opts)?;
+    let client = remote_client(url, opts, &obs);
+    let mut fields = trend_request_fields(opts);
+    if let Some(b) = benchmark {
+        fields.push(("benchmark".into(), b.to_value()));
+    }
+    let response = client
+        .trend(&JsonValue::Object(fields))
+        .map_err(remote_err(url))?;
+
+    let alerts = response_names(&response, "alerts");
+    println!(
+        "analyzed {} benchmark(s) over {} archived run(s) at {url}: \
+         {} changepoint(s), {} significant, {}",
+        response_u64(&response, "benchmarks"),
+        response_u64(&response, "runs"),
+        response_u64(&response, "changepoints"),
+        response_u64(&response, "significant"),
+        if alerts.is_empty() {
+            "no shift at HEAD".to_string()
+        } else {
+            format!("{} ALERT(S) ({})", alerts.len(), alerts.join(", "))
+        }
+    );
+    export_response_report(&response, opts)?;
+
+    let event = ExperimentEvent::TrendAnalyzed {
+        store: url.to_string(),
+        benchmarks: response_u64(&response, "benchmarks") as u32,
+        runs: response_u64(&response, "runs") as u32,
+        changepoints: response_u64(&response, "changepoints") as u32,
+        alerts: alerts.len() as u32,
+    };
+    for o in &obs {
+        o.on_event(&event);
+    }
+    if alerts.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::TrendShift { benchmarks: alerts })
+    }
+}
+
+/// `rigor check --store-url`: measure locally, gate server-side. The
+/// service's archive is the authoritative baseline, so everyone gating
+/// against it agrees on what `last` means.
+fn cmd_check_remote(benchmark: Option<&str>, opts: &GlobalOpts, url: &str) -> CliResult {
+    let obs = observers(opts)?;
+    let client = remote_client(url, opts, &obs);
+    // Fail before measuring: an unreachable service should exit 1 now,
+    // not after minutes of measurement.
+    client.ping().map_err(remote_err(url))?;
+
+    // What to measure: the named benchmark, or every benchmark in the
+    // server's history still present in the suite.
+    let names: Vec<String> = match benchmark {
+        Some(b) => vec![b.to_string()],
+        None => {
+            let records = client.history(None).map_err(remote_err(url))?;
+            let mut names: Vec<String> = Vec::new();
+            for r in &records {
+                for n in r.benchmark_names() {
+                    if !names.iter().any(|have| have == n) {
+                        names.push(n.to_string());
+                    }
+                }
+            }
+            let (known, unknown): (Vec<String>, Vec<String>) =
+                names.into_iter().partition(|n| find(n).is_some());
+            if !unknown.is_empty() && !opts.quiet {
+                eprintln!(
+                    "note: skipping archived benchmark(s) no longer in the suite: {}",
+                    unknown.join(", ")
+                );
+            }
+            known
+        }
+    };
+    let workloads: Result<Vec<Workload>, CliError> = names.iter().map(|n| lookup(n)).collect();
+    let cfg = experiment_config(opts);
+    let current = measure_all(&workloads?, &cfg, &obs, opts.quiet)?;
+
+    let mut fields = trend_request_fields(opts);
+    fields.push(("measurements".into(), current.to_value()));
+    fields.push((
+        "baseline".into(),
+        opts.baseline
+            .clone()
+            .unwrap_or_else(|| "last".to_string())
+            .to_value(),
+    ));
+    if let Some(pct) = opts.max_regression_pct {
+        fields.push(("max_regression_pct".into(), pct.to_value()));
+    }
+    let response = client
+        .check(&JsonValue::Object(fields))
+        .map_err(remote_err(url))?;
+
+    // The verdict table, rebuilt from the server's report (the typed
+    // report is serialize-only, so the response is read generically).
+    let baseline = response
+        .get("baseline")
+        .and_then(|v| v.as_str())
+        .unwrap_or("last")
+        .to_string();
+    let mut table = Table::new(vec![
+        "benchmark",
+        "verdict",
+        "speedup (base/cur)",
+        "p (adj)",
+        "note",
+    ])
+    .with_title(format!(
+        "regression gate vs baseline `{baseline}` at {url} ({} run(s) pooled server-side)",
+        response_u64(&response, "baseline_runs")
+    ));
+    if let Some(JsonValue::Array(gates)) = response.get("report").and_then(|r| r.get("benchmarks"))
+    {
+        for g in gates {
+            let speedup = g
+                .get("result")
+                .and_then(|r| r.get("speedup"))
+                .and_then(|s| {
+                    Some(format!(
+                        "{:.3} [{:.3}, {:.3}]",
+                        s.get("estimate")?.as_f64()?,
+                        s.get("lower")?.as_f64()?,
+                        s.get("upper")?.as_f64()?
+                    ))
+                })
+                .unwrap_or_default();
+            table.row(vec![
+                g.get("benchmark")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+                g.get("status")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+                speedup,
+                g.get("p_adjusted")
+                    .and_then(|v| v.as_f64())
+                    .map(|p| format!("{p:.3}"))
+                    .unwrap_or_default(),
+                g.get("note")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let regressed = response_names(&response, "regressed");
+    println!(
+        "checked {} benchmark(s): {}",
+        response_u64(&response, "checked"),
+        if regressed.is_empty() {
+            "no significant regression".to_string()
+        } else {
+            format!("{} REGRESSED ({})", regressed.len(), regressed.join(", "))
+        }
+    );
+    export_response_report(&response, opts)?;
+    if let Some(path) = &opts.csv_out {
+        fs::write(path, rigor::to_csv(&current)).map_err(io_err(path))?;
+        println!("wrote {path}");
+    }
+
+    let event = ExperimentEvent::RegressionChecked {
+        store: url.to_string(),
+        baseline,
+        checked: response_u64(&response, "checked") as u32,
+        regressed: regressed.len() as u32,
+        passed: regressed.is_empty(),
+    };
+    for o in &obs {
+        o.on_event(&event);
+    }
+    if regressed.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Regression {
+            benchmarks: regressed,
+        })
+    }
+}
+
 /// `rigor check [benchmark]`: measure the current engine and gate it
 /// against an archived baseline. Exit 0 = no FDR-significant regression
 /// beyond the tolerance; exit 1 = regressed (with the verdict table
@@ -954,6 +1364,9 @@ fn cmd_check(benchmark: Option<&str>, opts: &GlobalOpts) -> CliResult {
     reject_checkpoint_flags(opts, "check")?;
     if let Some(path) = opts.baseline_json.as_deref() {
         return cmd_check_json(benchmark, opts, path);
+    }
+    if let Some(url) = opts.store_url.as_deref() {
+        return cmd_check_remote(benchmark, opts, url);
     }
     let store = open_store(&opts.store)?;
     let base_ref = BaselineRef::parse(opts.baseline.as_deref().unwrap_or("last"));
@@ -1271,48 +1684,56 @@ fn cmd_campaign(opts: &GlobalOpts) -> CliResult {
         return Ok(());
     }
 
-    let sink = rigor_store::SharedStore::open(&opts.store).map_err(store_err(&opts.store))?;
     let journal_path = opts
         .resume
         .clone()
         .unwrap_or_else(|| format!("{}/campaign.jsonl", opts.store));
-    let mut campaign = rigor::Campaign::new(spec)
-        .workers(opts.workers)
-        .journal(&journal_path)
-        .resume(opts.resume.is_some());
-    for obs in observers(opts)? {
-        campaign = campaign.observer(obs);
-    }
-    if let Some(m) = opts.max_cells {
-        campaign = campaign.max_cells(m);
-    }
-    let report = campaign.run(&sink)?;
+    let obs = observers(opts)?;
 
-    println!(
-        "campaign {}: {} of {} cell(s) archived in {} \
-         ({} skipped as already archived, {} executed, {} stolen between workers)",
-        report.fingerprint,
-        report.completed(),
-        report.total,
-        opts.store,
-        report.skipped,
-        report.executed,
-        report.stolen,
-    );
-    if report.remaining > 0 {
-        println!(
-            "{} cell(s) not yet scheduled — continue with \
-             `rigor campaign --resume {journal_path}` (same grid flags)",
-            report.remaining
-        );
+    if let Some(url) = opts.store_url.as_deref() {
+        // The spool rides in the store directory by default: a campaign
+        // may legitimately start — and finish — with the server down, and
+        // nothing measured may be lost.
+        let spool_dir = opts
+            .spool
+            .clone()
+            .unwrap_or_else(|| format!("{}/spool", opts.store));
+        let client = remote_client(url, opts, &obs)
+            .with_spool(&spool_dir)
+            .map_err(remote_err(url))?;
+        let report = run_campaign(opts, spec, &client, &journal_path, &obs)?;
+        let (_, remaining) = client.flush().map_err(remote_err(url))?;
+        print_campaign_summary(&report, url, &journal_path, opts);
+        if remaining > 0 {
+            println!(
+                "{remaining} run(s) spooled at {spool_dir} — replayed automatically on the \
+                 next campaign or successful exchange against {url}"
+            );
+        }
+        if opts.json_out.is_some() || opts.csv_out.is_some() {
+            // Grid-order export, resolved from the server archive plus
+            // anything still spooled (the server may be down again).
+            let mut archived = client.history(None).unwrap_or_default();
+            archived.extend(client.spool_records());
+            let all: Vec<rigor::BenchmarkMeasurement> = cells
+                .iter()
+                .filter_map(|c| {
+                    let label = c.id.canonical();
+                    archived
+                        .iter()
+                        .find(|r| r.label.as_deref() == Some(label.as_str()))
+                        .map(|r| r.measurements.clone())
+                })
+                .flatten()
+                .collect();
+            export(opts, &all)?;
+        }
+        return campaign_verdict(&report);
     }
-    if !report.quarantined.is_empty() && !opts.quiet {
-        eprintln!(
-            "note: {} cell(s) quarantined: {}",
-            report.quarantined.len(),
-            report.quarantined.join(", ")
-        );
-    }
+
+    let sink = rigor_store::SharedStore::open(&opts.store).map_err(store_err(&opts.store))?;
+    let report = run_campaign(opts, spec, &sink, &journal_path, &obs)?;
+    print_campaign_summary(&report, &opts.store, &journal_path, opts);
 
     // `--json`/`--csv` export every archived cell of the grid, flattened in
     // grid order — deterministic however the workers interleaved.
@@ -1333,18 +1754,78 @@ fn cmd_campaign(opts: &GlobalOpts) -> CliResult {
         export(opts, &all)?;
     }
 
-    if report.failures.is_empty() {
-        Ok(())
-    } else {
-        let mut table = Table::new(vec!["cell", "error"]).with_title("failed cells");
-        for (cell, error) in &report.failures {
-            table.row(vec![cell.clone(), error.clone()]);
-        }
-        println!("{table}");
-        Err(CliError::CampaignCells {
-            failed: report.failures.iter().map(|(c, _)| c.clone()).collect(),
-        })
+    campaign_verdict(&report)
+}
+
+/// Builds and runs the campaign over any cell sink (the local shared
+/// store, or the remote client).
+fn run_campaign(
+    opts: &GlobalOpts,
+    spec: rigor::CampaignSpec,
+    sink: &dyn rigor::campaign::CellSink,
+    journal_path: &str,
+    obs: &[Arc<dyn ExperimentObserver>],
+) -> Result<rigor::CampaignReport, CliError> {
+    let mut campaign = rigor::Campaign::new(spec)
+        .workers(opts.workers)
+        .journal(journal_path)
+        .resume(opts.resume.is_some());
+    for o in obs {
+        campaign = campaign.observer(o.clone());
     }
+    if let Some(m) = opts.max_cells {
+        campaign = campaign.max_cells(m);
+    }
+    Ok(campaign.run(sink)?)
+}
+
+/// Prints the campaign summary lines shared by the local and remote paths.
+fn print_campaign_summary(
+    report: &rigor::CampaignReport,
+    dest: &str,
+    journal_path: &str,
+    opts: &GlobalOpts,
+) {
+    println!(
+        "campaign {}: {} of {} cell(s) archived in {dest} \
+         ({} skipped as already archived, {} executed, {} stolen between workers)",
+        report.fingerprint,
+        report.completed(),
+        report.total,
+        report.skipped,
+        report.executed,
+        report.stolen,
+    );
+    if report.remaining > 0 {
+        println!(
+            "{} cell(s) not yet scheduled — continue with \
+             `rigor campaign --resume {journal_path}` (same grid flags)",
+            report.remaining
+        );
+    }
+    if !report.quarantined.is_empty() && !opts.quiet {
+        eprintln!(
+            "note: {} cell(s) quarantined: {}",
+            report.quarantined.len(),
+            report.quarantined.join(", ")
+        );
+    }
+}
+
+/// Converts a campaign report's failed cells into the exit-1 error, after
+/// printing them.
+fn campaign_verdict(report: &rigor::CampaignReport) -> CliResult {
+    if report.failures.is_empty() {
+        return Ok(());
+    }
+    let mut table = Table::new(vec!["cell", "error"]).with_title("failed cells");
+    for (cell, error) in &report.failures {
+        table.row(vec![cell.clone(), error.clone()]);
+    }
+    println!("{table}");
+    Err(CliError::CampaignCells {
+        failed: report.failures.iter().map(|(c, _)| c.clone()).collect(),
+    })
 }
 
 /// A workload that never finishes an iteration — only a deadline or fuel
@@ -1538,6 +2019,253 @@ fn self_test_observer_isolation() -> Result<(), String> {
     )
 }
 
+/// A placeholder measurement for the network scenarios — the uploads under
+/// test carry content, not timings.
+fn self_test_measurement() -> rigor::BenchmarkMeasurement {
+    rigor::BenchmarkMeasurement {
+        benchmark: "sieve".to_string(),
+        engine: "interp".to_string(),
+        invocations: vec![],
+        censored: vec![],
+        quarantined: false,
+    }
+}
+
+/// Spins up an in-process archive server over a scratch store; returns
+/// `(url, handle, join, store_dir)`.
+#[allow(clippy::type_complexity)]
+fn self_test_server(
+    tag: &str,
+    faults: Option<rigor::NetFaultPlan>,
+) -> Result<
+    (
+        String,
+        rigor_serve::ServerHandle,
+        std::thread::JoinHandle<()>,
+        std::path::PathBuf,
+    ),
+    String,
+> {
+    let dir = std::env::temp_dir().join(format!("rigor-self-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut server = ArchiveServer::bind("127.0.0.1:0", &dir)
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    if let Some(plan) = faults {
+        server = server.with_fault_plan(plan);
+    }
+    let handle = server.handle();
+    let url = format!("127.0.0.1:{}", handle.addr().port());
+    let join = std::thread::spawn(move || {
+        let _ = server.serve();
+    });
+    Ok((url, handle, join, dir))
+}
+
+/// A client tuned for the scenarios: short timeouts, tight backoff.
+fn self_test_client(url: &str, retries: u32) -> RemoteStore {
+    RemoteStore::connect(url)
+        .with_timeout(Duration::from_millis(500))
+        .with_retries(retries)
+        .with_backoff_base(Duration::from_millis(1))
+        .with_seed(7)
+}
+
+/// A port that nothing listens on (bound once, then released).
+fn dead_port() -> Result<u16, String> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let port = listener.local_addr().map_err(|e| e.to_string())?.port();
+    drop(listener);
+    Ok(port)
+}
+
+/// Under refused connections and dropped acks, every upload must land
+/// exactly once: retries recover the transport, content-id dedup absorbs
+/// the replays of writes whose ack was withheld.
+fn self_test_net_retry() -> Result<(), String> {
+    let plan = rigor::NetFaultPlan::new(11)
+        .with_refuse_rate(0.2)
+        .with_drop_rate(0.25);
+    let (url, handle, join, dir) = self_test_server("net-retry", Some(plan))?;
+    let client = self_test_client(&url, 8);
+    let cfg = self_test_config();
+    let result = (|| -> Result<(), String> {
+        for seq in 0..6u64 {
+            let record = RunRecord::new(
+                seq,
+                Some(format!("net/{seq}")),
+                &cfg,
+                vec![self_test_measurement()],
+            );
+            let receipt = client
+                .upload(&record)
+                .map_err(|e| format!("upload {seq}: {e}"))?;
+            let again = client
+                .upload(&record)
+                .map_err(|e| format!("re-upload {seq}: {e}"))?;
+            expect(
+                receipt == again,
+                "a replayed upload must dedup to the original receipt",
+            )?;
+        }
+        let runs = client.ping().map_err(|e| format!("ping: {e}"))?;
+        expect(
+            runs == 6,
+            "exactly 6 runs must land — no loss, no duplicates",
+        )
+    })();
+    handle.stop();
+    let _ = join.join();
+    let verify = Store::verify_dir(&dir).map_err(|e| format!("verify: {e}"))?;
+    std::fs::remove_dir_all(&dir).ok();
+    result?;
+    expect(verify.is_clean(), "the served archive must verify clean")
+}
+
+/// With the server gone, the circuit breaker must open after the
+/// configured threshold and fail fast instead of re-timing-out.
+fn self_test_net_breaker() -> Result<(), String> {
+    let port = dead_port()?;
+    let observer = Arc::new(rigor::CollectingObserver::new());
+    let client = self_test_client(&format!("127.0.0.1:{port}"), 0)
+        .with_timeout(Duration::from_millis(200))
+        .with_breaker_threshold(2)
+        .with_probe_every(1000)
+        .with_observer(observer.clone());
+    expect(client.ping().is_err(), "a dead port must fail")?;
+    expect(
+        client.ping().is_err(),
+        "the second failure crosses the threshold",
+    )?;
+    let start = std::time::Instant::now();
+    for _ in 0..20 {
+        match client.ping() {
+            Err(rigor_serve::RemoteError::CircuitOpen { .. }) => {}
+            other => return Err(format!("expected CircuitOpen, got {other:?}")),
+        }
+    }
+    expect(
+        start.elapsed() < Duration::from_millis(100),
+        "an open breaker must fail fast, not re-run the connect timeout",
+    )?;
+    expect(
+        observer
+            .events()
+            .iter()
+            .any(|e| matches!(e, ExperimentEvent::CircuitOpened { failures: 2, .. })),
+        "opening the breaker must emit `circuit_opened`",
+    )
+}
+
+/// Cells archived while the service is down must spool locally and, once
+/// the server returns, replay to the exact archive a direct local run
+/// produces — same content ids at the same seqs.
+fn self_test_net_spool() -> Result<(), String> {
+    use rigor::campaign::CellSink as _;
+    let port = dead_port()?;
+    let base = std::env::temp_dir().join(format!("rigor-self-test-spool-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let cfg = self_test_config();
+    let cells = rigor::CampaignSpec::new(cfg)
+        .with_benchmarks(["sieve"])
+        .with_seeds(vec![1, 2, 3])
+        .cells()
+        .map_err(|e| e.to_string())?;
+    let m = self_test_measurement();
+
+    let client = self_test_client(&format!("127.0.0.1:{port}"), 0)
+        .with_timeout(Duration::from_millis(200))
+        .with_breaker_threshold(1)
+        .with_spool(base.join("spool"))
+        .map_err(|e| format!("spool: {e}"))?;
+    for c in &cells {
+        client
+            .archive_cell(c, &m)
+            .map_err(|e| format!("offline cell: {e}"))?;
+    }
+    expect(
+        client.spooled() == cells.len(),
+        "every offline cell must spool",
+    )?;
+
+    // Ground truth: the same cells written directly to a local store.
+    let local = rigor_store::SharedStore::open(base.join("local")).map_err(|e| e.to_string())?;
+    for c in &cells {
+        local.archive_cell(c, &m).map_err(|e| e.to_string())?;
+    }
+
+    // The server comes up on the very port that was refusing connections.
+    let server_dir = base.join("server");
+    let server = ArchiveServer::bind(&format!("127.0.0.1:{port}"), &server_dir)
+        .map_err(|e| format!("restart: {e}"))?;
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        let _ = server.serve();
+    });
+    // The breaker is open; flush until a half-open probe gets through.
+    let mut drained = false;
+    for _ in 0..200 {
+        client.flush().map_err(|e| format!("flush: {e}"))?;
+        if client.spooled() == 0 {
+            drained = true;
+            break;
+        }
+    }
+    handle.stop();
+    let _ = join.join();
+    let result = (|| -> Result<(), String> {
+        expect(drained, "the spool must drain once the server is back")?;
+        let mut local_runs: Vec<(u64, String)> =
+            local.with(|s| s.runs().map(|r| (r.seq, r.id.clone())).collect());
+        local_runs.sort();
+        let server_store = Store::open(&server_dir).map_err(|e| e.to_string())?;
+        let mut server_runs: Vec<(u64, String)> =
+            server_store.runs().map(|r| (r.seq, r.id.clone())).collect();
+        server_runs.sort();
+        expect(
+            server_runs == local_runs,
+            "the replayed archive must hold the same content ids at the same seqs \
+             as a direct local run",
+        )
+    })();
+    std::fs::remove_dir_all(&base).ok();
+    result
+}
+
+/// 5xx responses and non-HTTP garbage must be retried away without ever
+/// corrupting the archive or duplicating a run.
+fn self_test_net_garbage() -> Result<(), String> {
+    let plan = rigor::NetFaultPlan::new(9)
+        .with_error_rate(0.25)
+        .with_garbage_rate(0.25);
+    let (url, handle, join, dir) = self_test_server("net-garbage", Some(plan))?;
+    let client = self_test_client(&url, 8);
+    let cfg = self_test_config();
+    let result = (|| -> Result<(), String> {
+        for seq in 0..5u64 {
+            let record = RunRecord::new(
+                seq,
+                Some(format!("garbage/{seq}")),
+                &cfg,
+                vec![self_test_measurement()],
+            );
+            client
+                .upload(&record)
+                .map_err(|e| format!("upload {seq}: {e}"))?;
+        }
+        let history = client.history(None).map_err(|e| format!("history: {e}"))?;
+        expect(
+            history.len() == 5,
+            "every upload must land despite 5xx and garbage responses",
+        )
+    })();
+    handle.stop();
+    let _ = join.join();
+    let verify = Store::verify_dir(&dir).map_err(|e| format!("verify: {e}"))?;
+    std::fs::remove_dir_all(&dir).ok();
+    result?;
+    expect(verify.is_clean(), "the served archive must verify clean")
+}
+
 /// One named self-test scenario.
 type Scenario = (&'static str, fn() -> Result<(), String>);
 
@@ -1551,6 +2279,22 @@ fn cmd_self_test(opts: &GlobalOpts) -> CliResult {
         ("total failure trips quarantine", self_test_quarantine),
         ("checkpoint resume is byte-identical", self_test_resume),
         ("observer panics are isolated", self_test_observer_isolation),
+        (
+            "dropped acks are retried without duplication",
+            self_test_net_retry,
+        ),
+        (
+            "circuit breaker opens and fails fast",
+            self_test_net_breaker,
+        ),
+        (
+            "offline spool replays losslessly on reconnect",
+            self_test_net_spool,
+        ),
+        (
+            "5xx and garbage responses never corrupt the archive",
+            self_test_net_garbage,
+        ),
     ];
     let mut table = Table::new(vec!["scenario", "result"]).with_title("fault-tolerance self-test");
     let mut failed = Vec::new();

@@ -82,6 +82,21 @@ pub enum CliError {
         /// Canonical ids of the failed cells.
         failed: Vec<String>,
     },
+    /// Talking to a shared archive service (`--store-url`) failed.
+    Remote {
+        /// The service URL.
+        url: String,
+        /// The typed client-side failure.
+        source: rigor_serve::RemoteError,
+    },
+    /// `rigor archive --verify` found corruption in the archive. The
+    /// per-line findings are printed before this error is surfaced.
+    Verify {
+        /// The store directory.
+        path: String,
+        /// How many complete lines failed verification.
+        corrupt: usize,
+    },
 }
 
 impl CliError {
@@ -139,6 +154,11 @@ impl fmt::Display for CliError {
                 failed.len(),
                 failed.join(", ")
             ),
+            CliError::Remote { url, source } => write!(f, "archive service {url}: {source}"),
+            CliError::Verify { path, corrupt } => write!(
+                f,
+                "{path}: archive verification failed: {corrupt} corrupt line(s)"
+            ),
         }
     }
 }
@@ -150,6 +170,7 @@ impl std::error::Error for CliError {
             CliError::Vm(e) => Some(e),
             CliError::Io { source, .. } => Some(source),
             CliError::Json(e) => Some(e),
+            CliError::Remote { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -267,6 +288,38 @@ mod tests {
             .exit_code(),
             1
         );
+        // An unreachable archive service is a runtime failure, not usage.
+        assert_eq!(
+            CliError::Remote {
+                url: "127.0.0.1:7878".into(),
+                source: rigor_serve::RemoteError::NoSpool {
+                    url: "127.0.0.1:7878".into()
+                },
+            }
+            .exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::Verify {
+                path: ".rigor-store".into(),
+                corrupt: 2
+            }
+            .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn remote_errors_keep_their_typed_source() {
+        let e = CliError::Remote {
+            url: "127.0.0.1:7878".into(),
+            source: rigor_serve::RemoteError::CircuitOpen {
+                url: "127.0.0.1:7878".into(),
+                failures: 3,
+            },
+        };
+        assert!(e.to_string().contains("127.0.0.1:7878"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -110,6 +110,130 @@ impl FaultPlan {
     }
 }
 
+/// What, if anything, to inject into one network exchange with the shared
+/// archive service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Serve the exchange normally.
+    None,
+    /// Refuse the connection outright (close before reading the request).
+    Refuse,
+    /// Read the request, then drop the connection without responding —
+    /// the client cannot know whether the server applied the write, which
+    /// is exactly why uploads must be idempotent.
+    Drop,
+    /// Accept the request but stall before responding, long enough to trip
+    /// the client's per-request read timeout.
+    Stall,
+    /// Respond with HTTP 500 (a healthy transport, a degraded server).
+    ServerError,
+    /// Respond with bytes that are not HTTP at all (a confused proxy, a
+    /// port collision) — exercises the client's response validation.
+    Garbage,
+}
+
+/// A seeded, deterministic *network*-fault plan, the transport-layer twin
+/// of [`FaultPlan`].
+///
+/// Decisions are a pure function of `(plan seed, exchange index)`, where
+/// the exchange index counts connections accepted by the fault-injecting
+/// listener — so a flaky-server scenario replays the same faults at the
+/// same exchanges every run. Rates are evaluated in order
+/// refuse → drop → stall → 5xx → garbage against a single uniform draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFaultPlan {
+    /// Seed of the plan's decision stream.
+    pub seed: u64,
+    /// Probability a connection is refused.
+    pub refuse_rate: f64,
+    /// Probability a connection is dropped after the request is read.
+    pub drop_rate: f64,
+    /// Probability a response is stalled past the client timeout.
+    pub stall_rate: f64,
+    /// Probability of an HTTP 500 response.
+    pub error_rate: f64,
+    /// Probability of a non-HTTP garbage response.
+    pub garbage_rate: f64,
+}
+
+impl NetFaultPlan {
+    /// A plan with the given seed and all rates zero.
+    pub fn new(seed: u64) -> NetFaultPlan {
+        NetFaultPlan {
+            seed,
+            refuse_rate: 0.0,
+            drop_rate: 0.0,
+            stall_rate: 0.0,
+            error_rate: 0.0,
+            garbage_rate: 0.0,
+        }
+    }
+
+    /// Sets the connection-refused rate (builder style).
+    pub fn with_refuse_rate(mut self, rate: f64) -> NetFaultPlan {
+        self.refuse_rate = rate;
+        self
+    }
+
+    /// Sets the dropped-connection rate (builder style).
+    pub fn with_drop_rate(mut self, rate: f64) -> NetFaultPlan {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the stalled-response rate (builder style).
+    pub fn with_stall_rate(mut self, rate: f64) -> NetFaultPlan {
+        self.stall_rate = rate;
+        self
+    }
+
+    /// Sets the HTTP-500 rate (builder style).
+    pub fn with_error_rate(mut self, rate: f64) -> NetFaultPlan {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Sets the garbage-response rate (builder style).
+    pub fn with_garbage_rate(mut self, rate: f64) -> NetFaultPlan {
+        self.garbage_rate = rate;
+        self
+    }
+
+    /// The plan's decision for one exchange. Pure and deterministic: same
+    /// seed, same exchange index, same fault, every time.
+    pub fn decide(&self, exchange: u64) -> NetFault {
+        // A distinct domain-separation constant keeps the network stream
+        // independent of both workload seeds and the invocation-fault plan.
+        let mut z =
+            self.seed ^ 0x5E4E_7FA0_17E5_75E4 ^ exchange.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let mut edge = self.refuse_rate;
+        if u < edge {
+            return NetFault::Refuse;
+        }
+        edge += self.drop_rate;
+        if u < edge {
+            return NetFault::Drop;
+        }
+        edge += self.stall_rate;
+        if u < edge {
+            return NetFault::Stall;
+        }
+        edge += self.error_rate;
+        if u < edge {
+            return NetFault::ServerError;
+        }
+        edge += self.garbage_rate;
+        if u < edge {
+            return NetFault::Garbage;
+        }
+        NetFault::None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +300,53 @@ mod tests {
             plan.decide("x", 0, 0),
             InjectedFault::Slow { stall_ns: 123.0 }
         );
+    }
+
+    #[test]
+    fn net_decisions_are_deterministic_and_zero_rates_pass() {
+        let plan = NetFaultPlan::new(11)
+            .with_refuse_rate(0.2)
+            .with_drop_rate(0.2)
+            .with_garbage_rate(0.2);
+        for x in 0..50 {
+            assert_eq!(plan.decide(x), plan.decide(x));
+        }
+        let clean = NetFaultPlan::new(11);
+        assert!((0..50).all(|x| clean.decide(x) == NetFault::None));
+    }
+
+    #[test]
+    fn net_rates_roughly_match_frequencies() {
+        let plan = NetFaultPlan::new(5).with_drop_rate(0.5);
+        let drops = (0..1000)
+            .filter(|&x| plan.decide(x) == NetFault::Drop)
+            .count();
+        assert!(
+            (350..=650).contains(&drops),
+            "expected ~500 drops, got {drops}"
+        );
+    }
+
+    #[test]
+    fn net_rates_are_evaluated_in_order() {
+        // With rates summing to 1, every exchange gets *some* fault, and a
+        // full refuse rate shadows the rest.
+        let all = NetFaultPlan::new(2)
+            .with_refuse_rate(0.25)
+            .with_drop_rate(0.25)
+            .with_stall_rate(0.25)
+            .with_error_rate(0.25);
+        assert!((0..100).all(|x| all.decide(x) != NetFault::None));
+        let refuse = NetFaultPlan::new(2)
+            .with_refuse_rate(1.0)
+            .with_drop_rate(1.0);
+        assert!((0..100).all(|x| refuse.decide(x) == NetFault::Refuse));
+    }
+
+    #[test]
+    fn net_streams_differ_across_seeds() {
+        let a = NetFaultPlan::new(1).with_drop_rate(0.5);
+        let b = NetFaultPlan::new(2).with_drop_rate(0.5);
+        assert!((0..100).any(|x| a.decide(x) != b.decide(x)));
     }
 }

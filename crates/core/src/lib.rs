@@ -89,7 +89,7 @@ pub use checkpoint::{Journal, JournalMeta, JournalWriter};
 pub use compare::{compare, compare_suite, CompareError, SpeedupResult, SuiteComparison};
 pub use config::{ConfigError, ExperimentConfig};
 pub use export::{from_csv, from_json, to_csv, to_json, SCHEMA_VERSION};
-pub use fault::{FaultPlan, InjectedFault};
+pub use fault::{FaultPlan, InjectedFault, NetFault, NetFaultPlan};
 pub use measurement::{
     BenchmarkMeasurement, CensoredInvocation, FailureKind, InvocationRecord, IterationCounters,
 };
@@ -104,8 +104,6 @@ pub use regress::{
 };
 pub use report::{fmt_ci, fmt_ns, fmt_pct, sparkline, Table};
 pub use runner::Runner;
-#[allow(deprecated)]
-pub use runner::{measure_source, measure_workload};
 pub use sequential::{precision_of, run_until_precise, SequentialPlan, SequentialResult};
 pub use steady::{
     common_steady_start, per_invocation_steady_means, SteadyState, SteadyStateDetector,
@@ -132,8 +130,6 @@ pub mod prelude {
     pub use crate::orchestrator::{Campaign, CampaignReport};
     pub use crate::report::Table;
     pub use crate::runner::Runner;
-    #[allow(deprecated)]
-    pub use crate::runner::{measure_source, measure_workload};
     pub use crate::steady::SteadyStateDetector;
     pub use crate::telemetry::{
         CollectingObserver, ExperimentEvent, ExperimentObserver, JsonlTraceObserver,

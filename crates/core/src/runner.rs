@@ -23,8 +23,6 @@
 //! `Runner::measure` is the cell-execution primitive of the campaign
 //! orchestrator (`rigor::campaign`): it makes no top-of-stack assumptions,
 //! so any number of runners can execute concurrently on library threads.
-//! The free functions [`measure_source`] / [`measure_workload`] are
-//! deprecated thin wrappers over an observer-less `Runner`.
 //!
 //! # Fault tolerance
 //!
@@ -565,54 +563,6 @@ fn journal_outcome(
     }
 }
 
-/// Maps a config rejected at construction into the crate's error type, for
-/// the deprecated wrappers whose signatures predate [`ConfigError`].
-fn config_mp_err(e: ConfigError) -> MpError {
-    MpError::runtime(RuntimeErrorKind::Value, format!("invalid config: {e}"))
-}
-
-/// Measures a workload source under `config` with no telemetry; see
-/// [`Runner::measure_source`].
-///
-/// **Deprecated.** [`Runner`] is the one entry point: use
-/// `Runner::new(config)?.measure_source(source, benchmark)`, which also
-/// surfaces invalid configs as a typed [`ConfigError`].
-///
-/// # Errors
-///
-/// As [`Runner::measure_source`], plus a runtime `Value` error when the
-/// config fails validation.
-#[deprecated(note = "use Runner::new(config)?.measure_source(source, benchmark)")]
-pub fn measure_source(
-    source: &str,
-    benchmark: &str,
-    config: &ExperimentConfig,
-) -> MpResult<BenchmarkMeasurement> {
-    Runner::new(config.clone())
-        .map_err(config_mp_err)?
-        .measure_source(source, benchmark)
-}
-
-/// Measures a suite workload at the configured size preset with no
-/// telemetry; see [`Runner::measure`].
-///
-/// **Deprecated.** [`Runner`] is the one entry point: use
-/// `Runner::new(config)?.measure(workload)`, which also surfaces invalid
-/// configs as a typed [`ConfigError`].
-///
-/// # Errors
-///
-/// As [`measure_source`].
-#[deprecated(note = "use Runner::new(config)?.measure(workload)")]
-pub fn measure_workload(
-    workload: &Workload,
-    config: &ExperimentConfig,
-) -> MpResult<BenchmarkMeasurement> {
-    Runner::new(config.clone())
-        .map_err(config_mp_err)?
-        .measure(workload)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,22 +595,6 @@ mod tests {
         assert_eq!(err, ConfigError::ZeroInvocations);
         assert!(Runner::new(quick_config().with_confidence(1.5)).is_err());
         assert!(Runner::new(quick_config().with_quarantine_threshold(-0.5)).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_runner() {
-        let w = find("sieve").unwrap();
-        let via_wrapper = measure_workload(&w, &quick_config()).unwrap();
-        let via_runner = measure(&w, &quick_config());
-        assert_eq!(
-            crate::export::to_json(&[via_wrapper]).unwrap(),
-            crate::export::to_json(&[via_runner]).unwrap()
-        );
-        // The wrappers surface invalid configs as runtime errors, keeping
-        // their pre-redesign signature.
-        let err = measure_workload(&w, &quick_config().with_iterations(0)).unwrap_err();
-        assert!(err.to_string().contains("invalid config"), "{err}");
     }
 
     #[test]

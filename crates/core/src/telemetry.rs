@@ -254,6 +254,45 @@ pub enum ExperimentEvent {
         /// The worker that stole and will execute it.
         to_worker: u32,
     },
+    /// An upload to the shared archive service failed and is being retried
+    /// with backoff. A *run-level* event.
+    UploadRetried {
+        /// Archive label of the run being uploaded.
+        label: String,
+        /// 1-based retry attempt about to run.
+        attempt: u32,
+        /// Backoff applied before the retry, milliseconds.
+        backoff_ms: u64,
+        /// The transport error that triggered the retry.
+        error: String,
+    },
+    /// The remote-store circuit breaker tripped open after consecutive
+    /// transport failures; uploads now go straight to the local spool.
+    /// A *run-level* event.
+    CircuitOpened {
+        /// Consecutive failures that tripped the breaker.
+        failures: u32,
+        /// The server the breaker is protecting the client from.
+        url: String,
+    },
+    /// An upload fell back to the local write-ahead spool because the
+    /// server was unreachable or the circuit was open. A *run-level* event.
+    ServerDegraded {
+        /// Archive label of the spooled run.
+        label: String,
+        /// Runs sitting in the spool after this one, awaiting replay.
+        spooled: u32,
+    },
+    /// Spooled runs were replayed to the recovered server, in grid order,
+    /// idempotently. A *run-level* event.
+    SpoolReplayed {
+        /// Runs replayed (deduplicated server-side as needed).
+        replayed: u32,
+        /// Runs still in the spool (0 unless the replay itself failed).
+        remaining: u32,
+        /// The server the spool drained to.
+        url: String,
+    },
 }
 
 impl ExperimentEvent {
@@ -277,6 +316,10 @@ impl ExperimentEvent {
             ExperimentEvent::CampaignResumed { .. } => "campaign_resumed",
             ExperimentEvent::CellCompleted { .. } => "cell_completed",
             ExperimentEvent::CellStolen { .. } => "cell_stolen",
+            ExperimentEvent::UploadRetried { .. } => "upload_retried",
+            ExperimentEvent::CircuitOpened { .. } => "circuit_opened",
+            ExperimentEvent::ServerDegraded { .. } => "server_degraded",
+            ExperimentEvent::SpoolReplayed { .. } => "spool_replayed",
         }
     }
 
@@ -301,7 +344,11 @@ impl ExperimentEvent {
             | ExperimentEvent::CampaignStarted { .. }
             | ExperimentEvent::CampaignResumed { .. }
             | ExperimentEvent::CellCompleted { .. }
-            | ExperimentEvent::CellStolen { .. } => "",
+            | ExperimentEvent::CellStolen { .. }
+            | ExperimentEvent::UploadRetried { .. }
+            | ExperimentEvent::CircuitOpened { .. }
+            | ExperimentEvent::ServerDegraded { .. }
+            | ExperimentEvent::SpoolReplayed { .. } => "",
         }
     }
 }
@@ -514,6 +561,34 @@ impl Serialize for ExperimentEvent {
                 put("from_worker", from_worker.to_value());
                 put("to_worker", to_worker.to_value());
             }
+            ExperimentEvent::UploadRetried {
+                label,
+                attempt,
+                backoff_ms,
+                error,
+            } => {
+                put("label", label.to_value());
+                put("attempt", attempt.to_value());
+                put("backoff_ms", backoff_ms.to_value());
+                put("error", error.to_value());
+            }
+            ExperimentEvent::CircuitOpened { failures, url } => {
+                put("failures", failures.to_value());
+                put("url", url.to_value());
+            }
+            ExperimentEvent::ServerDegraded { label, spooled } => {
+                put("label", label.to_value());
+                put("spooled", spooled.to_value());
+            }
+            ExperimentEvent::SpoolReplayed {
+                replayed,
+                remaining,
+                url,
+            } => {
+                put("replayed", replayed.to_value());
+                put("remaining", remaining.to_value());
+                put("url", url.to_value());
+            }
         }
         JsonValue::Object(fields)
     }
@@ -629,6 +704,25 @@ impl Deserialize for ExperimentEvent {
                 index: get_field(v, "index")?,
                 from_worker: get_field(v, "from_worker")?,
                 to_worker: get_field(v, "to_worker")?,
+            }),
+            "upload_retried" => Ok(ExperimentEvent::UploadRetried {
+                label: get_field(v, "label")?,
+                attempt: get_field(v, "attempt")?,
+                backoff_ms: get_field(v, "backoff_ms")?,
+                error: get_field(v, "error")?,
+            }),
+            "circuit_opened" => Ok(ExperimentEvent::CircuitOpened {
+                failures: get_field(v, "failures")?,
+                url: get_field(v, "url")?,
+            }),
+            "server_degraded" => Ok(ExperimentEvent::ServerDegraded {
+                label: get_field(v, "label")?,
+                spooled: get_field(v, "spooled")?,
+            }),
+            "spool_replayed" => Ok(ExperimentEvent::SpoolReplayed {
+                replayed: get_field(v, "replayed")?,
+                remaining: get_field(v, "remaining")?,
+                url: get_field(v, "url")?,
             }),
             other => Err(DeError::new(format!("unknown event kind `{other}`"))),
         }
@@ -869,6 +963,33 @@ impl ExperimentObserver for ProgressObserver {
                 self.line(format!(
                     "[campaign] ({completed}/{cells}) {cell}  worker {worker}"
                 ));
+            }
+            ExperimentEvent::UploadRetried {
+                label,
+                attempt,
+                backoff_ms,
+                ..
+            } => {
+                drop(guard);
+                self.line(format!(
+                    "[remote] {label}: upload retry {attempt} after {backoff_ms}ms backoff"
+                ));
+            }
+            ExperimentEvent::CircuitOpened { failures, url } => {
+                drop(guard);
+                self.line(format!(
+                    "[remote] circuit OPEN after {failures} consecutive failures ({url})"
+                ));
+            }
+            ExperimentEvent::ServerDegraded { label, spooled } => {
+                drop(guard);
+                self.line(format!(
+                    "[remote] {label}: server unreachable, spooled locally ({spooled} pending)"
+                ));
+            }
+            ExperimentEvent::SpoolReplayed { replayed, url, .. } => {
+                drop(guard);
+                self.line(format!("[remote] spool replayed: {replayed} runs to {url}"));
             }
             ExperimentEvent::InvocationStarted { .. }
             | ExperimentEvent::InvocationTimedOut { .. }

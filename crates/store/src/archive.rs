@@ -58,6 +58,8 @@ pub enum StoreError {
     Corrupt {
         /// 1-based line number in the archive file.
         line: usize,
+        /// Byte offset of the start of the corrupt line.
+        offset: u64,
         /// What was wrong.
         message: String,
     },
@@ -84,8 +86,15 @@ impl fmt::Display for StoreError {
             StoreError::NotAnArchive { path, message } => {
                 write!(f, "{path}: not a rigor archive: {message}")
             }
-            StoreError::Corrupt { line, message } => {
-                write!(f, "archive line {line}: corrupt: {message}")
+            StoreError::Corrupt {
+                line,
+                offset,
+                message,
+            } => {
+                write!(
+                    f,
+                    "archive line {line} (byte offset {offset}): corrupt: {message}"
+                )
             }
             StoreError::UnknownRun { reference } => {
                 write!(f, "no archived run matches `{reference}`")
@@ -137,9 +146,11 @@ fn meta_line_text() -> String {
     serde_json::to_string(&Payload(meta)).expect("meta is plain data")
 }
 
-/// Formats one record line. The payload text is spliced in verbatim so the
-/// stored bytes are exactly the bytes the hash was computed over.
-fn record_line(record: &RunRecord) -> String {
+/// Formats one record line — `{"len":N,"hash":"…","run":{…}}` — the unit of
+/// both the on-disk journal and the `rigor serve` wire protocol. The payload
+/// text is spliced in verbatim so the stored bytes are exactly the bytes the
+/// hash was computed over.
+pub fn record_line(record: &RunRecord) -> String {
     let payload = record.payload_json();
     format!(
         "{{\"len\":{},\"hash\":\"{}\",\"run\":{}}}",
@@ -149,8 +160,13 @@ fn record_line(record: &RunRecord) -> String {
     )
 }
 
-/// Parses and integrity-checks one record line.
-fn parse_record_line(line: &str) -> Result<RunRecord, DeError> {
+/// Parses and integrity-checks one record line (see [`record_line`]).
+///
+/// # Errors
+///
+/// Malformed JSON, a missing field, or a length/content-hash mismatch
+/// between the header and the re-serialized payload.
+pub fn parse_record_line(line: &str) -> Result<RunRecord, DeError> {
     let RawValue(v) = serde_json::from_str(line).map_err(|e| DeError::new(e.to_string()))?;
     let len: u64 = get_field(&v, "len")?;
     let hash: String = get_field(&v, "hash")?;
@@ -186,14 +202,36 @@ struct StoredRun {
     bytes: u64,
 }
 
+/// One complete line that failed parsing or its integrity check, located
+/// precisely so the damage can be inspected with a hex editor or `dd`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptLine {
+    /// 1-based line number in the archive file.
+    pub line: usize,
+    /// Byte offset of the start of the line.
+    pub offset: u64,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CorruptLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {} (byte offset {}): {}",
+            self.line, self.offset, self.message
+        )
+    }
+}
+
 /// Result of a [`Store::verify`] integrity scan.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct VerifyReport {
     /// Runs whose length and content hash checked out.
     pub intact: usize,
-    /// Complete lines that failed parsing or integrity (1-based line
-    /// number, message).
-    pub corrupt: Vec<(usize, String)>,
+    /// Complete lines that failed parsing or integrity, each located by
+    /// line number and byte offset.
+    pub corrupt: Vec<CorruptLine>,
     /// True when the file ends in an unterminated (torn) line.
     pub torn_tail: bool,
 }
@@ -316,6 +354,7 @@ impl Store {
             }
             let record = parse_record_line(line).map_err(|e| StoreError::Corrupt {
                 line: idx + 1,
+                offset: *line_offset as u64,
                 message: e.to_string(),
             })?;
             self.runs.push(StoredRun {
@@ -436,7 +475,20 @@ impl Store {
         config: &ExperimentConfig,
         measurements: Vec<BenchmarkMeasurement>,
     ) -> Result<&RunRecord, StoreError> {
-        let record = RunRecord::new(seq, label, config, measurements);
+        self.append_record(RunRecord::new(seq, label, config, measurements))
+    }
+
+    /// Archives a fully-formed record verbatim — the ingestion path for
+    /// runs that arrive over the wire (`rigor serve`). The record's id was
+    /// recomputed from its canonical payload when it was parsed
+    /// ([`RunRecord::from_payload`]), so the line written here is
+    /// byte-identical to the one the originating client would have written
+    /// locally.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append_record(&mut self, record: RunRecord) -> Result<&RunRecord, StoreError> {
         let line = record_line(&record);
         let path = self.journal_path();
 
@@ -503,28 +555,51 @@ impl Store {
     ///
     /// Only on I/O failure — integrity problems are *reported*, not thrown.
     pub fn verify(&self) -> Result<VerifyReport, StoreError> {
-        let path = self.journal_path();
+        Store::verify_path(&self.journal_path())
+    }
+
+    /// Integrity-checks the archive in `dir` without opening it — usable
+    /// on archives so corrupt that [`Store::open`] refuses them, which is
+    /// exactly when a located damage report matters most.
+    ///
+    /// # Errors
+    ///
+    /// Only on I/O failure — integrity problems are *reported*, not thrown.
+    pub fn verify_dir(dir: impl Into<PathBuf>) -> Result<VerifyReport, StoreError> {
+        Store::verify_path(&dir.into().join(ARCHIVE_FILE))
+    }
+
+    fn verify_path(path: &Path) -> Result<VerifyReport, StoreError> {
         let mut text = String::new();
-        std::fs::File::open(&path)
+        std::fs::File::open(path)
             .and_then(|mut f| f.read_to_string(&mut text))
-            .map_err(io_err(&path))?;
+            .map_err(io_err(path))?;
         let mut report = VerifyReport::default();
-        let ends_clean = text.is_empty() || text.ends_with('\n');
-        let mut lines: Vec<&str> = text.split('\n').collect();
-        if ends_clean {
-            lines.pop(); // the empty segment after the final newline
-        } else {
-            lines.pop();
-            report.torn_tail = true;
-        }
-        for (idx, line) in lines.iter().enumerate() {
-            if idx == 0 || line.trim().is_empty() {
-                continue; // meta line shape is checked at open
+        // The same newline-terminated scan as `parse_journal`, so line
+        // numbers and byte offsets agree between `open` errors and
+        // `verify` findings.
+        let bytes = text.as_bytes();
+        let mut offset = 0usize;
+        let mut idx = 0usize;
+        while offset < bytes.len() {
+            let Some(rel) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+                report.torn_tail = true;
+                break;
+            };
+            let line = &text[offset..offset + rel];
+            if idx > 0 && !line.trim().is_empty() {
+                // The meta line's shape (idx 0) is checked at open.
+                match parse_record_line(line) {
+                    Ok(_) => report.intact += 1,
+                    Err(e) => report.corrupt.push(CorruptLine {
+                        line: idx + 1,
+                        offset: offset as u64,
+                        message: e.to_string(),
+                    }),
+                }
             }
-            match parse_record_line(line) {
-                Ok(_) => report.intact += 1,
-                Err(e) => report.corrupt.push((idx + 1, e.to_string())),
-            }
+            offset += rel + 1;
+            idx += 1;
         }
         Ok(report)
     }
@@ -733,13 +808,75 @@ mod tests {
         let flipped = text.replace("\"len\":", "\"len\":9");
         assert_ne!(flipped, text);
         std::fs::write(&path, &flipped).unwrap();
-        assert!(matches!(Store::open(&dir), Err(StoreError::Corrupt { .. })));
+        // The error locates the damage: line number AND byte offset (the
+        // record line starts right after the meta line + newline).
+        let meta_len = (meta_line_text().len() + 1) as u64;
+        match Store::open(&dir) {
+            Err(StoreError::Corrupt { line, offset, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(offset, meta_len);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
         // Same for a bit flipped in the payload itself.
         text = text.replace("\"startup_ns\":5.0", "\"startup_ns\":6.0");
         assert!(text.contains("\"startup_ns\":6.0"));
         std::fs::write(&path, &text).unwrap();
         assert!(matches!(Store::open(&dir), Err(StoreError::Corrupt { .. })));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_locates_corrupt_lines_by_offset() {
+        let dir = temp_store("verifyoffset");
+        let mut store = Store::open(&dir).unwrap();
+        store
+            .append(None, &config(), vec![measurement("a", 1.0)])
+            .unwrap();
+        store
+            .append(None, &config(), vec![measurement("b", 2.0)])
+            .unwrap();
+        let path = dir.join(ARCHIVE_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Corrupt the second record line (line 3) only.
+        let mut lines: Vec<String> = text.split_inclusive('\n').map(str::to_string).collect();
+        let expected_offset = (lines[0].len() + lines[1].len()) as u64;
+        lines[2] = lines[2].replacen("\"startup_ns\":5.0", "\"startup_ns\":6.0", 1);
+        let sabotaged = lines.concat();
+        assert_ne!(sabotaged, text);
+        std::fs::write(&path, &sabotaged).unwrap();
+        let report = store.verify().unwrap();
+        assert_eq!(report.intact, 1);
+        assert_eq!(report.corrupt.len(), 1);
+        assert_eq!(report.corrupt[0].line, 3);
+        assert_eq!(report.corrupt[0].offset, expected_offset);
+        assert!(report.corrupt[0].message.contains("hash mismatch"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_record_reproduces_the_local_line() {
+        let dir_a = temp_store("wirelocal");
+        let dir_b = temp_store("wireremote");
+        let mut local = Store::open(&dir_a).unwrap();
+        local
+            .append(Some("wire".into()), &config(), vec![measurement("a", 1.0)])
+            .unwrap();
+        // Ship the record as its wire payload and ingest it verbatim.
+        let payload: JsonValue =
+            serde_json::from_str::<RawValue>(&local.latest().unwrap().payload_json())
+                .map(|RawValue(v)| v)
+                .unwrap();
+        let parsed = RunRecord::from_payload(&payload).unwrap();
+        let mut remote = Store::open(&dir_b).unwrap();
+        remote.append_record(parsed).unwrap();
+        assert_eq!(
+            std::fs::read(dir_a.join(ARCHIVE_FILE)).unwrap(),
+            std::fs::read(dir_b.join(ARCHIVE_FILE)).unwrap()
+        );
+        assert!(remote.verify().unwrap().is_clean());
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub mod index;
 pub mod record;
 pub mod shared;
 
-pub use archive::{CompactionReport, Store, StoreError, VerifyReport, ARCHIVE_FILE};
+pub use archive::{
+    parse_record_line, record_line, CompactionReport, CorruptLine, Store, StoreError, VerifyReport,
+    ARCHIVE_FILE,
+};
 pub use baseline::BaselineRef;
 pub use hash::content_hash;
 pub use history::{benchmark_history, benchmark_names, segment_baseline, trend_report};

@@ -1,0 +1,218 @@
+//! Resilience of the shared archive service end to end: concurrent
+//! duplicate writers against one `SharedStore`, and the kill-anywhere
+//! property for a campaign running against `rigor serve` through the
+//! fault-injecting `RemoteStore` client — however the network misbehaves
+//! and wherever the server dies, the service archive must converge to the
+//! exact line set an uninterrupted local run produces.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rigor::campaign::CellSink;
+use rigor::{Campaign, CampaignSpec, ExperimentConfig, NetFaultPlan};
+use rigor_serve::{ArchiveServer, RemoteStore, ServerHandle};
+use rigor_store::{SharedStore, Store, ARCHIVE_FILE};
+use rigor_workloads::Size;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rigor-serve-resilience-{}-{name}",
+        std::process::id()
+    ));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The grid under test: 2 benchmarks x 1 engine x 1 variant x 2 seeds.
+fn spec() -> CampaignSpec {
+    let base = ExperimentConfig::interp()
+        .with_invocations(1)
+        .with_iterations(2)
+        .with_size(Size::Small)
+        .with_seed(3);
+    CampaignSpec::new(base)
+        .with_benchmarks(["sieve", "leibniz"])
+        .with_seeds(vec![3, 4])
+}
+
+/// The content-id set of every archived run, with its grid seq.
+fn id_set(dir: &Path) -> BTreeSet<(u64, String)> {
+    let store = Store::open(dir).expect("open");
+    store.runs().map(|r| (r.seq, r.id.clone())).collect()
+}
+
+/// Starts a server over `dir`; returns (url, handle, join).
+fn start_server(
+    addr: &str,
+    dir: &Path,
+    faults: Option<NetFaultPlan>,
+) -> (String, ServerHandle, std::thread::JoinHandle<()>) {
+    let mut server = ArchiveServer::bind(addr, dir).expect("bind server");
+    if let Some(plan) = faults {
+        server = server.with_fault_plan(plan);
+    }
+    let handle = server.handle();
+    let url = format!("127.0.0.1:{}", handle.addr().port());
+    let join = std::thread::spawn(move || {
+        let _ = server.serve();
+    });
+    (url, handle, join)
+}
+
+/// A client tuned for tests: short timeouts, tight backoff, breaker on.
+fn client(url: &str, spool: &Path) -> RemoteStore {
+    RemoteStore::connect(url)
+        .with_timeout(Duration::from_millis(500))
+        .with_retries(2)
+        .with_backoff_base(Duration::from_millis(1))
+        .with_breaker_threshold(2)
+        .with_seed(17)
+        .with_spool(spool)
+        .expect("open spool")
+}
+
+/// Satellite stress test: N threads hammering `SharedStore::archive_cell`
+/// with the same cells in different (duplicate, out-of-order) sequences
+/// must converge to the same line set as one sequential pass — exactly one
+/// line per cell — and the archive must verify clean.
+#[test]
+fn concurrent_duplicate_appends_converge_to_the_sequential_archive() {
+    let cells = Arc::new(spec().cells().expect("grid"));
+    let m = rigor::BenchmarkMeasurement {
+        benchmark: "sieve".to_string(),
+        engine: "interp".to_string(),
+        invocations: vec![],
+        censored: vec![],
+        quarantined: false,
+    };
+
+    // Ground truth: one thread, grid order, no duplicates.
+    let seq_dir = temp_dir("stress-sequential");
+    let sequential = SharedStore::open(&seq_dir).expect("open");
+    for c in cells.iter() {
+        sequential.archive_cell(c, &m).expect("sequential append");
+    }
+
+    // 8 threads, each replaying the whole grid in a rotated order, several
+    // times over — every append after the first per cell is a duplicate.
+    let stress_dir = temp_dir("stress-concurrent");
+    let shared = Arc::new(SharedStore::open(&stress_dir).expect("open"));
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            let cells = Arc::clone(&cells);
+            let m = m.clone();
+            std::thread::spawn(move || {
+                for round in 0..4 {
+                    for i in 0..cells.len() {
+                        let c = &cells[(i + t + round) % cells.len()];
+                        let receipt = shared.archive_cell(c, &m).expect("stress append");
+                        assert_eq!(receipt.seq, c.index as u64);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("stress thread");
+    }
+
+    // Same line set (the interleaving may reorder lines, never change or
+    // duplicate them), and a clean verification report.
+    let read_sorted_lines = |dir: &Path| {
+        let bytes = fs::read(dir.join(ARCHIVE_FILE)).expect("read archive");
+        let mut lines: Vec<Vec<u8>> = bytes
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .map(<[u8]>::to_vec)
+            .collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(read_sorted_lines(&stress_dir), read_sorted_lines(&seq_dir));
+    assert_eq!(id_set(&stress_dir).len(), cells.len());
+    assert!(Store::verify_dir(&stress_dir).expect("verify").is_clean());
+
+    fs::remove_dir_all(&seq_dir).ok();
+    fs::remove_dir_all(&stress_dir).ok();
+}
+
+/// The kill-anywhere property: a campaign against `rigor serve` through
+/// the resilient client — under seeded refuse/drop/5xx/garbage faults,
+/// with the server killed mid-campaign and restarted later — must
+/// converge to a server archive holding the same content ids at the same
+/// seqs as an uninterrupted local `SharedStore` run, verifying clean.
+#[test]
+fn killed_and_faulted_remote_campaign_converges_to_the_local_archive() {
+    // Ground truth: the uninterrupted local run.
+    let local_dir = temp_dir("kill-local");
+    let sink = SharedStore::open(&local_dir).expect("open local");
+    let report = Campaign::new(spec())
+        .workers(1)
+        .journal(local_dir.join("campaign.jsonl"))
+        .run(&sink)
+        .expect("local campaign");
+    assert!(report.is_complete());
+    let truth = id_set(&local_dir);
+    assert_eq!(truth.len(), 4);
+
+    // Phase 1: a flaky server; the campaign gets through 2 of 4 cells
+    // before the server is killed.
+    let server_dir = temp_dir("kill-server");
+    let spool_dir = temp_dir("kill-spool");
+    let work_dir = temp_dir("kill-work");
+    fs::create_dir_all(&work_dir).expect("work dir");
+    let journal = work_dir.join("campaign.jsonl");
+    let faults = NetFaultPlan::new(23)
+        .with_refuse_rate(0.15)
+        .with_drop_rate(0.15)
+        .with_error_rate(0.1)
+        .with_garbage_rate(0.1);
+    let (url, handle, join) = start_server("127.0.0.1:0", &server_dir, Some(faults.clone()));
+    let phase1 = Campaign::new(spec())
+        .workers(2)
+        .journal(&journal)
+        .max_cells(2)
+        .run(&client(&url, &spool_dir))
+        .expect("phase-1 campaign");
+    assert_eq!(phase1.executed, 2);
+    handle.stop();
+    join.join().expect("server thread");
+
+    // Phase 2: the server is gone. A fresh client process resumes the
+    // campaign; every remaining cell lands in the spool.
+    let resumed = Campaign::new(spec())
+        .workers(2)
+        .journal(&journal)
+        .resume(true)
+        .run(&client(&url, &spool_dir))
+        .expect("phase-2 campaign");
+    assert!(resumed.is_complete());
+    assert!(resumed.failures.is_empty(), "{:?}", resumed.failures);
+
+    // Phase 3: the server restarts on the same port over the same store,
+    // still flaky. A fresh client replays the spool until it drains.
+    let port = url.rsplit(':').next().expect("port");
+    let (url, handle, join) = start_server(&format!("127.0.0.1:{port}"), &server_dir, Some(faults));
+    let replayer = client(&url, &spool_dir);
+    for _ in 0..500 {
+        replayer.flush().expect("flush");
+        if replayer.spooled() == 0 {
+            break;
+        }
+    }
+    assert_eq!(replayer.spooled(), 0, "the spool must drain");
+    handle.stop();
+    join.join().expect("server thread");
+
+    // Convergence: same content ids at the same seqs, clean verification.
+    assert_eq!(id_set(&server_dir), truth);
+    assert!(Store::verify_dir(&server_dir).expect("verify").is_clean());
+
+    for dir in [&local_dir, &server_dir, &spool_dir, &work_dir] {
+        fs::remove_dir_all(dir).ok();
+    }
+}
