@@ -1,30 +1,53 @@
 //! Criterion micro-benchmarks for the MiniPy engines themselves: real
-//! (Rust-side) throughput of the interpreter and JIT loops on two kernels.
-//! These gate regressions in the simulator, not the methodology.
+//! (Rust-side) throughput of the interpreter and JIT loops. These gate
+//! regressions in the simulator, not the methodology.
+//!
+//! `vm/interp/<workload>/iteration` covers the full 21-workload suite — the
+//! population behind the interpreter-throughput acceptance bar for dispatch
+//! or cache changes. The JIT pair and the compile/instantiate benches are a
+//! smaller smoke set.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use minipy::{Session, VmConfig};
-use rigor_workloads::{find, Size};
+use minipy::{CompiledProgram, Session, VmConfig};
+use rigor_workloads::{find, suite, Size};
 
 fn bench_vm(c: &mut Criterion) {
-    for (engine, cfg) in [("interp", VmConfig::interp()), ("jit", VmConfig::jit())] {
-        for name in ["leibniz", "dict_churn"] {
-            let w = find(name).expect("known benchmark");
-            let src = w.source(Size::Small);
-            c.bench_function(&format!("vm/{engine}/{name}/iteration"), |b| {
-                let mut session = Session::start(&src, 1, cfg.clone()).expect("session");
-                // Pre-warm so the JIT measurement reflects compiled code.
-                for _ in 0..10 {
-                    session.run_iteration().expect("warm");
-                }
-                b.iter(|| black_box(session.run_iteration().expect("iteration")))
-            });
-        }
+    // Interpreter throughput across the whole suite.
+    for w in suite() {
+        let src = w.source(Size::Small);
+        c.bench_function(&format!("vm/interp/{}/iteration", w.name), |b| {
+            let mut session = Session::start(&src, 1, VmConfig::interp()).expect("session");
+            for _ in 0..10 {
+                session.run_iteration().expect("warm");
+            }
+            b.iter(|| black_box(session.run_iteration().expect("iteration")))
+        });
+    }
+
+    // JIT smoke pair (warmed past compilation).
+    for name in ["leibniz", "dict_churn"] {
+        let w = find(name).expect("known benchmark");
+        let src = w.source(Size::Small);
+        c.bench_function(&format!("vm/jit/{name}/iteration"), |b| {
+            let mut session = Session::start(&src, 1, VmConfig::jit()).expect("session");
+            for _ in 0..10 {
+                session.run_iteration().expect("warm");
+            }
+            b.iter(|| black_box(session.run_iteration().expect("iteration")))
+        });
     }
 
     c.bench_function("vm/compile/leibniz", |b| {
         let src = find("leibniz").unwrap().source(Size::Small);
         b.iter(|| black_box(minipy::compile(&src).expect("compiles")))
+    });
+
+    // Parse-once path: cost of stamping out a session (module setup included)
+    // from a frozen program, versus compiling from source each time.
+    c.bench_function("vm/frozen_session/leibniz", |b| {
+        let src = find("leibniz").unwrap().source(Size::Small);
+        let program = CompiledProgram::compile(&src).expect("compiles");
+        b.iter(|| black_box(Session::start_from(&program, 1, VmConfig::interp()).expect("session")))
     });
 }
 

@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 
-use minipy::{invocation_seed, MpError, MpResult, RuntimeErrorKind, Session};
+use minipy::{invocation_seed, CompiledProgram, MpError, MpResult, RuntimeErrorKind, Session};
 use rigor_workloads::Workload;
 
 use crate::checkpoint::{Journal, JournalMeta, JournalWriter};
@@ -84,10 +84,10 @@ fn attempt_seed(experiment_seed: u64, benchmark: &str, invocation: u32, attempt:
     }
 }
 
-/// Runs one invocation attempt: fresh session, setup, `iterations` timed
-/// runs, with an optional injected fault.
+/// Runs one invocation attempt: fresh session from the frozen program,
+/// setup, `iterations` timed runs, with an optional injected fault.
 fn run_invocation(
-    source: &str,
+    program: &CompiledProgram,
     benchmark: &str,
     invocation: u32,
     attempt: u32,
@@ -111,7 +111,7 @@ fn run_invocation(
         // takes.
         vm_config.time_budget_ns = Some(1.0);
     }
-    let mut session = Session::start(source, seed, vm_config)?;
+    let mut session = Session::start_from(program, seed, vm_config)?;
     if let InjectedFault::Slow { stall_ns } = fault {
         session.vm_mut().inject_stall(stall_ns);
     }
@@ -155,7 +155,7 @@ fn run_invocation(
 /// internal error so one broken invocation cannot abort the whole process.
 #[allow(clippy::too_many_arguments)]
 fn run_invocation_guarded(
-    source: &str,
+    program: &CompiledProgram,
     benchmark: &str,
     invocation: u32,
     attempt: u32,
@@ -164,7 +164,7 @@ fn run_invocation_guarded(
     fault: InjectedFault,
 ) -> MpResult<InvocationRecord> {
     catch_unwind(AssertUnwindSafe(|| {
-        run_invocation(source, benchmark, invocation, attempt, config, sink, fault)
+        run_invocation(program, benchmark, invocation, attempt, config, sink, fault)
     }))
     .unwrap_or_else(|payload| {
         let msg = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -193,7 +193,7 @@ enum Outcome {
 
 /// Drives one invocation through the retry loop.
 fn run_with_retries(
-    source: &str,
+    program: &CompiledProgram,
     benchmark: &str,
     invocation: u32,
     config: &ExperimentConfig,
@@ -207,7 +207,7 @@ fn run_with_retries(
             .map(|p| p.decide(benchmark, invocation, attempt))
             .unwrap_or(InjectedFault::None);
         let result =
-            run_invocation_guarded(source, benchmark, invocation, attempt, config, sink, fault);
+            run_invocation_guarded(program, benchmark, invocation, attempt, config, sink, fault);
         sink.send(ExperimentEvent::InvocationFinished {
             benchmark: benchmark.to_string(),
             invocation,
@@ -361,6 +361,12 @@ impl Runner {
         let n = config.invocations as usize;
         let threads = config.threads.clamp(1, n.max(1));
 
+        // Parse once, evaluate many: the workload is compiled a single time
+        // and every invocation (and retry) instantiates a cheap VM over the
+        // frozen program. Compile-class errors surface here — fail fast, a
+        // retry cannot fix a parse error.
+        let program = CompiledProgram::compile(source)?;
+
         let mut slots: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
         if let Some(journal) = &self.resume_from {
             journal
@@ -448,6 +454,7 @@ impl Runner {
                     let replayed = &replayed;
                     let writer = &writer;
                     let faults = self.fault_plan.as_ref();
+                    let program = &program;
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -457,7 +464,7 @@ impl Runner {
                             continue;
                         }
                         let outcome =
-                            run_with_retries(source, benchmark, i as u32, config, &sink, faults);
+                            run_with_retries(program, benchmark, i as u32, config, &sink, faults);
                         if let Some(writer) = writer {
                             journal_outcome(writer, &outcome, benchmark, i as u32, &sink);
                         }

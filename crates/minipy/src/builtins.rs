@@ -10,6 +10,10 @@ use crate::heap::{IterState, Object};
 use crate::value::{Handle, Value};
 use crate::vm::Vm;
 
+/// Arities up to this use a fixed stack buffer instead of a heap `Vec` when
+/// copying call arguments out of the operand stack.
+const INLINE_ARGS: usize = 8;
+
 /// Identifier of a built-in function.
 #[allow(missing_docs)] // variants mirror the Python builtin names
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -242,8 +246,15 @@ impl Vm {
         let len = self.stack.len();
         let args_start = len - argc;
         // Copy args out (Values are Copy); callee sits at args_start - 1.
-        let args: Vec<Value> = self.stack[args_start..].to_vec();
-        let result = self.builtin_result(b, &args)?;
+        // Small arities use a stack buffer so hot call sites never allocate.
+        let result = if argc <= INLINE_ARGS {
+            let mut buf = [Value::None; INLINE_ARGS];
+            buf[..argc].copy_from_slice(&self.stack[args_start..]);
+            self.builtin_result(b, &buf[..argc])?
+        } else {
+            let args: Vec<Value> = self.stack[args_start..].to_vec();
+            self.builtin_result(b, &args)?
+        };
         self.stack.truncate(args_start - 1);
         self.stack.push(result);
         Ok(())
@@ -649,8 +660,14 @@ impl Vm {
         let len = self.stack.len();
         let args_start = len - argc;
         let receiver = self.stack[args_start - 1];
-        let args: Vec<Value> = self.stack[args_start..].to_vec();
-        let result = self.method_result(receiver, mid, &args)?;
+        let result = if argc <= INLINE_ARGS {
+            let mut buf = [Value::None; INLINE_ARGS];
+            buf[..argc].copy_from_slice(&self.stack[args_start..]);
+            self.method_result(receiver, mid, &buf[..argc])?
+        } else {
+            let args: Vec<Value> = self.stack[args_start..].to_vec();
+            self.method_result(receiver, mid, &args)?
+        };
         self.stack.truncate(args_start - 1);
         self.stack.push(result);
         Ok(())
@@ -854,9 +871,12 @@ impl Vm {
                     _ => return Err(self.arity_error("get", "1 or 2", args.len())),
                 };
                 let mut probes = 0;
-                let found = self
-                    .heap
-                    .with_dict_mut(h, |dict, heap| dict.try_get(heap, key, &mut probes))?;
+                let found = match self.heap.get(h) {
+                    // Shared-access lookup: no need for the `with_dict_mut`
+                    // move-out/move-back, which is probe-for-probe identical.
+                    Object::Dict(d) => d.try_get(&self.heap, key, &mut probes)?,
+                    _ => unreachable!("receiver checked as dict"),
+                };
                 self.charge_probes(probes);
                 Ok(found.unwrap_or(default))
             }
@@ -942,7 +962,9 @@ impl Vm {
             }
             MethodId::Clear => {
                 match self.heap.get_mut(h) {
-                    Object::Dict(d) => *d = crate::dict::Dict::new(),
+                    // clear_in_place bumps the dict version so inline caches
+                    // keyed on the old layout are invalidated.
+                    Object::Dict(d) => d.clear_in_place(),
                     _ => unreachable!("tag checked"),
                 }
                 Ok(Value::None)
@@ -1136,6 +1158,20 @@ impl Vm {
                 ));
             }
         };
+        // Range iteration needs no second heap access: advance in place.
+        if let Object::Iter(IterState::Range { next, stop, step }) = self.heap.get_mut(ih) {
+            let done = if *step > 0 {
+                *next >= *stop
+            } else {
+                *next <= *stop
+            };
+            if done {
+                return Ok(None);
+            }
+            let item = Value::Int(*next);
+            *next += *step;
+            return Ok(Some(item));
+        }
         // Read the state, compute the step, then write back.
         let state = match self.heap.get(ih) {
             Object::Iter(s) => s.clone(),

@@ -37,12 +37,12 @@ where
             worklist.push(h);
         }
     }
-    let mut pending_children: Vec<Handle> = Vec::with_capacity(64);
     while let Some(h) = worklist.pop() {
         if heap.mark_one(h) {
-            pending_children.clear();
-            heap.push_children(h, &mut pending_children);
-            worklist.extend_from_slice(&pending_children);
+            // Children push straight onto the worklist (no intermediate
+            // buffer): `push_children` borrows the heap shared, the worklist
+            // is independent storage.
+            heap.push_children(h, &mut worklist);
         }
     }
     let (live, freed) = heap.sweep();

@@ -2,6 +2,7 @@
 //! helpers, and string rendering. The mark-sweep collector lives in
 //! [`crate::gc`] but operates on the structures defined here.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 
 use crate::dict::Dict;
@@ -81,8 +82,20 @@ impl Object {
 
 struct HeapSlot {
     obj: Object,
-    mark: bool,
+    /// Epoch stamp: the slot is marked iff this equals the heap's current
+    /// `mark_epoch`. Bumping the epoch unmarks every slot at once, so a
+    /// collection never needs a clear-marks pass over the whole heap.
+    mark: u64,
+    /// Memoized seeded string hash (for `Object::Str` slots); starts at
+    /// [`STR_HASH_UNSET`] and is filled on first use. Strings are immutable
+    /// and slots are only recycled by replacing the whole `HeapSlot`, so the
+    /// cache can never go stale.
+    str_hash: Cell<u64>,
 }
+
+/// Sentinel for "hash not computed yet". A string whose real hash collides
+/// with the sentinel is simply re-hashed every lookup — still correct.
+const STR_HASH_UNSET: u64 = u64::MAX;
 
 /// Counters describing allocation and collection activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -118,6 +131,13 @@ pub struct Heap {
     stats: HeapStats,
     /// Per-invocation string-hash seed (CPython's `PYTHONHASHSEED`).
     hash_seed: u64,
+    /// Bumped by every sweep. Paired with a [`Handle`] this uniquely
+    /// identifies an object lifetime (handles are only recycled through the
+    /// free list, which is only refilled by sweeps) — the interpreter's
+    /// inline caches key on it.
+    generation: u64,
+    /// Current mark epoch; see the `mark` field of `HeapSlot`.
+    mark_epoch: u64,
 }
 
 /// Initial GC trigger: collections start once this many objects have been
@@ -147,12 +167,45 @@ impl Heap {
             adaptive_threshold: true,
             stats: HeapStats::default(),
             hash_seed: seed,
+            generation: 0,
+            mark_epoch: 0,
         }
     }
 
     /// The per-invocation string-hash seed.
     pub fn hash_seed(&self) -> u64 {
         self.hash_seed
+    }
+
+    /// The current GC generation: bumped by every sweep, so an inline cache
+    /// stamped with (handle, generation) can never observe a recycled slot.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The seeded hash of the string behind `h`, memoized per heap slot so
+    /// repeated dict probes with the same key object skip re-hashing.
+    #[inline(always)]
+    pub(crate) fn memoized_str_hash(&self, h: Handle, s: &str) -> u64 {
+        debug_assert!(
+            matches!(self.slots.get(h as usize), Some(Some(_))),
+            "dangling handle"
+        );
+        // Same liveness contract as `Heap::get`: the handle was just
+        // dereferenced to obtain `s`, so the slot is live.
+        let cell = unsafe {
+            match self.slots.get_unchecked(h as usize) {
+                Some(s) => &s.str_hash,
+                None => std::hint::unreachable_unchecked(),
+            }
+        };
+        let cached = cell.get();
+        if cached != STR_HASH_UNSET {
+            return cached;
+        }
+        let hv = crate::dict::hash_str(self.hash_seed, s);
+        cell.set(hv);
+        hv
     }
 
     /// Pins the GC allocation threshold to an exact value, disabling the
@@ -168,7 +221,11 @@ impl Heap {
         self.allocs_since_gc += 1;
         self.stats.total_allocations += 1;
         self.stats.total_bytes += obj.approx_bytes() as u64;
-        let slot = HeapSlot { obj, mark: false };
+        let slot = HeapSlot {
+            obj,
+            mark: 0,
+            str_hash: Cell::new(STR_HASH_UNSET),
+        };
         match self.free.pop() {
             Some(h) => {
                 self.slots[h as usize] = Some(slot);
@@ -203,26 +260,39 @@ impl Heap {
 
     /// Borrows the object behind `h`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `h` is dangling — the VM never exposes dangling handles.
+    /// Handles are minted only by [`Heap::alloc`] and invalidated only by a
+    /// sweep, which frees nothing the interpreter can still reach (the VM
+    /// roots its stack, locals, globals and iterator state, and inline
+    /// caches are generation-stamped). Release builds therefore skip the
+    /// bounds/liveness check on this hottest of paths; debug builds keep it.
+    #[inline(always)]
     pub fn get(&self, h: Handle) -> &Object {
-        self.slots[h as usize]
-            .as_ref()
-            .map(|s| &s.obj)
-            .expect("dangling handle")
+        debug_assert!(
+            matches!(self.slots.get(h as usize), Some(Some(_))),
+            "dangling handle"
+        );
+        unsafe {
+            match self.slots.get_unchecked(h as usize) {
+                Some(s) => &s.obj,
+                None => std::hint::unreachable_unchecked(),
+            }
+        }
     }
 
-    /// Mutably borrows the object behind `h`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `h` is dangling.
+    /// Mutably borrows the object behind `h`. Same liveness contract as
+    /// [`Heap::get`]: release builds elide the check, debug builds keep it.
+    #[inline(always)]
     pub fn get_mut(&mut self, h: Handle) -> &mut Object {
-        self.slots[h as usize]
-            .as_mut()
-            .map(|s| &mut s.obj)
-            .expect("dangling handle")
+        debug_assert!(
+            matches!(self.slots.get(h as usize), Some(Some(_))),
+            "dangling handle"
+        );
+        unsafe {
+            match self.slots.get_unchecked_mut(h as usize) {
+                Some(s) => &mut s.obj,
+                None => std::hint::unreachable_unchecked(),
+            }
+        }
     }
 
     /// Number of live objects.
@@ -489,16 +559,17 @@ impl Heap {
 
     // ---- GC support (called from crate::gc) ----
 
+    /// Unmarks every slot in O(1) by advancing the mark epoch (slots compare
+    /// their stamp against it; a stale stamp means unmarked).
     pub(crate) fn clear_marks(&mut self) {
-        for s in self.slots.iter_mut().flatten() {
-            s.mark = false;
-        }
+        self.mark_epoch += 1;
     }
 
     pub(crate) fn mark_one(&mut self, h: Handle) -> bool {
+        let epoch = self.mark_epoch;
         match self.slots[h as usize].as_mut() {
-            Some(s) if !s.mark => {
-                s.mark = true;
+            Some(s) if s.mark != epoch => {
+                s.mark = epoch;
                 true
             }
             _ => false,
@@ -540,9 +611,10 @@ impl Heap {
     pub(crate) fn sweep(&mut self) -> (u64, u64) {
         let mut live = 0u64;
         let mut freed = 0u64;
+        let epoch = self.mark_epoch;
         for (i, slot) in self.slots.iter_mut().enumerate() {
             match slot {
-                Some(s) if s.mark => live += 1,
+                Some(s) if s.mark == epoch => live += 1,
                 Some(_) => {
                     *slot = None;
                     self.free.push(i as Handle);
@@ -552,6 +624,7 @@ impl Heap {
             }
         }
         self.allocs_since_gc = 0;
+        self.generation += 1;
         self.gc_threshold = if self.adaptive_threshold {
             self.base_threshold.max(live * 2)
         } else {

@@ -7,33 +7,94 @@
 //! recording and compilation. Semantics are identical by construction — a
 //! property the test suite and property tests verify extensively.
 
-use crate::bytecode::Op;
+use std::sync::Arc;
+
+use crate::bytecode::{Op, OpClass, FUSABLE_BINOPS};
 use crate::error::{MpError, MpResult, RuntimeErrorKind};
-use crate::frame::Frame;
+use crate::frame::{op_class_index, Frame};
 use crate::heap::Object;
 use crate::jit::{BackedgeEvent, GuardOutcome};
-use crate::value::Value;
-use crate::vm::Vm;
+use crate::value::{Handle, Value};
+use crate::vm::{CallIc, CallTarget, DictIc, Vm};
 
 /// Ops between housekeeping checks (GC/jitter/budget).
 const HOUSEKEEPING_INTERVAL: u32 = 64;
 
 impl Vm {
-    #[inline]
+    /// Pushes onto the operand stack without a capacity check.
+    ///
+    /// SAFETY: the stack-depth dataflow in
+    /// [`crate::bytecode::Program::validate`] proves every reachable pc's
+    /// depth stays within its code's `max_stack`, and every frame entry
+    /// reserves `max_stack` capacity above the frame's base before any push
+    /// at that frame's depths can happen. Builtins only push after popping
+    /// at least as much (`truncate` + one result), so they never exceed the
+    /// depth the dataflow charged to their call op.
+    #[inline(always)]
     fn push(&mut self, v: Value) {
-        self.stack.push(v);
+        debug_assert!(self.stack.len() < self.stack.capacity());
+        unsafe {
+            let len = self.stack.len();
+            std::ptr::write(self.stack.as_mut_ptr().add(len), v);
+            self.stack.set_len(len + 1);
+        }
     }
 
-    #[inline]
+    /// Pops the operand stack without an emptiness check.
+    ///
+    /// SAFETY: the same validation dataflow proves no reachable op pops more
+    /// values than its pc's depth provides (underflow is a load-time error),
+    /// so every `pop` the dispatch loop issues has a value to take.
+    #[inline(always)]
     fn pop(&mut self) -> Value {
-        self.stack
-            .pop()
-            .expect("operand stack underflow (compiler bug)")
+        debug_assert!(!self.stack.is_empty());
+        unsafe {
+            let len = self.stack.len() - 1;
+            self.stack.set_len(len);
+            std::ptr::read(self.stack.as_ptr().add(len))
+        }
     }
 
-    #[inline]
+    /// Reads `depth` values below TOS; same safety argument as [`Vm::pop`]
+    /// (every peek's depth is covered by its op's validated pop count).
+    #[inline(always)]
     fn peek(&self, depth: usize) -> Value {
-        self.stack[self.stack.len() - 1 - depth]
+        debug_assert!(depth < self.stack.len());
+        unsafe { *self.stack.get_unchecked(self.stack.len() - 1 - depth) }
+    }
+
+    /// Reads local slot `i` of the executing frame without bounds checks.
+    ///
+    /// SAFETY: the dispatch loop only executes programs that passed
+    /// [`crate::bytecode::Program::validate`] at load, which proves every
+    /// encoded local slot `< n_locals`, and every frame's locals vec is
+    /// sized to exactly its code's `n_locals`. A frame always exists while
+    /// dispatch runs (`Return` exits before popping past `min_frames`).
+    #[inline(always)]
+    fn local(&self, i: u16) -> Value {
+        debug_assert!(self
+            .frames
+            .last()
+            .is_some_and(|f| (i as usize) < f.locals.len()));
+        unsafe {
+            let f = self.frames.last().unwrap_unchecked();
+            *f.locals.get_unchecked(i as usize)
+        }
+    }
+
+    /// Writes local slot `i` of the executing frame; same safety argument as
+    /// [`Vm::local`].
+    #[inline(always)]
+    fn set_local(&mut self, i: u16, v: Value) {
+        debug_assert!(self
+            .frames
+            .last()
+            .is_some_and(|f| (i as usize) < f.locals.len()));
+        unsafe {
+            let n = self.frames.len();
+            let f = self.frames.get_unchecked_mut(n - 1);
+            *f.locals.get_unchecked_mut(i as usize) = v;
+        }
     }
 
     fn zero_division() -> MpError {
@@ -64,54 +125,91 @@ impl Vm {
     }
 
     fn execute_inner(&mut self, min_frames: usize) -> MpResult<Value> {
+        let result = self.dispatch(min_frames);
+        // Per-op counter increments are batched in `pending_ops`; fold them
+        // into the public counters at every exit so callers always observe
+        // exact totals (housekeeping flushes mid-run for the step budget).
+        self.flush_op_counters();
+        result
+    }
+
+    fn dispatch(&mut self, min_frames: usize) -> MpResult<Value> {
+        // Monomorphize the loop on the engine: the interpreter copy carries
+        // no per-op JIT queries or type observation at all (`JIT = false`
+        // constant-folds them away), instead of testing a runtime flag.
+        if self.jit.is_some() {
+            self.dispatch_impl::<true>(min_frames)
+        } else {
+            self.dispatch_impl::<false>(min_frames)
+        }
+    }
+
+    fn dispatch_impl<const JIT: bool>(&mut self, min_frames: usize) -> MpResult<Value> {
+        // Cached frame view: `code_id`/`pc` live in locals, and the current
+        // code's op slice and per-code statics are borrowed once from cheap
+        // Arc clones. The view is refreshed only at frame push/pop; the only
+        // write-back of `pc` to the frame is the return address at `Call`
+        // (nothing else — GC, housekeeping, unwinding — reads a live pc).
+        let program = Arc::clone(&self.program);
+        let statics = Arc::clone(&self.statics);
+        let jit_enabled = JIT;
+
+        let frame = self
+            .frames
+            .last()
+            .expect("at least one frame while executing");
+        let mut code_id = frame.code_id;
+        let mut pc = frame.pc;
+        let mut ops: &[Op] = &program.codes[code_id].ops;
+        let mut cs = &statics[code_id];
+
         loop {
             self.ops_since_housekeeping += 1;
             if self.ops_since_housekeeping >= HOUSEKEEPING_INTERVAL {
                 self.housekeeping()?;
             }
 
-            let frame = self
-                .frames
-                .last()
-                .expect("at least one frame while executing");
-            let code_id = frame.code_id;
-            let pc = frame.pc;
-            let op = self.program.codes[code_id].ops[pc];
-
-            let compiled = match &self.jit {
-                Some(j) => j.is_compiled(code_id, pc),
-                None => false,
-            };
-            let class = op.class();
-            self.charge(class, compiled);
-            self.frames.last_mut().expect("frame exists").pc = pc + 1;
+            // SAFETY: every reachable pc is in bounds for verified bytecode.
+            // `Program::validate` (checked at load) proves all jump targets
+            // `< n`, that the last op is `Return` (which never falls through),
+            // and that fused ops carry their full `Nop` padding — so a fused
+            // fall-through lands on or before the final `Return` too.
+            // `class_idx` is built with one entry per op.
+            let (op, class_idx) =
+                unsafe { (*ops.get_unchecked(pc), *cs.class_idx.get_unchecked(pc)) };
+            let compiled = jit_enabled && self.jit_compiled_at(code_id, pc);
+            self.charge_batched(usize::from(class_idx), compiled);
+            let op_pc = pc;
+            pc += 1;
 
             match op {
                 Op::Nop => {}
                 Op::LoadConst(i) => {
-                    let v = self.const_values[code_id][i as usize];
+                    // SAFETY: `Program::validate` proves every encoded const
+                    // index `< consts.len()`.
+                    let v = unsafe { *cs.consts.get_unchecked(i as usize) };
                     self.push(v);
                 }
                 Op::LoadLocal(i) => {
-                    let v = self.frames.last().expect("frame exists").locals[i as usize];
+                    let v = self.local(i);
                     self.push(v);
                 }
                 Op::StoreLocal(i) => {
                     let v = self.pop();
-                    self.frames.last_mut().expect("frame exists").locals[i as usize] = v;
+                    self.set_local(i, v);
                 }
                 Op::LoadGlobal(i) => {
-                    let slot = self.name_slots[code_id][i as usize];
+                    let slot = cs.name_slots[i as usize];
                     match self.globals[slot as usize] {
                         Some(v) => self.push(v),
                         None => {
-                            let name = &self.program.codes[code_id].names[i as usize];
+                            let name = &program.codes[code_id].names[i as usize];
                             return Err(MpError::name_error(name));
                         }
                     }
                 }
                 Op::StoreGlobal(i) => {
-                    let slot = self.name_slots[code_id][i as usize];
+                    let slot = cs.name_slots[i as usize];
                     let v = self.pop();
                     self.globals[slot as usize] = Some(v);
                 }
@@ -129,11 +227,142 @@ impl Vm {
                 | Op::CmpLe
                 | Op::CmpGt
                 | Op::CmpGe => {
-                    self.observe_types_binary(code_id, pc, compiled);
+                    if jit_enabled {
+                        self.observe_types_binary(code_id, op_pc, compiled);
+                    }
                     let b = self.pop();
                     let a = self.pop();
-                    let r = self.binary_op(op, a, b)?;
+                    let r = match Self::binop_fast(op, a, b) {
+                        Some(r) => r,
+                        None => self.binary_op(op, a, b)?,
+                    };
                     self.push(r);
+                }
+                Op::FusedLLBin { a, b, bin } => {
+                    let va = self.local(a);
+                    let vb = self.local(b);
+                    let r = self.fused_binop(code_id, op_pc, jit_enabled, va, vb, bin)?;
+                    self.push(r);
+                    pc = op_pc + 3;
+                }
+                Op::FusedLCBin { a, c, bin } => {
+                    let va = self.local(a);
+                    // SAFETY: validated const index (see `Op::LoadConst`).
+                    let vb = unsafe { *cs.consts.get_unchecked(c as usize) };
+                    let r = self.fused_binop(code_id, op_pc, jit_enabled, va, vb, bin)?;
+                    self.push(r);
+                    pc = op_pc + 3;
+                }
+                Op::FusedLLBinSt { a, b, d, bin } => {
+                    let va = self.local(a);
+                    let vb = self.local(b);
+                    let r = self.fused_binop(code_id, op_pc, jit_enabled, va, vb, bin)?;
+                    self.fused_store(code_id, op_pc, jit_enabled, r, d)?;
+                    pc = op_pc + 4;
+                }
+                Op::FusedLCBinSt { a, c, d, bin } => {
+                    let va = self.local(a);
+                    // SAFETY: validated const index (see `Op::LoadConst`).
+                    let vb = unsafe { *cs.consts.get_unchecked(c as usize) };
+                    let r = self.fused_binop(code_id, op_pc, jit_enabled, va, vb, bin)?;
+                    self.fused_store(code_id, op_pc, jit_enabled, r, d)?;
+                    pc = op_pc + 4;
+                }
+                Op::FusedLLCmpJf { a, b, t, bin } => {
+                    let va = self.local(a);
+                    let vb = self.local(b);
+                    let r = self.fused_binop(code_id, op_pc, jit_enabled, va, vb, bin)?;
+                    pc = self.fused_jump_if_false(code_id, op_pc, jit_enabled, r, t)?;
+                }
+                Op::FusedLCCmpJf { a, c, t, bin } => {
+                    let va = self.local(a);
+                    // SAFETY: validated const index (see `Op::LoadConst`).
+                    let vb = unsafe { *cs.consts.get_unchecked(c as usize) };
+                    let r = self.fused_binop(code_id, op_pc, jit_enabled, va, vb, bin)?;
+                    pc = self.fused_jump_if_false(code_id, op_pc, jit_enabled, r, t)?;
+                }
+                Op::FusedLLIdx { a, b } => {
+                    let obj = self.local(a);
+                    let idx = self.local(b);
+                    let v = self.fused_index_load(code_id, op_pc, jit_enabled, obj, idx)?;
+                    self.push(v);
+                    pc = op_pc + 3;
+                }
+                Op::FusedLCIdx { a, c } => {
+                    let obj = self.local(a);
+                    // SAFETY: validated const index (see `Op::LoadConst`).
+                    let idx = unsafe { *cs.consts.get_unchecked(c as usize) };
+                    let v = self.fused_index_load(code_id, op_pc, jit_enabled, obj, idx)?;
+                    self.push(v);
+                    pc = op_pc + 3;
+                }
+                Op::FusedLLLIdxSt { a, b, v } => {
+                    let obj = self.local(a);
+                    let idx = self.local(b);
+                    let val = self.local(v);
+                    self.fused_index_store(code_id, op_pc, jit_enabled, obj, idx, val)?;
+                    pc = op_pc + 4;
+                }
+                Op::FusedLLCIdxSt { a, b, c } => {
+                    let obj = self.local(a);
+                    let idx = self.local(b);
+                    // SAFETY: validated const index (see `Op::LoadConst`).
+                    let val = unsafe { *cs.consts.get_unchecked(c as usize) };
+                    self.fused_index_store(code_id, op_pc, jit_enabled, obj, idx, val)?;
+                    pc = op_pc + 4;
+                }
+                Op::FusedSIdx { b } => {
+                    // The container is already on the operand stack and stays
+                    // there (peeked, not popped) across the absorbed
+                    // subscript's housekeeping boundary: it may be an
+                    // unrooted fresh value (an outer subscript's result), and
+                    // the stack slot is its only GC root — exactly as unfused
+                    // execution would leave it rooted.
+                    let idx = self.local(b);
+                    let idx_pc = op_pc + 1;
+                    self.fused_sub_op(code_id, idx_pc, jit_enabled, OpClass::Memory)?;
+                    let obj = self.pop();
+                    let v = match self.dict_ic_load(code_id, idx_pc, obj, idx) {
+                        Some(v) => v,
+                        None => self.index_load(code_id, idx_pc, obj, idx)?,
+                    };
+                    self.push(v);
+                    pc = op_pc + 2;
+                }
+                Op::FusedSLIdxSt { b, v } => {
+                    let idx = self.local(b);
+                    let val = self.local(v);
+                    self.fused_stack_index_store(code_id, op_pc, jit_enabled, idx, val)?;
+                    pc = op_pc + 3;
+                }
+                Op::FusedSCIdxSt { b, c } => {
+                    let idx = self.local(b);
+                    // SAFETY: validated const index (see `Op::LoadConst`).
+                    let val = unsafe { *cs.consts.get_unchecked(c as usize) };
+                    self.fused_stack_index_store(code_id, op_pc, jit_enabled, idx, val)?;
+                    pc = op_pc + 3;
+                }
+                Op::FusedForSt { t, d } => {
+                    let it = self.peek(0);
+                    match self.iterator_next(it)? {
+                        Some(v) => {
+                            // The produced value visits the operand stack
+                            // across the absorbed store's housekeeping
+                            // boundary, exactly as unfused `ForIter` would
+                            // leave it there for `StoreLocal` to pop.
+                            self.push(v);
+                            self.fused_sub_op(code_id, op_pc + 1, jit_enabled, OpClass::Stack)?;
+                            let v = self.pop();
+                            self.set_local(d, v);
+                            pc = op_pc + 2;
+                        }
+                        None => {
+                            // Exhaustion jumps past the loop: only the
+                            // `ForIter` half executes, so no sub-op replay.
+                            self.pop();
+                            pc = t as usize;
+                        }
+                    }
                 }
                 Op::CmpIn | Op::CmpNotIn => {
                     let container = self.pop();
@@ -147,7 +376,9 @@ impl Vm {
                     self.push(Value::Bool(r));
                 }
                 Op::Neg => {
-                    self.observe_types_unary(code_id, pc, compiled);
+                    if jit_enabled {
+                        self.observe_types_unary(code_id, op_pc, compiled);
+                    }
                     let v = self.pop();
                     let r = match v {
                         Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(Self::overflow)?),
@@ -170,27 +401,27 @@ impl Vm {
 
                 Op::Jump(t) => {
                     let target = t as usize;
-                    self.frames.last_mut().expect("frame exists").pc = target;
-                    if target < pc {
-                        self.on_backedge(code_id, pc, target);
+                    if target < op_pc {
+                        self.on_backedge(code_id, op_pc, target);
                     }
+                    pc = target;
                 }
                 Op::PopJumpIfFalse(t) => {
                     let v = self.pop();
                     if !self.heap.truthy(v) {
-                        self.frames.last_mut().expect("frame exists").pc = t as usize;
+                        pc = t as usize;
                     }
                 }
                 Op::PopJumpIfTrue(t) => {
                     let v = self.pop();
                     if self.heap.truthy(v) {
-                        self.frames.last_mut().expect("frame exists").pc = t as usize;
+                        pc = t as usize;
                     }
                 }
                 Op::JumpIfFalsePeek(t) => {
                     let v = self.peek(0);
                     if !self.heap.truthy(v) {
-                        self.frames.last_mut().expect("frame exists").pc = t as usize;
+                        pc = t as usize;
                     } else {
                         self.pop();
                     }
@@ -198,7 +429,7 @@ impl Vm {
                 Op::JumpIfTruePeek(t) => {
                     let v = self.peek(0);
                     if self.heap.truthy(v) {
-                        self.frames.last_mut().expect("frame exists").pc = t as usize;
+                        pc = t as usize;
                     } else {
                         self.pop();
                     }
@@ -236,14 +467,19 @@ impl Vm {
                 Op::IndexLoad => {
                     let idx = self.pop();
                     let obj = self.pop();
-                    let v = self.index_load(obj, idx)?;
+                    let v = match self.dict_ic_load(code_id, op_pc, obj, idx) {
+                        Some(v) => v,
+                        None => self.index_load(code_id, op_pc, obj, idx)?,
+                    };
                     self.push(v);
                 }
                 Op::IndexStore => {
                     let val = self.pop();
                     let idx = self.pop();
                     let obj = self.pop();
-                    self.index_store(obj, idx, val)?;
+                    if !self.dict_ic_store(code_id, op_pc, obj, idx, val) {
+                        self.index_store(code_id, op_pc, obj, idx, val)?;
+                    }
                 }
                 Op::IndexDel => {
                     let idx = self.pop();
@@ -292,37 +528,30 @@ impl Vm {
                     self.counters.calls += 1;
                     let argc = argc as usize;
                     let callee = self.peek(argc);
-                    match callee {
-                        Value::Obj(h) => match *self.heap.get(h) {
-                            Object::Function { code_id: target } => {
-                                self.push_call_frame(target, argc)?;
-                                self.on_function_entry(target);
-                            }
-                            Object::Builtin(b) => {
-                                self.invoke_builtin(b, argc)?;
-                            }
-                            _ => {
-                                return Err(MpError::type_error(format!(
-                                    "'{}' object is not callable",
-                                    self.heap.type_name(callee)
-                                )));
-                            }
-                        },
-                        _ => {
-                            return Err(MpError::type_error(format!(
-                                "'{}' object is not callable",
-                                self.heap.type_name(callee)
-                            )));
+                    match self.resolve_callee(code_id, op_pc, callee)? {
+                        CallTarget::Function(target) => {
+                            // Write the return address back before switching
+                            // the cached view to the callee's frame.
+                            self.frames.last_mut().expect("frame exists").pc = pc;
+                            self.push_call_frame(target, argc)?;
+                            self.on_function_entry(target);
+                            code_id = target;
+                            pc = 0;
+                            ops = &program.codes[code_id].ops;
+                            cs = &statics[code_id];
+                        }
+                        CallTarget::Builtin(b) => {
+                            self.invoke_builtin(b, argc)?;
                         }
                     }
                 }
                 Op::CallMethod { name, argc } => {
                     self.counters.calls += 1;
-                    match self.method_ids[code_id][name as usize] {
+                    match cs.method_ids[name as usize] {
                         Some(mid) => self.invoke_method(mid, argc as usize)?,
                         None => {
                             let receiver = self.peek(argc as usize);
-                            let mname = &self.program.codes[code_id].names[name as usize];
+                            let mname = &program.codes[code_id].names[name as usize];
                             return Err(MpError::type_error(format!(
                                 "'{}' object has no method '{}'",
                                 self.heap.type_name(receiver),
@@ -335,10 +564,16 @@ impl Vm {
                     let result = self.pop();
                     let frame = self.frames.pop().expect("frame exists");
                     self.stack.truncate(frame.stack_base);
+                    self.recycle_locals(frame.locals);
                     if self.frames.len() == min_frames {
                         return Ok(result);
                     }
                     self.push(result);
+                    let caller = self.frames.last().expect("caller frame");
+                    code_id = caller.code_id;
+                    pc = caller.pc;
+                    ops = &program.codes[code_id].ops;
+                    cs = &statics[code_id];
                 }
 
                 Op::GetIter => {
@@ -352,7 +587,7 @@ impl Vm {
                         Some(v) => self.push(v),
                         None => {
                             self.pop();
-                            self.frames.last_mut().expect("frame exists").pc = t as usize;
+                            pc = t as usize;
                         }
                     }
                 }
@@ -386,11 +621,290 @@ impl Vm {
                     }
                 }
                 Op::MakeFunction(i) => {
-                    let v = self.const_values[code_id][i as usize];
+                    // SAFETY: validated const index (see `Op::LoadConst`).
+                    let v = unsafe { *cs.consts.get_unchecked(i as usize) };
                     self.push(v);
                 }
             }
         }
+    }
+
+    /// Replays one absorbed sub-op of a superinstruction exactly as unfused
+    /// execution would at its original pc: housekeeping bump/check, per-pc
+    /// JIT query, per-class charge. Returns the compiled flag for the pc.
+    #[inline]
+    fn fused_sub_op(
+        &mut self,
+        code_id: usize,
+        pc: usize,
+        jit_enabled: bool,
+        class: OpClass,
+    ) -> MpResult<bool> {
+        self.ops_since_housekeeping += 1;
+        if self.ops_since_housekeeping >= HOUSEKEEPING_INTERVAL {
+            self.housekeeping()?;
+        }
+        let compiled = jit_enabled && self.jit_compiled_at(code_id, pc);
+        self.charge_batched(op_class_index(class), compiled);
+        Ok(compiled)
+    }
+
+    /// Executes the common body of every fused superinstruction: the second
+    /// absorbed load (at `op_pc + 1`) and the binary op (at `op_pc + 2`),
+    /// returning the result instead of pushing it.
+    ///
+    /// Virtual time, counters and GC timing are bit-identical to unfused
+    /// execution: each sub-op replays its housekeeping/charge sequence, and
+    /// the operand values never leave their roots (frame locals / pinned
+    /// consts), so a GC at a sub-op boundary sees the same reachable set as
+    /// the unfused stack would give it.
+    #[inline]
+    fn fused_binop(
+        &mut self,
+        code_id: usize,
+        op_pc: usize,
+        jit_enabled: bool,
+        va: Value,
+        vb: Value,
+        bin: u8,
+    ) -> MpResult<Value> {
+        self.fused_sub_op(code_id, op_pc + 1, jit_enabled, OpClass::Stack)?;
+        let bin_pc = op_pc + 2;
+        let c3 = self.fused_sub_op(code_id, bin_pc, jit_enabled, OpClass::Arith)?;
+        if jit_enabled {
+            self.observe_types_values(va, vb, code_id, bin_pc, c3);
+        }
+        let op = FUSABLE_BINOPS[bin as usize];
+        match Self::binop_fast(op, va, vb) {
+            Some(r) => Ok(r),
+            None => self.binary_op(op, va, vb),
+        }
+    }
+
+    /// The absorbed `StoreLocal` tail of a four-op superinstruction
+    /// (at `op_pc + 3`). The result visits the operand stack across the
+    /// sub-op's housekeeping boundary so a GC there roots it exactly as the
+    /// unfused sequence would (the binop pushed it at `op_pc + 2`).
+    #[inline]
+    fn fused_store(
+        &mut self,
+        code_id: usize,
+        op_pc: usize,
+        jit_enabled: bool,
+        r: Value,
+        d: u16,
+    ) -> MpResult<()> {
+        self.push(r);
+        self.fused_sub_op(code_id, op_pc + 3, jit_enabled, OpClass::Stack)?;
+        let v = self.pop();
+        self.set_local(d, v);
+        Ok(())
+    }
+
+    /// The absorbed `PopJumpIfFalse` tail of a four-op superinstruction
+    /// (at `op_pc + 3`); returns the next pc. Same stack-rooting contract as
+    /// [`Vm::fused_store`].
+    #[inline]
+    fn fused_jump_if_false(
+        &mut self,
+        code_id: usize,
+        op_pc: usize,
+        jit_enabled: bool,
+        r: Value,
+        t: u16,
+    ) -> MpResult<usize> {
+        self.push(r);
+        self.fused_sub_op(code_id, op_pc + 3, jit_enabled, OpClass::Branch)?;
+        let v = self.pop();
+        Ok(if self.heap.truthy(v) {
+            op_pc + 4
+        } else {
+            t as usize
+        })
+    }
+
+    /// The absorbed `IndexLoad` tail of a subscript superinstruction: replays
+    /// the second load (at `op_pc + 1`) and the subscript (at `op_pc + 2`,
+    /// with its inline cache keyed on that original pc).
+    #[inline]
+    fn fused_index_load(
+        &mut self,
+        code_id: usize,
+        op_pc: usize,
+        jit_enabled: bool,
+        obj: Value,
+        idx: Value,
+    ) -> MpResult<Value> {
+        self.fused_sub_op(code_id, op_pc + 1, jit_enabled, OpClass::Stack)?;
+        let idx_pc = op_pc + 2;
+        self.fused_sub_op(code_id, idx_pc, jit_enabled, OpClass::Memory)?;
+        match self.dict_ic_load(code_id, idx_pc, obj, idx) {
+            Some(v) => Ok(v),
+            None => self.index_load(code_id, idx_pc, obj, idx),
+        }
+    }
+
+    /// The absorbed tail of a subscript-assignment superinstruction: replays
+    /// the second and third loads (`op_pc + 1`, `op_pc + 2`) and the
+    /// `IndexStore` (at `op_pc + 3`, with its inline cache keyed on that
+    /// original pc). All three operands stay rooted in frame locals / pinned
+    /// consts across every sub-op boundary, exactly as the unfused stack
+    /// would root them.
+    #[inline]
+    fn fused_index_store(
+        &mut self,
+        code_id: usize,
+        op_pc: usize,
+        jit_enabled: bool,
+        obj: Value,
+        idx: Value,
+        val: Value,
+    ) -> MpResult<()> {
+        self.fused_sub_op(code_id, op_pc + 1, jit_enabled, OpClass::Stack)?;
+        self.fused_sub_op(code_id, op_pc + 2, jit_enabled, OpClass::Stack)?;
+        let st_pc = op_pc + 3;
+        self.fused_sub_op(code_id, st_pc, jit_enabled, OpClass::Memory)?;
+        if !self.dict_ic_store(code_id, st_pc, obj, idx, val) {
+            self.index_store(code_id, st_pc, obj, idx, val)?;
+        }
+        Ok(())
+    }
+
+    /// The absorbed tail of a container-on-stack subscript assignment
+    /// (`C[i][j] = s`): replays the value load (`op_pc + 1`) and the
+    /// `IndexStore` (`op_pc + 2`, inline cache keyed on that pc). The
+    /// container is popped only after every sub-op has replayed — it may be
+    /// an unrooted fresh value whose only GC root is its stack slot.
+    #[inline]
+    fn fused_stack_index_store(
+        &mut self,
+        code_id: usize,
+        op_pc: usize,
+        jit_enabled: bool,
+        idx: Value,
+        val: Value,
+    ) -> MpResult<()> {
+        self.fused_sub_op(code_id, op_pc + 1, jit_enabled, OpClass::Stack)?;
+        let st_pc = op_pc + 2;
+        self.fused_sub_op(code_id, st_pc, jit_enabled, OpClass::Memory)?;
+        let obj = self.pop();
+        if !self.dict_ic_store(code_id, st_pc, obj, idx, val) {
+            self.index_store(code_id, st_pc, obj, idx, val)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves a `Call` callee through the per-site call inline cache.
+    ///
+    /// The cache is keyed on the callee handle and guarded by the heap
+    /// generation (bumped at every sweep), so a recycled handle can never
+    /// produce a stale target.
+    fn resolve_callee(&mut self, code_id: usize, pc: usize, callee: Value) -> MpResult<CallTarget> {
+        let Value::Obj(h) = callee else {
+            return Err(MpError::type_error(format!(
+                "'{}' object is not callable",
+                self.heap.type_name(callee)
+            )));
+        };
+        if let Some(ic) = self.ics.call[code_id][pc] {
+            if ic.callee == h && ic.generation == self.heap.generation() {
+                return Ok(ic.target);
+            }
+        }
+        let target = match *self.heap.get(h) {
+            Object::Function { code_id: target } => CallTarget::Function(target),
+            Object::Builtin(b) => CallTarget::Builtin(b),
+            _ => {
+                return Err(MpError::type_error(format!(
+                    "'{}' object is not callable",
+                    self.heap.type_name(callee)
+                )));
+            }
+        };
+        self.ics.call[code_id][pc] = Some(CallIc {
+            callee: h,
+            generation: self.heap.generation(),
+            target,
+        });
+        Ok(target)
+    }
+
+    /// Attempts a dict inline-cache hit for an `IndexLoad` site.
+    ///
+    /// A hit replays the cached probe count exactly: the guard (same handle,
+    /// same heap generation, same dict version, equal key) implies an
+    /// unchanged table layout, so a full lookup would walk the identical
+    /// probe sequence. Virtual time and probe counters match the slow path
+    /// bit for bit.
+    fn dict_ic_load(&mut self, code_id: usize, pc: usize, obj: Value, idx: Value) -> Option<Value> {
+        let Value::Obj(h) = obj else { return None };
+        let ic = self.ics.dict[code_id][pc]?;
+        if ic.dict != h || ic.generation != self.heap.generation() || ic.key != idx {
+            return None;
+        }
+        let value = match self.heap.get(h) {
+            Object::Dict(d) if d.version() == ic.version => {
+                let (_, value) = d.slot_entry(ic.slot as usize)?;
+                value
+            }
+            _ => return None,
+        };
+        self.charge_probes(ic.probes);
+        Some(value)
+    }
+
+    /// Attempts a dict inline-cache hit for an `IndexStore` overwrite.
+    ///
+    /// Only value overwrites of the cached slot qualify (they are the only
+    /// store that leaves the table layout — and thus the dict version —
+    /// unchanged). Returns `false` to route anything else to the slow path.
+    fn dict_ic_store(
+        &mut self,
+        code_id: usize,
+        pc: usize,
+        obj: Value,
+        idx: Value,
+        val: Value,
+    ) -> bool {
+        let Value::Obj(h) = obj else { return false };
+        let Some(ic) = self.ics.dict[code_id][pc] else {
+            return false;
+        };
+        if ic.dict != h || ic.generation != self.heap.generation() || ic.key != idx {
+            return false;
+        }
+        let ok = match self.heap.get_mut(h) {
+            Object::Dict(d) if d.version() == ic.version => d.slot_set_value(ic.slot as usize, val),
+            _ => false,
+        };
+        if ok {
+            self.charge_probes(ic.probes);
+        }
+        ok
+    }
+
+    /// Installs a dict inline-cache entry after a slow-path hit.
+    fn cache_dict_slot(
+        &mut self,
+        code_id: usize,
+        pc: usize,
+        h: Handle,
+        key: Value,
+        slot: usize,
+        probes: u64,
+    ) {
+        let version = match self.heap.get(h) {
+            Object::Dict(d) => d.version(),
+            _ => return,
+        };
+        self.ics.dict[code_id][pc] = Some(DictIc {
+            dict: h,
+            generation: self.heap.generation(),
+            version,
+            key,
+            slot: slot as u32,
+            probes,
+        });
     }
 
     fn push_call_frame(&mut self, target: usize, argc: usize) -> MpResult<()> {
@@ -409,9 +923,13 @@ impl Vm {
         }
         let n_locals = code.n_locals as usize;
         let args_start = self.stack.len() - argc;
-        let mut locals = vec![Value::None; n_locals];
+        let mut locals = self.take_locals(n_locals);
         locals[..argc].copy_from_slice(&self.stack[args_start..]);
         self.stack.truncate(args_start - 1); // also removes the callee
+                                             // Guarantee capacity for the callee's whole (validated) stack depth
+                                             // up front, so `push` needs no capacity check. `reserve` is a no-op
+                                             // branch once the stack has grown to the program's working depth.
+        self.stack.reserve(self.statics[target].max_stack as usize);
         self.frames.push(Frame {
             code_id: target,
             pc: 0,
@@ -419,6 +937,28 @@ impl Vm {
             stack_base: self.stack.len(),
         });
         Ok(())
+    }
+
+    /// Pops a locals buffer from the frame pool (or allocates one), sized and
+    /// zeroed to `n` slots.
+    fn take_locals(&mut self, n: usize) -> Vec<Value> {
+        match self.locals_pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(n, Value::None);
+                buf
+            }
+            None => vec![Value::None; n],
+        }
+    }
+
+    /// Returns a frame's locals buffer to the pool for reuse.
+    fn recycle_locals(&mut self, mut locals: Vec<Value>) {
+        const POOL_CAP: usize = 64;
+        if self.locals_pool.len() < POOL_CAP && locals.capacity() > 0 {
+            locals.clear();
+            self.locals_pool.push(locals);
+        }
     }
 
     /// JIT hook for a function entry (method-at-a-time compilation).
@@ -476,6 +1016,24 @@ impl Vm {
         self.observe_mask(code_id, pc, mask, compiled);
     }
 
+    /// Same mask computation as [`Vm::observe_types_binary`], but from operand
+    /// values directly — fused handlers never push the intermediates, so
+    /// there is nothing on the stack to peek at.
+    fn observe_types_values(
+        &mut self,
+        a: Value,
+        b: Value,
+        code_id: usize,
+        pc: usize,
+        compiled: bool,
+    ) {
+        if self.jit.is_none() {
+            return;
+        }
+        let mask = self.heap.type_tag(a).bit() | self.heap.type_tag(b).bit();
+        self.observe_mask(code_id, pc, mask, compiled);
+    }
+
     fn observe_mask(&mut self, code_id: usize, pc: usize, mask: u16, compiled: bool) {
         let deopt_penalty = self.cost.deopt_penalty;
         let jit = self.jit.as_mut().expect("caller checked");
@@ -498,6 +1056,52 @@ impl Vm {
     }
 
     // ---- operators ----
+
+    /// Inline fast path for the all-int / all-float cases of
+    /// [`Vm::binary_op`]. Returns `None` for anything it cannot decide with
+    /// identical semantics (mixed or heap operands, int overflow, NaN
+    /// ordering), which falls through to the full implementation. The numeric
+    /// paths of `binary_op` charge nothing beyond the opcode itself, so the
+    /// shortcut is invisible to virtual time.
+    #[inline(always)]
+    fn binop_fast(op: Op, a: Value, b: Value) -> Option<Value> {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => match op {
+                Op::Add => x.checked_add(y).map(Value::Int),
+                Op::Sub => x.checked_sub(y).map(Value::Int),
+                Op::Mul => x.checked_mul(y).map(Value::Int),
+                Op::CmpEq => Some(Value::Bool(x == y)),
+                Op::CmpNe => Some(Value::Bool(x != y)),
+                // Ordered compares coerce through f64, exactly like
+                // `Heap::value_cmp` does for numbers.
+                Op::CmpLt => Some(Value::Bool((x as f64) < (y as f64))),
+                Op::CmpLe => Some(Value::Bool((x as f64) <= (y as f64))),
+                Op::CmpGt => Some(Value::Bool((x as f64) > (y as f64))),
+                Op::CmpGe => Some(Value::Bool((x as f64) >= (y as f64))),
+                _ => None,
+            },
+            (Value::Float(x), Value::Float(y)) => match op {
+                Op::Add => Some(Value::Float(x + y)),
+                Op::Sub => Some(Value::Float(x - y)),
+                Op::Mul => Some(Value::Float(x * y)),
+                Op::CmpEq => Some(Value::Bool(x == y)),
+                Op::CmpNe => Some(Value::Bool(x != y)),
+                Op::CmpLt | Op::CmpLe | Op::CmpGt | Op::CmpGe => {
+                    // NaN has no ordering: fall through so the full path can
+                    // raise the same error unfused execution would.
+                    let ord = x.partial_cmp(&y)?;
+                    Some(Value::Bool(match op {
+                        Op::CmpLt => ord.is_lt(),
+                        Op::CmpLe => ord.is_le(),
+                        Op::CmpGt => ord.is_gt(),
+                        _ => ord.is_ge(),
+                    }))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
 
     fn binary_op(&mut self, op: Op, a: Value, b: Value) -> MpResult<Value> {
         match op {
@@ -710,29 +1314,32 @@ impl Vm {
     fn contains(&mut self, container: Value, item: Value) -> MpResult<bool> {
         match container {
             Value::Obj(h) => match self.heap.get(h) {
-                Object::Dict(_) => {
+                Object::Dict(d) => {
+                    // Shared-access membership probe; same probe sequence as
+                    // the `with_dict_mut` form without the two object moves.
                     let mut probes = 0;
-                    let found = self
-                        .heap
-                        .with_dict_mut(h, |dict, heap| dict.contains(heap, item, &mut probes))?;
+                    let found = d.contains(&self.heap, item, &mut probes)?;
                     self.charge_probes(probes);
                     Ok(found)
                 }
                 Object::List(items) | Object::Tuple(items) => {
-                    let items = items.clone();
+                    // Scan under shared borrows (`value_eq` is `&self`), then
+                    // charge once the borrow is released — the charge value
+                    // and order match the per-element accounting exactly.
                     let mut scanned = 0usize;
-                    for &x in &items {
+                    let mut found = false;
+                    for &x in items {
                         scanned += 1;
                         if self.heap.value_eq(x, item) {
-                            self.charge_aux(self.cost.per_element * scanned as f64, true);
-                            return Ok(true);
+                            found = true;
+                            break;
                         }
                     }
                     self.charge_aux(self.cost.per_element * scanned as f64, true);
-                    Ok(false)
+                    Ok(found)
                 }
                 Object::Str(s) => {
-                    let s = s.clone();
+                    let hay_len = s.len();
                     let found = match item {
                         Value::Obj(ih) => match self.heap.get(ih) {
                             Object::Str(needle) => Some(s.contains(needle.as_str())),
@@ -742,7 +1349,7 @@ impl Vm {
                     };
                     match found {
                         Some(found) => {
-                            self.charge_aux(0.5 * s.len() as f64, true);
+                            self.charge_aux(0.5 * hay_len as f64, true);
                             Ok(found)
                         }
                         None => Err(MpError::type_error("'in <string>' requires string operand")),
@@ -789,7 +1396,7 @@ impl Vm {
         Ok(i as usize)
     }
 
-    fn index_load(&mut self, obj: Value, idx: Value) -> MpResult<Value> {
+    fn index_load(&mut self, code_id: usize, pc: usize, obj: Value, idx: Value) -> MpResult<Value> {
         match obj {
             Value::Obj(h) => match self.heap.get(h) {
                 Object::List(items) => {
@@ -801,24 +1408,33 @@ impl Vm {
                     Ok(items[i])
                 }
                 Object::Str(s) => {
-                    let chars: Vec<char> = s.chars().collect();
-                    let i = Self::seq_index(chars.len(), idx, "string")?;
-                    let ch = chars[i].to_string();
+                    // Char-indexed without materializing a Vec<char>; the
+                    // second pass is cheaper than the allocation it replaces.
+                    let i = Self::seq_index(s.chars().count(), idx, "string")?;
+                    let ch = s.chars().nth(i).expect("index checked").to_string();
                     let sh = self.alloc(Object::Str(ch));
                     Ok(Value::Obj(sh))
                 }
-                Object::Dict(_) => {
+                Object::Dict(d) => {
+                    // Read in place: lookups only need shared access, so the
+                    // move-out/move-back dance of `with_dict_mut` (two object
+                    // copies per probe sequence) is pure overhead here. Keys
+                    // can never reach this dict (unhashable containers are
+                    // rejected at insert), so probing is oblivious to whether
+                    // the dict sits in the heap.
                     let mut probes = 0;
-                    let found = self
-                        .heap
-                        .with_dict_mut(h, |dict, heap| dict.try_get(heap, idx, &mut probes))?;
+                    let found = d.try_get_slot(&self.heap, idx, &mut probes)?;
                     self.charge_probes(probes);
-                    found.ok_or_else(|| {
-                        MpError::runtime(
+                    match found {
+                        Some((slot, value)) => {
+                            self.cache_dict_slot(code_id, pc, h, idx, slot, probes);
+                            Ok(value)
+                        }
+                        None => Err(MpError::runtime(
                             RuntimeErrorKind::Key,
                             format!("key not found: {}", self.heap.render_repr(idx)),
-                        )
-                    })
+                        )),
+                    }
                 }
                 _ => Err(MpError::type_error(format!(
                     "'{}' object is not subscriptable",
@@ -832,7 +1448,14 @@ impl Vm {
         }
     }
 
-    fn index_store(&mut self, obj: Value, idx: Value, val: Value) -> MpResult<()> {
+    fn index_store(
+        &mut self,
+        code_id: usize,
+        pc: usize,
+        obj: Value,
+        idx: Value,
+        val: Value,
+    ) -> MpResult<()> {
         match obj {
             Value::Obj(h) => match self.heap.get(h) {
                 Object::List(items) => {
@@ -843,11 +1466,27 @@ impl Vm {
                     }
                     Ok(())
                 }
-                Object::Dict(_) => {
+                Object::Dict(d) => {
                     let mut probes = 0;
-                    self.heap
-                        .with_dict_mut(h, |dict, heap| dict.insert(heap, idx, val, &mut probes))?;
+                    // Two-phase store: probe under the shared heap borrow,
+                    // commit under the disjoint mutable one — no take/put of
+                    // the whole dict per store.
+                    let (slot, old) = match d.plan_insert(&self.heap, idx, &mut probes)? {
+                        Some(plan) => match self.heap.get_mut(h) {
+                            Object::Dict(d) => d.commit_insert(plan, idx, val, &mut probes),
+                            _ => unreachable!("type checked above"),
+                        },
+                        // First insert into an unallocated table.
+                        None => self.heap.with_dict_mut(h, |dict, heap| {
+                            dict.insert_slot(heap, idx, val, &mut probes)
+                        })?,
+                    };
                     self.charge_probes(probes);
+                    if old.is_some() {
+                        // Overwrite of an existing key: the table layout is
+                        // unchanged, so the slot/probe pair is cacheable.
+                        self.cache_dict_slot(code_id, pc, h, idx, slot, probes);
+                    }
                     Ok(())
                 }
                 _ => Err(MpError::type_error(format!(
@@ -877,14 +1516,21 @@ impl Vm {
                     }
                     Ok(())
                 }
-                Object::Dict(_) => {
+                Object::Dict(d) => {
                     let mut probes = 0;
-                    let removed = self
-                        .heap
-                        .with_dict_mut(h, |dict, heap| dict.remove(heap, idx, &mut probes))?;
+                    // Two-phase removal, mirroring the store path above.
+                    let planned = d.plan_remove(&self.heap, idx, &mut probes)?;
                     self.charge_probes(probes);
-                    match removed {
-                        Some(_) => Ok(()),
+                    match planned {
+                        Some(slot) => {
+                            match self.heap.get_mut(h) {
+                                Object::Dict(d) => {
+                                    d.commit_remove(slot);
+                                }
+                                _ => unreachable!("type checked above"),
+                            }
+                            Ok(())
+                        }
                         None => Err(MpError::runtime(
                             RuntimeErrorKind::Key,
                             format!("key not found: {}", self.heap.render_repr(idx)),
@@ -939,9 +1585,10 @@ impl Vm {
                     Ok(Value::Obj(nh))
                 }
                 Object::Str(s) => {
-                    let chars: Vec<char> = s.chars().collect();
-                    let (a, b) = Self::slice_bounds(chars.len(), lo, hi)?;
-                    let out: String = chars[a..b].iter().collect();
+                    // Slice by char positions without a Vec<char> scratch
+                    // buffer; only the result String is allocated.
+                    let (a, b) = Self::slice_bounds(s.chars().count(), lo, hi)?;
+                    let out: String = s.chars().skip(a).take(b - a).collect();
                     self.charge_aux(1.2 * out.len() as f64, true);
                     let nh = self.alloc(Object::Str(out));
                     Ok(Value::Obj(nh))

@@ -60,7 +60,7 @@ pub mod value;
 pub mod vm;
 
 pub use bytecode::Program;
-pub use compiler::compile;
+pub use compiler::{compile, compile_unfused};
 pub use cost::CostModel;
 pub use error::{MpError, MpResult, RuntimeErrorKind};
 pub use frame::DynCounters;
@@ -68,7 +68,8 @@ pub use jit::{JitConfig, JitMode};
 pub use noise::NoiseConfig;
 pub use parser::parse;
 pub use session::{
-    check_engines_agree, measure, IterationResult, Session, VmEventDeltas, RUN_FUNCTION,
+    check_engines_agree, measure, CompiledProgram, IterationResult, Session, VmEventDeltas,
+    RUN_FUNCTION,
 };
 pub use value::{Handle, TypeTag, Value};
 pub use vm::{invocation_seed, EngineKind, Vm, VmConfig};

@@ -7,10 +7,52 @@
 //! OS-jitter stream — are derived from the single invocation seed, so an
 //! experiment is reproducible end-to-end.
 
+use std::sync::Arc;
+
+use crate::bytecode::Program;
 use crate::error::{MpError, MpResult};
 use crate::frame::DynCounters;
 use crate::value::Value;
 use crate::vm::{Vm, VmConfig};
+
+/// A workload compiled once and frozen for reuse across many invocations.
+///
+/// Compilation is deterministic and independent of the invocation seed, so a
+/// harness taking many samples of the same workload can parse once and stamp
+/// out cheap per-invocation VMs that share the immutable bytecode behind an
+/// `Arc` (the parse-once / evaluate-many shape). Sessions started from the
+/// same frozen program are bit-identical to sessions that compiled the source
+/// themselves.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    program: Arc<Program>,
+}
+
+impl CompiledProgram {
+    /// Compiles `source` into a frozen, shareable program.
+    ///
+    /// # Errors
+    ///
+    /// Lex/parse/compile errors.
+    pub fn compile(source: &str) -> MpResult<CompiledProgram> {
+        Ok(CompiledProgram {
+            program: Arc::new(crate::compiler::compile(source)?),
+        })
+    }
+
+    /// Freezes an already-compiled program (e.g. one produced by
+    /// [`crate::compiler::compile_unfused`] for equivalence sweeps).
+    pub fn from_program(program: Program) -> CompiledProgram {
+        CompiledProgram {
+            program: Arc::new(program),
+        }
+    }
+
+    /// The frozen bytecode program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
 
 /// Result of a single timed iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,7 +108,17 @@ impl Session {
     ///
     /// Compile errors, or runtime errors raised during module setup.
     pub fn start(source: &str, seed: u64, config: VmConfig) -> MpResult<Session> {
-        let mut vm = Vm::compile_and_load(source, seed, config)?;
+        Self::start_from(&CompiledProgram::compile(source)?, seed, config)
+    }
+
+    /// Creates the VM from a frozen [`CompiledProgram`] and executes the
+    /// module body (setup code), skipping compilation entirely.
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors raised during module setup.
+    pub fn start_from(program: &CompiledProgram, seed: u64, config: VmConfig) -> MpResult<Session> {
+        let mut vm = Vm::load_shared(Arc::clone(&program.program), seed, config);
         vm.run_module()?;
         let startup_ns = vm.now_ns();
         Ok(Session { vm, startup_ns })

@@ -6,22 +6,23 @@
 //! loop itself lives in the crate-private `interp` module.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::builtins::{resolve_builtin, resolve_method, MethodId};
+use crate::builtins::{resolve_builtin, resolve_method, BuiltinFn, MethodId};
 use crate::bytecode::{Const, OpClass, Program};
 use crate::clock::VirtualClock;
 use crate::compiler::compile;
 use crate::cost::{CostModel, OpClassTable};
 use crate::error::{MpError, MpResult, RuntimeErrorKind};
-use crate::frame::{DynCounters, Frame};
+use crate::frame::{op_class_index, DynCounters, Frame, ALL_OP_CLASSES};
 use crate::gc;
 use crate::heap::{Heap, Object};
 use crate::jit::{JitConfig, JitState};
 use crate::noise::{sample_layout_factor, NoiseConfig, OsJitter};
-use crate::value::Value;
+use crate::value::{Handle, Value};
 
 /// Which execution engine a session uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,19 +111,98 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Per-code-object tables resolved once at load and immutable afterwards:
+/// constant pools as runtime values, name → global-slot bindings, name →
+/// builtin-method ids. Grouped per code so the dispatch loop holds one
+/// reference instead of indexing three parallel vectors.
+pub(crate) struct CodeStatics {
+    /// Constant pool resolved to runtime values.
+    pub(crate) consts: Vec<Value>,
+    /// Name index → global slot.
+    pub(crate) name_slots: Vec<u32>,
+    /// Name index → builtin method id, if the name is one.
+    pub(crate) method_ids: Vec<Option<MethodId>>,
+    /// Per-pc [`op_class_index`] values, parallel to the code's ops: one
+    /// byte load replaces two match lookups in the dispatch loop's charge.
+    pub(crate) class_idx: Vec<u8>,
+    /// Maximum operand-stack depth any reachable path through this code can
+    /// attain, proven by the load-time dataflow in [`Program::validate`].
+    /// Frame entry reserves this much stack capacity so the dispatch loop's
+    /// unchecked pushes can never write past it.
+    pub(crate) max_stack: u32,
+}
+
+/// A monomorphic per-site dict-lookup cache: replays a previously resolved
+/// probe when nothing that could move the entry has happened. Valid only
+/// while the heap generation matches (no sweep — no handle recycling), the
+/// dict's structural version matches (no insert/remove/resize/clear), and the
+/// key is the *identical* `Value` (handle identity for objects).
+#[derive(Clone, Copy)]
+pub(crate) struct DictIc {
+    pub(crate) dict: Handle,
+    pub(crate) generation: u64,
+    pub(crate) version: u64,
+    pub(crate) key: Value,
+    pub(crate) slot: u32,
+    /// The probe count of the original lookup; replayed on a hit so the
+    /// virtual-time charge and `dict_probes` counter are bit-identical to an
+    /// uncached lookup (same table layout + same hash ⇒ same probe path).
+    pub(crate) probes: u64,
+}
+
+/// What a `Call` site resolved to.
+#[derive(Clone, Copy)]
+pub(crate) enum CallTarget {
+    /// A user function (code object id).
+    Function(usize),
+    /// A builtin function.
+    Builtin(BuiltinFn),
+}
+
+/// A monomorphic per-site callee cache, valid while the heap generation is
+/// unchanged (the handle cannot have been recycled).
+#[derive(Clone, Copy)]
+pub(crate) struct CallIc {
+    pub(crate) callee: Handle,
+    pub(crate) generation: u64,
+    pub(crate) target: CallTarget,
+}
+
+/// Per-(code, pc) inline-cache slots, sized to each code's op count at load.
+#[derive(Default)]
+pub(crate) struct InlineCaches {
+    pub(crate) dict: Vec<Vec<Option<DictIc>>>,
+    pub(crate) call: Vec<Vec<Option<CallIc>>>,
+}
+
+impl InlineCaches {
+    fn for_program(program: &Program) -> InlineCaches {
+        InlineCaches {
+            dict: program
+                .codes
+                .iter()
+                .map(|c| vec![None; c.ops.len()])
+                .collect(),
+            call: program
+                .codes
+                .iter()
+                .map(|c| vec![None; c.ops.len()])
+                .collect(),
+        }
+    }
+}
+
 /// One VM invocation: program + heap + engine + clock + noise.
 pub struct Vm {
-    pub(crate) program: Program,
+    pub(crate) program: Arc<Program>,
     pub(crate) heap: Heap,
     /// Global variable slots (interned across all code objects).
     pub(crate) globals: Vec<Option<Value>>,
     pub(crate) global_names: HashMap<String, u32>,
-    /// Per code object: name index → global slot.
-    pub(crate) name_slots: Vec<Vec<u32>>,
-    /// Per code object: name index → builtin method id, if the name is one.
-    pub(crate) method_ids: Vec<Vec<Option<MethodId>>>,
-    /// Per code object: constant pool resolved to runtime values.
-    pub(crate) const_values: Vec<Vec<Value>>,
+    /// Per code object: load-time-resolved tables (consts, names, methods).
+    /// Shared with the dispatch loop through the `Arc` so handlers can take
+    /// `&mut self` while a view is held.
+    pub(crate) statics: Arc<Vec<CodeStatics>>,
     /// GC roots that live for the whole session (interned consts, builtins).
     pub(crate) pinned: Vec<Value>,
     pub(crate) stack: Vec<Value>,
@@ -130,9 +210,24 @@ pub struct Vm {
     pub(crate) clock: VirtualClock,
     pub(crate) cost: CostModel,
     pub(crate) layout_factor: f64,
+    /// Effective per-op-class costs with the layout factor pre-applied:
+    /// `eff_cost[compiled as usize][op_class_index(class)]`. Products are
+    /// computed once at load in the same association order as the original
+    /// per-op computation, so every `clock.advance` sees bit-identical
+    /// operands.
+    pub(crate) eff_cost: [[f64; 8]; 2],
     pub(crate) jitter: OsJitter,
     pub(crate) noise: NoiseConfig,
     pub(crate) counters: DynCounters,
+    /// Op counts accumulated by the dispatch loop since the last flush
+    /// (virtual time is still advanced per op — f64 addition order is
+    /// observable — but integer counters batch).
+    pub(crate) pending_ops: [u64; 8],
+    pub(crate) pending_jit_ops: u64,
+    pub(crate) ics: InlineCaches,
+    /// Recycled frame-locals buffers (capped; allocation cost is virtual, so
+    /// pooling changes wall-clock only).
+    pub(crate) locals_pool: Vec<Vec<Value>>,
     pub(crate) jit: Option<JitState>,
     pub(crate) stdout: String,
     pub(crate) capture_output: bool,
@@ -159,6 +254,24 @@ impl Vm {
 
     /// Creates a session for an already compiled program.
     pub fn load(program: Program, seed: u64, config: VmConfig) -> Vm {
+        Self::load_shared(Arc::new(program), seed, config)
+    }
+
+    /// Creates a session over a shared, already compiled program — the
+    /// parse-once path: many invocations can be instantiated from one
+    /// `Arc<Program>` without re-lexing, re-parsing or re-compiling.
+    ///
+    /// # Panics
+    ///
+    /// If the program fails [`Program::validate`]. The dispatch loop skips
+    /// per-op bounds checks that validation proves redundant, so executing
+    /// an unvalidated program is never allowed. Compiler output always
+    /// passes; only hand-built programs can trip this.
+    pub fn load_shared(program: Arc<Program>, seed: u64, config: VmConfig) -> Vm {
+        let max_stacks = match program.validate() {
+            Ok(depths) => depths,
+            Err(msg) => panic!("refusing to load invalid program: {msg}"),
+        };
         let mut seed_state = seed;
         let hash_entropy = splitmix64(&mut seed_state);
         let layout_seed = splitmix64(&mut seed_state);
@@ -177,13 +290,14 @@ impl Vm {
         let layout_factor = sample_layout_factor(&mut layout_rng, config.noise.layout);
         let jitter = OsJitter::new(jitter_seed, config.noise.os_jitter);
 
-        // Intern globals across all code objects; bind builtins.
+        // Intern globals across all code objects; bind builtins. The name
+        // and method tables land in per-code `CodeStatics` alongside the
+        // resolved constant pools.
         let mut global_names: HashMap<String, u32> = HashMap::new();
         let mut globals: Vec<Option<Value>> = Vec::new();
         let mut pinned: Vec<Value> = Vec::new();
-        let mut name_slots: Vec<Vec<u32>> = Vec::with_capacity(program.codes.len());
-        let mut method_ids: Vec<Vec<Option<MethodId>>> = Vec::with_capacity(program.codes.len());
-        for code in &program.codes {
+        let mut statics: Vec<CodeStatics> = Vec::with_capacity(program.codes.len());
+        for (code, &max_stack) in program.codes.iter().zip(&max_stacks) {
             let mut slots = Vec::with_capacity(code.names.len());
             let mut mids = Vec::with_capacity(code.names.len());
             for name in &code.names {
@@ -203,13 +317,21 @@ impl Vm {
                 slots.push(slot);
                 mids.push(resolve_method(name));
             }
-            name_slots.push(slots);
-            method_ids.push(mids);
+            statics.push(CodeStatics {
+                consts: Vec::new(),
+                name_slots: slots,
+                method_ids: mids,
+                class_idx: code
+                    .ops
+                    .iter()
+                    .map(|op| op_class_index(op.class()) as u8)
+                    .collect(),
+                max_stack,
+            });
         }
 
         // Resolve constant pools into runtime values.
-        let mut const_values: Vec<Vec<Value>> = Vec::with_capacity(program.codes.len());
-        for code in &program.codes {
+        for (code, cs) in program.codes.iter().zip(&mut statics) {
             let mut vals = Vec::with_capacity(code.consts.len());
             for c in &code.consts {
                 let v = match c {
@@ -232,8 +354,26 @@ impl Vm {
                 };
                 vals.push(v);
             }
-            const_values.push(vals);
+            cs.consts = vals;
         }
+
+        // Pre-apply the layout factor per op class, preserving the exact
+        // operands and association order of the original per-op computation
+        // (`base * layout_factor`), so virtual time stays bit-identical.
+        let mut eff_cost = [[0.0f64; 8]; 2];
+        for (i, &class) in ALL_OP_CLASSES.iter().enumerate() {
+            let interp = config.cost.interp_cost(class);
+            let jit = config.cost.jit_cost(class);
+            if OpClassTable::layout_sensitive(class) {
+                eff_cost[0][i] = interp * layout_factor;
+                eff_cost[1][i] = jit * layout_factor;
+            } else {
+                eff_cost[0][i] = interp;
+                eff_cost[1][i] = jit;
+            }
+        }
+
+        let ics = InlineCaches::for_program(&program);
 
         let jit = match config.engine {
             EngineKind::Interp => None,
@@ -248,18 +388,21 @@ impl Vm {
             heap,
             globals,
             global_names,
-            name_slots,
-            method_ids,
-            const_values,
+            statics: Arc::new(statics),
             pinned,
             stack: Vec::with_capacity(256),
             frames: Vec::with_capacity(32),
             clock: VirtualClock::new(),
             cost: config.cost,
             layout_factor,
+            eff_cost,
             jitter,
             noise: config.noise,
             counters: DynCounters::default(),
+            pending_ops: [0; 8],
+            pending_jit_ops: 0,
+            ics,
+            locals_pool: Vec::new(),
             jit,
             stdout: String::new(),
             capture_output: config.capture_output,
@@ -334,6 +477,7 @@ impl Vm {
     ///
     /// Returns any runtime error raised by the program.
     pub fn run_module(&mut self) -> MpResult<Value> {
+        self.stack.reserve(self.statics[0].max_stack as usize);
         let frame = Frame {
             code_id: 0,
             pc: 0,
@@ -380,6 +524,7 @@ impl Vm {
         }
         let mut locals = vec![Value::None; code.n_locals as usize];
         locals[..args.len()].copy_from_slice(args);
+        self.stack.reserve(self.statics[code_id].max_stack as usize);
         let frame = Frame {
             code_id,
             pc: 0,
@@ -398,18 +543,49 @@ impl Vm {
     /// Charges one opcode of `class`, in interpreted or compiled mode.
     #[inline]
     pub(crate) fn charge(&mut self, class: OpClass, compiled: bool) {
-        let base = if compiled {
-            self.cost.jit_cost(class)
-        } else {
-            self.cost.interp_cost(class)
-        };
-        let cost = if OpClassTable::layout_sensitive(class) {
-            base * self.layout_factor
-        } else {
-            base
-        };
-        self.clock.advance(cost);
+        self.clock
+            .advance(self.eff_cost[usize::from(compiled)][op_class_index(class)]);
         self.counters.count_op(class, compiled);
+    }
+
+    /// The dispatch-loop variant of [`Vm::charge`]: virtual time advances
+    /// immediately (f64 addition order is observable), integer counters batch
+    /// into `pending_*` and are folded in by [`Vm::flush_op_counters`].
+    #[inline]
+    pub(crate) fn charge_batched(&mut self, class_idx: usize, compiled: bool) {
+        // There are exactly 8 op classes; masking proves the index in range
+        // so the hot path carries no bounds checks.
+        let class_idx = class_idx & 7;
+        self.clock
+            .advance(self.eff_cost[usize::from(compiled)][class_idx]);
+        self.pending_ops[class_idx] += 1;
+        self.pending_jit_ops += u64::from(compiled);
+    }
+
+    /// Folds batched op counts into the public counters. Runs at the top of
+    /// every housekeeping (the step budget reads `total_ops` there) and at
+    /// every dispatch exit, so externally observable counters are always
+    /// exact.
+    pub(crate) fn flush_op_counters(&mut self) {
+        let mut total = 0;
+        for i in 0..8 {
+            self.counters.ops_by_class[i] += self.pending_ops[i];
+            total += self.pending_ops[i];
+            self.pending_ops[i] = 0;
+        }
+        self.counters.total_ops += total;
+        self.counters.jit_ops += self.pending_jit_ops;
+        self.pending_jit_ops = 0;
+    }
+
+    /// Whether the JIT has compiled the region containing `(code_id, pc)`.
+    /// `false` for the interpreter engine.
+    #[inline]
+    pub(crate) fn jit_compiled_at(&self, code_id: usize, pc: usize) -> bool {
+        match &self.jit {
+            Some(j) => j.is_compiled(code_id, pc),
+            None => false,
+        }
     }
 
     /// Charges auxiliary (non-opcode) work such as per-element copying.
@@ -440,6 +616,7 @@ impl Vm {
     /// Runs housekeeping due at an op boundary: GC (if armed), OS jitter,
     /// time budget. Called by the interpreter between instructions.
     pub(crate) fn housekeeping(&mut self) -> MpResult<()> {
+        self.flush_op_counters();
         if self.heap.should_collect() {
             self.run_gc();
         }
@@ -471,15 +648,25 @@ impl Vm {
 
     /// Runs a GC cycle with full roots and charges the pause.
     pub(crate) fn run_gc(&mut self) {
-        let mut roots: Vec<Value> =
-            Vec::with_capacity(self.stack.len() + self.pinned.len() + self.globals.len() + 64);
-        roots.extend_from_slice(&self.stack);
-        for f in &self.frames {
-            roots.extend_from_slice(&f.locals);
-        }
-        roots.extend(self.globals.iter().flatten().copied());
-        roots.extend_from_slice(&self.pinned);
-        let outcome = gc::collect(&mut self.heap, roots);
+        // Feed the roots straight to the collector without materializing
+        // them: the iterator borrows stack/frames/globals/pinned shared while
+        // the collector mutates only the (disjoint) heap field. Root order is
+        // stack, frame locals, globals, pinned — same as ever.
+        let Vm {
+            heap,
+            stack,
+            frames,
+            globals,
+            pinned,
+            ..
+        } = self;
+        let roots = stack
+            .iter()
+            .copied()
+            .chain(frames.iter().flat_map(|f| f.locals.iter().copied()))
+            .chain(globals.iter().flatten().copied())
+            .chain(pinned.iter().copied());
+        let outcome = gc::collect(heap, roots);
         self.counters.gc_cycles += 1;
         if self.noise.gc_costed {
             let pause = self.cost.gc_pause(outcome.live, outcome.freed);

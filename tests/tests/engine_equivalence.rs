@@ -2,7 +2,9 @@
 //! same results, always — the JIT differs in virtual time only.
 
 use integration_tests::test_seed;
-use minipy::{JitConfig, NoiseConfig, Session, Value, VmConfig};
+use minipy::{
+    compile_unfused, CompiledProgram, DynCounters, JitConfig, NoiseConfig, Session, Value, VmConfig,
+};
 use proptest::prelude::*;
 use rigor_workloads::{random_program, suite, Size};
 
@@ -27,6 +29,84 @@ fn run_many(src: &str, cfg: VmConfig, seed: u64, iters: usize) -> Vec<String> {
             s.render(r.value)
         })
         .collect()
+}
+
+/// Runs `iters` iterations from a frozen program, returning rendered
+/// checksums, per-iteration virtual times, and the VM's final counters.
+fn sweep(
+    program: &CompiledProgram,
+    cfg: VmConfig,
+    seed: u64,
+    iters: usize,
+) -> (Vec<String>, Vec<f64>, DynCounters) {
+    let mut s = Session::start_from(program, seed, cfg).expect("session");
+    let mut sums = Vec::with_capacity(iters);
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let r = s.run_iteration().expect("iteration");
+        sums.push(s.render(r.value));
+        times.push(r.virtual_ns);
+    }
+    (sums, times, s.vm().counters())
+}
+
+/// The fast-path contract, checked over the whole suite on both engines:
+/// superinstruction fusion and frozen (parse-once) sessions must be
+/// invisible — identical checksums, bit-identical virtual-time sequences,
+/// and identical counters (op-class charge totals, probes, GC, JIT events)
+/// versus unfused and fresh-compiled execution.
+#[test]
+fn fast_path_sweep_is_bit_identical_across_execution_modes() {
+    for w in suite() {
+        let src = w.source(Size::Small);
+        let seed = test_seed(w.name);
+        let fused = CompiledProgram::compile(&src).expect("compile");
+        let unfused = CompiledProgram::from_program(compile_unfused(&src).expect("compile"));
+        for mk in [VmConfig::interp as fn() -> VmConfig, eager_jit] {
+            let (sums_fused, times_fused, counters_fused) = sweep(&fused, mk(), seed, 2);
+            let (sums_unfused, times_unfused, counters_unfused) = sweep(&unfused, mk(), seed, 2);
+            assert_eq!(
+                sums_fused, sums_unfused,
+                "fusion changed results on {}",
+                w.name
+            );
+            assert_eq!(
+                times_fused, times_unfused,
+                "fusion moved virtual time on {}",
+                w.name
+            );
+            assert_eq!(
+                counters_fused, counters_unfused,
+                "fusion changed counters on {}",
+                w.name
+            );
+
+            // Fresh sessions (compile per invocation) match frozen sessions.
+            let mut fresh = Session::start(&src, seed, mk()).expect("session");
+            let fresh_times: Vec<f64> = (0..2)
+                .map(|_| fresh.run_iteration().expect("iteration").virtual_ns)
+                .collect();
+            assert_eq!(
+                fresh_times, times_fused,
+                "frozen session diverged from fresh session on {}",
+                w.name
+            );
+        }
+    }
+}
+
+/// With the JIT disabled, the hoisted engine check must leave zero JIT
+/// accounting: no jit-priced ops, no compiles, no deopts — on every workload.
+#[test]
+fn interp_engine_pays_zero_jit_accounting() {
+    for w in suite() {
+        let src = w.source(Size::Small);
+        let program = CompiledProgram::compile(&src).expect("compile");
+        let (_, _, counters) = sweep(&program, VmConfig::interp(), test_seed(w.name), 2);
+        assert_eq!(counters.jit_ops, 0, "{} charged jit-priced ops", w.name);
+        assert_eq!(counters.jit_compiles, 0, "{} compiled", w.name);
+        assert_eq!(counters.deopts, 0, "{} deopted", w.name);
+    }
 }
 
 #[test]
