@@ -29,7 +29,8 @@ fn main() {
         table.row(vec![
             w.name.to_string(),
             r.invocations_used.to_string(),
-            format!("{:.2}%", r.achieved_rel_half_width * 100.0),
+            r.achieved_rel_half_width
+                .map_or("n/a".to_string(), |rel| format!("{:.2}%", rel * 100.0)),
             if r.target_met {
                 "yes".into()
             } else {

@@ -78,6 +78,15 @@ pub struct GlobalOpts {
     pub arrival: rigor::ArrivalProcess,
     /// Print the campaign's cell grid without executing it.
     pub plan: bool,
+    /// Adaptive-precision target: relative CI half-width per cell
+    /// (`--precision 0.02` = ±2%); enables the precision planner.
+    pub precision: Option<f64>,
+    /// Global invocation budget across the campaign grid; enables the
+    /// precision planner.
+    pub budget: Option<u64>,
+    /// Run only the pilot round and print the allocation table, without
+    /// refining or archiving anything.
+    pub plan_only: bool,
     /// Execute at most this many cells, then stop (resumable).
     pub max_cells: Option<usize>,
     /// Gate `check` against measurements exported as JSON instead of an
@@ -132,6 +141,9 @@ impl Default for GlobalOpts {
             workers: 4,
             arrival: rigor::ArrivalProcess::Immediate,
             plan: false,
+            precision: None,
+            budget: None,
+            plan_only: false,
             max_cells: None,
             baseline_json: None,
             store_url: None,
@@ -181,6 +193,10 @@ pub enum Command {
     /// cell grid on a work-stealing worker pool, streaming each cell into
     /// the results archive.
     Campaign,
+    /// `rigor plan` — precision-attainment report over an archived
+    /// campaign: what each cell achieved and what a refinement round would
+    /// allocate next.
+    Plan,
     /// `rigor serve` — run the shared archive service over one store.
     Serve,
     /// `rigor help`.
@@ -427,6 +443,25 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
                 opts.arrival = rigor::ArrivalProcess::parse(&a).map_err(err)?;
             }
             "--plan" => opts.plan = true,
+            "--precision" => {
+                let p: f64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--precision requires a number (e.g. 0.02 for ±2%)"))?;
+                if !(p > 0.0 && p < 1.0) {
+                    return Err(err("--precision must be in (0, 1)"));
+                }
+                opts.precision = Some(p);
+            }
+            "--budget" => {
+                let b: u64 = next_value(arg, &mut it)?
+                    .parse()
+                    .map_err(|_| err("--budget requires an integer (total invocations)"))?;
+                if b == 0 {
+                    return Err(err("--budget must be at least 1"));
+                }
+                opts.budget = Some(b);
+            }
+            "--plan-only" => opts.plan_only = true,
             "--max-cells" => {
                 let m: usize = next_value(arg, &mut it)?
                     .parse()
@@ -512,6 +547,7 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
             benchmark: pos.next(),
         },
         Some("campaign") => Command::Campaign,
+        Some("plan") => Command::Plan,
         Some("serve") => Command::Serve,
         Some(other) => return Err(err(format!("unknown command '{other}'"))),
     };
@@ -577,6 +613,9 @@ COMMANDS:
     campaign                  execute a benchmarks × engines × variants ×
                               seeds grid on a worker pool, streaming every
                               cell into the results archive
+    plan                      precision-attainment report over an archived
+                              campaign: achieved half-widths and the next
+                              refinement allocation
     serve                     run the shared archive service over one store
     help                      this message
 
@@ -640,6 +679,17 @@ CAMPAIGN ORCHESTRATION:
     --plan                    print the cell grid without executing it
     --max-cells <N>           stop after N cells (campaign stays resumable)
     --resume <file>           resume a torn campaign from its journal
+
+ADAPTIVE PRECISION:
+    --precision <0.xx>        target relative CI half-width per cell (0.02 =
+                              ±2%); turns the campaign into a feedback-driven
+                              scheduler that pilots every cell, then grants
+                              invocations where the CI is widest
+    --budget <N>              global invocation budget across the grid;
+                              when it binds, remaining invocations are split
+                              σ-proportionally (Neyman) across unmet cells
+    --plan-only               run only the pilot round and print the
+                              allocation table; nothing is archived
 
 TREND ANALYSIS:
     --min-segment <N>         minimum runs per trend segment (default 2)
@@ -896,6 +946,28 @@ mod tests {
         assert!(parse_args(&argv("campaign --max-cells 0")).is_err());
         assert!(parse_args(&argv("campaign --arrival sometimes")).is_err());
         assert!(parse_args(&argv("campaign extra")).is_err());
+    }
+
+    #[test]
+    fn adaptive_precision_flags_parse_and_validate() {
+        let (cmd, opts) =
+            parse_args(&argv("campaign --precision 0.02 --budget 500 --plan-only")).unwrap();
+        assert_eq!(cmd, Command::Campaign);
+        assert_eq!(opts.precision, Some(0.02));
+        assert_eq!(opts.budget, Some(500));
+        assert!(opts.plan_only);
+
+        assert_eq!(parse_args(&argv("plan")).unwrap().0, Command::Plan);
+        let (_, opts) = parse_args(&argv("plan --precision 0.05 --store /tmp/s")).unwrap();
+        assert_eq!(opts.precision, Some(0.05));
+        assert_eq!(opts.store, "/tmp/s");
+
+        assert!(parse_args(&argv("campaign --precision 0")).is_err());
+        assert!(parse_args(&argv("campaign --precision 1")).is_err());
+        assert!(parse_args(&argv("campaign --precision lots")).is_err());
+        assert!(parse_args(&argv("campaign --budget 0")).is_err());
+        assert!(parse_args(&argv("campaign --budget")).is_err());
+        assert!(parse_args(&argv("plan extra")).is_err());
     }
 
     #[test]

@@ -6,9 +6,9 @@ use std::time::Duration;
 
 use minipy::{Session, VmConfig};
 use rigor::{
-    compare, compare_suite, fmt_ci, fmt_ns, precision_of, sparkline, ExperimentConfig,
-    ExperimentEvent, ExperimentObserver, FaultPlan, Journal, JsonlTraceObserver, ProgressObserver,
-    SteadyStateDetector, Table, WarmupClassifier,
+    compare, compare_suite, compute_plan, fmt_ci, fmt_ns, precision_of, sparkline, CellEstimate,
+    ExperimentConfig, ExperimentEvent, ExperimentObserver, FaultPlan, Journal, JsonlTraceObserver,
+    PlannerConfig, ProgressObserver, SteadyStateDetector, Table, WarmupClassifier,
 };
 use rigor_serve::{ArchiveServer, RemoteStore, ServeError};
 use rigor_store::{BaselineRef, ConfigFingerprint, RunRecord, Store};
@@ -44,6 +44,7 @@ pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
         Command::Check { benchmark } => cmd_check(benchmark.as_deref(), opts),
         Command::Trend { benchmark } => cmd_trend(benchmark.as_deref(), opts),
         Command::Campaign => cmd_campaign(opts),
+        Command::Plan => cmd_plan(opts),
         Command::Serve => cmd_serve(opts),
     }
 }
@@ -836,6 +837,7 @@ fn history_table<'a>(
         "engine",
         "shape",
         "steady mean",
+        "precision",
         "censored",
     ])
     .with_title(format!("history of {benchmark} in {source}"));
@@ -863,6 +865,19 @@ fn history_table<'a>(
                 r.fingerprint.invocations, r.fingerprint.iterations, r.fingerprint.size
             ),
             mean,
+            // Adaptive-campaign cells carry their precision attainment;
+            // fixed runs leave the column blank.
+            match &r.precision {
+                Some(p) => format!(
+                    "{} @ n={} ({} +/-{:.1}%)",
+                    p.rel_half_width
+                        .map_or("no CI".to_string(), |rel| format!("+/-{:.2}%", rel * 100.0)),
+                    p.invocations_used,
+                    if p.target_met { "met" } else { "MISSED" },
+                    p.target_rel_half_width * 100.0,
+                ),
+                None => String::new(),
+            },
             if m.censored.is_empty() {
                 String::new()
             } else {
@@ -1644,7 +1659,31 @@ fn campaign_spec(opts: &GlobalOpts) -> rigor::CampaignSpec {
     if let Some(variants) = &opts.variants {
         spec = spec.with_variants(variants.clone());
     }
+    if let Some(planner) = planner_config(opts) {
+        spec = spec.with_planner(planner);
+    }
     spec
+}
+
+/// The adaptive-precision planner the flags ask for; `None` when none of
+/// `--precision`/`--budget`/`--plan-only` were given (fixed-grid campaign).
+/// `-n` doubles as the pilot size; the per-cell ceiling keeps at least the
+/// planner default so the pilot has room to grow.
+fn planner_config(opts: &GlobalOpts) -> Option<PlannerConfig> {
+    if opts.precision.is_none() && opts.budget.is_none() && !opts.plan_only {
+        return None;
+    }
+    let default_max = PlannerConfig::default().max_invocations;
+    let mut cfg = PlannerConfig::default()
+        .with_min_invocations(opts.invocations)
+        .with_max_invocations(opts.invocations.max(default_max));
+    if let Some(p) = opts.precision {
+        cfg = cfg.with_target(p);
+    }
+    if let Some(b) = opts.budget {
+        cfg = cfg.with_budget(b);
+    }
+    Some(cfg)
 }
 
 /// `rigor campaign`: execute a benchmarks × engines × variants × seeds
@@ -1682,6 +1721,10 @@ fn cmd_campaign(opts: &GlobalOpts) -> CliResult {
         }
         println!("{table}");
         return Ok(());
+    }
+
+    if opts.plan_only {
+        return cmd_plan_only(&spec, &cells);
     }
 
     let journal_path = opts
@@ -1757,6 +1800,170 @@ fn cmd_campaign(opts: &GlobalOpts) -> CliResult {
     campaign_verdict(&report)
 }
 
+/// Renders a relative half-width for the allocation tables ("no CI" when
+/// none is computable — the planner treats those as infinitely wide).
+fn fmt_rel(rel: f64) -> String {
+    if rel.is_finite() {
+        format!("+/-{:.2}%", rel * 100.0)
+    } else {
+        "no CI".to_string()
+    }
+}
+
+/// `rigor campaign --plan-only`: run the pilot round in-process and print
+/// the allocation the planner would make — where the invocation budget
+/// would go — without archiving anything or writing a journal.
+fn cmd_plan_only(spec: &rigor::CampaignSpec, cells: &[rigor::campaign::Cell]) -> CliResult {
+    let planner = spec.planner.unwrap_or_default();
+    planner
+        .validate()
+        .map_err(|e| CliError::from(rigor::CampaignError::Planner(e)))?;
+    let det = SteadyStateDetector::default();
+    let mut estimates = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let cfg = cell.config.clone().with_invocations(planner.pilot());
+        let m = rigor::Runner::new(cfg)
+            .map_err(config_err)?
+            .measure(&cell.workload)?;
+        estimates.push(CellEstimate::from_measurement(
+            cell.index,
+            &m,
+            &det,
+            cell.config.confidence,
+        ));
+    }
+    let plan = compute_plan(&estimates, 0, &planner, 1);
+    print_allocation(
+        cells.iter().map(|c| c.id.canonical()),
+        &estimates,
+        &plan,
+        &planner,
+        &format!("pilot of {} cell(s)", cells.len()),
+    );
+    Ok(())
+}
+
+/// `rigor plan`: precision attainment of the archived campaign cells plus
+/// the refinement allocation one more adaptive round would make. Reads the
+/// archive (or the shared service) only — nothing is measured or written.
+fn cmd_plan(opts: &GlobalOpts) -> CliResult {
+    let planner = planner_config(opts).unwrap_or_default();
+    planner
+        .validate()
+        .map_err(|e| CliError::from(rigor::CampaignError::Planner(e)))?;
+    let records: Vec<RunRecord> = if let Some(url) = opts.store_url.as_deref() {
+        let obs = observers(opts)?;
+        remote_client(url, opts, &obs)
+            .history(None)
+            .map_err(remote_err(url))?
+    } else {
+        let store = open_store(&opts.store)?;
+        store.runs().cloned().collect()
+    };
+    let source = opts.store_url.clone().unwrap_or_else(|| opts.store.clone());
+
+    // Campaign cells are labeled single-measurement runs; everything else
+    // in the archive (suite runs, ad-hoc archives) is out of scope here.
+    let det = SteadyStateDetector::default();
+    let mut labels = Vec::new();
+    let mut estimates = Vec::new();
+    for r in &records {
+        let (Some(label), [m]) = (&r.label, r.measurements.as_slice()) else {
+            continue;
+        };
+        labels.push(label.clone());
+        estimates.push(CellEstimate::from_measurement(
+            estimates.len(),
+            m,
+            &det,
+            opts.confidence,
+        ));
+    }
+    if estimates.is_empty() {
+        println!(
+            "no campaign cells in {source} ({} run(s) archived) — run `rigor campaign` first",
+            records.len()
+        );
+        return Ok(());
+    }
+    let plan = compute_plan(&estimates, 0, &planner, 1);
+    print_allocation(
+        labels.into_iter(),
+        &estimates,
+        &plan,
+        &planner,
+        &format!("{} archived cell(s) in {source}", estimates.len()),
+    );
+    Ok(())
+}
+
+/// Prints the per-cell attainment/allocation table plus the plan summary
+/// line shared by `rigor plan` and `campaign --plan-only`.
+fn print_allocation(
+    names: impl Iterator<Item = String>,
+    estimates: &[CellEstimate],
+    plan: &rigor::Plan,
+    planner: &PlannerConfig,
+    subject: &str,
+) {
+    let grants: std::collections::BTreeMap<usize, &rigor::RefineTask> =
+        plan.tasks.iter().map(|t| (t.index, t)).collect();
+    let mut table = Table::new(vec![
+        "cell",
+        "n",
+        "achieved",
+        "status",
+        "next n",
+        "predicted",
+    ])
+    .with_title(format!(
+        "adaptive plan over {subject}: target +/-{:.2}%, budget {}",
+        planner.target_rel_half_width * 100.0,
+        planner
+            .budget
+            .map_or("unbounded".to_string(), |b| format!("{b} invocation(s)")),
+    ));
+    let mut met = 0usize;
+    for (name, est) in names.zip(estimates) {
+        let status = if est.target_met(planner.target_rel_half_width) {
+            met += 1;
+            "met"
+        } else if grants.contains_key(&est.index) {
+            "refine"
+        } else if est.invocations >= planner.max_invocations {
+            "at ceiling"
+        } else {
+            "short (no budget)"
+        };
+        let (next, predicted) = match grants.get(&est.index) {
+            Some(t) => (t.invocations.to_string(), fmt_rel(t.predicted_rel)),
+            None => (String::new(), String::new()),
+        };
+        table.row(vec![
+            name,
+            est.invocations.to_string(),
+            fmt_rel(est.rel_half_width.unwrap_or(f64::INFINITY)),
+            status.to_string(),
+            next,
+            predicted,
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "{met} of {} cell(s) at target; {} invocation(s) spent; next round grants {} more \
+         across {} cell(s){}",
+        estimates.len(),
+        plan.spent,
+        plan.planned,
+        plan.tasks.len(),
+        if plan.exhausted {
+            " — budget exhausted or all unmet cells at their ceiling"
+        } else {
+            ""
+        },
+    );
+}
+
 /// Builds and runs the campaign over any cell sink (the local shared
 /// store, or the remote client).
 fn run_campaign(
@@ -1796,6 +2003,18 @@ fn print_campaign_summary(
         report.executed,
         report.stolen,
     );
+    if report.rounds > 0 {
+        println!(
+            "adaptive precision: {} invocation(s) spent over {} refinement round(s); \
+             {} cell(s) short of target",
+            report.invocations,
+            report.rounds,
+            report.unmet.len(),
+        );
+        if !report.unmet.is_empty() && !opts.quiet {
+            eprintln!("note: cells short of target: {}", report.unmet.join(", "));
+        }
+    }
     if report.remaining > 0 {
         println!(
             "{} cell(s) not yet scheduled — continue with \

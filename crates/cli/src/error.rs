@@ -204,10 +204,12 @@ impl From<rigor::CampaignError> for CliError {
     fn from(e: rigor::CampaignError) -> CliError {
         match e {
             rigor::CampaignError::UnknownBenchmark(name) => CliError::UnknownBenchmark(name),
-            // Bad grid axes or per-cell configs are the caller's fault.
-            rigor::CampaignError::EmptyAxis(_) | rigor::CampaignError::Config { .. } => {
-                CliError::Usage(ParseError(e.to_string()))
-            }
+            // Bad grid axes, per-cell configs, a zero worker count or an
+            // invalid planner are the caller's fault.
+            rigor::CampaignError::EmptyAxis(_)
+            | rigor::CampaignError::Config { .. }
+            | rigor::CampaignError::ZeroWorkers
+            | rigor::CampaignError::Planner(_) => CliError::Usage(ParseError(e.to_string())),
             other => CliError::Campaign(other.to_string()),
         }
     }
@@ -328,6 +330,10 @@ mod tests {
         assert!(matches!(e, CliError::UnknownBenchmark(ref n) if n == "nope"));
         let e: CliError = rigor::CampaignError::EmptyAxis("seeds").into();
         assert_eq!(e.exit_code(), 2, "bad grid axes are usage errors");
+        let e: CliError = rigor::CampaignError::ZeroWorkers.into();
+        assert_eq!(e.exit_code(), 2, "zero workers is a usage error");
+        let e: CliError = rigor::CampaignError::Planner("target out of range".into()).into();
+        assert_eq!(e.exit_code(), 2, "a bad planner config is a usage error");
         let e: CliError = rigor::CampaignError::Journal("torn".into()).into();
         assert_eq!(e.exit_code(), 1);
     }

@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{ConfigError, ExperimentConfig};
 use crate::measurement::BenchmarkMeasurement;
+use crate::planner::PlannerConfig;
 
 /// Magic tag of a campaign journal's meta line.
 const MAGIC: &str = "rigor-campaign";
@@ -64,6 +65,10 @@ pub enum CampaignError {
     JournalMismatch(String),
     /// The cell sink (archive) rejected an append or lookup.
     Sink(String),
+    /// The campaign was configured with zero worker threads.
+    ZeroWorkers,
+    /// The adaptive-precision planner config is unusable.
+    Planner(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -83,6 +88,10 @@ impl fmt::Display for CampaignError {
                 write!(f, "campaign journal mismatch: {msg}")
             }
             CampaignError::Sink(msg) => write!(f, "cell sink: {msg}"),
+            CampaignError::ZeroWorkers => {
+                write!(f, "campaign needs at least 1 worker thread")
+            }
+            CampaignError::Planner(msg) => write!(f, "precision planner: {msg}"),
         }
     }
 }
@@ -292,6 +301,23 @@ impl fmt::Debug for Cell {
     }
 }
 
+/// How precisely a cell was measured by the adaptive planner: the final
+/// sample size, the relative CI half-width it achieved (if a CI existed),
+/// and whether that met the campaign's target. Archived alongside the
+/// measurement so `rigor history` can show precision attainment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellPrecision {
+    /// VM invocations the cell ended with.
+    pub invocations_used: u32,
+    /// Achieved relative CI half-width of the steady-state mean, if a
+    /// confidence interval could be formed.
+    pub rel_half_width: Option<f64>,
+    /// The target relative half-width the planner was chasing.
+    pub target_rel_half_width: f64,
+    /// True when `rel_half_width` exists and is at or under the target.
+    pub target_met: bool,
+}
+
 /// Proof that a cell's measurement reached durable storage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellReceipt {
@@ -328,6 +354,35 @@ pub trait CellSink: Send + Sync {
     ///
     /// A human-readable message when the lookup fails.
     fn completed_cell(&self, cell: &Cell) -> Result<Option<CellReceipt>, String>;
+
+    /// Like [`CellSink::archive_cell`], but also records how precisely the
+    /// cell was measured. Sinks without a precision side-channel fall back
+    /// to plain archiving.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the append fails.
+    fn archive_cell_precise(
+        &self,
+        cell: &Cell,
+        measurement: &BenchmarkMeasurement,
+        precision: &CellPrecision,
+    ) -> Result<CellReceipt, String> {
+        let _ = precision;
+        self.archive_cell(cell, measurement)
+    }
+
+    /// The precision recorded for `cell` by an earlier campaign, if any —
+    /// lets a resumed adaptive campaign count invocations already spent.
+    /// Sinks without a precision side-channel report `None`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the lookup fails.
+    fn completed_precision(&self, cell: &Cell) -> Result<Option<CellPrecision>, String> {
+        let _ = cell;
+        Ok(None)
+    }
 }
 
 /// An in-memory [`CellSink`] keyed by cell index; the test stand-in for the
@@ -335,6 +390,7 @@ pub trait CellSink: Send + Sync {
 #[derive(Default)]
 pub struct MemorySink {
     cells: Mutex<BTreeMap<usize, (String, BenchmarkMeasurement)>>,
+    precisions: Mutex<BTreeMap<usize, CellPrecision>>,
 }
 
 impl MemorySink {
@@ -363,6 +419,16 @@ impl MemorySink {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Precision records, as (index, precision), in index order.
+    pub fn precisions(&self) -> Vec<(usize, CellPrecision)> {
+        self.precisions
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .map(|(i, p)| (*i, p.clone()))
+            .collect()
+    }
 }
 
 impl CellSink for MemorySink {
@@ -387,6 +453,26 @@ impl CellSink for MemorySink {
             run_id: format!("mem-{:016x}", fnv1a(cell.id.canonical().as_bytes())),
             seq: cell.index as u64,
         }))
+    }
+
+    fn archive_cell_precise(
+        &self,
+        cell: &Cell,
+        measurement: &BenchmarkMeasurement,
+        precision: &CellPrecision,
+    ) -> Result<CellReceipt, String> {
+        let receipt = self.archive_cell(cell, measurement)?;
+        self.precisions
+            .lock()
+            .expect("memory sink poisoned")
+            .entry(cell.index)
+            .or_insert_with(|| precision.clone());
+        Ok(receipt)
+    }
+
+    fn completed_precision(&self, cell: &Cell) -> Result<Option<CellPrecision>, String> {
+        let precisions = self.precisions.lock().expect("memory sink poisoned");
+        Ok(precisions.get(&cell.index).cloned())
     }
 }
 
@@ -418,6 +504,8 @@ pub struct CampaignSpec {
     pub base: ExperimentConfig,
     /// Inter-cell pacing model.
     pub arrival: ArrivalProcess,
+    /// Adaptive-precision planner; `None` keeps the fixed grid walk.
+    pub planner: Option<PlannerConfig>,
 }
 
 impl CampaignSpec {
@@ -432,6 +520,7 @@ impl CampaignSpec {
             seeds: vec![base.experiment_seed],
             base,
             arrival: ArrivalProcess::Immediate,
+            planner: None,
         }
     }
 
@@ -469,6 +558,12 @@ impl CampaignSpec {
         self
     }
 
+    /// Turns on the adaptive-precision planner (builder style).
+    pub fn with_planner(mut self, planner: PlannerConfig) -> CampaignSpec {
+        self.planner = Some(planner);
+        self
+    }
+
     /// The grid size, before expansion.
     pub fn cell_count(&self) -> usize {
         self.benchmarks.len() * self.engines.len() * self.variants.len() * self.seeds.len()
@@ -480,7 +575,7 @@ impl CampaignSpec {
         let engines: Vec<&str> = self.engines.iter().map(|e| e.name()).collect();
         let variants: Vec<String> = self.variants.iter().map(ConfigVariant::name).collect();
         let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
-        format!(
+        let mut description = format!(
             "benchmarks={};engines={};variants={};seeds={};size={:?};\
              campaign_seed={};confidence={};arrival={}",
             self.benchmarks.join(","),
@@ -491,7 +586,14 @@ impl CampaignSpec {
             self.base.experiment_seed,
             self.base.confidence,
             self.arrival,
-        )
+        );
+        // Appended only when adaptive, so fixed-grid fingerprints are
+        // byte-identical to those of earlier archive versions.
+        if let Some(planner) = &self.planner {
+            description.push_str(";planner=");
+            description.push_str(&planner.describe());
+        }
+        description
     }
 
     /// A stable 16-hex-digit identity of the grid; two specs with the same

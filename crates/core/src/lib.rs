@@ -71,6 +71,7 @@ pub mod fault;
 pub mod measurement;
 pub mod naive;
 pub mod orchestrator;
+pub mod planner;
 pub mod regress;
 pub mod report;
 pub mod runner;
@@ -83,7 +84,8 @@ pub mod warmup;
 
 pub use campaign::{
     ArrivalProcess, CampaignError, CampaignJournal, CampaignJournalMeta, CampaignJournalWriter,
-    CampaignSpec, Cell, CellDone, CellId, CellReceipt, CellSink, ConfigVariant, MemorySink,
+    CampaignSpec, Cell, CellDone, CellId, CellPrecision, CellReceipt, CellSink, ConfigVariant,
+    MemorySink,
 };
 pub use checkpoint::{Journal, JournalMeta, JournalWriter};
 pub use compare::{compare, compare_suite, CompareError, SpeedupResult, SuiteComparison};
@@ -98,6 +100,7 @@ pub use naive::{
     NaiveScheme, Verdict,
 };
 pub use orchestrator::{Campaign, CampaignReport};
+pub use planner::{compute_plan, CellEstimate, Plan, PlannerConfig, RefineTask};
 pub use regress::{
     check_regressions, pool_measurements, BenchmarkGate, Correction, GatePolicy, GateReport,
     GateStatus,

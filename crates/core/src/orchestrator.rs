@@ -20,8 +20,22 @@
 //! picks up exactly at its first incomplete cell. The journal is rewritten
 //! from scratch on every run (replayed cells re-journaled first), so it
 //! always ends up complete.
+//!
+//! Adaptive mode: when the spec carries a [`PlannerConfig`], the fixed grid
+//! walk becomes a feedback-driven scheduler. A pilot round measures every
+//! cell at the planner's floor; [`compute_plan`] then grants more
+//! invocations where the predicted CI is still too wide, the worker pool
+//! drains the round's [`crate::planner::RefineTask`]s (widest CI first, the
+//! same stealing discipline), and the loop re-plans until every cell meets
+//! its target relative half-width or nothing more can be granted. Rounds
+//! are barriers, so the estimate set each plan sees — and therefore the
+//! whole refinement trajectory — is independent of the worker count. Only
+//! **final** measurements are archived (target met, ceiling reached, or the
+//! budget-exhausted sweep), each with a [`CellPrecision`] record, so a
+//! killed-and-resumed adaptive campaign re-pilots its unarchived cells and
+//! converges to the same archive.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -30,9 +44,12 @@ use std::sync::{Arc, Mutex};
 
 use crate::campaign::{
     CampaignError, CampaignJournal, CampaignJournalMeta, CampaignJournalWriter, CampaignSpec, Cell,
-    CellDone, CellSink,
+    CellDone, CellPrecision, CellSink,
 };
+use crate::measurement::BenchmarkMeasurement;
+use crate::planner::{compute_plan, CellEstimate, PlannerConfig};
 use crate::runner::Runner;
+use crate::steady::SteadyStateDetector;
 use crate::telemetry::{ExperimentEvent, ExperimentObserver};
 
 /// A cloneable event outlet handed to workers; a no-op with no observers
@@ -70,6 +87,15 @@ pub struct CampaignReport {
     pub failures: Vec<(String, String)>,
     /// Cells left unscheduled (a [`Campaign::max_cells`] budget ran out).
     pub remaining: usize,
+    /// Planning rounds computed (adaptive runs only; the pilot is round 0,
+    /// so this is the number of [`compute_plan`] calls).
+    pub rounds: u32,
+    /// Invocations committed across all archived cells, resumed cells
+    /// included (adaptive runs only).
+    pub invocations: u64,
+    /// Canonical ids of archived cells that ended short of the precision
+    /// target — ceiling-capped or budget-starved (adaptive runs only).
+    pub unmet: Vec<String>,
 }
 
 impl CampaignReport {
@@ -108,9 +134,10 @@ impl Campaign {
         }
     }
 
-    /// Sets the worker-thread count (builder style); clamped to at least 1.
+    /// Sets the worker-thread count (builder style). Zero is rejected by
+    /// [`Campaign::run`] with [`CampaignError::ZeroWorkers`].
     pub fn workers(mut self, workers: usize) -> Campaign {
-        self.workers = workers.max(1);
+        self.workers = workers;
         self
     }
 
@@ -160,10 +187,18 @@ impl Campaign {
     /// [`CampaignError::UnknownBenchmark`] / [`CampaignError::Config`]), a
     /// resume journal for a different grid
     /// ([`CampaignError::JournalMismatch`]), journal I/O errors, and sink
-    /// failures while probing for already-completed cells. Per-cell
-    /// measurement and archival failures do **not** abort the run — they
-    /// are collected in [`CampaignReport::failures`].
+    /// failures while probing for already-completed cells. A zero worker
+    /// count is [`CampaignError::ZeroWorkers`]; an unusable planner config
+    /// is [`CampaignError::Planner`]. Per-cell measurement and archival
+    /// failures do **not** abort the run — they are collected in
+    /// [`CampaignReport::failures`].
     pub fn run(&self, sink: &dyn CellSink) -> Result<CampaignReport, CampaignError> {
+        if self.workers == 0 {
+            return Err(CampaignError::ZeroWorkers);
+        }
+        if let Some(planner) = self.spec.planner {
+            return self.run_adaptive(planner, sink);
+        }
         let cells = self.spec.cells()?;
         let fingerprint = self.spec.fingerprint();
         let total = cells.len();
@@ -364,6 +399,301 @@ impl Campaign {
             quarantined: quarantined.into_inner().expect("quarantine list poisoned"),
             failures: failures.into_inner().expect("failure list poisoned"),
             remaining,
+            rounds: 0,
+            invocations: 0,
+            unmet: Vec::new(),
+        })
+    }
+
+    /// The adaptive-precision path: pilot every pending cell, then re-plan
+    /// and refine round by round until every cell meets the target relative
+    /// half-width or nothing more can be granted. See the module docs for
+    /// the scheduling and determinism argument.
+    fn run_adaptive(
+        &self,
+        cfg: PlannerConfig,
+        sink: &dyn CellSink,
+    ) -> Result<CampaignReport, CampaignError> {
+        cfg.validate().map_err(CampaignError::Planner)?;
+        let cells = self.spec.cells()?;
+        let fingerprint = self.spec.fingerprint();
+        let total = cells.len();
+        let target = cfg.target_rel_half_width;
+        let detector = SteadyStateDetector::default();
+        let confidence = self.spec.base.confidence;
+
+        // Resume: archived cells are final at their archived size; their
+        // precision records reconstruct the invocations already spent.
+        let mut skipped: Vec<(Cell, String)> = Vec::new();
+        let mut pending: Vec<Cell> = Vec::new();
+        let mut spent_final: u64 = 0;
+        let mut unmet_ids: Vec<String> = Vec::new();
+        if self.resume {
+            if let Some(path) = &self.journal_path {
+                if let Some(journal) = CampaignJournal::load_tolerant(path)
+                    .map_err(|e| CampaignError::Journal(e.to_string()))?
+                {
+                    journal
+                        .check_matches(&fingerprint, total as u32)
+                        .map_err(CampaignError::JournalMismatch)?;
+                }
+            }
+            for cell in cells {
+                match sink.completed_cell(&cell).map_err(CampaignError::Sink)? {
+                    Some(receipt) => {
+                        match sink
+                            .completed_precision(&cell)
+                            .map_err(CampaignError::Sink)?
+                        {
+                            Some(p) => {
+                                spent_final += u64::from(p.invocations_used);
+                                if !p.target_met {
+                                    unmet_ids.push(cell.id.canonical());
+                                }
+                            }
+                            // Archived without a precision record (a sink
+                            // without the side-channel): count the cell's
+                            // configured size.
+                            None => spent_final += u64::from(cell.config.invocations),
+                        }
+                        skipped.push((cell, receipt.run_id));
+                    }
+                    None => pending.push(cell),
+                }
+            }
+        } else {
+            pending = cells;
+        }
+
+        let meta = CampaignJournalMeta {
+            fingerprint: fingerprint.clone(),
+            cells: total as u32,
+        };
+        let writer = match &self.journal_path {
+            Some(path) => {
+                let mut w = CampaignJournalWriter::create(path, &meta)
+                    .map_err(|e| CampaignError::Journal(e.to_string()))?;
+                for (cell, run_id) in &skipped {
+                    w.append_cell(&CellDone {
+                        index: cell.index as u32,
+                        id: cell.id.canonical(),
+                        run_id: run_id.clone(),
+                    })
+                    .map_err(|e| CampaignError::Journal(e.to_string()))?;
+                }
+                Some(Mutex::new(w))
+            }
+            None => None,
+        };
+
+        let completed = AtomicU32::new(skipped.len() as u32);
+        let executed = AtomicUsize::new(0);
+        let stolen = AtomicUsize::new(0);
+        // Measurement-ticket budget shared across all rounds, so
+        // `max_cells` interrupts an adaptive run mid-refinement too.
+        let tickets = AtomicUsize::new(self.max_cells.unwrap_or(usize::MAX));
+        let quarantined: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let failures: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+        let mut rounds: u32 = 0;
+        let mut remaining: usize = 0;
+
+        std::thread::scope(|scope| {
+            let sink_events = if self.observers.is_empty() {
+                EventSink(None)
+            } else {
+                let (tx, rx) = channel::<ExperimentEvent>();
+                let observers = &self.observers;
+                scope.spawn(move || {
+                    let mut disabled = vec![false; observers.len()];
+                    for event in rx {
+                        for (idx, obs) in observers.iter().enumerate() {
+                            if disabled[idx] {
+                                continue;
+                            }
+                            let outcome = catch_unwind(AssertUnwindSafe(|| obs.on_event(&event)));
+                            if outcome.is_err() {
+                                disabled[idx] = true;
+                                eprintln!(
+                                    "rigor: observer #{idx} panicked on `{}`; \
+                                     disabling it for the rest of the campaign",
+                                    event.name()
+                                );
+                            }
+                        }
+                    }
+                });
+                EventSink(Some(tx))
+            };
+
+            sink_events.send(ExperimentEvent::CampaignStarted {
+                campaign: fingerprint.clone(),
+                cells: total as u32,
+                workers: self.workers as u32,
+                arrival: self.spec.arrival.to_string(),
+            });
+            if self.resume {
+                sink_events.send(ExperimentEvent::CampaignResumed {
+                    campaign: fingerprint.clone(),
+                    completed: skipped.len() as u32,
+                    cells: total as u32,
+                });
+            }
+
+            // Live cells: latest measurement + estimate, keyed by grid
+            // index. The pilot is round 0; every later round's jobs come
+            // from the plan.
+            let mut estimates: BTreeMap<usize, (Cell, BenchmarkMeasurement, CellEstimate)> =
+                BTreeMap::new();
+            let mut jobs: Vec<(Cell, u32)> = pending.drain(..).map(|c| (c, cfg.pilot())).collect();
+            let mut round: u32 = 0;
+            loop {
+                let outcome = run_refinement_round(
+                    jobs,
+                    self.workers,
+                    &self.spec,
+                    &self.observers,
+                    &sink_events,
+                    &tickets,
+                    &stolen,
+                    &failures,
+                );
+                for (cell, m) in outcome.measured {
+                    let est = CellEstimate::from_measurement(cell.index, &m, &detector, confidence);
+                    sink_events.send(ExperimentEvent::CellRefined {
+                        cell: cell.id.canonical(),
+                        index: cell.index as u32,
+                        round,
+                        invocations: est.invocations,
+                        rel_half_width: est.rel_half_width,
+                        target_met: est.target_met(target),
+                    });
+                    estimates.insert(cell.index, (cell, m, est));
+                }
+                for idx in outcome.failed {
+                    // A failed re-measurement drops the cell from the
+                    // campaign (recorded in `failures`); a rerun retries it.
+                    estimates.remove(&idx);
+                }
+
+                // Finalize what is done: target met, or ceiling reached.
+                let done: Vec<usize> = estimates
+                    .iter()
+                    .filter(|(_, (_, _, e))| {
+                        e.target_met(target) || e.invocations >= cfg.max_invocations
+                    })
+                    .map(|(&i, _)| i)
+                    .collect();
+                for idx in done {
+                    let (cell, m, est) = estimates.remove(&idx).expect("just listed");
+                    spent_final += u64::from(est.invocations);
+                    if !est.target_met(target) {
+                        unmet_ids.push(cell.id.canonical());
+                    }
+                    finalize_cell(
+                        &cell,
+                        &m,
+                        &est,
+                        target,
+                        total,
+                        sink,
+                        &writer,
+                        &sink_events,
+                        &completed,
+                        &executed,
+                        &quarantined,
+                        &failures,
+                    );
+                }
+
+                if !outcome.leftover.is_empty() {
+                    // The ticket budget ran out mid-round: stop re-planning.
+                    // Cells not yet final stay unarchived for a resume. A
+                    // leftover refinement job's cell is usually already in
+                    // `estimates` (measured by the pilot) — count each
+                    // unfinished cell once.
+                    remaining = estimates.len()
+                        + outcome
+                            .leftover
+                            .iter()
+                            .filter(|i| !estimates.contains_key(i))
+                            .count();
+                    break;
+                }
+
+                round += 1;
+                let ests: Vec<CellEstimate> = estimates.values().map(|(_, _, e)| *e).collect();
+                let plan = compute_plan(&ests, spent_final, &cfg, round);
+                sink_events.send(ExperimentEvent::PlanComputed {
+                    campaign: fingerprint.clone(),
+                    round,
+                    unmet: plan.unmet as u32,
+                    tasks: plan.tasks.len() as u32,
+                    planned: plan.planned,
+                    spent: plan.spent,
+                    budget_remaining: plan.budget_remaining,
+                });
+                if plan.tasks.is_empty() {
+                    if plan.exhausted {
+                        sink_events.send(ExperimentEvent::BudgetExhausted {
+                            campaign: fingerprint.clone(),
+                            round,
+                            spent: plan.spent,
+                            budget: cfg.budget.unwrap_or(0),
+                            unmet: plan.unmet as u32,
+                        });
+                    }
+                    // Final sweep: cells nothing more can be granted to are
+                    // archived at their current size, short of target.
+                    for (_, (cell, m, est)) in std::mem::take(&mut estimates) {
+                        spent_final += u64::from(est.invocations);
+                        if !est.target_met(target) {
+                            unmet_ids.push(cell.id.canonical());
+                        }
+                        finalize_cell(
+                            &cell,
+                            &m,
+                            &est,
+                            target,
+                            total,
+                            sink,
+                            &writer,
+                            &sink_events,
+                            &completed,
+                            &executed,
+                            &quarantined,
+                            &failures,
+                        );
+                    }
+                    break;
+                }
+                // The plan orders tasks widest CI first; dealing preserves
+                // that priority across the worker deques.
+                jobs = plan
+                    .tasks
+                    .iter()
+                    .filter_map(|t| {
+                        estimates
+                            .get(&t.index)
+                            .map(|(c, _, _)| (c.clone(), t.invocations))
+                    })
+                    .collect();
+            }
+            rounds = round;
+            drop(sink_events);
+        });
+
+        Ok(CampaignReport {
+            fingerprint,
+            total,
+            skipped: skipped.len(),
+            executed: executed.into_inner(),
+            stolen: stolen.into_inner(),
+            quarantined: quarantined.into_inner().expect("quarantine list poisoned"),
+            failures: failures.into_inner().expect("failure list poisoned"),
+            remaining,
+            rounds,
+            invocations: spent_final,
+            unmet: unmet_ids,
         })
     }
 }
@@ -440,6 +770,212 @@ fn execute_cell(
         cell: id,
         index: cell.index as u32,
         worker: worker as u32,
+        run_id: receipt.run_id,
+        completed: done_so_far,
+        cells: total as u32,
+    });
+}
+
+/// What one adaptive round's worker pool produced.
+struct RoundOutcome {
+    /// Successfully measured jobs, in grid-index order.
+    measured: Vec<(Cell, BenchmarkMeasurement)>,
+    /// Grid indices whose measurement failed (already in `failures`).
+    failed: Vec<usize>,
+    /// Grid indices of jobs left unscheduled because the ticket budget ran
+    /// out.
+    leftover: Vec<usize>,
+}
+
+/// Runs one adaptive round's jobs — (cell, sample size) pairs — on the
+/// work-stealing pool: same dealing, stealing and ticket discipline as the
+/// fixed path, but each job re-measures its cell at the job's own
+/// invocation count and the results come back to the coordinator instead
+/// of going straight to the sink.
+#[allow(clippy::too_many_arguments)]
+fn run_refinement_round(
+    jobs: Vec<(Cell, u32)>,
+    workers: usize,
+    spec: &CampaignSpec,
+    observers: &[Arc<dyn ExperimentObserver>],
+    sink_events: &EventSink,
+    tickets: &AtomicUsize,
+    stolen: &AtomicUsize,
+    failures: &Mutex<Vec<(String, String)>>,
+) -> RoundOutcome {
+    if jobs.is_empty() {
+        return RoundOutcome {
+            measured: Vec::new(),
+            failed: Vec::new(),
+            leftover: Vec::new(),
+        };
+    }
+    let workers = workers.clamp(1, jobs.len());
+    let mut deques: Vec<VecDeque<(Cell, u32)>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        deques[i % workers].push_back(job);
+    }
+    let queues: Vec<Mutex<VecDeque<(Cell, u32)>>> = deques.into_iter().map(Mutex::new).collect();
+    let measured: Mutex<Vec<(Cell, BenchmarkMeasurement)>> = Mutex::new(Vec::new());
+    let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let sink_events = sink_events.clone();
+            let queues = &queues;
+            let measured = &measured;
+            let failed = &failed;
+            scope.spawn(move || loop {
+                if tickets
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                let mut job = queues[me].lock().expect("queue poisoned").pop_front();
+                if job.is_none() {
+                    let victim = (0..queues.len())
+                        .filter(|&v| v != me)
+                        .map(|v| (v, queues[v].lock().expect("queue poisoned").len()))
+                        .filter(|&(_, len)| len > 0)
+                        .max_by_key(|&(_, len)| len)
+                        .map(|(v, _)| v);
+                    if let Some(v) = victim {
+                        job = queues[v].lock().expect("queue poisoned").pop_back();
+                        if let Some((c, _)) = &job {
+                            stolen.fetch_add(1, Ordering::Relaxed);
+                            sink_events.send(ExperimentEvent::CellStolen {
+                                cell: c.id.canonical(),
+                                index: c.index as u32,
+                                from_worker: v as u32,
+                                to_worker: me as u32,
+                            });
+                        }
+                    }
+                }
+                let Some((cell, invocations)) = job else {
+                    // Hand the unused ticket back: rounds are barriers, so
+                    // each worker drains an empty queue once per round and
+                    // losing a ticket each time would shrink `max_cells`.
+                    tickets.fetch_add(1, Ordering::Relaxed);
+                    break;
+                };
+
+                let delay = spec
+                    .arrival
+                    .delay(spec.base.experiment_seed, cell.index as u64);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+
+                let id = cell.id.canonical();
+                let config = cell.config.clone().with_invocations(invocations);
+                let mut runner = match Runner::new(config) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        record_failure(failures, &id, format!("invalid config: {e}"));
+                        failed
+                            .lock()
+                            .expect("failed list poisoned")
+                            .push(cell.index);
+                        continue;
+                    }
+                };
+                for obs in observers {
+                    runner = runner.observer(obs.clone());
+                }
+                match runner.measure(&cell.workload) {
+                    Ok(m) => measured
+                        .lock()
+                        .expect("measured list poisoned")
+                        .push((cell, m)),
+                    Err(e) => {
+                        record_failure(failures, &id, e.to_string());
+                        failed
+                            .lock()
+                            .expect("failed list poisoned")
+                            .push(cell.index);
+                    }
+                }
+            });
+        }
+    });
+
+    let leftover: Vec<usize> = queues
+        .into_iter()
+        .flat_map(|q| q.into_inner().expect("queue poisoned"))
+        .map(|(cell, _)| cell.index)
+        .collect();
+    let mut measured = measured.into_inner().expect("measured list poisoned");
+    measured.sort_by_key(|(c, _)| c.index);
+    RoundOutcome {
+        measured,
+        failed: failed.into_inner().expect("failed list poisoned"),
+        leftover,
+    }
+}
+
+/// Archives a cell that reached its final adaptive state, together with its
+/// precision record, then journals it and emits `cell_completed`. The cell
+/// is archived under the config it actually ran at (its final sample size),
+/// so the archive describes the measurement bytes exactly.
+#[allow(clippy::too_many_arguments)]
+fn finalize_cell(
+    cell: &Cell,
+    measurement: &BenchmarkMeasurement,
+    est: &CellEstimate,
+    target: f64,
+    total: usize,
+    sink: &dyn CellSink,
+    writer: &Option<Mutex<CampaignJournalWriter>>,
+    sink_events: &EventSink,
+    completed: &AtomicU32,
+    executed: &AtomicUsize,
+    quarantined: &Mutex<Vec<String>>,
+    failures: &Mutex<Vec<(String, String)>>,
+) {
+    let id = cell.id.canonical();
+    if measurement.quarantined {
+        quarantined
+            .lock()
+            .expect("quarantine list poisoned")
+            .push(id.clone());
+    }
+    let precision = CellPrecision {
+        invocations_used: est.invocations,
+        rel_half_width: est.rel_half_width,
+        target_rel_half_width: target,
+        target_met: est.target_met(target),
+    };
+    let mut archived = cell.clone();
+    archived.config = cell.config.clone().with_invocations(est.invocations);
+    let receipt = match sink.archive_cell_precise(&archived, measurement, &precision) {
+        Ok(r) => r,
+        Err(e) => {
+            record_failure(failures, &id, format!("sink: {e}"));
+            return;
+        }
+    };
+    if let Some(writer) = writer {
+        let done = CellDone {
+            index: cell.index as u32,
+            id: id.clone(),
+            run_id: receipt.run_id.clone(),
+        };
+        if let Err(e) = writer
+            .lock()
+            .expect("journal writer poisoned")
+            .append_cell(&done)
+        {
+            eprintln!("rigor: campaign journal write failed (cell {id}): {e}");
+        }
+    }
+    executed.fetch_add(1, Ordering::Relaxed);
+    let done_so_far = completed.fetch_add(1, Ordering::Relaxed) + 1;
+    sink_events.send(ExperimentEvent::CellCompleted {
+        cell: id,
+        index: cell.index as u32,
+        worker: 0,
         run_id: receipt.run_id,
         completed: done_so_far,
         cells: total as u32,
@@ -658,6 +1194,160 @@ mod tests {
         let report = Campaign::new(spec).workers(4).run(&sink).unwrap();
         assert_eq!(report.executed, 4);
         assert_eq!(sink.len(), 4);
+    }
+
+    fn adaptive_spec(cfg: PlannerConfig) -> CampaignSpec {
+        small_spec().with_planner(cfg)
+    }
+
+    fn planner() -> PlannerConfig {
+        PlannerConfig::default()
+            .with_target(0.05)
+            .with_min_invocations(2)
+            .with_max_invocations(8)
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let err = Campaign::new(small_spec())
+            .workers(0)
+            .run(&MemorySink::new())
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::ZeroWorkers), "{err}");
+    }
+
+    #[test]
+    fn invalid_planner_config_is_rejected() {
+        let spec = adaptive_spec(PlannerConfig::default().with_target(0.0));
+        let err = Campaign::new(spec).run(&MemorySink::new()).unwrap_err();
+        assert!(matches!(err, CampaignError::Planner(_)), "{err}");
+    }
+
+    #[test]
+    fn adaptive_campaign_archives_every_cell_with_precision() {
+        let sink = MemorySink::new();
+        let report = Campaign::new(adaptive_spec(planner()))
+            .workers(2)
+            .run(&sink)
+            .unwrap();
+        assert_eq!(report.total, 4);
+        assert_eq!(report.executed, 4);
+        assert!(report.is_complete());
+        assert!(report.rounds >= 1);
+        let precisions = sink.precisions();
+        assert_eq!(precisions.len(), 4);
+        let mut spent = 0u64;
+        for (_, p) in &precisions {
+            assert!(p.invocations_used >= 2 && p.invocations_used <= 8, "{p:?}");
+            assert_eq!(p.target_rel_half_width, 0.05);
+            assert_eq!(
+                p.target_met,
+                p.rel_half_width.is_some_and(|r| r <= 0.05),
+                "{p:?}"
+            );
+            spent += u64::from(p.invocations_used);
+        }
+        assert_eq!(report.invocations, spent);
+        // Unmet ids are exactly the archived cells short of target.
+        let short = precisions.iter().filter(|(_, p)| !p.target_met).count();
+        assert_eq!(report.unmet.len(), short);
+    }
+
+    #[test]
+    fn adaptive_results_do_not_depend_on_worker_count() {
+        let one = MemorySink::new();
+        Campaign::new(adaptive_spec(planner()))
+            .workers(1)
+            .run(&one)
+            .unwrap();
+        let four = MemorySink::new();
+        Campaign::new(adaptive_spec(planner()))
+            .workers(4)
+            .run(&four)
+            .unwrap();
+        assert_eq!(one.precisions(), four.precisions());
+        for ((ia, ida, ma), (ib, idb, mb)) in one.cells().iter().zip(&four.cells()) {
+            assert_eq!((ia, ida), (ib, idb));
+            assert_eq!(
+                crate::export::to_json(std::slice::from_ref(ma)).unwrap(),
+                crate::export::to_json(std::slice::from_ref(mb)).unwrap(),
+                "cell {ida} must refine identically under any worker count"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_interrupt_and_resume_matches_a_clean_run() {
+        let path = journal_path("adaptive-resume");
+        let sink = MemorySink::new();
+        // Two measurement tickets interrupt the run inside the pilot round.
+        let first = Campaign::new(adaptive_spec(planner()))
+            .workers(1)
+            .journal(&path)
+            .max_cells(2)
+            .run(&sink)
+            .unwrap();
+        assert!(!first.is_complete());
+        assert!(first.remaining > 0);
+
+        let second = Campaign::new(adaptive_spec(planner()))
+            .workers(1)
+            .journal(&path)
+            .resume(true)
+            .run(&sink)
+            .unwrap();
+        assert!(second.is_complete());
+        assert_eq!(sink.len(), 4);
+
+        // The converged archive — measurements and precision records —
+        // matches an uninterrupted adaptive run cell for cell.
+        let clean = MemorySink::new();
+        Campaign::new(adaptive_spec(planner()))
+            .workers(1)
+            .run(&clean)
+            .unwrap();
+        assert_eq!(sink.precisions(), clean.precisions());
+        for ((ia, ida, ma), (ib, idb, mb)) in sink.cells().iter().zip(&clean.cells()) {
+            assert_eq!((ia, ida), (ib, idb));
+            assert_eq!(
+                crate::export::to_json(std::slice::from_ref(ma)).unwrap(),
+                crate::export::to_json(std::slice::from_ref(mb)).unwrap()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn adaptive_budget_exhaustion_archives_cells_short_of_target() {
+        // An unreachable target under a tiny budget: the planner squeezes
+        // what it can, then the final sweep archives everything unmet.
+        let cfg = PlannerConfig::default()
+            .with_target(0.0001)
+            .with_min_invocations(2)
+            .with_max_invocations(30)
+            .with_budget(12);
+        let obs = Arc::new(CollectingObserver::new());
+        let sink = MemorySink::new();
+        let report = Campaign::new(adaptive_spec(cfg))
+            .workers(2)
+            .observer(obs.clone())
+            .run(&sink)
+            .unwrap();
+        assert!(report.is_complete(), "{report:?}");
+        assert!(!report.unmet.is_empty(), "{report:?}");
+        assert!(report.invocations <= 12, "{report:?}");
+        let events = obs.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ExperimentEvent::PlanComputed { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ExperimentEvent::BudgetExhausted { budget: 12, .. })));
+        let refined = events
+            .iter()
+            .filter(|e| matches!(e, ExperimentEvent::CellRefined { .. }))
+            .count();
+        assert!(refined >= 4, "every cell refines at least once (pilot)");
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Suite-level precision planning: invocation-budget allocation across a
+//! campaign's cells.
+//!
+//! Where [`crate::sequential`] grows one benchmark's sample until its CI is
+//! tight enough, the planner does the same for a whole grid at once, under
+//! one global budget: a **pilot** round measures every cell at
+//! `min_invocations`, each cell's steady-state noise is estimated
+//! ([`crate::variance::decompose`] feeds the σ the allocator weighs), and
+//! every subsequent round grants more invocations where the predicted CI is
+//! still too wide — Neyman-proportional when the budget binds, need-based
+//! when it does not — until every cell meets its target relative half-width
+//! or nothing more can be granted.
+//!
+//! Everything here is **deterministic**: a plan is a pure function of the
+//! cell estimates and the planner config. Estimates come from deterministic
+//! measurements (invocation seeds are pure functions of the experiment
+//! seed), integer apportionment breaks ties by cell index
+//! (`rigor_stats::allocate`), and task ordering is total (widest CI first,
+//! then index). A killed-and-resumed adaptive campaign therefore replays
+//! the same per-cell refinement trajectory; see
+//! [`crate::orchestrator::Campaign`] for the re-planning loop itself.
+
+use rigor_stats::allocate::{clamped_allocation, invocations_for_target, predicted_rel_half_width};
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::BenchmarkMeasurement;
+use crate::sequential::{precision_of, MAX_DROP_FRAC};
+use crate::steady::{common_steady_start, per_invocation_steady_means, SteadyStateDetector};
+use crate::variance::decompose;
+
+/// Precision goal and budget for an adaptive campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Target relative CI half-width per cell (0.02 = ±2%).
+    pub target_rel_half_width: f64,
+    /// Global invocation budget across the whole grid (counted as the sum
+    /// of every cell's final sample size); `None` = unbounded.
+    pub budget: Option<u64>,
+    /// Pilot sample size — the floor no cell goes below.
+    pub min_invocations: u32,
+    /// Per-cell ceiling — the refinement cap for hopelessly noisy cells.
+    pub max_invocations: u32,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        // Mirrors `SequentialPlan`: same target, floor and ceiling.
+        PlannerConfig {
+            target_rel_half_width: 0.02,
+            budget: None,
+            min_invocations: 5,
+            max_invocations: 60,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Sets the precision target (builder style).
+    pub fn with_target(mut self, target_rel_half_width: f64) -> PlannerConfig {
+        self.target_rel_half_width = target_rel_half_width;
+        self
+    }
+
+    /// Sets the global invocation budget (builder style).
+    pub fn with_budget(mut self, budget: u64) -> PlannerConfig {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the pilot floor (builder style).
+    pub fn with_min_invocations(mut self, min_invocations: u32) -> PlannerConfig {
+        self.min_invocations = min_invocations;
+        self
+    }
+
+    /// Sets the per-cell ceiling (builder style).
+    pub fn with_max_invocations(mut self, max_invocations: u32) -> PlannerConfig {
+        self.max_invocations = max_invocations;
+        self
+    }
+
+    /// The pilot sample size actually used: at least 2, or no CI could
+    /// ever be computed.
+    pub fn pilot(&self) -> u32 {
+        self.min_invocations.max(2)
+    }
+
+    /// Checks the config is usable.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for a target outside (0, 1), a ceiling
+    /// below the floor, or a budget that cannot cover even one pilot.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.target_rel_half_width > 0.0 && self.target_rel_half_width < 1.0) {
+            return Err(format!(
+                "precision target must be in (0, 1), got {}",
+                self.target_rel_half_width
+            ));
+        }
+        if self.max_invocations < self.min_invocations {
+            return Err(format!(
+                "max invocations ({}) below min invocations ({})",
+                self.max_invocations, self.min_invocations
+            ));
+        }
+        if let Some(budget) = self.budget {
+            if budget < u64::from(self.pilot()) {
+                return Err(format!(
+                    "budget ({budget}) cannot cover even one pilot of {} invocations",
+                    self.pilot()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical one-line rendering hashed into a campaign fingerprint:
+    /// two adaptive campaigns with different goals are different campaigns.
+    pub fn describe(&self) -> String {
+        format!(
+            "target={};budget={};min={};max={}",
+            self.target_rel_half_width,
+            self.budget.map_or("none".to_string(), |b| b.to_string()),
+            self.min_invocations,
+            self.max_invocations,
+        )
+    }
+}
+
+/// What the planner knows about one cell after measuring it at some size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellEstimate {
+    /// The cell's grid index.
+    pub index: usize,
+    /// Invocations in the measurement behind this estimate.
+    pub invocations: u32,
+    /// Steady-state mean estimate (0 when none is computable).
+    pub mean: f64,
+    /// Standard deviation of the per-invocation steady means — the σ the
+    /// allocator weighs (√`between_var` of the variance decomposition).
+    pub sigma: f64,
+    /// Relative CI half-width at this size; `None` when no CI is
+    /// computable (too few converged invocations).
+    pub rel_half_width: Option<f64>,
+}
+
+impl CellEstimate {
+    /// Distills a measurement into the planner's per-cell state.
+    ///
+    /// The CI comes from [`precision_of`] (per-invocation steady windows,
+    /// bounded drop rate); σ comes from [`decompose`] over the common
+    /// steady window, falling back to the spread of per-invocation steady
+    /// means when the decomposition is unavailable.
+    pub fn from_measurement(
+        index: usize,
+        m: &BenchmarkMeasurement,
+        detector: &SteadyStateDetector,
+        confidence: f64,
+    ) -> CellEstimate {
+        let (ci, rel) = precision_of(m, detector, confidence);
+        let mean = ci.as_ref().map_or(0.0, |ci| ci.estimate);
+        let steady_start =
+            common_steady_start(m.invocations.iter().map(|r| &r.iteration_ns[..]), detector);
+        let sigma = steady_start
+            .and_then(|start| decompose(m, start))
+            .map(|d| d.between_var.sqrt())
+            .or_else(|| {
+                let means = per_invocation_steady_means(m, detector, MAX_DROP_FRAC)?;
+                Some(rigor_stats::descriptive::variance(&means).sqrt())
+            })
+            .filter(|s| s.is_finite())
+            .unwrap_or(0.0);
+        CellEstimate {
+            index,
+            invocations: m.n_invocations() as u32,
+            mean,
+            sigma,
+            rel_half_width: rel,
+        }
+    }
+
+    /// True when the cell's CI is known and within `target`.
+    pub fn target_met(&self, target: f64) -> bool {
+        self.rel_half_width.is_some_and(|rel| rel <= target)
+    }
+
+    /// The final sample size this cell is predicted to need for `target`,
+    /// clamped to the planner's ceiling. A cell without a CI asks to double
+    /// (more data is the only way to get an estimate).
+    fn needed(&self, cfg: &PlannerConfig) -> u32 {
+        let ceiling = u64::from(cfg.max_invocations);
+        let n = u64::from(self.invocations);
+        let needed = match self.rel_half_width {
+            Some(rel) => invocations_for_target(n, rel, cfg.target_rel_half_width),
+            None => n.saturating_mul(2),
+        };
+        needed.clamp(n, ceiling) as u32
+    }
+}
+
+/// One unit of refinement work: re-measure a cell at a larger sample size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefineTask {
+    /// The cell's grid index.
+    pub index: usize,
+    /// The sample size to measure the cell at (its new total, not a delta —
+    /// invocation seeds are pure functions of the experiment seed, so
+    /// re-measuring at n equals extending to n).
+    pub invocations: u32,
+    /// The cell's current relative half-width (∞ when no CI yet) — the
+    /// priority key: widest first.
+    pub current_rel: f64,
+    /// The predicted relative half-width after this refinement.
+    pub predicted_rel: f64,
+}
+
+/// One round's allocation decision over the still-unmet cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Which re-planning round this is (the pilot is round 0).
+    pub round: u32,
+    /// Refinement tasks, widest current CI first (index breaks ties) — the
+    /// priority order the orchestrator drains.
+    pub tasks: Vec<RefineTask>,
+    /// Invocations already committed across the grid (every cell's current
+    /// size, archived cells included).
+    pub spent: u64,
+    /// Additional invocations granted by this plan.
+    pub planned: u64,
+    /// Budget left after `spent` (`None` = unbounded).
+    pub budget_remaining: Option<u64>,
+    /// Cells whose estimate is not yet at target (whether or not they
+    /// received a task).
+    pub unmet: usize,
+    /// True when unmet cells remain but nothing more can be granted —
+    /// budget exhausted or every unmet cell at its ceiling.
+    pub exhausted: bool,
+}
+
+/// Computes one round's allocation from the live cell estimates.
+///
+/// `spent_elsewhere` counts invocations committed outside `estimates`
+/// (cells already archived at their final size). Two regimes:
+///
+/// * **need-based** — when the remaining budget covers every cell's
+///   predicted need, each cell gets exactly what it asks for. Grants are
+///   then independent across cells, which is what makes a resumed
+///   campaign's per-cell trajectory identical to an uninterrupted one.
+/// * **Neyman squeeze** — when the budget binds, the remaining invocations
+///   are split σ-proportionally across unmet cells
+///   ([`clamped_allocation`]), capped at each cell's own need.
+pub fn compute_plan(
+    estimates: &[CellEstimate],
+    spent_elsewhere: u64,
+    cfg: &PlannerConfig,
+    round: u32,
+) -> Plan {
+    let spent = spent_elsewhere
+        + estimates
+            .iter()
+            .map(|e| u64::from(e.invocations))
+            .sum::<u64>();
+    let budget_remaining = cfg.budget.map(|b| b.saturating_sub(spent));
+
+    // Growable cells: unmet and below the ceiling.
+    let target = cfg.target_rel_half_width;
+    let growable: Vec<&CellEstimate> = estimates
+        .iter()
+        .filter(|e| !e.target_met(target) && e.invocations < cfg.max_invocations)
+        .collect();
+    let needs: Vec<u64> = growable
+        .iter()
+        .map(|e| u64::from(e.needed(cfg)) - u64::from(e.invocations))
+        .collect();
+    let total_need: u64 = needs.iter().sum();
+
+    let grants: Vec<u64> = match budget_remaining {
+        Some(remaining) if remaining < total_need => {
+            // The budget binds: σ-proportional shares, capped at each
+            // cell's own need (floor 0 — the pilot already ran).
+            let sigmas: Vec<f64> = growable.iter().map(|e| e.sigma).collect();
+            clamped_allocation(&sigmas, remaining, 0, &needs)
+        }
+        _ => needs.clone(),
+    };
+
+    let mut tasks: Vec<RefineTask> = growable
+        .iter()
+        .zip(&grants)
+        .filter(|(_, &grant)| grant > 0)
+        .map(|(e, &grant)| {
+            let n_new = u64::from(e.invocations) + grant;
+            let current = e.rel_half_width.unwrap_or(f64::INFINITY);
+            RefineTask {
+                index: e.index,
+                invocations: n_new as u32,
+                current_rel: current,
+                predicted_rel: match e.rel_half_width {
+                    Some(rel) => predicted_rel_half_width(rel, u64::from(e.invocations), n_new),
+                    None => f64::INFINITY,
+                },
+            }
+        })
+        .collect();
+    // Priority: shrink the widest CI first; the grid index is the
+    // deterministic tie-break (total order → seed-reproducible schedule).
+    tasks.sort_by(|a, b| {
+        b.current_rel
+            .total_cmp(&a.current_rel)
+            .then(a.index.cmp(&b.index))
+    });
+
+    let unmet = estimates.iter().filter(|e| !e.target_met(target)).count();
+    let planned: u64 = tasks
+        .iter()
+        .map(|t| {
+            let before = growable
+                .iter()
+                .find(|e| e.index == t.index)
+                .map_or(0, |e| u64::from(e.invocations));
+            u64::from(t.invocations) - before
+        })
+        .sum();
+    Plan {
+        round,
+        exhausted: unmet > 0 && tasks.is_empty(),
+        tasks,
+        spent,
+        planned,
+        budget_remaining,
+        unmet,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(index: usize, invocations: u32, sigma: f64, rel: Option<f64>) -> CellEstimate {
+        CellEstimate {
+            index,
+            invocations,
+            mean: 100.0,
+            sigma,
+            rel_half_width: rel,
+        }
+    }
+
+    fn cfg() -> PlannerConfig {
+        PlannerConfig::default()
+            .with_target(0.02)
+            .with_min_invocations(5)
+            .with_max_invocations(60)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(cfg().validate().is_ok());
+        assert!(cfg().with_target(0.0).validate().is_err());
+        assert!(cfg().with_target(1.0).validate().is_err());
+        assert!(cfg().with_max_invocations(3).validate().is_err());
+        assert!(cfg().with_budget(3).validate().is_err());
+        assert!(cfg().with_budget(5).validate().is_ok());
+        assert_eq!(cfg().with_min_invocations(1).pilot(), 2);
+    }
+
+    #[test]
+    fn met_cells_get_no_tasks() {
+        let estimates = vec![est(0, 5, 1.0, Some(0.01)), est(1, 5, 1.0, Some(0.015))];
+        let plan = compute_plan(&estimates, 0, &cfg(), 1);
+        assert!(plan.tasks.is_empty());
+        assert_eq!(plan.unmet, 0);
+        assert!(!plan.exhausted);
+        assert_eq!(plan.spent, 10);
+    }
+
+    #[test]
+    fn need_based_grants_when_budget_allows() {
+        // 4% at n=5 → needs 20 total; 8% at n=5 → needs 80, clamped to 60.
+        let estimates = vec![est(0, 5, 1.0, Some(0.04)), est(1, 5, 4.0, Some(0.08))];
+        let plan = compute_plan(&estimates, 0, &cfg(), 1);
+        assert_eq!(plan.tasks.len(), 2);
+        // Widest CI first.
+        assert_eq!(plan.tasks[0].index, 1);
+        assert_eq!(plan.tasks[0].invocations, 60, "clamped at ceiling");
+        assert_eq!(plan.tasks[1].invocations, 20);
+        assert_eq!(plan.planned, 55 + 15);
+        assert!(plan.tasks[1].predicted_rel <= 0.02 + 1e-12);
+    }
+
+    #[test]
+    fn binding_budget_squeezes_sigma_proportionally() {
+        // Both need 15 more, but only 9 remain (spent 10 of 19): the
+        // σ-ratio 2:1 splits the 9 as 6:3.
+        let estimates = vec![est(0, 5, 2.0, Some(0.04)), est(1, 5, 1.0, Some(0.04))];
+        let plan = compute_plan(&estimates, 0, &cfg().with_budget(19), 1);
+        assert_eq!(plan.budget_remaining, Some(9));
+        assert_eq!(plan.planned, 9);
+        let grants: Vec<(usize, u32)> = plan
+            .tasks
+            .iter()
+            .map(|t| (t.index, t.invocations))
+            .collect();
+        assert!(grants.contains(&(0, 11)), "{grants:?}");
+        assert!(grants.contains(&(1, 8)), "{grants:?}");
+    }
+
+    #[test]
+    fn exhausted_budget_yields_no_tasks() {
+        let estimates = vec![est(0, 10, 1.0, Some(0.04))];
+        let plan = compute_plan(&estimates, 0, &cfg().with_budget(10), 2);
+        assert!(plan.tasks.is_empty());
+        assert_eq!(plan.unmet, 1);
+        assert!(plan.exhausted);
+        assert_eq!(plan.budget_remaining, Some(0));
+    }
+
+    #[test]
+    fn ceiling_cells_count_unmet_but_get_nothing() {
+        let estimates = vec![est(0, 60, 1.0, Some(0.04))];
+        let plan = compute_plan(&estimates, 0, &cfg(), 3);
+        assert!(plan.tasks.is_empty());
+        assert_eq!(plan.unmet, 1);
+        assert!(plan.exhausted);
+    }
+
+    #[test]
+    fn no_ci_cells_double_and_lead_the_queue() {
+        let estimates = vec![est(0, 5, 0.0, None), est(1, 5, 1.0, Some(0.04))];
+        let plan = compute_plan(&estimates, 0, &cfg(), 1);
+        assert_eq!(plan.tasks[0].index, 0, "no-CI cell is widest");
+        assert_eq!(plan.tasks[0].invocations, 10, "doubles to earn a CI");
+        assert!(plan.tasks[0].predicted_rel.is_infinite());
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_tie_break_by_index() {
+        let estimates = vec![
+            est(2, 5, 1.0, Some(0.04)),
+            est(0, 5, 1.0, Some(0.04)),
+            est(1, 5, 1.0, Some(0.04)),
+        ];
+        let a = compute_plan(&estimates, 0, &cfg().with_budget(21), 1);
+        let b = compute_plan(&estimates, 0, &cfg().with_budget(21), 1);
+        assert_eq!(a, b);
+        let order: Vec<usize> = a.tasks.iter().map(|t| t.index).collect();
+        assert_eq!(order, vec![0, 1, 2], "equal widths fall back to index");
+    }
+
+    #[test]
+    fn spent_elsewhere_counts_against_the_budget() {
+        let estimates = vec![est(0, 5, 1.0, Some(0.04))];
+        // 40 already archived elsewhere + 5 live = 45 of 50: 5 remain,
+        // need is 15 → squeezed to 5.
+        let plan = compute_plan(&estimates, 40, &cfg().with_budget(50), 1);
+        assert_eq!(plan.spent, 45);
+        assert_eq!(plan.budget_remaining, Some(5));
+        assert_eq!(plan.tasks.len(), 1);
+        assert_eq!(plan.tasks[0].invocations, 10);
+    }
+}

@@ -27,8 +27,10 @@ pub struct SequentialResult {
     pub target_met: bool,
     /// Final CI on the steady-state mean (if computable).
     pub ci: Option<ConfidenceInterval>,
-    /// Relative half-width achieved (NaN if no CI).
-    pub achieved_rel_half_width: f64,
+    /// Relative half-width achieved; `None` when no CI was computable, so
+    /// JSON exports carry null/absent instead of a NaN-turned-null that a
+    /// reader cannot round-trip.
+    pub achieved_rel_half_width: Option<f64>,
     /// The full measurement gathered along the way.
     pub measurement: BenchmarkMeasurement,
 }
@@ -92,7 +94,7 @@ pub fn run_until_precise(
                 benchmark: benchmark.to_string(),
                 invocations_used: n,
                 target_met: met,
-                achieved_rel_half_width: rel.unwrap_or(f64::NAN),
+                achieved_rel_half_width: rel,
                 ci,
                 measurement: m,
             });
@@ -158,7 +160,7 @@ mod tests {
         .unwrap();
         assert!(r.target_met, "{r:?}");
         assert!(r.invocations_used <= 12, "used {}", r.invocations_used);
-        assert!(r.achieved_rel_half_width <= 0.05);
+        assert!(r.achieved_rel_half_width.unwrap() <= 0.05);
     }
 
     #[test]
@@ -180,6 +182,45 @@ mod tests {
         .unwrap();
         assert!(!r.target_met);
         assert_eq!(r.invocations_used, 8);
+    }
+
+    #[test]
+    fn sequential_result_json_round_trips_without_nan() {
+        let w = find("gc_pressure").unwrap();
+        // An impossible target at a tiny budget can leave no CI at all;
+        // either way the JSON must never contain NaN and must round-trip.
+        let plan = SequentialPlan {
+            target_rel_half_width: 1e-7,
+            min_invocations: 2,
+            max_invocations: 2,
+            batch: 1,
+        };
+        let r = run_until_precise(
+            &w.source(Size::Small),
+            w.name,
+            &cfg(),
+            &SteadyStateDetector::default(),
+            &plan,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("NaN"), "{json}");
+        let back: SequentialResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.achieved_rel_half_width, r.achieved_rel_half_width);
+        assert_eq!(back.invocations_used, r.invocations_used);
+        assert_eq!(back.target_met, r.target_met);
+
+        // The explicit no-CI case: None must survive the round trip (as
+        // null or an absent field), never as NaN.
+        let none = SequentialResult {
+            achieved_rel_half_width: None,
+            ci: None,
+            ..r
+        };
+        let json = serde_json::to_string(&none).unwrap();
+        assert!(!json.contains("NaN"), "{json}");
+        let back: SequentialResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.achieved_rel_half_width, None);
     }
 
     #[test]

@@ -293,6 +293,55 @@ pub enum ExperimentEvent {
         /// The server the spool drained to.
         url: String,
     },
+    /// The adaptive planner computed one round's invocation allocation over
+    /// the still-unmet cells. A *run-level* event.
+    PlanComputed {
+        /// The campaign's identity fingerprint.
+        campaign: String,
+        /// Re-planning round (the pilot is round 0).
+        round: u32,
+        /// Cells whose CI is not yet at the precision target.
+        unmet: u32,
+        /// Refinement tasks granted this round.
+        tasks: u32,
+        /// Additional invocations granted this round.
+        planned: u64,
+        /// Invocations committed so far across the grid.
+        spent: u64,
+        /// Budget left after `spent`; absent when unbounded.
+        budget_remaining: Option<u64>,
+    },
+    /// An adaptive campaign re-measured one cell at a larger sample size.
+    /// A *run-level* event (the cell id names the benchmark).
+    CellRefined {
+        /// Canonical cell id (`benchmark/engine/variant/seed`).
+        cell: String,
+        /// The cell's index in grid-expansion order.
+        index: u32,
+        /// Re-planning round this refinement belongs to.
+        round: u32,
+        /// The cell's sample size after this refinement.
+        invocations: u32,
+        /// Relative CI half-width achieved; absent when no CI is
+        /// computable yet.
+        rel_half_width: Option<f64>,
+        /// Whether the cell now meets the precision target.
+        target_met: bool,
+    },
+    /// The adaptive campaign's global invocation budget ran out with cells
+    /// still short of the precision target. A *run-level* event.
+    BudgetExhausted {
+        /// The campaign's identity fingerprint.
+        campaign: String,
+        /// Round at which the budget ran dry.
+        round: u32,
+        /// Invocations committed across the grid.
+        spent: u64,
+        /// The global budget that was exhausted.
+        budget: u64,
+        /// Cells archived short of the target.
+        unmet: u32,
+    },
 }
 
 impl ExperimentEvent {
@@ -320,6 +369,9 @@ impl ExperimentEvent {
             ExperimentEvent::CircuitOpened { .. } => "circuit_opened",
             ExperimentEvent::ServerDegraded { .. } => "server_degraded",
             ExperimentEvent::SpoolReplayed { .. } => "spool_replayed",
+            ExperimentEvent::PlanComputed { .. } => "plan_computed",
+            ExperimentEvent::CellRefined { .. } => "cell_refined",
+            ExperimentEvent::BudgetExhausted { .. } => "budget_exhausted",
         }
     }
 
@@ -348,7 +400,10 @@ impl ExperimentEvent {
             | ExperimentEvent::UploadRetried { .. }
             | ExperimentEvent::CircuitOpened { .. }
             | ExperimentEvent::ServerDegraded { .. }
-            | ExperimentEvent::SpoolReplayed { .. } => "",
+            | ExperimentEvent::SpoolReplayed { .. }
+            | ExperimentEvent::PlanComputed { .. }
+            | ExperimentEvent::CellRefined { .. }
+            | ExperimentEvent::BudgetExhausted { .. } => "",
         }
     }
 }
@@ -589,6 +644,51 @@ impl Serialize for ExperimentEvent {
                 put("remaining", remaining.to_value());
                 put("url", url.to_value());
             }
+            ExperimentEvent::PlanComputed {
+                campaign,
+                round,
+                unmet,
+                tasks,
+                planned,
+                spent,
+                budget_remaining,
+            } => {
+                put("campaign", campaign.to_value());
+                put("round", round.to_value());
+                put("unmet", unmet.to_value());
+                put("tasks", tasks.to_value());
+                put("planned", planned.to_value());
+                put("spent", spent.to_value());
+                put("budget_remaining", budget_remaining.to_value());
+            }
+            ExperimentEvent::CellRefined {
+                cell,
+                index,
+                round,
+                invocations,
+                rel_half_width,
+                target_met,
+            } => {
+                put("cell", cell.to_value());
+                put("index", index.to_value());
+                put("round", round.to_value());
+                put("invocations", invocations.to_value());
+                put("rel_half_width", rel_half_width.to_value());
+                put("target_met", target_met.to_value());
+            }
+            ExperimentEvent::BudgetExhausted {
+                campaign,
+                round,
+                spent,
+                budget,
+                unmet,
+            } => {
+                put("campaign", campaign.to_value());
+                put("round", round.to_value());
+                put("spent", spent.to_value());
+                put("budget", budget.to_value());
+                put("unmet", unmet.to_value());
+            }
         }
         JsonValue::Object(fields)
     }
@@ -723,6 +823,30 @@ impl Deserialize for ExperimentEvent {
                 replayed: get_field(v, "replayed")?,
                 remaining: get_field(v, "remaining")?,
                 url: get_field(v, "url")?,
+            }),
+            "plan_computed" => Ok(ExperimentEvent::PlanComputed {
+                campaign: get_field(v, "campaign")?,
+                round: get_field(v, "round")?,
+                unmet: get_field(v, "unmet")?,
+                tasks: get_field(v, "tasks")?,
+                planned: get_field(v, "planned")?,
+                spent: get_field(v, "spent")?,
+                budget_remaining: get_field(v, "budget_remaining")?,
+            }),
+            "cell_refined" => Ok(ExperimentEvent::CellRefined {
+                cell: get_field(v, "cell")?,
+                index: get_field(v, "index")?,
+                round: get_field(v, "round")?,
+                invocations: get_field(v, "invocations")?,
+                rel_half_width: get_field(v, "rel_half_width")?,
+                target_met: get_field(v, "target_met")?,
+            }),
+            "budget_exhausted" => Ok(ExperimentEvent::BudgetExhausted {
+                campaign: get_field(v, "campaign")?,
+                round: get_field(v, "round")?,
+                spent: get_field(v, "spent")?,
+                budget: get_field(v, "budget")?,
+                unmet: get_field(v, "unmet")?,
             }),
             other => Err(DeError::new(format!("unknown event kind `{other}`"))),
         }
@@ -991,6 +1115,37 @@ impl ExperimentObserver for ProgressObserver {
                 drop(guard);
                 self.line(format!("[remote] spool replayed: {replayed} runs to {url}"));
             }
+            ExperimentEvent::PlanComputed {
+                round,
+                unmet,
+                tasks,
+                planned,
+                spent,
+                budget_remaining,
+                ..
+            } => {
+                drop(guard);
+                let budget = match budget_remaining {
+                    Some(b) => format!(", budget left {b}"),
+                    None => String::new(),
+                };
+                self.line(format!(
+                    "[planner] round {round}: {unmet} cells unmet, \
+                     {tasks} tasks (+{planned} invocations, spent {spent}{budget})"
+                ));
+            }
+            ExperimentEvent::BudgetExhausted {
+                spent,
+                budget,
+                unmet,
+                ..
+            } => {
+                drop(guard);
+                self.line(format!(
+                    "[planner] budget exhausted: {spent}/{budget} invocations spent, \
+                     {unmet} cells short of target"
+                ));
+            }
             ExperimentEvent::InvocationStarted { .. }
             | ExperimentEvent::InvocationTimedOut { .. }
             | ExperimentEvent::CheckpointWritten { .. }
@@ -998,7 +1153,8 @@ impl ExperimentObserver for ProgressObserver {
             | ExperimentEvent::RegressionChecked { .. }
             | ExperimentEvent::TrendAnalyzed { .. }
             | ExperimentEvent::ChangepointDetected { .. }
-            | ExperimentEvent::CellStolen { .. } => {}
+            | ExperimentEvent::CellStolen { .. }
+            | ExperimentEvent::CellRefined { .. } => {}
         }
     }
 }
@@ -1213,6 +1369,30 @@ mod tests {
                 from_worker: 0,
                 to_worker: 1,
             },
+            ExperimentEvent::PlanComputed {
+                campaign: "c0ffee12".into(),
+                round: 1,
+                unmet: 3,
+                tasks: 2,
+                planned: 24,
+                spent: 40,
+                budget_remaining: Some(160),
+            },
+            ExperimentEvent::CellRefined {
+                cell: "sieve/interp/10x30/42".into(),
+                index: 4,
+                round: 1,
+                invocations: 12,
+                rel_half_width: Some(0.018),
+                target_met: true,
+            },
+            ExperimentEvent::BudgetExhausted {
+                campaign: "c0ffee12".into(),
+                round: 3,
+                spent: 200,
+                budget: 200,
+                unmet: 1,
+            },
         ]
     }
 
@@ -1259,6 +1439,9 @@ mod tests {
             "campaign_resumed",
             "cell_completed",
             "cell_stolen",
+            "plan_computed",
+            "cell_refined",
+            "budget_exhausted",
         ] {
             assert_eq!(by_name(name).benchmark(), "", "{name}");
         }

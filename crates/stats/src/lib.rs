@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod allocate;
 pub mod anova;
 pub mod autocorr;
 pub mod bootstrap;
@@ -36,6 +37,9 @@ pub mod htest;
 pub mod outlier;
 pub mod quantile;
 
+pub use allocate::{
+    clamped_allocation, invocations_for_target, neyman_allocation, predicted_rel_half_width,
+};
 pub use anova::{kruskal_wallis, one_way_anova};
 pub use autocorr::{autocorrelation, autocorrelations, effective_sample_size};
 pub use bootstrap::{

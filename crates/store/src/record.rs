@@ -2,6 +2,7 @@
 //! full per-benchmark measurements — content-addressed by its canonical
 //! JSON payload.
 
+use rigor::campaign::CellPrecision;
 use rigor::measurement::BenchmarkMeasurement;
 use rigor::ExperimentConfig;
 use rigor_workloads::Size;
@@ -111,6 +112,10 @@ pub struct RunRecord {
     pub host: HostMeta,
     /// Full per-benchmark measurements.
     pub measurements: Vec<BenchmarkMeasurement>,
+    /// Precision attainment, for cells archived by an adaptive campaign.
+    /// Absent from the payload (and so from the content id) when `None`,
+    /// which keeps pre-planner archive ids byte-stable.
+    pub precision: Option<CellPrecision>,
 }
 
 impl RunRecord {
@@ -130,9 +135,18 @@ impl RunRecord {
             fingerprint: ConfigFingerprint::of(config),
             host: HostMeta::current(),
             measurements,
+            precision: None,
         };
         record.id = content_hash(record.payload_json().as_bytes());
         record
+    }
+
+    /// Attaches a precision record (builder style), recomputing the content
+    /// id — precision attainment is part of the archived bytes.
+    pub fn with_precision(mut self, precision: CellPrecision) -> RunRecord {
+        self.precision = Some(precision);
+        self.id = content_hash(self.payload_json().as_bytes());
+        self
     }
 
     /// The canonical payload: every field except the id, in fixed order.
@@ -147,6 +161,9 @@ impl RunRecord {
         fields.push(("fingerprint".into(), self.fingerprint.to_value()));
         fields.push(("host".into(), self.host.to_value()));
         fields.push(("measurements".into(), self.measurements.to_value()));
+        if let Some(precision) = &self.precision {
+            fields.push(("precision".into(), precision.to_value()));
+        }
         JsonValue::Object(fields)
     }
 
@@ -179,6 +196,7 @@ impl RunRecord {
             fingerprint: get_field(v, "fingerprint")?,
             host: get_field(v, "host")?,
             measurements: get_field(v, "measurements")?,
+            precision: get_field(v, "precision")?,
         };
         record.id = content_hash(record.payload_json().as_bytes());
         Ok(record)
@@ -276,6 +294,38 @@ mod tests {
         // Re-serialization of a parsed payload is byte-identical: the
         // foundation content addressing stands on.
         assert_eq!(back.payload_json(), rec.payload_json());
+    }
+
+    #[test]
+    fn precision_is_part_of_the_content_id_and_round_trips() {
+        let plain = RunRecord::new(0, None, &config(), vec![sample_measurement("sieve")]);
+        let precise = plain.clone().with_precision(CellPrecision {
+            invocations_used: 17,
+            rel_half_width: Some(0.013),
+            target_rel_half_width: 0.02,
+            target_met: true,
+        });
+        assert_ne!(plain.id, precise.id, "precision moves the content id");
+        let back = RunRecord::from_payload(&precise.payload()).unwrap();
+        assert_eq!(back, precise);
+        assert_eq!(back.payload_json(), precise.payload_json());
+
+        // A payload without the field — every pre-planner archive line —
+        // still parses, to a record with no precision and the same id.
+        let old = RunRecord::from_payload(&plain.payload()).unwrap();
+        assert_eq!(old.precision, None);
+        assert_eq!(old.id, plain.id);
+
+        // A no-CI precision record must not leak NaN into the payload.
+        let no_ci = plain.clone().with_precision(CellPrecision {
+            invocations_used: 60,
+            rel_half_width: None,
+            target_rel_half_width: 0.02,
+            target_met: false,
+        });
+        assert!(!no_ci.payload_json().contains("NaN"));
+        let back = RunRecord::from_payload(&no_ci.payload()).unwrap();
+        assert_eq!(back.precision.as_ref().unwrap().rel_half_width, None);
     }
 
     #[test]

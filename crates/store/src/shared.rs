@@ -15,7 +15,7 @@
 
 use std::sync::Mutex;
 
-use rigor::campaign::{Cell, CellReceipt, CellSink};
+use rigor::campaign::{Cell, CellPrecision, CellReceipt, CellSink};
 use rigor::measurement::BenchmarkMeasurement;
 
 use crate::archive::{Store, StoreError};
@@ -102,6 +102,43 @@ impl CellSink for SharedStore {
             .map(receipt);
         Ok(found)
     }
+
+    fn archive_cell_precise(
+        &self,
+        cell: &Cell,
+        measurement: &BenchmarkMeasurement,
+        precision: &CellPrecision,
+    ) -> Result<CellReceipt, String> {
+        let mut store = self.store.lock().expect("store lock poisoned");
+        let label = cell.id.canonical();
+        if let Some(existing) = store
+            .runs()
+            .find(|r| r.label.as_deref() == Some(label.as_str()))
+        {
+            return Ok(receipt(existing));
+        }
+        let record = RunRecord::new(
+            cell.index as u64,
+            Some(label),
+            &cell.config,
+            vec![measurement.clone()],
+        )
+        .with_precision(precision.clone());
+        store
+            .append_record(record)
+            .map(receipt)
+            .map_err(|e| e.to_string())
+    }
+
+    fn completed_precision(&self, cell: &Cell) -> Result<Option<CellPrecision>, String> {
+        let store = self.store.lock().expect("store lock poisoned");
+        let label = cell.id.canonical();
+        let found = store
+            .runs()
+            .find(|r| r.label.as_deref() == Some(label.as_str()))
+            .and_then(|r| r.precision.clone());
+        Ok(found)
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +199,47 @@ mod tests {
         // A reopened (post-kill) store still answers the completed query.
         let reopened = SharedStore::open(&dir).unwrap();
         assert!(reopened.completed_cell(&cells[0]).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn precise_archiving_round_trips_through_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("rigor-shared-store-precise-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let shared = SharedStore::open(&dir).unwrap();
+        let cells = cells();
+        let m = measurement("sieve");
+        let precision = CellPrecision {
+            invocations_used: 9,
+            rel_half_width: Some(0.018),
+            target_rel_half_width: 0.02,
+            target_met: true,
+        };
+
+        assert_eq!(shared.completed_precision(&cells[0]).unwrap(), None);
+        let a = shared
+            .archive_cell_precise(&cells[0], &m, &precision)
+            .unwrap();
+        let b = shared
+            .archive_cell_precise(&cells[0], &m, &precision)
+            .unwrap();
+        assert_eq!(a, b, "replay returns the original receipt");
+        assert_eq!(
+            shared.completed_precision(&cells[0]).unwrap(),
+            Some(precision.clone())
+        );
+        // A plain-archived cell reports no precision.
+        shared.archive_cell(&cells[1], &m).unwrap();
+        assert_eq!(shared.completed_precision(&cells[1]).unwrap(), None);
+
+        // The precision record survives a kill-and-reopen.
+        drop(shared);
+        let reopened = SharedStore::open(&dir).unwrap();
+        assert_eq!(
+            reopened.completed_precision(&cells[0]).unwrap(),
+            Some(precision)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

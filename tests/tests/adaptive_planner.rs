@@ -1,0 +1,195 @@
+//! Adaptive precision planner, end to end: on the full 21-workload ×
+//! 2-engine suite the planner must reach the precision target while
+//! spending strictly fewer invocations than the fixed-n design that
+//! guarantees the same worst-case precision (every cell at the largest n
+//! any cell needed) — and a killed-then-resumed adaptive campaign must
+//! converge to the same archive and the same target-attainment set as an
+//! uninterrupted one.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use rigor::campaign::MemorySink;
+use rigor::{Campaign, CampaignSpec, ExperimentConfig, PlannerConfig};
+use rigor_store::{SharedStore, Store, ARCHIVE_FILE};
+use rigor_workloads::{suite, Size};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rigor-adaptive-planner-{}-{name}",
+        std::process::id()
+    ));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn adaptive_suite_beats_the_fixed_design_with_equal_worst_case_precision() {
+    let base = ExperimentConfig::interp()
+        .with_invocations(3)
+        .with_iterations(8)
+        .with_size(Size::Small)
+        .with_seed(17);
+    let benchmarks: Vec<String> = suite().iter().map(|w| w.name.to_string()).collect();
+    let n_benchmarks = benchmarks.len();
+    assert_eq!(n_benchmarks, 21, "the paper's suite has 21 workloads");
+    let planner = PlannerConfig::default()
+        .with_target(0.02)
+        .with_min_invocations(3)
+        .with_max_invocations(12);
+    let spec = CampaignSpec::new(base)
+        .with_benchmarks(benchmarks)
+        .with_engines(vec![
+            minipy::EngineKind::Interp,
+            minipy::EngineKind::Jit(minipy::JitConfig::default()),
+        ])
+        .with_planner(planner);
+
+    let sink = MemorySink::default();
+    let report = Campaign::new(spec)
+        .workers(4)
+        .run(&sink)
+        .expect("adaptive suite campaign");
+    assert!(report.is_complete());
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+
+    let precisions = sink.precisions();
+    assert_eq!(precisions.len(), n_benchmarks * 2, "one record per cell");
+    let mut spent = 0u64;
+    let mut max_n = 0u32;
+    let mut min_n = u32::MAX;
+    for (_, p) in &precisions {
+        assert!(p.invocations_used >= planner.pilot());
+        assert!(p.invocations_used <= planner.max_invocations);
+        // `target_met` must agree with the recorded half-width.
+        assert_eq!(
+            p.target_met,
+            p.rel_half_width.is_some_and(|rel| rel <= 0.02),
+            "{p:?}"
+        );
+        // A cell left short of target must have been pushed to the ceiling
+        // (no budget was set, so nothing else can stop refinement).
+        if !p.target_met {
+            assert_eq!(p.invocations_used, planner.max_invocations, "{p:?}");
+        }
+        spent += u64::from(p.invocations_used);
+        max_n = max_n.max(p.invocations_used);
+        min_n = min_n.min(p.invocations_used);
+    }
+    assert_eq!(spent, report.invocations, "report totals the final sizes");
+
+    // The suite is heterogeneous: quiet kernels stop at the pilot while
+    // noisy cells are driven to larger n — that spread is exactly what a
+    // fixed design cannot exploit.
+    assert!(
+        min_n < max_n,
+        "expected a spread of final sizes, got all cells at n={min_n}"
+    );
+    let fixed_equivalent = u64::from(max_n) * precisions.len() as u64;
+    assert!(
+        spent < fixed_equivalent,
+        "adaptive spent {spent} invocations but the fixed-n equivalent \
+         ({} cells x n={max_n}) costs {fixed_equivalent}",
+        precisions.len()
+    );
+
+    // The attainment set must line up with the report's unmet list.
+    let unmet = precisions.iter().filter(|(_, p)| !p.target_met).count();
+    assert_eq!(unmet, report.unmet.len());
+}
+
+/// The kill/resume grid: 2 benchmarks (one quiet, one noisy) × 2 engines.
+fn resume_spec() -> CampaignSpec {
+    let base = ExperimentConfig::interp()
+        .with_invocations(2)
+        .with_iterations(8)
+        .with_size(Size::Small)
+        .with_seed(9);
+    CampaignSpec::new(base)
+        .with_benchmarks(["sieve", "gc_pressure"])
+        .with_engines(vec![
+            minipy::EngineKind::Interp,
+            minipy::EngineKind::Jit(minipy::JitConfig::default()),
+        ])
+        .with_planner(
+            PlannerConfig::default()
+                .with_target(0.03)
+                .with_min_invocations(2)
+                .with_max_invocations(8),
+        )
+}
+
+/// Per-label (invocations_used, target_met) of every archived cell.
+fn attainment(dir: &PathBuf) -> BTreeMap<String, (u32, bool)> {
+    let store = Store::open(dir).expect("open store");
+    store
+        .runs()
+        .map(|r| {
+            let p = r
+                .precision
+                .as_ref()
+                .expect("adaptive cells carry precision");
+            (
+                r.label.clone().expect("campaign cells are labeled"),
+                (p.invocations_used, p.target_met),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn killed_adaptive_campaign_resumes_to_the_same_attainment_set() {
+    // Uninterrupted reference run.
+    let clean_dir = temp_dir("clean");
+    let sink = SharedStore::open(&clean_dir).expect("open clean store");
+    let clean = Campaign::new(resume_spec())
+        .workers(2)
+        .journal(clean_dir.join("campaign.jsonl"))
+        .run(&sink)
+        .expect("clean adaptive campaign");
+    assert!(clean.is_complete());
+    drop(sink);
+
+    // Kill mid-refinement (the ticket budget stops the campaign after two
+    // invocation jobs — inside the refinement loop, before all four cells
+    // are archived), then resume against the surviving archive + journal.
+    let work_dir = temp_dir("work");
+    let journal = work_dir.join("campaign.jsonl");
+    let sink = SharedStore::open(&work_dir).expect("open work store");
+    let partial = Campaign::new(resume_spec())
+        .workers(2)
+        .journal(&journal)
+        .max_cells(2)
+        .run(&sink)
+        .expect("interrupted adaptive campaign");
+    assert!(!partial.is_complete(), "2 tickets cannot finish 4 cells");
+    drop(sink);
+
+    let sink = SharedStore::open(&work_dir).expect("reopen work store");
+    let resumed = Campaign::new(resume_spec())
+        .workers(2)
+        .journal(&journal)
+        .resume(true)
+        .run(&sink)
+        .expect("resumed adaptive campaign");
+    assert!(resumed.is_complete());
+    drop(sink);
+
+    // Same per-cell attainment (final n and target_met) as the clean run…
+    assert_eq!(attainment(&work_dir), attainment(&clean_dir));
+    assert_eq!(resumed.unmet, clean.unmet);
+
+    // …and the same archive content, line for line (cell lines are
+    // byte-identical whatever the schedule; only append order may differ).
+    let clean_archive = fs::read(clean_dir.join(ARCHIVE_FILE)).expect("clean archive");
+    let work_archive = fs::read(work_dir.join(ARCHIVE_FILE)).expect("work archive");
+    let mut clean_lines: Vec<&[u8]> = clean_archive.split(|&b| b == b'\n').collect();
+    let mut work_lines: Vec<&[u8]> = work_archive.split(|&b| b == b'\n').collect();
+    clean_lines.sort();
+    work_lines.sort();
+    assert_eq!(clean_lines, work_lines);
+
+    fs::remove_dir_all(&clean_dir).ok();
+    fs::remove_dir_all(&work_dir).ok();
+}
