@@ -2,7 +2,7 @@
 //! (Rust-side) throughput of the interpreter and JIT loops. These gate
 //! regressions in the simulator, not the methodology.
 //!
-//! `vm/interp/<workload>/iteration` covers the full 21-workload suite — the
+//! `vm/interp/<workload>/iteration` covers the full workload suite — the
 //! population behind the interpreter-throughput acceptance bar for dispatch
 //! or cache changes. The JIT pair and the compile/instantiate benches are a
 //! smaller smoke set.

@@ -102,6 +102,10 @@ pub struct GlobalOpts {
     pub listen: String,
     /// Verify the archive's integrity instead of measuring (`archive`).
     pub verify: bool,
+    /// Size axis of the verification grid (`verify`; default: all three).
+    pub sizes: Option<Vec<Size>>,
+    /// Golden checksum manifest path (`verify`).
+    pub manifest: Option<String>,
 }
 
 impl Default for GlobalOpts {
@@ -150,6 +154,8 @@ impl Default for GlobalOpts {
             spool: None,
             listen: "127.0.0.1:7878".to_string(),
             verify: false,
+            sizes: None,
+            manifest: None,
         }
     }
 }
@@ -199,6 +205,10 @@ pub enum Command {
     Plan,
     /// `rigor serve` — run the shared archive service over one store.
     Serve,
+    /// `rigor verify` — run the differential verification grid (workload ×
+    /// size × engine × seed) against the golden checksum manifest (exit 0 =
+    /// every cell matches, 1 = mismatch/divergence, naming the cell).
+    Verify,
     /// `rigor help`.
     Help,
 }
@@ -487,6 +497,25 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
             "--spool" => opts.spool = Some(next_value(arg, &mut it)?),
             "--listen" => opts.listen = next_value(arg, &mut it)?,
             "--verify" => opts.verify = true,
+            "--sizes" => {
+                let mut sizes = Vec::new();
+                for s in next_value(arg, &mut it)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                {
+                    sizes.push(match s {
+                        "small" => Size::Small,
+                        "default" => Size::Default,
+                        "large" => Size::Large,
+                        other => return Err(err(format!("unknown size '{other}' in --sizes"))),
+                    });
+                }
+                if sizes.is_empty() {
+                    return Err(err("--sizes requires a comma-separated list"));
+                }
+                opts.sizes = Some(sizes);
+            }
+            "--manifest" => opts.manifest = Some(next_value(arg, &mut it)?),
             "--help" | "-h" => positional.push("help".to_string()),
             other if other.starts_with('-') => {
                 return Err(err(format!("unknown flag '{other}'")));
@@ -549,6 +578,7 @@ pub fn parse_args(argv: &[String]) -> Result<(Command, GlobalOpts), ParseError> 
         Some("campaign") => Command::Campaign,
         Some("plan") => Command::Plan,
         Some("serve") => Command::Serve,
+        Some("verify") => Command::Verify,
         Some(other) => return Err(err(format!("unknown command '{other}'"))),
     };
     if let Some(extra) = pos.next() {
@@ -617,6 +647,10 @@ COMMANDS:
                               campaign: achieved half-widths and the next
                               refinement allocation
     serve                     run the shared archive service over one store
+    verify                    run the differential verification grid
+                              (workload × size × engine × seed) against the
+                              golden checksum manifest; exit 0 = all cells
+                              match, 1 = a mismatch or engine divergence
     help                      this message
 
 OPTIONS:
@@ -696,6 +730,16 @@ TREND ANALYSIS:
     --penalty <auto|bic|F>    segmentation penalty: stability-swept (auto,
                               the default), plain BIC, or an explicit factor
     --alerts                  annotate `history` output with detected shifts
+
+DIFFERENTIAL VERIFICATION:
+    --manifest <file>         golden checksum manifest (default
+                              tests/fixtures/suite_checksums.json; regenerate
+                              with BLESS=1 rigor verify)
+    --sizes <small,default,large>
+                              size axis of the grid (default: all three)
+    --seeds <a,b,...>         seed axis of the grid (default: 1,2,3)
+    --workers <N>             worker threads (default 4)
+    --json <file>             write the verification report as JSON
 ";
 
 #[cfg(test)]
@@ -975,6 +1019,28 @@ mod tests {
         assert!(parse_args(&argv("measure sieve -n 0")).is_err());
         assert!(parse_args(&argv("suite -i 0")).is_err());
         assert!(parse_args(&argv("campaign -n 0")).is_err());
+    }
+
+    #[test]
+    fn verify_flags_parse() {
+        let (cmd, opts) = parse_args(&argv(
+            "verify --sizes small,large --seeds 1,2 --manifest m.json --workers 8",
+        ))
+        .unwrap();
+        assert_eq!(cmd, Command::Verify);
+        assert_eq!(opts.sizes, Some(vec![Size::Small, Size::Large]));
+        assert_eq!(opts.seeds, Some(vec![1, 2]));
+        assert_eq!(opts.manifest.as_deref(), Some("m.json"));
+        assert_eq!(opts.workers, 8);
+
+        let (cmd, opts) = parse_args(&argv("verify")).unwrap();
+        assert_eq!(cmd, Command::Verify);
+        assert_eq!(opts.sizes, None, "default: all three sizes");
+        assert_eq!(opts.manifest, None, "default: the committed fixture");
+
+        assert!(parse_args(&argv("verify --sizes huge")).is_err());
+        assert!(parse_args(&argv("verify --sizes")).is_err());
+        assert!(parse_args(&argv("verify extra")).is_err());
     }
 
     #[test]

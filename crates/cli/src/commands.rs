@@ -12,7 +12,7 @@ use rigor::{
 };
 use rigor_serve::{ArchiveServer, RemoteStore, ServeError};
 use rigor_store::{BaselineRef, ConfigFingerprint, RunRecord, Store};
-use rigor_workloads::{characterize, find, suite, Size, Workload};
+use rigor_workloads::{characterize, find, suite, verify, Size, Workload};
 use serde::json::JsonValue;
 use serde::Serialize as _;
 
@@ -46,6 +46,7 @@ pub fn dispatch(parsed: &(Command, GlobalOpts)) -> CliResult {
         Command::Campaign => cmd_campaign(opts),
         Command::Plan => cmd_plan(opts),
         Command::Serve => cmd_serve(opts),
+        Command::Verify => cmd_verify(opts),
     }
 }
 
@@ -60,7 +61,7 @@ impl serde::Serialize for RawJson<'_> {
 }
 
 fn lookup(benchmark: &str) -> Result<Workload, CliError> {
-    find(benchmark).ok_or_else(|| CliError::UnknownBenchmark(benchmark.to_string()))
+    Ok(rigor_workloads::lookup(benchmark)?)
 }
 
 /// Maps an invalid experiment shape onto the usage error surface (exit 2).
@@ -2483,6 +2484,110 @@ fn self_test_net_garbage() -> Result<(), String> {
     std::fs::remove_dir_all(&dir).ok();
     result?;
     expect(verify.is_clean(), "the served archive must verify clean")
+}
+
+/// Default path of the committed golden checksum manifest, relative to
+/// the repository root (where CI and developers run `rigor verify`).
+const DEFAULT_MANIFEST: &str = "tests/fixtures/suite_checksums.json";
+
+/// `rigor verify`: run the differential verification grid — every workload
+/// × size × engine × seed — against the golden checksum manifest. With
+/// `BLESS=1` in the environment the manifest is (re)generated from a clean
+/// run instead of being compared against.
+fn cmd_verify(opts: &GlobalOpts) -> CliResult {
+    reject_checkpoint_flags(opts, "verify")?;
+    let manifest_path = opts
+        .manifest
+        .clone()
+        .unwrap_or_else(|| DEFAULT_MANIFEST.to_string());
+    let sizes = opts
+        .sizes
+        .clone()
+        .unwrap_or_else(|| verify::ALL_SIZES.to_vec());
+    let seeds = opts.seeds.clone().unwrap_or_else(|| vec![1, 2, 3]);
+    let bless = std::env::var("BLESS").is_ok_and(|v| v == "1");
+
+    let cells = verify::grid(&sizes, &seeds);
+    if !opts.quiet {
+        eprintln!(
+            "verify: {} cells ({} workloads x {} sizes x 2 engines x {} seeds) on {} workers",
+            cells.len(),
+            suite().len(),
+            sizes.len(),
+            seeds.len(),
+            opts.workers
+        );
+    }
+
+    if bless {
+        // A bless run still cross-checks the engines: a divergent suite
+        // must never be pinned as golden.
+        let report = rigor::run_grid(cells, opts.workers, None);
+        if let Some(path) = &opts.json_out {
+            fs::write(path, report.to_json()).map_err(io_err(path))?;
+        }
+        if !report.passed() {
+            return fail_verify(&report);
+        }
+        let manifest = report.to_manifest().map_err(|msg| CliError::Store {
+            path: manifest_path.clone(),
+            message: msg,
+        })?;
+        fs::write(&manifest_path, manifest.to_json()).map_err(io_err(&manifest_path))?;
+        if !opts.quiet {
+            eprintln!(
+                "verify: blessed {} manifest entries to {manifest_path}",
+                manifest.entries.len()
+            );
+        }
+        println!("{}", report.summary());
+        return Ok(());
+    }
+
+    let text = fs::read_to_string(&manifest_path).map_err(io_err(&manifest_path))?;
+    let manifest = verify::Manifest::from_json(&text).map_err(|msg| CliError::Store {
+        path: manifest_path.clone(),
+        message: msg,
+    })?;
+    let report = rigor::run_grid(cells, opts.workers, Some(&manifest));
+    if let Some(path) = &opts.json_out {
+        fs::write(path, report.to_json()).map_err(io_err(path))?;
+    }
+    if report.passed() {
+        println!("{}", report.summary());
+        Ok(())
+    } else {
+        fail_verify(&report)
+    }
+}
+
+/// Prints the failing cells of a verification report and surfaces the
+/// typed error (exit 1).
+fn fail_verify(report: &verify::VerifyReport) -> CliResult {
+    let failures = report.failures();
+    let mut table =
+        Table::new(vec!["cell", "outcome", "detail"]).with_title("suite verification failures");
+    for f in &failures {
+        let detail = match &f.outcome {
+            verify::CellOutcome::ChecksumMismatch { expected, actual } => {
+                format!("expected {expected}, got {actual}")
+            }
+            verify::CellOutcome::EngineDivergence { interp, jit } => {
+                format!("interp {interp}, jit {jit}")
+            }
+            verify::CellOutcome::MissingEntry { actual } => {
+                format!("no manifest entry (computed {actual})")
+            }
+            verify::CellOutcome::Error(e) => e.to_string(),
+            verify::CellOutcome::Ok => String::new(),
+        };
+        table.row(vec![f.cell.id(), f.outcome.label().to_string(), detail]);
+    }
+    println!("{table}");
+    println!("{}", report.summary());
+    Err(CliError::VerifySuite {
+        failed: failures.iter().map(|f| f.cell.id()).collect(),
+    })
 }
 
 /// One named self-test scenario.

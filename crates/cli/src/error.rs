@@ -3,20 +3,24 @@
 //! Every failure the `rigor` binary can hit maps to one [`CliError`]
 //! variant, and each variant maps to a deterministic exit code:
 //! usage errors exit 2, runtime errors exit 1 (mirroring conventional
-//! Unix tools, and asserted by the integration tests).
+//! Unix tools, and asserted by the integration tests). A misspelled
+//! benchmark name is a usage error (exit 2) carrying a typed
+//! "did you mean" suggestion.
 
 use std::fmt;
 
 use crate::args::ParseError;
 use rigor::CompareError;
+use rigor_workloads::UnknownWorkload;
 
 /// Any failure of a `rigor` invocation.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command line (unknown flag/command, missing value).
     Usage(ParseError),
-    /// A benchmark name not present in the suite.
-    UnknownBenchmark(String),
+    /// A benchmark name not present in the suite, with a near-miss
+    /// suggestion when one is close enough.
+    UnknownBenchmark(UnknownWorkload),
     /// The VM failed (compile error, runtime error, bad fixture source).
     Vm(minipy::MpError),
     /// A statistical comparison could not be carried out.
@@ -97,14 +101,21 @@ pub enum CliError {
         /// How many complete lines failed verification.
         corrupt: usize,
     },
+    /// `rigor verify` found cells whose checksum disagreed with the
+    /// golden manifest or whose engines diverged. The full report is
+    /// printed before this error is surfaced.
+    VerifySuite {
+        /// Canonical ids (`workload/size/engine/seed`) of the failed cells.
+        failed: Vec<String>,
+    },
 }
 
 impl CliError {
-    /// The process exit code this error maps to: 2 for usage errors,
-    /// 1 for everything else.
+    /// The process exit code this error maps to: 2 for usage errors
+    /// (including a misspelled benchmark name), 1 for everything else.
     pub fn exit_code(&self) -> i32 {
         match self {
-            CliError::Usage(_) => 2,
+            CliError::Usage(_) | CliError::UnknownBenchmark(_) => 2,
             _ => 1,
         }
     }
@@ -114,9 +125,7 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(e) => write!(f, "{e}"),
-            CliError::UnknownBenchmark(name) => {
-                write!(f, "unknown benchmark '{name}' (see `rigor list`)")
-            }
+            CliError::UnknownBenchmark(e) => write!(f, "{e}"),
             CliError::Vm(e) => write!(f, "{e}"),
             CliError::Compare(e) => write!(f, "comparison not possible: {e}"),
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
@@ -159,6 +168,12 @@ impl fmt::Display for CliError {
                 f,
                 "{path}: archive verification failed: {corrupt} corrupt line(s)"
             ),
+            CliError::VerifySuite { failed } => write!(
+                f,
+                "suite verification failed: {} cell(s): {}",
+                failed.len(),
+                failed.join(", ")
+            ),
         }
     }
 }
@@ -167,6 +182,7 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Usage(e) => Some(e),
+            CliError::UnknownBenchmark(e) => Some(e),
             CliError::Vm(e) => Some(e),
             CliError::Io { source, .. } => Some(source),
             CliError::Json(e) => Some(e),
@@ -200,10 +216,18 @@ impl From<serde_json::Error> for CliError {
     }
 }
 
+impl From<UnknownWorkload> for CliError {
+    fn from(e: UnknownWorkload) -> CliError {
+        CliError::UnknownBenchmark(e)
+    }
+}
+
 impl From<rigor::CampaignError> for CliError {
     fn from(e: rigor::CampaignError) -> CliError {
         match e {
-            rigor::CampaignError::UnknownBenchmark(name) => CliError::UnknownBenchmark(name),
+            rigor::CampaignError::UnknownBenchmark(name) => {
+                CliError::UnknownBenchmark(UnknownWorkload::of(&name))
+            }
             // Bad grid axes, per-cell configs, a zero worker count or an
             // invalid planner are the caller's fault.
             rigor::CampaignError::EmptyAxis(_)
@@ -231,7 +255,11 @@ mod tests {
     #[test]
     fn exit_codes_split_usage_from_runtime() {
         assert_eq!(CliError::Usage(ParseError("x".into())).exit_code(), 2);
-        assert_eq!(CliError::UnknownBenchmark("x".into()).exit_code(), 1);
+        assert_eq!(
+            CliError::UnknownBenchmark(UnknownWorkload::of("x")).exit_code(),
+            2,
+            "a misspelled benchmark is a usage error"
+        );
         assert_eq!(
             io_err("f")(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")).exit_code(),
             1
@@ -309,6 +337,13 @@ mod tests {
             .exit_code(),
             1
         );
+        assert_eq!(
+            CliError::VerifySuite {
+                failed: vec!["sieve/small/interp/1".into()]
+            }
+            .exit_code(),
+            1
+        );
     }
 
     #[test]
@@ -327,7 +362,8 @@ mod tests {
     #[test]
     fn campaign_errors_map_onto_cli_variants() {
         let e: CliError = rigor::CampaignError::UnknownBenchmark("nope".into()).into();
-        assert!(matches!(e, CliError::UnknownBenchmark(ref n) if n == "nope"));
+        assert!(matches!(e, CliError::UnknownBenchmark(ref u) if u.name == "nope"));
+        assert_eq!(e.exit_code(), 2, "a misspelled campaign axis is usage");
         let e: CliError = rigor::CampaignError::EmptyAxis("seeds").into();
         assert_eq!(e.exit_code(), 2, "bad grid axes are usage errors");
         let e: CliError = rigor::CampaignError::ZeroWorkers.into();
@@ -345,9 +381,12 @@ mod tests {
             "denied",
         ));
         assert!(e.to_string().contains("/tmp/x.json"));
-        assert!(CliError::UnknownBenchmark("nope".into())
+        assert!(CliError::UnknownBenchmark(UnknownWorkload::of("nope"))
             .to_string()
             .contains("nope"));
+        // A near miss carries the typed suggestion through to the message.
+        let e = CliError::UnknownBenchmark(UnknownWorkload::of("seive"));
+        assert!(e.to_string().contains("did you mean 'sieve'"), "{e}");
         let e = CliError::TrendShift {
             benchmarks: vec!["sieve".into(), "nbody".into()],
         };

@@ -80,6 +80,7 @@ pub mod steady;
 pub mod telemetry;
 pub mod trend;
 pub mod variance;
+pub mod verify;
 pub mod warmup;
 
 pub use campaign::{
@@ -120,6 +121,7 @@ pub use trend::{
     TrendConfig, TrendPoint, TrendReport, TrendSegment, TrendStatus,
 };
 pub use variance::{decompose, VarianceDecomposition};
+pub use verify::{execute_all, run_grid};
 pub use warmup::{aggregate_classes, BenchmarkWarmupClass, WarmupClass, WarmupClassifier};
 
 /// One-stop imports for the common measure → detect → compare pipeline,

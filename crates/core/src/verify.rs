@@ -1,0 +1,175 @@
+//! Parallel driver for the differential verification grid.
+//!
+//! `rigor verify` expands the (workload × size × engine × seed) grid via
+//! [`rigor_workloads::verify::grid`] and this module runs it on the same
+//! work-stealing discipline as the campaign orchestrator: cells are dealt
+//! round-robin onto per-worker deques, each worker pops its own deque from
+//! the front, and an idle worker steals from the back of the longest
+//! victim deque. An atomic ticket budget bounds total executions so a
+//! panicking worker can never strand cells in a queue another worker
+//! could have drained.
+//!
+//! The driver is deterministic in its *results* (cells are index-addressed
+//! so report order never depends on scheduling), though which worker runs
+//! which cell is not.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rigor_workloads::verify::{build_report, CellError, Manifest, VerifyCell, VerifyReport};
+
+/// Runs every cell of the grid across `workers` threads and folds the
+/// outcomes against `manifest` into a [`VerifyReport`].
+///
+/// `workers` is clamped to `[1, cells.len()]`; passing an empty grid
+/// yields an empty (vacuously passing) report.
+pub fn run_grid(
+    cells: Vec<VerifyCell>,
+    workers: usize,
+    manifest: Option<&Manifest>,
+) -> VerifyReport {
+    let results = execute_all(cells, workers);
+    build_report(results, manifest)
+}
+
+/// Executes all cells, returning `(cell, result)` pairs in grid order.
+pub fn execute_all(
+    cells: Vec<VerifyCell>,
+    workers: usize,
+) -> Vec<(VerifyCell, Result<String, CellError>)> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, cells.len());
+    let total = cells.len();
+
+    // Deal cells round-robin onto per-worker deques, tagged with their
+    // grid index so results land in a stable order.
+    let queues: Vec<Mutex<VecDeque<(usize, VerifyCell)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut originals: Vec<Option<VerifyCell>> = Vec::with_capacity(total);
+    for (i, cell) in cells.into_iter().enumerate() {
+        originals.push(Some(cell.clone()));
+        queues[i % workers]
+            .lock()
+            .expect("queue poisoned")
+            .push_back((i, cell));
+    }
+
+    let budget = AtomicUsize::new(total);
+    let slots: Vec<Mutex<Option<Result<String, CellError>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let budget = &budget;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                // Claim an execution ticket before touching any queue.
+                if budget
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                // Own deque first (front) …
+                let mut work = queues[me].lock().expect("queue poisoned").pop_front();
+                // … then steal from the back of the longest other deque.
+                if work.is_none() {
+                    let victim = (0..queues.len())
+                        .filter(|&v| v != me)
+                        .map(|v| (v, queues[v].lock().expect("queue poisoned").len()))
+                        .filter(|&(_, len)| len > 0)
+                        .max_by_key(|&(_, len)| len)
+                        .map(|(v, _)| v);
+                    if let Some(v) = victim {
+                        work = queues[v].lock().expect("queue poisoned").pop_back();
+                    }
+                }
+                let Some((index, cell)) = work else { break };
+                let outcome = cell.execute();
+                *slots[index].lock().expect("slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    originals
+        .into_iter()
+        .zip(slots)
+        .map(|(cell, slot)| {
+            let cell = cell.expect("cell recorded at deal time");
+            let result = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .unwrap_or_else(|| Err(CellError::Vm("cell was never executed".to_string())));
+            (cell, result)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rigor_workloads::verify::{grid, VerifyEngine, ALL_SIZES};
+    use rigor_workloads::Size;
+
+    #[test]
+    fn empty_grid_passes_vacuously() {
+        let report = run_grid(Vec::new(), 4, None);
+        assert!(report.passed());
+        assert!(report.cells.is_empty());
+    }
+
+    #[test]
+    fn results_keep_grid_order_across_worker_counts() {
+        let cells = grid(&[Size::Small], &[1]);
+        let a = execute_all(cells.clone(), 1);
+        let b = execute_all(cells.clone(), 4);
+        assert_eq!(a.len(), cells.len());
+        for ((ca, ra), ((cb, rb), orig)) in a.iter().zip(b.iter().zip(&cells)) {
+            assert_eq!(ca, orig);
+            assert_eq!(cb, orig);
+            assert_eq!(ra, rb, "checksums must not depend on scheduling");
+        }
+    }
+
+    #[test]
+    fn small_grid_verifies_clean_against_its_own_manifest() {
+        let cells = grid(&[Size::Small], &[1, 2]);
+        let first = run_grid(cells.clone(), 4, None);
+        // No manifest: nothing can mismatch, engines must agree.
+        assert!(first.passed(), "failures: {:?}", first.failures());
+        let manifest = first.to_manifest().unwrap();
+        let second = run_grid(cells, 4, Some(&manifest));
+        assert!(second.passed());
+        assert_eq!(
+            manifest.entries.len(),
+            rigor_workloads::suite().len(),
+            "one manifest entry per (workload, size)"
+        );
+    }
+
+    #[test]
+    fn injected_mismatch_names_the_cell() {
+        let mut manifest = Manifest::default();
+        manifest
+            .entries
+            .insert("sieve/small".into(), "TAMPERED".into());
+        let cells = vec![VerifyCell {
+            workload: "sieve".into(),
+            size: Size::Small,
+            engine: VerifyEngine::Interp,
+            seed: 1,
+        }];
+        let report = run_grid(cells, 1, Some(&manifest));
+        assert!(!report.passed());
+        assert_eq!(report.failures()[0].cell.id(), "sieve/small/interp/1");
+    }
+
+    #[test]
+    fn sizes_constant_matches_registry_presets() {
+        assert_eq!(ALL_SIZES.len(), 3);
+    }
+}

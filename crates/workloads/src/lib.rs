@@ -1,10 +1,14 @@
 //! # rigor-workloads — the MiniPy benchmark suite
 //!
-//! A pyperformance-analogue suite of 20 benchmarks covering the behavioural
+//! A pyperformance-analogue suite of 29 benchmarks covering the behavioural
 //! axes Python benchmarking methodology must handle: numeric kernels,
 //! dict/list churn with seed-sensitive string keys, string processing,
-//! call/branch-heavy control flow, and adversarial stressors (type-flipping
-//! loops, startup-dominated workloads, allocation storms).
+//! call/branch-heavy control flow, structured-data round-trips (JSON
+//! building, CSV parse/transform), call towers (monomorphic and
+//! polymorphic), iterator-protocol churn, adversarial stressors
+//! (type-flipping loops, startup-dominated workloads, allocation storms),
+//! and deliberately non-steady workloads (phase shifts, warmup cliffs,
+//! sawtooth periodicity) with documented shift locations.
 //!
 //! Every workload is a MiniPy module defining a `run()` function returning an
 //! order-independent checksum, generated at a chosen size:
@@ -28,7 +32,8 @@ pub mod characterize;
 pub mod generator;
 pub mod programs;
 pub mod registry;
+pub mod verify;
 
 pub use characterize::{characterize, Characterization};
 pub use generator::{generate, random_program, SyntheticSpec};
-pub use registry::{find, names, suite, Category, Size, Workload};
+pub use registry::{find, lookup, names, suite, Category, Size, UnknownWorkload, Workload};

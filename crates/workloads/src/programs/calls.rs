@@ -1,0 +1,111 @@
+//! Call-overhead towers: deep call chains whose cost is dominated by
+//! frame push/pop and argument passing, not by the arithmetic inside.
+//!
+//! [`call_tower_mono`] keeps every call site monomorphic (ints end to
+//! end) — the case a call-inlining or frame-caching fast path should win.
+//! [`call_tower_poly`] feeds the same callees int, float and string
+//! arguments in rotation, so type-specialized call paths keep missing.
+
+/// A twelve-deep monomorphic call chain driven from a hot loop: ~12·N
+/// calls per iteration, every site seeing only ints.
+pub fn call_tower_mono(n: u32) -> String {
+    let mut chain = String::new();
+    // f12 is the base of the tower; f1..f11 each call the next level.
+    chain.push_str("def f12(x):\n    return (x * 3 + 7) % 65521\n");
+    for level in (1..=11u32).rev() {
+        chain.push_str(&format!(
+            "\ndef f{level}(x):\n    return (f{next}(x + {level}) * 2 + {level}) % 65521\n",
+            next = level + 1,
+        ));
+    }
+    format!(
+        "\
+N = {n}
+
+{chain}
+def run():
+    total = 0
+    i = 0
+    while i < N:
+        total = (total + f1(i)) % 1000000007
+        i = i + 1
+    return total
+"
+    )
+}
+
+/// Polymorphic call sites: the same callees (`echo`, `bulk`) are fed int,
+/// float and string arguments in rotation, defeating per-site type
+/// specialization while keeping the checksum deterministic.
+pub fn call_tower_poly(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+
+def echo(v):
+    return v
+
+def bulk(v, k):
+    out = echo(v)
+    j = 1
+    while j < k:
+        out = out + echo(v)
+        j = j + 1
+    return out
+
+def run():
+    ints = 0
+    floats = 0.0
+    text_len = 0
+    i = 0
+    while i < N:
+        m = i % 3
+        if m == 0:
+            ints = (ints + bulk(i, 3)) % 1000000007
+        elif m == 1:
+            floats = floats + bulk(i * 0.5, 3)
+        else:
+            text_len = text_len + len(bulk('s' + str(i % 9), 3))
+        i = i + 1
+    return (ints + floor(floats) + text_len) % 1000000007
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::{Session, VmConfig};
+
+    #[test]
+    fn call_sources_compile_and_run() {
+        for src in [call_tower_mono(50), call_tower_poly(60)] {
+            let mut s = Session::start(&src, 1, VmConfig::interp()).expect("compile+setup");
+            s.run_iteration().expect("iteration");
+        }
+    }
+
+    #[test]
+    fn call_workloads_agree_across_engines() {
+        for src in [call_tower_mono(40), call_tower_poly(45)] {
+            minipy::check_engines_agree(&src, 9).expect("engines agree");
+        }
+    }
+
+    #[test]
+    fn mono_tower_is_twelve_levels_deep() {
+        let src = call_tower_mono(10);
+        for level in 1..=12 {
+            assert!(src.contains(&format!("def f{level}(")), "missing f{level}");
+        }
+    }
+
+    #[test]
+    fn poly_tower_exercises_three_argument_types() {
+        // The rotation must actually reach every branch at any size.
+        let mut s = Session::start(&call_tower_poly(9), 1, VmConfig::interp()).unwrap();
+        let r = s.run_iteration().unwrap();
+        let v: i64 = s.render(r.value).parse().unwrap();
+        assert!(v > 0);
+    }
+}

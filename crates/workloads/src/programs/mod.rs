@@ -1,7 +1,11 @@
 //! The benchmark programs, grouped by behavioural category.
 
 pub mod adversarial;
+pub mod calls;
 pub mod control;
 pub mod data;
+pub mod iterators;
+pub mod nonsteady;
 pub mod numeric;
 pub mod strings;
+pub mod structured;

@@ -1,0 +1,256 @@
+//! Non-steady workloads with *known* shift locations — true positives for
+//! the warmup classifier and the trend/changepoint machinery ("Virtual
+//! Machine Warmup Blows Hot and Cold": non-steady behaviour is the norm).
+//!
+//! Each workload keeps a module-level call counter and changes only its
+//! per-iteration *cost* at documented iteration indices; the returned
+//! checksum is identical on every iteration, so the differential oracle
+//! still holds while the timing series shifts.
+//!
+//! [`drift_baseline`]/[`drift_degraded`] extend the family across *runs*:
+//! the same checksum at 1× and 3× the per-iteration cost, so a store that
+//! archives baseline runs followed by degraded runs contains a measured
+//! level step at a known run index for `rigor trend` to find.
+
+/// Iteration index after which [`phase_shift`] triples its per-iteration
+/// cost.
+pub const PHASE_SHIFT_AT: u32 = 12;
+
+/// Iteration count for which [`warmup_cliff`] stays slow before dropping
+/// to its steady cost.
+pub const WARMUP_CLIFF_AT: u32 = 8;
+
+/// Period (in iterations) of the [`sawtooth`] cost ramp.
+pub const SAWTOOTH_PERIOD: u32 = 6;
+
+/// Cost multiplier of [`drift_degraded`] relative to [`drift_baseline`].
+pub const DRIFT_DEGRADED_UNITS: u32 = 3;
+
+fn counter_preamble(n: u32) -> String {
+    format!(
+        "\
+N = {n}
+state = [0]
+
+def work(scale):
+    total = 0
+    limit = N * scale
+    i = 0
+    while i < limit:
+        total = (total + i * 7 + scale) % 1000000007
+        i = i + 1
+    return total
+"
+    )
+}
+
+/// Steady for [`PHASE_SHIFT_AT`] iterations, then every later iteration
+/// pays 3× the work (the extra passes are discarded, so the checksum
+/// never moves).
+pub fn phase_shift(n: u32) -> String {
+    format!(
+        "\
+{preamble}
+SHIFT = {PHASE_SHIFT_AT}
+
+def run():
+    state[0] = state[0] + 1
+    base = work(1)
+    if state[0] > SHIFT:
+        pad = work(2)
+    return base
+",
+        preamble = counter_preamble(n),
+    )
+}
+
+/// Slow for the first [`WARMUP_CLIFF_AT`] iterations (a compilation/cache
+/// warmup stand-in), then drops to its steady per-iteration cost.
+pub fn warmup_cliff(n: u32) -> String {
+    format!(
+        "\
+{preamble}
+WARM = {WARMUP_CLIFF_AT}
+
+def run():
+    state[0] = state[0] + 1
+    if state[0] <= WARM:
+        pad = work(3)
+    return work(1)
+",
+        preamble = counter_preamble(n),
+    )
+}
+
+/// Periodically degrading: the per-iteration cost ramps with
+/// `iteration % SAWTOOTH_PERIOD` and resets — a GC-debt / fragmentation
+/// stand-in with no steady state at all.
+pub fn sawtooth(n: u32) -> String {
+    format!(
+        "\
+{preamble}
+PERIOD = {SAWTOOTH_PERIOD}
+
+def run():
+    state[0] = state[0] + 1
+    pad = work(state[0] % PERIOD)
+    return work(1)
+",
+        preamble = counter_preamble(n),
+    )
+}
+
+/// A steady workload at `units` × the baseline per-iteration cost whose
+/// checksum is independent of `units` — the run-level analogue of the
+/// iteration-level shifts above.
+fn drift(n: u32, units: u32) -> String {
+    format!(
+        "\
+N = {n}
+UNITS = {units}
+
+def pass_over(salt):
+    total = 0
+    i = 0
+    while i < N:
+        total = (total + i * 13 + salt) % 1000000007
+        i = i + 1
+    return total
+
+def run():
+    total = pass_over(5)
+    u = 1
+    while u < UNITS:
+        pad = pass_over(u)
+        u = u + 1
+    return total
+"
+    )
+}
+
+/// The 1×-cost drift source: archive runs of this as the "before" level.
+pub fn drift_baseline(n: u32) -> String {
+    drift(n, 1)
+}
+
+/// The [`DRIFT_DEGRADED_UNITS`]×-cost drift source: same checksum as
+/// [`drift_baseline`], so archiving it under the same benchmark name
+/// injects a pure timing step with no semantic change.
+pub fn drift_degraded(n: u32) -> String {
+    drift(n, DRIFT_DEGRADED_UNITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::{Session, VmConfig};
+
+    /// Noise-free config: these tests assert on the *shape* of the
+    /// virtual-time series, so the synthetic noise sources must be off.
+    fn quiet() -> VmConfig {
+        let mut cfg = VmConfig::interp();
+        cfg.noise = minipy::NoiseConfig::quiescent();
+        cfg
+    }
+
+    #[test]
+    fn nonsteady_sources_compile_and_run() {
+        for src in [
+            phase_shift(40),
+            warmup_cliff(40),
+            sawtooth(40),
+            drift_baseline(40),
+            drift_degraded(40),
+        ] {
+            let mut s = Session::start(&src, 1, VmConfig::interp()).expect("compile+setup");
+            s.run_iteration().expect("iteration");
+        }
+    }
+
+    #[test]
+    fn nonsteady_workloads_agree_across_engines() {
+        for src in [phase_shift(30), warmup_cliff(30), sawtooth(30)] {
+            minipy::check_engines_agree(&src, 17).expect("engines agree");
+        }
+    }
+
+    #[test]
+    fn checksums_never_move_across_the_shift() {
+        // The whole point: cost shifts, semantics do not. Run well past
+        // every documented shift location and demand one checksum.
+        for src in [phase_shift(30), warmup_cliff(30), sawtooth(30)] {
+            let mut s = Session::start(&src, 1, VmConfig::interp()).unwrap();
+            let first = {
+                let r = s.run_iteration().unwrap();
+                s.render(r.value)
+            };
+            for _ in 0..(PHASE_SHIFT_AT + 6) {
+                let r = s.run_iteration().unwrap();
+                assert_eq!(s.render(r.value), first, "checksum moved:\n{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn phase_shift_cost_steps_at_the_documented_index() {
+        let mut s = Session::start(&phase_shift(60), 1, quiet()).unwrap();
+        let times: Vec<f64> = (0..(PHASE_SHIFT_AT + 8))
+            .map(|_| s.run_iteration().unwrap().virtual_ns)
+            .collect();
+        let before = times[(PHASE_SHIFT_AT - 2) as usize];
+        let after = times[(PHASE_SHIFT_AT + 2) as usize];
+        assert!(
+            after > before * 2.0,
+            "expected a >2x cost step after iteration {PHASE_SHIFT_AT}: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn warmup_cliff_cost_drops_after_warmup() {
+        let mut s = Session::start(&warmup_cliff(60), 1, quiet()).unwrap();
+        let times: Vec<f64> = (0..(WARMUP_CLIFF_AT + 8))
+            .map(|_| s.run_iteration().unwrap().virtual_ns)
+            .collect();
+        let warm = times[1];
+        let steady = times[(WARMUP_CLIFF_AT + 2) as usize];
+        assert!(
+            warm > steady * 2.0,
+            "expected warmup iterations to cost >2x steady: warm={warm} steady={steady}"
+        );
+    }
+
+    #[test]
+    fn sawtooth_cost_is_periodic() {
+        let mut s = Session::start(&sawtooth(60), 1, quiet()).unwrap();
+        let times: Vec<f64> = (0..(SAWTOOTH_PERIOD * 3))
+            .map(|_| s.run_iteration().unwrap().virtual_ns)
+            .collect();
+        // Iterations one period apart pay the same work multiple.
+        let p = SAWTOOTH_PERIOD as usize;
+        for i in 0..p {
+            assert_eq!(
+                times[i],
+                times[i + p],
+                "iteration {i} and {} should cost the same",
+                i + p
+            );
+        }
+        // And within a period the ramp actually ramps.
+        assert!(times[p - 2] > times[p] * 1.5, "no ramp: {times:?}");
+    }
+
+    #[test]
+    fn drift_sources_share_a_checksum_but_not_a_cost() {
+        let mut a = Session::start(&drift_baseline(80), 1, quiet()).unwrap();
+        let mut b = Session::start(&drift_degraded(80), 1, quiet()).unwrap();
+        let ra = a.run_iteration().unwrap();
+        let rb = b.run_iteration().unwrap();
+        assert_eq!(a.render(ra.value), b.render(rb.value));
+        assert!(
+            rb.virtual_ns > ra.virtual_ns * 2.0,
+            "degraded source should pay ~{DRIFT_DEGRADED_UNITS}x: {} vs {}",
+            rb.virtual_ns,
+            ra.virtual_ns
+        );
+    }
+}

@@ -6,17 +6,25 @@
 
 /// N-body-style float physics: pairwise force accumulation over a handful of
 /// bodies for `n` steps. Arithmetic-dominated, few allocations.
+///
+/// `run()` copies the initial conditions into fresh lists each call so the
+/// checksum is identical on every iteration of a session (the suite's
+/// oracle contract); the originals stay untouched module state.
 pub fn nbody_lite(n: u32) -> String {
     format!(
         "\
 STEPS = {n}
-px = [0.0, 4.84, 8.34, 12.89, 15.37]
-py = [0.0, -1.16, 4.12, -15.11, -25.91]
-vx = [0.0, 0.00166, -0.00276, 0.00296, 0.00288]
-vy = [0.0, 0.00769, 0.00499, 0.00237, 0.00147]
+px0 = [0.0, 4.84, 8.34, 12.89, 15.37]
+py0 = [0.0, -1.16, 4.12, -15.11, -25.91]
+vx0 = [0.0, 0.00166, -0.00276, 0.00296, 0.00288]
+vy0 = [0.0, 0.00769, 0.00499, 0.00237, 0.00147]
 m = [39.47, 0.0372, 0.0113, 0.000043, 0.0000515]
 
 def run():
+    px = [v for v in px0]
+    py = [v for v in py0]
+    vx = [v for v in vx0]
+    vy = [v for v in vy0]
     dt = 0.01
     i = 0
     while i < STEPS:

@@ -1,9 +1,13 @@
 //! The workload registry: every benchmark in the suite with its size
 //! parameterization, discoverable by name.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
-use crate::programs::{adversarial, control, data, numeric, strings};
+use crate::programs::{
+    adversarial, calls, control, data, iterators, nonsteady, numeric, strings, structured,
+};
 
 /// Behavioural category of a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -16,9 +20,14 @@ pub enum Category {
     Strings,
     /// Calls, recursion, branchy state machines.
     Control,
+    /// Structured-data round-trips: build, serialize, parse back.
+    Structured,
     /// Methodology stressors: type-polymorphic, startup-dominated,
     /// GC-pressure workloads.
     Adversarial,
+    /// Known-shift non-steady workloads: phase shifts, warmup cliffs and
+    /// periodic degradation at documented iteration indices.
+    NonSteady,
 }
 
 impl Category {
@@ -29,13 +38,15 @@ impl Category {
             Category::Data => "data",
             Category::Strings => "string",
             Category::Control => "control",
+            Category::Structured => "structured",
             Category::Adversarial => "adversarial",
+            Category::NonSteady => "nonsteady",
         }
     }
 }
 
 /// Size preset for a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Size {
     /// Fast: for unit tests and smoke runs.
     Small,
@@ -257,6 +268,51 @@ pub fn suite() -> Vec<Workload> {
             large: 1_200,
         },
         Workload {
+            name: "json_build",
+            category: Category::Structured,
+            description: "build nested records, emit a JSON document, hash it",
+            source_fn: structured::json_build,
+            small: 40,
+            default: 150,
+            large: 500,
+        },
+        Workload {
+            name: "csv_roundtrip",
+            category: Category::Structured,
+            description: "CSV render / parse / transform round-trip",
+            source_fn: structured::csv_roundtrip,
+            small: 50,
+            default: 200,
+            large: 700,
+        },
+        Workload {
+            name: "call_tower_mono",
+            category: Category::Control,
+            description: "twelve-deep monomorphic call chain (frame overhead)",
+            source_fn: calls::call_tower_mono,
+            small: 200,
+            default: 800,
+            large: 2_500,
+        },
+        Workload {
+            name: "call_tower_poly",
+            category: Category::Control,
+            description: "polymorphic call sites fed int/float/str in rotation",
+            source_fn: calls::call_tower_poly,
+            small: 150,
+            default: 600,
+            large: 2_000,
+        },
+        Workload {
+            name: "iter_churn",
+            category: Category::Data,
+            description: "enumerate/zip/items towers and comprehensions",
+            source_fn: iterators::iter_churn,
+            small: 200,
+            default: 800,
+            large: 2_500,
+        },
+        Workload {
             name: "polymorph",
             category: Category::Adversarial,
             description: "type-flipping hot loop (JIT deopt churn)",
@@ -283,12 +339,108 @@ pub fn suite() -> Vec<Workload> {
             default: 600,
             large: 2_000,
         },
+        Workload {
+            name: "phase_shift",
+            category: Category::NonSteady,
+            description: "3x cost step after a documented iteration index",
+            source_fn: nonsteady::phase_shift,
+            small: 60,
+            default: 250,
+            large: 800,
+        },
+        Workload {
+            name: "warmup_cliff",
+            category: Category::NonSteady,
+            description: "slow warmup iterations, then a steady fast phase",
+            source_fn: nonsteady::warmup_cliff,
+            small: 60,
+            default: 250,
+            large: 800,
+        },
+        Workload {
+            name: "sawtooth",
+            category: Category::NonSteady,
+            description: "periodically ramping cost that never settles",
+            source_fn: nonsteady::sawtooth,
+            small: 60,
+            default: 250,
+            large: 800,
+        },
     ]
 }
 
 /// Finds a workload by name.
 pub fn find(name: &str) -> Option<Workload> {
     suite().into_iter().find(|w| w.name == name)
+}
+
+/// A name that resolved to no workload, with the closest registered name
+/// when the miss looks like a typo (case slip or small edit distance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// The closest suite name, if one is plausibly intended.
+    pub suggestion: Option<&'static str>,
+}
+
+impl UnknownWorkload {
+    /// Builds the error for a name, computing the suggestion.
+    pub fn of(name: &str) -> UnknownWorkload {
+        UnknownWorkload {
+            name: name.to_string(),
+            suggestion: suggest(name),
+        }
+    }
+}
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload '{}'", self.name)?;
+        match self.suggestion {
+            Some(s) => write!(f, ", did you mean '{s}'?"),
+            None => write!(f, " (see `rigor list`)"),
+        }
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// Finds a workload by name, or returns a typed near-miss error — unlike
+/// [`find`], a case slip or a one-letter typo names its correction.
+pub fn lookup(name: &str) -> Result<Workload, UnknownWorkload> {
+    find(name).ok_or_else(|| UnknownWorkload::of(name))
+}
+
+/// Levenshtein distance, bounded only by the short names involved.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest suite name: a case-insensitive exact match wins outright,
+/// otherwise the smallest edit distance within a typo-sized budget.
+fn suggest(name: &str) -> Option<&'static str> {
+    let lower = name.to_lowercase();
+    let all = names();
+    if let Some(exact) = all.iter().find(|n| n.to_lowercase() == lower) {
+        return Some(exact);
+    }
+    all.into_iter()
+        .map(|n| (edit_distance(&lower, n), n))
+        .filter(|(d, n)| *d <= 2.max(n.len() / 4))
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, n)| n)
 }
 
 /// Names of all workloads, in canonical order.
@@ -301,13 +453,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_has_twenty_one_workloads_with_unique_names() {
+    fn suite_has_twenty_nine_workloads_with_unique_names() {
         let s = suite();
-        assert_eq!(s.len(), 21);
+        assert_eq!(s.len(), 29);
         let mut names: Vec<_> = s.iter().map(|w| w.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21, "duplicate workload names");
+        assert_eq!(names.len(), 29, "duplicate workload names");
     }
 
     #[test]
@@ -318,7 +470,9 @@ mod tests {
             Category::Data,
             Category::Strings,
             Category::Control,
+            Category::Structured,
             Category::Adversarial,
+            Category::NonSteady,
         ] {
             assert!(s.iter().any(|w| w.category == cat), "missing {cat:?}");
         }
@@ -341,6 +495,34 @@ mod tests {
         assert!(find("sieve").is_some());
         assert!(find("nope").is_none());
         assert_eq!(find("sieve").unwrap().category, Category::Numeric);
+    }
+
+    #[test]
+    fn lookup_suggests_on_near_misses() {
+        assert_eq!(lookup("sieve").unwrap().name, "sieve");
+        // Case slip.
+        let e = lookup("Sieve").unwrap_err();
+        assert_eq!(e.suggestion, Some("sieve"));
+        assert!(e.to_string().contains("did you mean 'sieve'"));
+        // One-letter typo.
+        let e = lookup("seive").unwrap_err();
+        assert_eq!(e.suggestion, Some("sieve"));
+        // Underscore-family typo on a longer name.
+        let e = lookup("phase_shiftt").unwrap_err();
+        assert_eq!(e.suggestion, Some("phase_shift"));
+        // Nothing close: no suggestion, but still a pointer to the list.
+        let e = lookup("zzzzzzzzzz").unwrap_err();
+        assert_eq!(e.suggestion, None);
+        assert!(e.to_string().contains("rigor list"));
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric_and_sane() {
+        assert_eq!(edit_distance("sieve", "sieve"), 0);
+        assert_eq!(edit_distance("sieve", "seive"), 2);
+        assert_eq!(edit_distance("abc", "abcd"), 1);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
     }
 
     #[test]

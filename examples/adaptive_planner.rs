@@ -1,4 +1,4 @@
-//! The adaptive precision planner, self-applied: run the full 21-workload
+//! The adaptive precision planner, self-applied: run the full-registry
 //! suite on both engines as an adaptive campaign (pilot, then
 //! variance-proportional refinement) and compare the invocations it spends
 //! against the fixed-n design that guarantees the same worst-case

@@ -1,4 +1,4 @@
-//! Adaptive precision planner, end to end: on the full 21-workload ×
+//! Adaptive precision planner, end to end: on the full-registry ×
 //! 2-engine suite the planner must reach the precision target while
 //! spending strictly fewer invocations than the fixed-n design that
 //! guarantees the same worst-case precision (every cell at the largest n
@@ -33,7 +33,10 @@ fn adaptive_suite_beats_the_fixed_design_with_equal_worst_case_precision() {
         .with_seed(17);
     let benchmarks: Vec<String> = suite().iter().map(|w| w.name.to_string()).collect();
     let n_benchmarks = benchmarks.len();
-    assert_eq!(n_benchmarks, 21, "the paper's suite has 21 workloads");
+    assert_eq!(
+        n_benchmarks, 29,
+        "the paper's 21 workloads plus the 8 PR-10 checksum-oracle families"
+    );
     let planner = PlannerConfig::default()
         .with_target(0.02)
         .with_min_invocations(3)

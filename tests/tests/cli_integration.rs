@@ -27,13 +27,58 @@ fn help_list_and_characterize_exit_zero() {
 fn bad_input_exit_codes() {
     // Unknown flag: parse error (2).
     assert_eq!(rigor_cli::run(&argv("measure sieve --frobnicate 1")), 2);
-    // Unknown benchmark: runtime error (1).
+    // Unknown benchmark: usage error (2), like any other bad command line.
     assert_eq!(
         rigor_cli::run(&argv("measure not_a_benchmark -n 2 -i 3")),
-        1
+        2
     );
+    // A case slip or typo is the same usage error, carrying a suggestion
+    // (the message itself is asserted in the cli crate's unit tests).
+    assert_eq!(rigor_cli::run(&argv("measure Sieve -n 2 -i 3")), 2);
+    assert_eq!(rigor_cli::run(&argv("compare seive -n 2 -i 3")), 2);
     // Missing file: runtime error (1).
     assert_eq!(rigor_cli::run(&argv("run /definitely/not/a/file.mp")), 1);
+}
+
+#[test]
+fn verify_grid_against_committed_manifest() {
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/suite_checksums.json");
+    let dir = tmp_dir();
+    let json = dir.join("verify.json");
+    // The committed manifest verifies clean at small size (exit 0).
+    let cmd = format!(
+        "verify --sizes small --seeds 1 --workers 4 --quiet --manifest {manifest} --json {}",
+        json.display()
+    );
+    assert_eq!(rigor_cli::run(&argv(&cmd)), 0);
+    let report = fs::read_to_string(&json).expect("report written");
+    assert!(report.contains("\"passed\": true"), "{report}");
+
+    // An injected mismatch fails with exit 1 and names the cell.
+    let tampered = dir.join("tampered_manifest.json");
+    let text = fs::read_to_string(manifest).expect("committed manifest");
+    let entry_start = text.find("\"sieve/small\": \"").expect("sieve entry") + 16;
+    let entry_end = entry_start + text[entry_start..].find('"').expect("entry close");
+    let mut bad = text.clone();
+    bad.replace_range(entry_start..entry_end, "0xBAD");
+    fs::write(&tampered, bad).expect("tampered manifest");
+    let cmd = format!(
+        "verify --sizes small --seeds 1 --workers 4 --quiet --manifest {} --json {}",
+        tampered.display(),
+        json.display()
+    );
+    assert_eq!(rigor_cli::run(&argv(&cmd)), 1);
+    let report = fs::read_to_string(&json).expect("report written");
+    assert!(
+        report.contains("\"cell\": \"sieve/small/interp/1\""),
+        "{report}"
+    );
+    assert!(report.contains("\"expected\": \"0xBAD\""), "{report}");
+    // A missing manifest is a runtime error, not a crash.
+    assert_eq!(
+        rigor_cli::run(&argv("verify --manifest /definitely/not/a/manifest.json")),
+        1
+    );
 }
 
 #[test]

@@ -1,9 +1,15 @@
 //! Robustness fuzzing of the MiniPy front end: the lexer, parser and
 //! compiler must return errors — never panic — on arbitrary input, and the
 //! VM must stay inside its error taxonomy on arbitrary-but-parseable input.
+//!
+//! The differential fuzz bridge at the bottom feeds the same generated
+//! programs through both engines: any checksum divergence fails the test
+//! and (with `BLESS=1`) is saved under `fixtures/fuzz_regressions/` so the
+//! minimized case re-runs forever as a committed regression fixture.
 
-use minipy::{compile, parse, Session, VmConfig};
+use minipy::{compile, parse, JitConfig, JitMode, Session, VmConfig};
 use proptest::prelude::*;
+use rigor_workloads::random_program;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -107,4 +113,100 @@ fn long_lines_and_many_constants() {
     let src = format!("x = {}\n", terms.join(" + "));
     let program = compile(&src).expect("long sums compile");
     assert!(program.total_ops() > 2000);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz bridge: generated programs through both engines.
+// ---------------------------------------------------------------------------
+
+/// Directory of committed divergence regression fixtures.
+fn fuzz_fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/fuzz_regressions")
+}
+
+/// Runs `src` on the interpreter and an eagerly-compiling JIT, comparing
+/// rendered checksums across two iterations. Returns the divergence
+/// message, or `None` when the engines agree.
+fn engines_diverge(src: &str, seed: u64) -> Option<String> {
+    let eager = VmConfig {
+        engine: minipy::EngineKind::Jit(JitConfig {
+            hot_threshold: 10,
+            max_guard_failures: 2,
+            mode: JitMode::Full,
+        }),
+        ..VmConfig::default()
+    };
+    let run = |cfg: VmConfig| -> Result<Vec<String>, minipy::MpError> {
+        let mut s = Session::start(src, seed, cfg)?;
+        (0..2)
+            .map(|_| s.run_iteration().map(|r| s.render(r.value)))
+            .collect()
+    };
+    match (run(VmConfig::interp()), run(eager)) {
+        (Ok(a), Ok(b)) if a == b => None,
+        (Ok(a), Ok(b)) => Some(format!("interp={a:?} jit={b:?}")),
+        // Both engines failing identically is agreement; one succeeding
+        // while the other fails is the worst kind of divergence.
+        (Err(a), Err(b)) if a.to_string() == b.to_string() => None,
+        (a, b) => Some(format!("interp={a:?} jit={b:?}")),
+    }
+}
+
+/// Saves a divergent program as a regression fixture when `BLESS=1`, so a
+/// fuzzing discovery is captured as a permanent test case instead of a
+/// flaky seed-dependent failure.
+fn save_divergence(src: &str, seed: u64) {
+    if std::env::var("BLESS").is_ok_and(|v| v == "1") {
+        let dir = fuzz_fixture_dir();
+        std::fs::create_dir_all(&dir).expect("fixture dir");
+        let path = dir.join(format!("divergence_seed_{seed}.mp"));
+        std::fs::write(&path, src).expect("write fixture");
+        eprintln!("saved divergence fixture: {}", path.display());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bridge proper: synthesized programs (a disjoint seed range from
+    /// the engine_equivalence sweep) must checksum identically on both
+    /// engines. A hit is recorded as a committed fixture via `BLESS=1`.
+    #[test]
+    fn generated_programs_never_diverge_across_engines(seed in 5000u64..9000) {
+        let src = random_program(seed);
+        if let Some(msg) = engines_diverge(&src, seed) {
+            save_divergence(&src, seed);
+            prop_assert!(false, "divergence for seed {}: {}\n{}", seed, msg, src);
+        }
+    }
+}
+
+/// Every committed divergence fixture re-runs on both engines forever:
+/// once a fuzzing discovery is fixed, it stays fixed.
+#[test]
+fn committed_fuzz_regressions_stay_fixed() {
+    let dir = fuzz_fixture_dir();
+    let mut fixtures: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fuzz_regressions directory is committed")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mp"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        !fixtures.is_empty(),
+        "no fixtures in {} — the harness must always have cases to re-run",
+        dir.display()
+    );
+    for path in fixtures {
+        let src = std::fs::read_to_string(&path).expect("read fixture");
+        for seed in [1u64, 7, 1234] {
+            if let Some(msg) = engines_diverge(&src, seed) {
+                panic!(
+                    "regression fixture {} diverged again (seed {seed}): {msg}",
+                    path.display()
+                );
+            }
+        }
+    }
 }

@@ -152,6 +152,114 @@ fn drift_histories_analyze_cleanly() {
 }
 
 // ---------------------------------------------------------------------------
+// True-positive calibration on *measured* non-steady workloads
+// ---------------------------------------------------------------------------
+
+/// End-to-end true-positive check with real measurements instead of
+/// synthetic histories: the archive holds eight measured runs of the
+/// nonsteady drift workload — five at baseline cost, three at the degraded
+/// (3×) cost, same checksum — plus a steady companion. `rigor trend` must
+/// locate the run-level shift within ±1 of the injected index (seq 5) and
+/// keep the steady benchmark quiet. This aligns the measured pipeline with
+/// the `trend::synth` calibration above: the injected step is the measured
+/// analogue of `Shape::Step { at: 5, frac: 2.0 }`.
+#[test]
+fn measured_nonsteady_drift_is_located_and_steady_stays_quiet() {
+    use rigor_workloads::programs::nonsteady;
+
+    let dir = std::env::temp_dir().join(format!("rigor-nonsteady-trend-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    let mut store = rigor_store::Store::open(&dir).expect("open store");
+    let config = rigor::ExperimentConfig::interp()
+        .with_invocations(4)
+        .with_iterations(8)
+        .with_seed(33);
+    let runner = rigor::Runner::new(config.clone()).expect("runner");
+    let steady_src = nonsteady::drift_baseline(60);
+    for seq in 0..8u64 {
+        // The workload itself changes shape at seq 5 — a genuine 3× cost
+        // step with an identical checksum, the scenario trend alerts exist
+        // to catch (perf regressed, semantics did not).
+        let drift_src = if seq >= 5 {
+            nonsteady::drift_degraded(40)
+        } else {
+            nonsteady::drift_baseline(40)
+        };
+        let drift = runner
+            .measure_source(&drift_src, "nonsteady_drift")
+            .expect("measure drift");
+        let steady = runner
+            .measure_source(&steady_src, "steady_companion")
+            .expect("measure steady");
+        store
+            .append(None, &config, vec![drift, steady])
+            .expect("append run");
+    }
+
+    let out = dir.join("trend.json");
+    let code = rigor_cli::run(&argv(&format!(
+        "trend --store {} --json {}",
+        dir.display(),
+        out.display()
+    )));
+    let report = fs::read_to_string(&out).expect("trend report written");
+    // Three degraded runs follow the step, so the shift is mid-history by
+    // the at-HEAD rule (within the last min_segment runs): exit 0, with
+    // the shift fully reported.
+    assert_eq!(
+        code, 0,
+        "mid-history shift is not an at-HEAD alert: {report}"
+    );
+    assert!(
+        report.contains("\"benchmark\": \"nonsteady_drift\""),
+        "{report}"
+    );
+    assert!(report.contains("\"direction\": \"slower\""), "{report}");
+    assert!(report.contains("\"significant\": true"), "{report}");
+
+    // Localization: the changepoint for nonsteady_drift lands within ±1 of
+    // the injected run index.
+    let drift_section = report
+        .split("\"benchmark\": \"nonsteady_drift\"")
+        .nth(1)
+        .expect("drift section present");
+    let drift_section = drift_section
+        .split("\"benchmark\":")
+        .next()
+        .expect("section bounded");
+    assert!(
+        drift_section.contains("\"status\": \"shifted\""),
+        "{report}"
+    );
+    let seq: i64 = drift_section
+        .split("\"seq\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .expect("changepoint seq present");
+    assert!(
+        (seq - 5).abs() <= 1,
+        "drift step injected at run 5, located at run {seq}: {report}"
+    );
+
+    // The steady companion must not alert (false-positive control at the
+    // same FDR the synthetic nulls are calibrated against).
+    let steady_section = report
+        .split("\"benchmark\": \"steady_companion\"")
+        .nth(1)
+        .expect("steady section present");
+    let steady_section = steady_section
+        .split("\"benchmark\":")
+        .next()
+        .expect("section bounded");
+    assert!(
+        steady_section.contains("\"status\": \"stable\""),
+        "steady companion must stay quiet: {report}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
 // Golden fixture: the exact TrendReport JSON over a committed archive
 // ---------------------------------------------------------------------------
 

@@ -154,6 +154,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for JsonValue {
+    fn to_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl Deserialize for JsonValue {
+    fn from_value(v: &JsonValue) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> JsonValue {
         JsonValue::Array(self.iter().map(Serialize::to_value).collect())
